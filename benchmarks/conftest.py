@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs one experiment module end-to-end (pedantic, one
+round — these are simulations, not microbenchmarks), prints the
+paper-style table and *asserts every shape check*, so a calibration or
+code regression fails the suite.
+
+Set ``REPRO_FULL=1`` for the full batch sweeps / longer measurement
+windows; default is the quick profile.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+
+def run_report(benchmark, fn, **kwargs):
+    """Benchmark an experiment runner; print + assert its report."""
+    report = benchmark.pedantic(
+        lambda: fn(quick=not FULL, **kwargs), rounds=1, iterations=1)
+    print()
+    print(report.render())
+    failed = report.failed_checks()
+    assert not failed, "shape checks failed:\n" + "\n".join(
+        str(c) for c in failed)
+    return report
+
+
+@pytest.fixture
+def full_mode():
+    return FULL

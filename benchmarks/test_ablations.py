@@ -1,0 +1,237 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each isolates one mechanism the paper credits for DLBooster's wins:
+batch-block memory vs per-datum copies (S5.2), the 4-way/2-way unit
+balance under the CLB budget (S3.3), the epoch cache of the hybrid
+primitive (S3.1), scaling past the decoder bound with more FPGAs
+(S5.3), and the shared-LMDB reader contention (S5.2).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.calib import DEFAULT_TESTBED
+from repro.experiments.report import Report, fmt_table
+from repro.fpga import (ARRIA10_CLB_BUDGET, DecodeCmd, FpgaDevice,
+                        FPGAChannel, FpgaResourceError, ImageDecoderMirror)
+from repro.sim import Environment
+from repro.workflows import InferenceConfig, TrainingConfig, run_inference, \
+    run_training
+
+from conftest import FULL
+
+WARM, MEAS = (1.0, 3.0) if not FULL else (2.0, 8.0)
+
+
+# ------------------------------------------------------- batch vs per-item
+def test_ablation_batch_memory_vs_per_item_copies(benchmark):
+    """S5.2 claim (1): large-block batch memory eliminates the ~20%
+    small-piece copy penalty (LeNet-5 is the sensitive workload)."""
+
+    def run():
+        rows = []
+        # DLBooster moves whole batches; the CPU loader copies per item.
+        dlb = run_training(TrainingConfig(
+            model="lenet5", backend="dlbooster", num_gpus=1,
+            warmup_s=WARM, measure_s=MEAS))
+        cheap = dataclasses.replace(DEFAULT_TESTBED,
+                                    per_item_copy_overhead_s=0.5e-6)
+        cpu_base = run_training(TrainingConfig(
+            model="lenet5", backend="cpu-online", num_gpus=1,
+            warmup_s=WARM, measure_s=MEAS))
+        cpu_cheap = run_training(TrainingConfig(
+            model="lenet5", backend="cpu-online", num_gpus=1,
+            warmup_s=WARM, measure_s=MEAS), testbed=cheap)
+        rows.append(("dlbooster (batch copies)", dlb.throughput))
+        rows.append(("cpu-online (per-item copies)", cpu_base.throughput))
+        rows.append(("cpu-online (per-item cost -> ~0)",
+                     cpu_cheap.throughput))
+        return rows, dlb, cpu_base, cpu_cheap
+
+    rows, dlb, cpu_base, cpu_cheap = benchmark.pedantic(run, rounds=1,
+                                                        iterations=1)
+    print()
+    print(fmt_table(["configuration", "img/s"], rows))
+    # The per-item overhead explains most of the gap to the bound.
+    assert cpu_base.throughput < 0.9 * dlb.throughput
+    assert cpu_cheap.throughput > 1.1 * cpu_base.throughput
+
+
+# ------------------------------------------------------------- unit ways
+def test_ablation_fpga_way_scaling(benchmark):
+    """S3.3: stage way-counts are chosen for load balance under the CLB
+    budget; 4-way Huffman + 2-way resize balances, 5/3 does not fit."""
+
+    corpus = dict(size_bytes=110_000, work_pixels=int(375 * 500 * 1.5),
+                  out_pixels=224 * 224)
+
+    def drive(huffman_ways, resizer_ways, n=400):
+        env = Environment()
+        device = FpgaDevice(env, DEFAULT_TESTBED)
+        mirror = ImageDecoderMirror(env, DEFAULT_TESTBED,
+                                    huffman_ways=huffman_ways,
+                                    resizer_ways=resizer_ways)
+        device.load_mirror(mirror)
+        channel = FPGAChannel(env, mirror)
+
+        def submit(env):
+            for i in range(n):
+                cmd = DecodeCmd(cmd_id=i, source="dram",
+                                size_bytes=corpus["size_bytes"],
+                                work_pixels=corpus["work_pixels"],
+                                out_h=224, out_w=224, channels=3,
+                                dest_phy=0x4000_0000, dest_offset=0)
+                yield from channel.submit_cmd(cmd)
+
+        done = []
+
+        def collect(env):
+            while len(done) < n:
+                record = yield from channel.wait_one()
+                done.append(record)
+
+        env.process(submit(env))
+        proc = env.process(collect(env))
+        env.run(until=proc)
+        return n / env.now, mirror
+
+    def run():
+        rows = []
+        results = {}
+        for hw, rw in [(1, 1), (2, 1), (4, 2), (4, 1)]:
+            rate, mirror = drive(hw, rw)
+            utils = mirror.stage_utilizations()
+            rows.append((f"huffman x{hw} / resizer x{rw}", rate,
+                         mirror.bottleneck(),
+                         f"{mirror.clb_cost():,}"))
+            results[(hw, rw)] = (rate, utils, mirror.clb_cost())
+        return rows, results
+
+    rows, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fmt_table(["config", "img/s", "bottleneck", "CLBs"], rows))
+
+    # More Huffman ways help until the iDCT unit binds.
+    assert results[(2, 1)][0] > 1.6 * results[(1, 1)][0]
+    assert results[(4, 2)][0] > results[(2, 1)][0]
+    # The paper's 4/2 point fits the Arria-10; one more way of each would
+    # exceed the logic budget.
+    assert results[(4, 2)][2] <= ARRIA10_CLB_BUDGET
+    env = Environment()
+    oversized = ImageDecoderMirror(env, DEFAULT_TESTBED, huffman_ways=5,
+                                   resizer_ways=3)
+    with pytest.raises(FpgaResourceError):
+        FpgaDevice(env, DEFAULT_TESTBED).load_mirror(oversized)
+    # At 4/2 the heavy units are balanced — Huffman and iDCT both above
+    # 55% while the decoder saturates (no straggler unit, S3.3).  The
+    # output-driven resizer runs with headroom by design: its cost
+    # scales with the (small) model input, not the source image.
+    _, utils, _ = results[(4, 2)]
+    assert utils["huffman"] > 0.55, utils
+    assert utils["idct"] > 0.55, utils
+    assert utils["resizer"] < utils["idct"], utils
+
+
+# ------------------------------------------------------------ epoch cache
+def test_ablation_epoch_cache(benchmark):
+    """S3.1 hybrid primitive: caching the decoded first epoch lets
+    iterative workloads skip the decoder from epoch 2 on."""
+
+    def run():
+        cached = run_training(TrainingConfig(
+            model="lenet5", backend="dlbooster", num_gpus=1,
+            warmup_s=WARM, measure_s=MEAS))
+        no_cache_tb = dataclasses.replace(DEFAULT_TESTBED,
+                                          cache_capacity_bytes=0)
+        uncached = run_training(TrainingConfig(
+            model="lenet5", backend="dlbooster", num_gpus=1,
+            warmup_s=WARM, measure_s=MEAS), testbed=no_cache_tb)
+        return cached, uncached
+
+    cached, uncached = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fmt_table(
+        ["configuration", "img/s", "cache active"],
+        [("hybrid (epoch cache)", cached.throughput,
+          str(cached.extras["cache_active"])),
+         ("always-online (no cache)", uncached.throughput,
+          str(uncached.extras["cache_active"]))]))
+    assert cached.extras["cache_active"] is True
+    assert uncached.extras["cache_active"] is False
+    # MNIST decode on the FPGA is cmd-overhead-bound; the cache removes
+    # that path entirely and reaches the GPU bound.
+    assert cached.throughput >= uncached.throughput
+
+
+# ----------------------------------------------------------- more FPGAs
+def test_ablation_fpga_count_scaling(benchmark):
+    """S5.3: 'the bottleneck can be overcome by plugging more FPGA
+    devices' — 2 decoders lift GoogLeNet@32 off the decoder bound."""
+
+    def run():
+        one = run_inference(InferenceConfig(
+            model="googlenet", backend="dlbooster", batch_size=32,
+            warmup_s=WARM, measure_s=MEAS, num_fpgas=1))
+        two = run_inference(InferenceConfig(
+            model="googlenet", backend="dlbooster", batch_size=32,
+            warmup_s=WARM, measure_s=MEAS, num_fpgas=2))
+        return one, two
+
+    one, two = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fmt_table(["FPGAs", "img/s"],
+                    [(1, one.throughput), (2, two.throughput)]))
+    assert two.throughput > 1.05 * one.throughput
+
+
+# ------------------------------------------------------- LMDB contention
+def test_ablation_lmdb_shared_env_contention(benchmark):
+    """S5.2 claim (2): decoding instances competing on the shared LMDB
+    cap aggregate throughput; per-GPU rate halves at 2 readers."""
+
+    def run():
+        results = {}
+        for gpus in (1, 2):
+            results[gpus] = run_training(TrainingConfig(
+                model="alexnet", backend="lmdb", num_gpus=gpus,
+                warmup_s=WARM, measure_s=MEAS))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fmt_table(
+        ["GPUs", "img/s total", "img/s per GPU"],
+        [(g, r.throughput, r.per_gpu_throughput)
+         for g, r in results.items()]))
+    # Aggregate gains little from the second reader: the env is the cap.
+    assert results[2].throughput < 1.45 * results[1].throughput
+    assert results[2].per_gpu_throughput < 0.8 * results[1].throughput
+
+
+# --------------------------------------------------------- GPU-direct DMA
+def test_ablation_gpu_direct_writes(benchmark):
+    """S7 future-work (2): decoder DMA peer-to-peer into device memory
+    removes the host staging hop — the dispatcher's CPU share and the
+    extra PCIe copy disappear at equal throughput."""
+
+    def run():
+        staged = run_inference(InferenceConfig(
+            model="googlenet", backend="dlbooster", batch_size=32,
+            warmup_s=WARM, measure_s=MEAS, gpu_direct=False))
+        direct = run_inference(InferenceConfig(
+            model="googlenet", backend="dlbooster", batch_size=32,
+            warmup_s=WARM, measure_s=MEAS, gpu_direct=True))
+        return staged, direct
+
+    staged, direct = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fmt_table(
+        ["path", "img/s", "mean ms", "cpu cores"],
+        [("staged (host pool + dispatcher)", staged.throughput,
+          staged.latency_mean_ms, staged.cpu_cores),
+         ("gpu-direct (peer DMA)", direct.throughput,
+          direct.latency_mean_ms, direct.cpu_cores)]))
+    assert direct.throughput >= 0.97 * staged.throughput
+    assert direct.cpu_cores < staged.cpu_cores
+    assert direct.latency_mean_ms <= 1.05 * staged.latency_mean_ms

@@ -1,0 +1,9 @@
+"""Section 5.4: economic analysis."""
+
+from repro.experiments import econ_analysis
+
+from conftest import run_report
+
+
+def test_economic_analysis(benchmark):
+    run_report(benchmark, econ_analysis.run)

@@ -1,0 +1,9 @@
+"""Figure 2: motivation — AlexNet/Caffe backend comparison."""
+
+from repro.experiments import fig2_motivation
+
+from conftest import run_report
+
+
+def test_fig2_motivation(benchmark):
+    run_report(benchmark, fig2_motivation.run)

@@ -1,0 +1,12 @@
+"""Figure 5: training throughput, one benchmark per panel."""
+
+import pytest
+
+from repro.experiments import fig5_train_throughput
+
+from conftest import run_report
+
+
+@pytest.mark.parametrize("model", ["lenet5", "alexnet", "resnet18"])
+def test_fig5_training_throughput(benchmark, model):
+    run_report(benchmark, fig5_train_throughput.run, models=(model,))

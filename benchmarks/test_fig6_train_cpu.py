@@ -1,0 +1,12 @@
+"""Figure 6: CPU cost in training (incl. the 6(d) breakdown)."""
+
+import pytest
+
+from repro.experiments import fig6_train_cpu
+
+from conftest import run_report
+
+
+@pytest.mark.parametrize("model", ["lenet5", "alexnet", "resnet18"])
+def test_fig6_train_cpu(benchmark, model):
+    run_report(benchmark, fig6_train_cpu.run, models=(model,))

@@ -1,0 +1,12 @@
+"""Figure 7: inference throughput over the batch sweep."""
+
+import pytest
+
+from repro.experiments import fig7_infer_throughput
+
+from conftest import run_report
+
+
+@pytest.mark.parametrize("model", ["googlenet", "vgg16", "resnet50"])
+def test_fig7_inference_throughput(benchmark, model):
+    run_report(benchmark, fig7_infer_throughput.run, models=(model,))

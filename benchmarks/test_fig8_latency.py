@@ -1,0 +1,12 @@
+"""Figure 8: inference latency over the batch sweep."""
+
+import pytest
+
+from repro.experiments import fig8_infer_latency
+
+from conftest import run_report
+
+
+@pytest.mark.parametrize("model", ["googlenet", "vgg16", "resnet50"])
+def test_fig8_inference_latency(benchmark, model):
+    run_report(benchmark, fig8_infer_latency.run, models=(model,))

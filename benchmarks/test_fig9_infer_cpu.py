@@ -1,0 +1,9 @@
+"""Figure 9: CPU cost in inference."""
+
+from repro.experiments import fig9_infer_cpu
+
+from conftest import run_report
+
+
+def test_fig9_inference_cpu(benchmark):
+    run_report(benchmark, fig9_infer_cpu.run)

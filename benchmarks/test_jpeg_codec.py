@@ -1,0 +1,69 @@
+"""Microbenchmarks of the functional JPEG codec — the real compute the
+FPGA decoder model stands in for.  These are genuine pytest-benchmark
+timings (wall clock), useful for profiling the functional-mode paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_photo
+from repro.jpeg import (coefficients_to_planes, decode, decode_resized,
+                        encode, entropy_decode, parse_jpeg, planes_to_image,
+                        resize_bilinear)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(7)
+    img = synthetic_photo(rng, 240, 320)
+    data = encode(img, quality=80, subsampling="4:2:0")
+    return img, data
+
+
+def test_bench_encode(benchmark, corpus):
+    img, _ = corpus
+    out = benchmark(encode, img, 80)
+    assert out[:2] == b"\xFF\xD8"
+
+
+def test_bench_decode_full(benchmark, corpus):
+    _, data = corpus
+    out = benchmark(decode, data)
+    assert out.shape == (240, 320, 3)
+
+
+def test_bench_huffman_stage(benchmark, corpus):
+    """The stage the paper gives 4 hardware ways."""
+    _, data = corpus
+    parsed = parse_jpeg(data)
+    coeffs = benchmark(entropy_decode, parsed)
+    assert len(coeffs) == 3
+
+
+def test_bench_idct_stage(benchmark, corpus):
+    _, data = corpus
+    parsed = parse_jpeg(data)
+    coeffs = entropy_decode(parsed)
+    planes = benchmark(coefficients_to_planes, parsed, coeffs)
+    assert planes[0].shape == (240, 320)
+
+
+def test_bench_color_stage(benchmark, corpus):
+    _, data = corpus
+    parsed = parse_jpeg(data)
+    planes = coefficients_to_planes(parsed, entropy_decode(parsed))
+    out = benchmark(planes_to_image, parsed, planes)
+    assert out.shape == (240, 320, 3)
+
+
+def test_bench_resizer_stage(benchmark, corpus):
+    img, _ = corpus
+    out = benchmark(resize_bilinear, img, 224, 224)
+    assert out.shape == (224, 224, 3)
+
+
+def test_bench_fused_decode_resize(benchmark, corpus):
+    """The exact function DLBooster offloads: decode + resize."""
+    _, data = corpus
+    out = benchmark(decode_resized, data, 224, 224)
+    assert out.shape == (224, 224, 3)

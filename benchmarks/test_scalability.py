@@ -1,0 +1,9 @@
+"""Section 2.2: the scalability argument."""
+
+from repro.experiments import scalability
+
+from conftest import run_report
+
+
+def test_scalability_argument(benchmark):
+    run_report(benchmark, scalability.run)

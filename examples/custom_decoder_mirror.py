@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Pluggable decoder mirrors: preprocess *audio* on the same FPGA.
+
+Section 3.1 of the paper: "the decoder in FPGA is pluggable, which
+allows users to download relevant preprocessing mirrors to FPGA devices
+for different applications (e.g., language models, video models and
+speech models)".  This example:
+
+1. runs the stock image-decoder mirror,
+2. hot-swaps the board to the audio-spectrogram mirror and feeds it PCM,
+3. registers a brand-new custom mirror (video-frame differencing) built
+   from the same PipelineUnit toolkit, and runs that too.
+
+Run:  python examples/custom_decoder_mirror.py
+"""
+
+import numpy as np
+
+from repro.calib import DEFAULT_TESTBED
+from repro.fpga import (AudioCmd, AudioSpectrogramMirror, CLB_COSTS,
+                        DecodeCmd, FpgaDevice, ImageDecoderMirror,
+                        PipelineUnit, create_mirror, register_mirror)
+from repro.sim import Channel, Counter, Environment
+
+
+# --------------------------------------------------------- a custom mirror
+class VideoDiffMirror:
+    """Frame-pair differencing for video models: deltas are cheap to
+    learn from and tiny to ship.  Two stages: frame align + diff."""
+
+    def __init__(self, env, testbed, diff_ways=2, name="video-diff"):
+        self.env = env
+        self.name = name
+        self.device = None
+        depth = testbed.fpga_queue_depth
+        self.cmd_queue = Channel(env, capacity=depth, name=f"{name}.fifo")
+        self._diff_q = Channel(env, capacity=depth, name=f"{name}.diff")
+        self.finish_queue = Channel(env, capacity=float("inf"),
+                                    name=f"{name}.finish")
+        self.decoded = Counter(env, name=f"{name}.frames")
+        self.align = PipelineUnit(
+            env, f"{name}.align", ways=1,
+            service_time=lambda c: c["pixels"] / 2.5e9,
+            inbox=self.cmd_queue, outbox=self._diff_q,
+            clb_cost_per_way=CLB_COSTS["parser"])
+        self.diff = PipelineUnit(
+            env, f"{name}.diff", ways=diff_ways,
+            service_time=lambda c: c["pixels"] / 1.2e9,
+            inbox=self._diff_q, outbox=self.finish_queue,
+            transform=self._finish,
+            clb_cost_per_way=CLB_COSTS["resizer"])
+        self._units = [self.align, self.diff]
+
+    def _finish(self, cmd):
+        self.decoded.add()
+        return cmd
+
+    def clb_cost(self):
+        return sum(u.clb_cost for u in self._units) + CLB_COSTS["dma"]
+
+    def bind(self, device):
+        self.device = device
+        for unit in self._units:
+            unit.start()
+
+    def shutdown(self):
+        self.device = None
+
+
+def main() -> None:
+    env = Environment()
+    testbed = DEFAULT_TESTBED
+    device = FpgaDevice(env, testbed)
+
+    # --- 1. image mirror ---------------------------------------------------
+    image = ImageDecoderMirror(env, testbed)
+    device.load_mirror(image)
+    print(f"loaded '{image.name}': {device.clb_used:,} CLBs")
+
+    def drive_image(env):
+        for i in range(50):
+            yield from image.cmd_queue.put(DecodeCmd(
+                cmd_id=i, source="dram", size_bytes=110_000,
+                work_pixels=int(375 * 500 * 1.5), out_h=224, out_w=224,
+                channels=3, dest_phy=0x4000_0000, dest_offset=0))
+        for _ in range(50):
+            yield from image.finish_queue.get()
+
+    proc = env.process(drive_image(env))
+    env.run(until=proc)
+    print(f"  image decode: 50 JPEGs in {env.now * 1e3:.1f} ms "
+          f"({50 / env.now:,.0f} img/s)")
+
+    # --- 2. hot-swap to the audio mirror ------------------------------------
+    audio = AudioSpectrogramMirror(env, testbed)
+    device.load_mirror(audio)  # image mirror is unloaded automatically
+    print(f"swapped to '{audio.name}': {device.clb_used:,} CLBs")
+    t0 = env.now
+
+    def drive_audio(env):
+        for i in range(50):
+            yield from audio.cmd_queue.put(AudioCmd(
+                cmd_id=i, num_samples=16_000, frame_size=512,
+                dest_phy=0x4000_0000, dest_offset=0))
+        for _ in range(50):
+            yield from audio.finish_queue.get()
+
+    proc = env.process(drive_audio(env))
+    env.run(until=proc)
+    print(f"  audio spectra: 50 clips (1 s @ 16 kHz) in "
+          f"{(env.now - t0) * 1e3:.1f} ms ({50 / (env.now - t0):,.0f} clips/s)")
+
+    # --- 3. register and run a brand-new mirror ------------------------------
+    register_mirror("video-diff", VideoDiffMirror)
+    video = create_mirror("video-diff", env, testbed)
+    device.load_mirror(video)
+    print(f"registered + loaded custom '{video.name}': "
+          f"{device.clb_used:,} CLBs")
+    t0 = env.now
+
+    def drive_video(env):
+        for i in range(50):
+            yield from video.cmd_queue.put(
+                {"frame": i, "pixels": 1280 * 720})
+        for _ in range(50):
+            yield from video.finish_queue.get()
+
+    proc = env.process(drive_video(env))
+    env.run(until=proc)
+    print(f"  video diffs: 50 x 720p frame pairs in "
+          f"{(env.now - t0) * 1e3:.1f} ms "
+          f"({50 / (env.now - t0):,.0f} frames/s)")
+
+
+if __name__ == "__main__":
+    main()

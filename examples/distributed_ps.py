@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Distributed training with co-located parameter servers (S3.1 study).
+
+The paper's first argument for offloading: decode workers steal the CPU
+cores that parameter-server aggregation needs.  This example sweeps the
+per-server core budget and shows where the CPU-based backend's decode
+load starts stalling the whole synchronous ring — and that the
+offloaded backend never notices.
+
+Run:  python examples/distributed_ps.py [--world 4]
+"""
+
+import argparse
+import dataclasses
+
+from repro.calib import DEFAULT_TESTBED
+from repro.cluster import PsStudyConfig, run_ps_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--world", type=int, default=4,
+                        help="servers in the PS ring (1 GPU each)")
+    parser.add_argument("--measure", type=float, default=8.0)
+    args = parser.parse_args()
+
+    print(f"AlexNet, {args.world}-server sharded PS ring over 40 Gbps")
+    print(f"{'cores/server':>13} {'backend':>12} {'img/s':>8} "
+          f"{'iter ms':>8} {'cpu cores':>10} {'agg cores':>10}")
+    for cores in (32, 8, 6, 4):
+        testbed = dataclasses.replace(DEFAULT_TESTBED, cpu_cores=cores)
+        for backend in ("dlbooster", "cpu-online"):
+            res = run_ps_study(PsStudyConfig(
+                backend=backend, world=args.world, warmup_s=1.0,
+                measure_s=args.measure), testbed=testbed)
+            print(f"{cores:>13} {backend:>12} {res.throughput:>8,.0f} "
+                  f"{res.iteration_s * 1e3:>8.1f} "
+                  f"{res.cpu_cores_per_server:>10.2f} "
+                  f"{res.agg_cores_per_server:>10.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Online image inference behind a 40 Gbps NIC (the Fig. 7-9 workload).
+
+Five closed-loop clients stream 500x375 JPEGs at the serving stack;
+compare how the three online backends (CPU decode, nvJPEG on the GPU,
+DLBooster on the FPGA) trade throughput, latency and CPU cores.
+
+Run:  python examples/online_inference.py [--model resnet50] [--batch 32]
+"""
+
+import argparse
+
+from repro.workflows import (INFERENCE_BACKENDS, InferenceConfig,
+                             run_inference)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="googlenet",
+                        choices=["googlenet", "vgg16", "resnet50"])
+    parser.add_argument("--batch", type=int, default=32)
+    parser.add_argument("--backend", default=None,
+                        choices=list(INFERENCE_BACKENDS))
+    parser.add_argument("--measure", type=float, default=4.0)
+    args = parser.parse_args()
+
+    backends = [args.backend] if args.backend else list(INFERENCE_BACKENDS)
+    print(f"model={args.model} batch={args.batch}, 5 clients over 40 Gbps, "
+          f"TensorRT fp16")
+    print(f"{'backend':>12} {'img/s':>9} {'mean ms':>8} {'p99 ms':>8} "
+          f"{'cores':>7} {'gpu stolen':>11}")
+    for backend in backends:
+        res = run_inference(InferenceConfig(
+            model=args.model, backend=backend, batch_size=args.batch,
+            warmup_s=1.0, measure_s=args.measure))
+        stolen = res.gpu_decode_util * 0.30  # decode busy x SM share
+        print(f"{backend:>12} {res.throughput:>9,.0f} "
+              f"{res.latency_mean_ms:>8.2f} {res.latency_p99_ms:>8.2f} "
+              f"{res.cpu_cores:>7.2f} {100 * stolen:>10.1f}%")
+
+
+if __name__ == "__main__":
+    main()

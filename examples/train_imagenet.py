@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Offline training on an ILSVRC12-like corpus (the Fig. 5 workload).
+
+Compares preprocessing backends feeding data-parallel NVCaffe-style
+solvers and reports throughput, efficiency against the GPU bound, and
+CPU cores burned.
+
+Run:  python examples/train_imagenet.py [--model alexnet] [--gpus 2]
+      python examples/train_imagenet.py --backend dlbooster --gpus 2
+"""
+
+import argparse
+
+from repro.workflows import (TRAINING_BACKENDS, TrainingConfig,
+                             run_training)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="alexnet",
+                        choices=["lenet5", "alexnet", "resnet18"])
+    parser.add_argument("--gpus", type=int, default=2, choices=[1, 2])
+    parser.add_argument("--backend", default=None,
+                        choices=list(TRAINING_BACKENDS),
+                        help="run one backend (default: compare all)")
+    parser.add_argument("--measure", type=float, default=5.0,
+                        help="measurement window, simulated seconds")
+    args = parser.parse_args()
+
+    backends = [args.backend] if args.backend else list(TRAINING_BACKENDS)
+    print(f"model={args.model} gpus={args.gpus} "
+          f"(batch sizes per the paper: LeNet 512, AlexNet 256, "
+          f"ResNet-18 128)")
+    print(f"{'backend':>12} {'img/s':>10} {'% bound':>8} "
+          f"{'cores':>7} {'cores/GPU':>10}  breakdown")
+    for backend in backends:
+        res = run_training(TrainingConfig(
+            model=args.model, backend=backend, num_gpus=args.gpus,
+            warmup_s=1.5, measure_s=args.measure))
+        breakdown = ", ".join(f"{k}={v:.2f}"
+                              for k, v in sorted(res.cpu_breakdown.items())
+                              if v >= 0.01)
+        print(f"{backend:>12} {res.throughput:>10,.0f} "
+              f"{100 * res.efficiency:>7.1f}% {res.cpu_cores:>7.2f} "
+              f"{res.cpu_cores_per_gpu:>10.2f}  {breakdown}")
+        if backend == "lmdb":
+            print(f"{'':>12} (one-time LMDB ingest: "
+                  f"{res.extras['ingest_seconds'] / 60:.0f} min for this "
+                  f"400k-image stand-in; >2 h for the real 12.8M-image "
+                  f"ILSVRC12)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim enabling legacy editable installs (`pip install -e . --no-use-pep517`)
+on environments without the `wheel` package (this offline sandbox)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""repro — a full reproduction of DLBooster (ICPP 2019).
+
+DLBooster offloads the hot stages of DL data preprocessing (JPEG Huffman
+decode, iDCT, resize) to an FPGA decoder and bridges it to GPU compute
+engines through an asynchronous reader, a hugepage memory pool and a
+round-robin dispatcher.  This package rebuilds the whole system — the
+software layer for real, the hardware as behavioural simulation — plus
+the paper's baselines (CPU-online, LMDB-offline, nvJPEG) and every
+evaluation figure.
+
+Start with :mod:`repro.workflows` for end-to-end drivers, or
+``examples/quickstart.py`` at the repository root.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["sim", "jpeg", "memory", "storage", "net", "fpga", "host",
+           "engines", "backends", "workflows", "experiments", "calib",
+           "data"]

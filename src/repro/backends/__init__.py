@@ -1,0 +1,20 @@
+"""Data-preprocessing backends: the paper's baselines and DLBooster.
+
+Training backends (Fig. 2/5/6): :class:`SyntheticBackend` (GPU bound),
+:class:`CpuOnlineBackend`, :class:`LmdbBackend`, :class:`DLBoosterBackend`.
+Inference backends (Fig. 7/8/9): :class:`CpuInferenceBackend`,
+:class:`NvJpegInferenceBackend`, :class:`DLBoosterInferenceBackend`.
+"""
+
+from .base import DatasetCache, TrainingBackend, epoch_stream
+from .cpu_backend import CpuOnlineBackend
+from .dlbooster import DLBoosterBackend
+from .inference import (CpuInferenceBackend, DLBoosterInferenceBackend,
+                        NvJpegInferenceBackend)
+from .lmdb_backend import LmdbBackend, ingest_manifest
+from .synthetic import SyntheticBackend
+
+__all__ = ["TrainingBackend", "DatasetCache", "epoch_stream",
+           "SyntheticBackend", "CpuOnlineBackend", "LmdbBackend",
+           "ingest_manifest", "DLBoosterBackend", "CpuInferenceBackend",
+           "NvJpegInferenceBackend", "DLBoosterInferenceBackend"]

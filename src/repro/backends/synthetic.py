@@ -1,0 +1,35 @@
+"""Synthetic (ideal) backend — the GPU performance upper boundary.
+
+Feeds solvers instantly-ready batches with zero preprocessing cost,
+reproducing the "Performance Upper Boundary" line of Fig. 2 / Fig. 5 and
+the synthetic-data training the paper's footnote 4 calls out in prior
+work ("they only use synthetic datasets and skip the data
+preprocessing step").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import TrainingBackend
+
+__all__ = ["SyntheticBackend"]
+
+
+class SyntheticBackend(TrainingBackend):
+    """Zero-cost feed: the GPU performance upper boundary."""
+
+    name = "synthetic"
+
+    def start(self, solvers: Sequence) -> None:
+        self._check_start(solvers)
+        for solver in solvers:
+            self.env.process(self._feed(solver),
+                             name=f"synthetic-feed-{solver.gpu.index}")
+
+    def _feed(self, solver):
+        while True:
+            batch = yield from solver.trans_queues.free.get()
+            batch.item_count = self.spec.batch_size
+            batch.payload = None
+            yield from solver.trans_queues.full.put(batch)

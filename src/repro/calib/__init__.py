@@ -1,0 +1,7 @@
+"""Calibration constants for the simulated testbed, with paper provenance."""
+
+from .constants import (DEFAULT_TESTBED, GB, INFER_MODELS, KB, MB,
+                        TRAIN_MODELS, GpuModelSpec, Testbed)
+
+__all__ = ["Testbed", "GpuModelSpec", "DEFAULT_TESTBED", "TRAIN_MODELS",
+           "INFER_MODELS", "KB", "MB", "GB"]

@@ -1,0 +1,227 @@
+"""Calibration constants, each annotated with its provenance in the paper.
+
+These are the *inputs* to the simulation — primitive service rates and
+physical parameters of the testbed the paper describes (2x Tesla P100,
+2x Xeon E5-2630-v3 = 32 cores, Intel Arria-10 FPGA, Optane 900p NVMe,
+40 Gbps NIC).  Every *result* (throughput, latency, CPU cores) is
+measured from simulated activity; nothing downstream copies a figure
+value directly.
+
+Sources cited as (Sx.y) refer to sections of the DLBooster paper, and
+(Fig. N) to its figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Testbed", "GpuModelSpec", "TRAIN_MODELS", "INFER_MODELS",
+           "DEFAULT_TESTBED", "KB", "MB", "GB"]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class GpuModelSpec:
+    """Compute-cost profile of one DL model on the testbed GPU (P100).
+
+    ``peak_rate`` is images/s/GPU at saturation; ``half_sat_batch`` the
+    batch size at which the engine reaches half of peak (kernel-launch
+    bound at tiny batches).  ``train_rate`` is the data-parallel training
+    throughput per GPU at the paper's batch size.  ``input_hw`` the model
+    input resolution after preprocessing.
+    """
+
+    name: str
+    batch_size: int             # per GPU, as used in the paper's figures
+    input_hw: tuple[int, int]
+    channels: int
+    train_rate: float = 0.0     # img/s/GPU (training figures)
+    peak_rate: float = 0.0      # img/s/GPU at large batch (inference)
+    half_sat_batch: float = 0.0
+    scale_eff_2gpu: float = 1.0  # reference: paper-implied 2-GPU efficiency
+    param_bytes: int = 0         # fp32 model size (drives allreduce time)
+    # Kernel launches per inference batch (~ layer count); drives the
+    # host-side launch CPU cost of Fig. 9.
+    launches_per_batch: int = 80
+
+
+# --- training models (Fig. 5 / Fig. 6) -------------------------------------
+TRAIN_MODELS: dict[str, GpuModelSpec] = {
+    # LeNet-5 on MNIST, batch 512/GPU; Fig. 5(a) tops out near 2e5 img/s
+    # with 2 GPUs -> ~1.0e5 per GPU at the bound.
+    "lenet5": GpuModelSpec(
+        name="lenet5", batch_size=512, input_hw=(28, 28), channels=1,
+        train_rate=100_000.0, scale_eff_2gpu=0.98,
+        param_bytes=60_000 * 4),          # ~60k params
+    # AlexNet, batch 256/GPU; Fig. 2 annotates the ideal backend at
+    # 2,496 img/s (1 GPU) and 4,652 (2 GPUs) -> 93.2% scaling.
+    "alexnet": GpuModelSpec(
+        name="alexnet", batch_size=256, input_hw=(227, 227), channels=3,
+        train_rate=2_496.0, scale_eff_2gpu=0.932,
+        param_bytes=61_000_000 * 4),      # ~61M params
+    # ResNet-18, batch 128/GPU; Fig. 5(c) reaches ~2,400 img/s at 2 GPUs.
+    "resnet18": GpuModelSpec(
+        name="resnet18", batch_size=128, input_hw=(224, 224), channels=3,
+        train_rate=1_250.0, scale_eff_2gpu=0.96,
+        param_bytes=11_700_000 * 4),      # ~11.7M params
+}
+
+# --- inference models (Fig. 7-9), TensorRT fp16 on P100 --------------------
+INFER_MODELS: dict[str, GpuModelSpec] = {
+    # Fig. 7(a): curves approach ~6,000 img/s; engine peak set slightly
+    # above the FPGA decoder bound so the DLBooster saturation knee at
+    # batch > 16 (S5.3) is decoder-induced, as the paper reports.
+    "googlenet": GpuModelSpec(
+        name="googlenet", batch_size=32, input_hw=(224, 224), channels=3,
+        peak_rate=7_500.0, half_sat_batch=3.0, launches_per_batch=35),
+    # Fig. 7(b): VGG-16 tops out near ~2,000 img/s.
+    "vgg16": GpuModelSpec(
+        name="vgg16", batch_size=32, input_hw=(224, 224), channels=3,
+        peak_rate=2_300.0, half_sat_batch=2.5, launches_per_batch=25),
+    # Fig. 7(c): ResNet-50 near ~5,200 img/s at batch 64 (cf. S2.2's
+    # "V100 can process 5,000 images/s for ResNet-50").
+    "resnet50": GpuModelSpec(
+        name="resnet50", batch_size=64, input_hw=(224, 224), channels=3,
+        peak_rate=5_600.0, half_sat_batch=4.0, launches_per_batch=40),
+}
+
+
+@dataclass(frozen=True)
+class Testbed:
+    """The paper's server (S5.1) expressed as simulation parameters."""
+
+    # ------------------------------------------------------------ CPU
+    # 2x Xeon E5-2630-v3: "32 cores in all" (S5.1).
+    cpu_cores: int = 32
+    # "each Xeon E5 CPU core can decode only 300 images per second"
+    # (S2.2) for ImageNet-scale JPEGs; expressed as a cost model:
+    # seconds = overhead + bytes/byte_rate + pixels/pixel_rate, calibrated
+    # so the paper's 500x375 color JPEG (~110 KB, 187.5 kpix + chroma)
+    # costs 1/300 s.
+    cpu_decode_overhead_s: float = 30e-6
+    cpu_decode_byte_rate: float = 60 * MB        # entropy decode, B/s
+    cpu_decode_pixel_rate: float = 190e6         # iDCT+color, pix/s
+    # Per-item small-piece copy overhead of CPU/LMDB loaders (S5.2:
+    # "copy each datum to GPU in small pieces ... ~20% performance
+    # downgrades" on LeNet-5).
+    per_item_copy_overhead_s: float = 12e-6
+    host_memcpy_rate: float = 25 * GB            # hot-cache memcpy B/s
+    # CPU-side augmentation/transform (crop, mean-subtract, layout) cost
+    # per pixel (contributes the "0.15 core on transforming", Fig. 6d).
+    cpu_transform_pixel_rate: float = 2.0e9
+    # Kernel-launch / solver busy fractions while a GPU trains (Fig. 6d:
+    # 0.95 core launching kernels, 0.12 updating model per busy GPU).
+    kernel_launch_core_frac: float = 0.95
+    model_update_core_frac: float = 0.12
+
+    # ------------------------------------------------------------ GPU
+    gpu_count: int = 2                            # 2x Tesla P100 (S5.1)
+    # Gradient allreduce over NVLink-class interconnect; with the ring
+    # 2(n-1)/n factor this lands AlexNet's 2-GPU scaling at ~93%
+    # (Fig. 2: 4,652 vs 2x2,496 ideal).
+    allreduce_rate: float = 35 * GB
+    pcie_copy_rate: float = 12 * GB               # host->device B/s
+    cuda_launch_overhead_s: float = 30e-6         # per async memcpy/launch
+    # nvJPEG (S5.3): decode kernels occupy ~30% of SMs while active and
+    # the decoder sustains ~2,400 img/s on ImageNet-scale JPEGs; "the
+    # decoding on nvJPEG needs to consume ~30% of GPU resources".
+    nvjpeg_sm_share: float = 0.30
+    nvjpeg_peak_rate: float = 2_400.0             # img/s, 500x375 color
+    nvjpeg_batch_launch_s: float = 900e-6         # decode kernel-chain launch
+    nvjpeg_cpu_per_image_s: float = 600e-6        # host busy-loop + launches;
+                                                  # ~1.5 cores at saturation
+                                                  # ("1~2 CPU cores", S5.3)
+
+    # ----------------------------------------------------------- FPGA
+    # Intel Arria-10 decoder (S4.1): "4-way Huffman and 2-way resizing
+    # units".  Per-way service rates are set so the composed pipeline
+    # saturates near 5,700-6,000 img/s on the inference corpus — the
+    # knee DLBooster shows at batch > 16 in Fig. 7(a).
+    fpga_huffman_ways: int = 4
+    fpga_huffman_byte_rate: float = 170 * MB      # per way
+    fpga_idct_pixel_rate: float = 1.7e9           # single iDCT unit
+    fpga_resizer_ways: int = 2
+    fpga_resizer_pixel_rate: float = 0.9e9        # per way
+    fpga_cmd_overhead_s: float = 2e-6             # FIFO cmd parse per item
+    fpga_dma_rate: float = 8 * GB                 # decoder->host DMA B/s
+    fpga_queue_depth: int = 64                    # outstanding cmds
+    # Host-side DLBooster threads: FPGAReader + dispatcher polling cost
+    # "0.3 core on preprocessing" + "0.15 core on transforming" (Fig. 6d);
+    # here as per-item and per-batch service costs.
+    reader_cmd_cost_s: float = 1.0e-6
+    dispatcher_batch_cost_s: float = 60e-6
+    # Busy-poll duty cycles of the two daemon threads ("aggressively
+    # submits cmds ... and pulls the processing status with the best
+    # effort", S3.4.1).  Together with per-item costs these produce the
+    # "0.3 core on preprocessing" / "0.15 core on transforming" split of
+    # Fig. 6(d).
+    reader_poll_core_frac: float = 0.28
+    dispatcher_poll_core_frac: float = 0.13
+
+    # -------------------------------------------------------- storage
+    # Intel Optane 900p (S5.1): ~2.5 GB/s sequential read, ~10 us access.
+    nvme_read_rate: float = 2.5 * GB
+    nvme_access_latency_s: float = 10e-6
+    nvme_max_queue: int = 64
+    # LMDB-style shared KV backend: per-record service = lock/cursor
+    # overhead + bytes at an effective rate limited by B-tree page walks
+    # and reader-table contention.  Calibrated so ImageNet-datum records
+    # (~197 KB raw) serve ~3,200 img/s aggregate — the plateau Fig. 2(b)
+    # annotates (LMDB max 2,446/3,200 for 1/2 GPUs).
+    lmdb_record_overhead_s: float = 4e-6
+    lmdb_effective_byte_rate: float = 0.65 * GB
+    # Offline ingest ("we spent more than 2 hours to prepare the LMDB
+    # backend for ILSVRC12", S2.2) -> ~1,600 img/s conversion rate.
+    lmdb_ingest_rate: float = 1_600.0
+
+    # -------------------------------------------------------- network
+    nic_rate: float = 40e9 / 8                    # 40 Gbps (S5.1), B/s
+    nic_mtu: int = 9000
+    nic_per_packet_s: float = 0.8e-6              # per-packet host cost
+    inference_clients: int = 5                    # S5.3
+    # Decode-worker budget for the CPU-based inference backend: the
+    # paper burns "7~14 CPU cores per GPU" (S5.3) before other server
+    # duties (clients, engine threads) claim the rest of the 32.
+    cpu_infer_max_workers: int = 14
+    # Page-cache budget for the hybrid offline primitive (S3.1): the
+    # server has 64 GB DRAM; ~48 GB is realistically available to cache
+    # decoded datasets.  MNIST fits; ILSVRC12 (~2 TB decoded) does not.
+    cache_capacity_bytes: int = 48 * GB
+    # "average image size is 500x375 ... stored in JPEG format" (S5.3).
+    client_image_hw: tuple[int, int] = (375, 500)
+
+    # -------------------------------------------------------- economics (S5.4)
+    core_price_per_hour: float = 0.105            # "$0.10~0.11 per hour"
+    fpga_equivalent_cores: int = 30               # "same ... as 30 cores"
+    fpga_power_w: float = 25.0
+    cpu_power_w: float = 130.0
+    gpu_power_w: float = 250.0
+    electricity_per_kwh: float = 0.12
+    fpga_card_price: float = 4_000.0              # Arria-10 board, order of
+    hours_per_year: float = 8_760.0
+
+    # ------------------------------------------------- derived helpers
+    def cpu_decode_seconds(self, nbytes: int, npixels: int) -> float:
+        """One-core software JPEG decode time (S2.2 anchor: ~1/300 s for
+        a 500x375 color JPEG)."""
+        return (self.cpu_decode_overhead_s
+                + nbytes / self.cpu_decode_byte_rate
+                + npixels / self.cpu_decode_pixel_rate)
+
+    def per_item_copy_seconds(self, nbytes: int) -> float:
+        """Small-piece per-datum copy cost of CPU/LMDB loaders (S5.2)."""
+        return self.per_item_copy_overhead_s + nbytes / self.host_memcpy_rate
+
+    def lmdb_record_seconds(self, nbytes: int) -> float:
+        """Shared-environment service time for one record read."""
+        return (self.lmdb_record_overhead_s
+                + nbytes / self.lmdb_effective_byte_rate)
+
+    def transform_seconds(self, npixels: int) -> float:
+        return npixels / self.cpu_transform_pixel_rate
+
+
+DEFAULT_TESTBED = Testbed()

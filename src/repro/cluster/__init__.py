@@ -1,0 +1,9 @@
+"""Distributed data parallelism with co-located parameter servers —
+the quantified version of S3.1's 'CPU cores are supposed to process
+other workloads (e.g., parameter aggregation of parameter server)'."""
+
+from .ps import PsGroup, PsShardConfig, PsWorker
+from .study import PsStudyConfig, PsStudyResult, run_ps_study
+
+__all__ = ["PsShardConfig", "PsGroup", "PsWorker", "PsStudyConfig",
+           "PsStudyResult", "run_ps_study"]

@@ -1,0 +1,138 @@
+"""Parameter-server data parallelism with co-located aggregation.
+
+The paper's first reason for offloading (S3.1): "The CPU-based backend
+can scale poorly when consuming too many CPU cores that are supposed to
+process other workloads (e.g., parameter aggregation of parameter
+server (PS))."  This module quantifies that sentence: in the classic
+sharded-PS deployment each server co-hosts 1/N of the parameters, and
+every iteration its *CPU cores* aggregate that shard — on the same core
+pool the preprocessing backend is burning.
+
+A :class:`PsWorker` runs compute -> push (network) -> shard aggregation
+(CPU) -> pull (network); when decode workers hold the cores, aggregation
+queues behind them and the whole ring stalls — unless preprocessing has
+been offloaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..calib import GpuModelSpec, Testbed
+from ..engines import CpuCorePool, GpuDevice, train_iteration_seconds
+from ..sim import Counter, Environment, Event
+
+__all__ = ["PsShardConfig", "PsGroup", "PsWorker"]
+
+# Aggregation rate of one CPU core applying gradient updates
+# (sum + SGD step over fp32), bytes/s.  ~2 GB/s is a typical memcpy+FMA
+# bound for unvectorized PS servers.
+PS_AGG_RATE_PER_CORE = 2.0e9
+
+
+@dataclass(frozen=True)
+class PsShardConfig:
+    """Sharding of one model over N co-located parameter servers."""
+
+    world: int
+    param_bytes: int
+    agg_ways: int = 2  # aggregation threads per shard
+
+    @property
+    def shard_bytes(self) -> int:
+        return -(-self.param_bytes // self.world)
+
+
+class PsGroup:
+    """Synchronization fabric: every iteration, all workers exchange
+    gradients with every shard and wait for aggregation to finish."""
+
+    def __init__(self, env: Environment, config: PsShardConfig,
+                 link_rate: float):
+        self.env = env
+        self.config = config
+        self.link_rate = link_rate
+        self._arrived = 0
+        self._release: Event = env.event()
+        self.rounds = Counter(env, name="ps.rounds")
+        self.workers: list["PsWorker"] = []
+
+    def register(self, worker: "PsWorker") -> None:
+        self.workers.append(worker)
+
+    def exchange(self):
+        """Generator: one worker's push+aggregate+pull barrier."""
+        cfg = self.config
+        self._arrived += 1
+        release = self._release
+        if self._arrived == cfg.world:
+            self._arrived = 0
+            self._release = self.env.event()
+            self.env.process(self._serve_round(release))
+        yield release
+
+    def _serve_round(self, release: Event):
+        cfg = self.config
+        # Push: each worker sends (world-1)/world of its gradient off-node.
+        wire_bytes = cfg.param_bytes * (cfg.world - 1) / cfg.world
+        yield self.env.timeout(wire_bytes / self.link_rate)
+        # Aggregate: every server's CPU applies world gradients to its
+        # shard — this is the part that queues behind decode workers.
+        agg_jobs = []
+        for worker in self.workers:
+            seconds = (cfg.shard_bytes * cfg.world / PS_AGG_RATE_PER_CORE
+                       / cfg.agg_ways)
+            for _ in range(cfg.agg_ways):
+                agg_jobs.append(self.env.process(
+                    worker.cpu.run(seconds, "ps-aggregate")))
+        yield self.env.all_of(agg_jobs)
+        # Pull: updated shards broadcast back.
+        yield self.env.timeout(wire_bytes / self.link_rate)
+        self.rounds.add()
+        release.succeed()
+
+
+class PsWorker:
+    """One server of the PS ring: a GPU plus its (shared!) core pool."""
+
+    def __init__(self, env: Environment, testbed: Testbed,
+                 spec: GpuModelSpec, group: PsGroup, cpu: CpuCorePool,
+                 index: int):
+        self.env = env
+        self.testbed = testbed
+        self.spec = spec
+        self.group = group
+        self.cpu = cpu
+        self.index = index
+        self.gpu = GpuDevice(env, testbed, index)
+        self.images_trained = Counter(env, name=f"psw{index}.images")
+        self.iterations = Counter(env, name=f"psw{index}.iters")
+        group.register(self)
+        self._started = False
+
+    def start(self, batch_source) -> None:
+        """``batch_source`` is a generator function yielding a ready
+        batch size per call (the preprocessing backend's contract)."""
+        if self._started:
+            raise RuntimeError("worker already started")
+        self._started = True
+        self.env.process(self._loop(batch_source),
+                         name=f"ps-worker-{self.index}")
+
+    def _loop(self, batch_source):
+        """Double-buffered: the next batch preprocesses while the GPU
+        computes and the ring synchronizes, so any backend slowdown here
+        is pure *core contention* with PS aggregation, not serialization.
+        """
+        tb = self.testbed
+        pending = self.env.process(batch_source())
+        while True:
+            n = yield pending
+            pending = self.env.process(batch_source())  # prefetch
+            compute_s = train_iteration_seconds(self.spec, n)
+            self.cpu.charge_unaccounted(
+                compute_s * tb.kernel_launch_core_frac, "kernels")
+            yield self.gpu.run_compute(compute_s, "train")
+            yield from self.group.exchange()
+            self.images_trained.add(n)
+            self.iterations.add()

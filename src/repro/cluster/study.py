@@ -1,0 +1,119 @@
+"""The PS-contention study: does offloading preprocessing speed up
+co-located parameter aggregation?
+
+Each simulated server trains AlexNet-style with a sharded PS ring.  The
+preprocessing backend either burns the server's cores (CPU-online) or
+barely touches them (DLBooster-style offload).  Because the PS shard is
+aggregated *on the same cores*, the decode load directly stretches the
+synchronization phase — the quantified version of S3.1's first bullet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..calib import DEFAULT_TESTBED, TRAIN_MODELS, Testbed
+from ..engines import CpuCorePool
+from ..sim import Environment
+from .ps import PsGroup, PsShardConfig, PsWorker
+
+__all__ = ["PsStudyConfig", "PsStudyResult", "run_ps_study"]
+
+
+@dataclass(frozen=True)
+class PsStudyConfig:
+    model: str = "alexnet"
+    world: int = 4                 # servers, one GPU each
+    backend: str = "dlbooster"     # "dlbooster" | "cpu-online"
+    measure_s: float = 5.0
+    warmup_s: float = 1.0
+    link_rate: float = 40e9 / 8    # the 40 Gbps fabric (S5.1)
+
+
+@dataclass
+class PsStudyResult:
+    config: PsStudyConfig
+    throughput: float              # aggregate images/s
+    iteration_s: float
+    cpu_cores_per_server: float
+    agg_cores_per_server: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+
+def _batch_source_factory(env, testbed: Testbed, cpu: CpuCorePool,
+                          backend: str, batch_size: int, spec):
+    """A per-server preprocessing feed at backend-appropriate CPU cost."""
+    image_bytes = 110_000
+    work_pixels = int(375 * 500 * 1.5)
+    per_image_cpu = testbed.cpu_decode_seconds(image_bytes, work_pixels)
+    decode_ways = min(testbed.cpu_cores,
+                      max(1, round(spec.train_rate * per_image_cpu) + 2))
+
+    if backend == "cpu-online":
+        def source():
+            # Decode the batch on host cores (fanned over `ways` jobs).
+            chunk = batch_size * per_image_cpu / decode_ways
+            jobs = [env.process(cpu.run(chunk, "preprocess"))
+                    for _ in range(decode_ways)]
+            yield env.all_of(jobs)
+            return batch_size
+        return source
+
+    if backend == "dlbooster":
+        def source():
+            # The FPGA decodes; the host only submits cmds.
+            cpu.charge_unaccounted(
+                batch_size * testbed.reader_cmd_cost_s, "preprocess")
+            yield env.timeout(0)
+            return batch_size
+        return source
+
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def run_ps_study(cfg: PsStudyConfig,
+                 testbed: Testbed = DEFAULT_TESTBED) -> PsStudyResult:
+    """Run the contention study for one backend/world configuration."""
+    spec = TRAIN_MODELS[cfg.model]
+    if cfg.world < 2:
+        raise ValueError("a PS ring needs world >= 2")
+    env = Environment()
+    shard = PsShardConfig(world=cfg.world, param_bytes=spec.param_bytes)
+    group = PsGroup(env, shard, link_rate=cfg.link_rate)
+
+    workers = []
+    pools = []
+    for idx in range(cfg.world):
+        cpu = CpuCorePool(env, testbed.cpu_cores, name=f"server{idx}.cpu")
+        pools.append(cpu)
+        worker = PsWorker(env, testbed, spec, group, cpu, idx)
+        source = _batch_source_factory(env, testbed, cpu, cfg.backend,
+                                       spec.batch_size, spec)
+        worker.start(source)
+        workers.append(worker)
+
+    env.run(until=cfg.warmup_s)
+    start_images = sum(w.images_trained.total for w in workers)
+    start_iters = workers[0].iterations.total
+    agg_mark = [p.tracker.busy_seconds("ps-aggregate") for p in pools]
+    busy_mark = [p.tracker.busy_seconds(None) for p in pools]
+    env.run(until=cfg.warmup_s + cfg.measure_s)
+
+    delta_images = sum(w.images_trained.total for w in workers) \
+        - start_images
+    delta_iters = workers[0].iterations.total - start_iters
+    agg_cores = sum(
+        p.tracker.busy_seconds("ps-aggregate") - m
+        for p, m in zip(pools, agg_mark)) / cfg.measure_s / cfg.world
+    total_cores = sum(
+        p.tracker.busy_seconds(None) - m
+        for p, m in zip(pools, busy_mark)) / cfg.measure_s / cfg.world
+
+    return PsStudyResult(
+        config=cfg,
+        throughput=delta_images / cfg.measure_s,
+        iteration_s=(cfg.measure_s / delta_iters if delta_iters else
+                     float("inf")),
+        cpu_cores_per_server=total_cores,
+        agg_cores_per_server=agg_cores,
+        extras={"rounds": group.rounds.total})

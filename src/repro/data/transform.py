@@ -1,0 +1,91 @@
+"""Data-augmentation transforms (the preprocessing the paper leaves on
+the GPU side: "we offload the decoding and the resizing to FPGAs and
+leave the data augmentation to GPU", S3.1).
+
+These are the functional counterparts of Caffe's DataTransformer:
+random/center crop, horizontal mirror, mean subtraction, scale, and
+HWC->CHW layout.  Deterministic given an RNG; vectorised over batches
+where the operation allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..jpeg.resize import center_crop
+
+__all__ = ["TransformSpec", "random_crop", "random_mirror",
+           "mean_subtract", "to_chw", "apply_transform", "IMAGENET_MEAN"]
+
+# Per-channel BGR means of the Caffe ImageNet recipe, in RGB order.
+IMAGENET_MEAN = np.array([123.68, 116.779, 103.939], dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class TransformSpec:
+    """One training-time augmentation policy."""
+
+    crop_h: int
+    crop_w: int
+    mirror: bool = True
+    mean: Optional[np.ndarray] = None
+    scale: float = 1.0
+    train: bool = True   # False -> deterministic center crop, no mirror
+
+
+def random_crop(img: np.ndarray, crop_h: int, crop_w: int,
+                rng: np.random.Generator) -> np.ndarray:
+    """Uniformly random crop (training path)."""
+    h, w = img.shape[:2]
+    if crop_h > h or crop_w > w:
+        raise ValueError(f"crop {crop_h}x{crop_w} exceeds image {h}x{w}")
+    y0 = int(rng.integers(0, h - crop_h + 1))
+    x0 = int(rng.integers(0, w - crop_w + 1))
+    return img[y0:y0 + crop_h, x0:x0 + crop_w]
+
+
+def random_mirror(img: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Horizontal flip with probability 1/2."""
+    return img[:, ::-1] if rng.integers(2) else img
+
+
+def mean_subtract(img: np.ndarray,
+                  mean: Optional[np.ndarray] = None) -> np.ndarray:
+    """Subtract per-channel mean; returns float64."""
+    out = np.asarray(img, dtype=np.float64)
+    if mean is None:
+        mean = IMAGENET_MEAN if out.ndim == 3 else np.float64(33.3)
+    mean = np.asarray(mean, dtype=np.float64)
+    if out.ndim == 3 and mean.ndim == 1 and mean.shape[0] != out.shape[2]:
+        raise ValueError(f"mean has {mean.shape[0]} channels, image "
+                         f"{out.shape[2]}")
+    return out - mean
+
+
+def to_chw(img: np.ndarray) -> np.ndarray:
+    """HWC -> CHW (the layout DL frameworks feed to conv kernels)."""
+    if img.ndim == 2:
+        return img[np.newaxis]
+    if img.ndim != 3:
+        raise ValueError(f"expected 2-D or 3-D image, got {img.shape}")
+    return np.ascontiguousarray(img.transpose(2, 0, 1))
+
+
+def apply_transform(img: np.ndarray, spec: TransformSpec,
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Full Caffe-style pipeline: crop -> mirror -> mean/scale -> CHW."""
+    if spec.train:
+        if rng is None:
+            raise ValueError("training transforms need an RNG")
+        out = random_crop(img, spec.crop_h, spec.crop_w, rng)
+        if spec.mirror:
+            out = random_mirror(out, rng)
+    else:
+        out = center_crop(img, spec.crop_h, spec.crop_w)
+    out = mean_subtract(out, spec.mean)
+    if spec.scale != 1.0:
+        out = out * spec.scale
+    return to_chw(out)

@@ -1,0 +1,14 @@
+"""Compute engines: GPU/stream models, the model zoo, training and
+inference loops, and the accounted CPU core pool."""
+
+from .cpu import CpuCorePool
+from .gpu import CudaStream, GpuDevice
+from .inference import InferenceEngine
+from .models import (allreduce_seconds, get_model, inference_batch_seconds,
+                     inference_rate, train_iteration_seconds)
+from .training import DeviceBatch, SyncGroup, TrainingSolver
+
+__all__ = ["GpuDevice", "CudaStream", "CpuCorePool", "DeviceBatch",
+           "SyncGroup", "TrainingSolver", "InferenceEngine", "get_model",
+           "train_iteration_seconds", "inference_rate",
+           "inference_batch_seconds", "allreduce_seconds"]

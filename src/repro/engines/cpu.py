@@ -1,0 +1,63 @@
+"""CPU core pool with busy-core accounting.
+
+The pool enforces the server's physical core count (32, S5.1) — the
+constraint behind the paper's scalability argument (S2.2: "the demands
+on CPU cores to fully boost GPUs' performance have already exceeded
+what such servers can offer") — and integrates busy time into the
+"cores burned" metric of Figs. 2(b), 6 and 9.
+"""
+
+from __future__ import annotations
+
+from ..sim import BusyTracker, Environment, Resource
+
+__all__ = ["CpuCorePool"]
+
+
+class CpuCorePool:
+    """``capacity`` physical cores shared by every host-side activity."""
+
+    def __init__(self, env: Environment, cores: int, name: str = "cpu"):
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        self.env = env
+        self.cores = cores
+        self.name = name
+        self._res = Resource(env, capacity=cores, name=name)
+        self.tracker = BusyTracker(env, name=f"{name}.busy")
+
+    def run(self, duration: float, category: str = "work"):
+        """Generator: occupy one core for ``duration`` seconds."""
+        if duration < 0:
+            raise ValueError("negative duration")
+        if duration == 0:
+            return
+        grant = self._res.request()
+        yield grant
+        tok = self.tracker.begin(category)
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.tracker.end(tok)
+            self._res.release(grant)
+
+    def charge_unaccounted(self, duration: float,
+                           category: str = "work") -> None:
+        """Record busy time that does not contend for a core slot (thin
+        interrupt-style work folded into other threads)."""
+        self.tracker.charge(duration, category)
+
+    # -- measurement ----------------------------------------------------
+    def cores_used(self, category: str | None = None) -> float:
+        return self.tracker.cores(category)
+
+    def breakdown(self) -> dict[str, float]:
+        return self.tracker.breakdown()
+
+    @property
+    def busy_now(self) -> int:
+        return self._res.count
+
+    @property
+    def waiting(self) -> int:
+        return self._res.queue_len

@@ -1,0 +1,141 @@
+"""GPU device and CUDA-stream models.
+
+The device exposes the two behaviours the experiments hinge on:
+
+* **async streams** — copies and kernels submitted to a stream execute
+  in order while the submitting host thread continues (the Dispatcher's
+  ``CudaMemcpyAsync`` / ``CudaStreamSync`` pattern, Algorithm 3);
+* **SM contention** — decode kernels (nvJPEG) occupy a share of SMs
+  while active, stretching concurrent compute kernels by
+  ``1 / (1 - share)`` — the mechanism behind the paper's "nvJPEG can
+  dominate 40% GPU utilization ... downgrading the GPU performance in
+  model computation by more than 30%" (S2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..calib import Testbed
+from ..sim import BusyTracker, Channel, Counter, Environment, Event
+
+__all__ = ["CudaStream", "GpuDevice"]
+
+
+class CudaStream:
+    """In-order asynchronous work queue on one GPU."""
+
+    def __init__(self, env: Environment, gpu: "GpuDevice", name: str):
+        self.env = env
+        self.gpu = gpu
+        self.name = name
+        self._ops = Channel(env, capacity=float("inf"), name=name)
+        self._idle_evt: Optional[Event] = None
+        self._pending = 0
+        env.process(self._engine(), name=name)
+
+    def submit(self, duration: float, category: str = "op") -> Event:
+        """Enqueue an operation; returns the event fired on completion."""
+        if duration < 0:
+            raise ValueError("negative op duration")
+        done = self.env.event()
+        self._pending += 1
+        self._ops.try_put((duration, category, done))
+        return done
+
+    def synchronize(self):
+        """Generator: block until every submitted op has completed."""
+        if self._pending == 0:
+            return
+        self._idle_evt = self.env.event()
+        yield self._idle_evt
+
+    def _engine(self):
+        while True:
+            duration, category, done = yield from self._ops.get()
+            tok = self.gpu.busy.begin(category)
+            yield self.env.timeout(duration)
+            self.gpu.busy.end(tok)
+            self._pending -= 1
+            done.succeed()
+            if self._pending == 0 and self._idle_evt is not None:
+                evt, self._idle_evt = self._idle_evt, None
+                evt.succeed()
+
+
+class GpuDevice:
+    """One Tesla P100 with PCIe copy engine and SM-share bookkeeping."""
+
+    def __init__(self, env: Environment, testbed: Testbed, index: int = 0):
+        self.env = env
+        self.testbed = testbed
+        self.index = index
+        self.name = f"gpu{index}"
+        self.busy = BusyTracker(env, name=f"{self.name}.busy")
+        self.copy_stream = CudaStream(env, self, f"{self.name}.copy")
+        self.compute_stream = CudaStream(env, self, f"{self.name}.compute")
+        self.decode_stream = CudaStream(env, self, f"{self.name}.decode")
+        self.images_in = Counter(env, name=f"{self.name}.images")
+        self._decode_kernels_active = 0
+        self._decode_share = 0.0
+        self._decode_busy = BusyTracker(env, name=f"{self.name}.dec-busy")
+        self._decode_tokens: list[int] = []
+        self._penalty_mark_t = env.now
+        self._penalty_mark_busy = 0.0
+
+    # -- copies ---------------------------------------------------------
+    def memcpy_async(self, nbytes: int) -> Event:
+        """Host->device copy on the copy stream (returns completion event)."""
+        if nbytes <= 0:
+            raise ValueError("copy size must be positive")
+        return self.copy_stream.submit(nbytes / self.testbed.pcie_copy_rate,
+                                       "memcpy")
+
+    # -- contention ------------------------------------------------------
+    def begin_decode_kernel(self, share: float) -> None:
+        if not 0 < share < 1:
+            raise ValueError(f"share must be in (0, 1), got {share}")
+        self._decode_kernels_active += 1
+        self._decode_share = share
+        self._decode_tokens.append(self._decode_busy.begin("active"))
+
+    def end_decode_kernel(self) -> None:
+        if self._decode_kernels_active <= 0:
+            raise RuntimeError("end_decode_kernel without begin")
+        self._decode_kernels_active -= 1
+        self._decode_busy.end(self._decode_tokens.pop())
+
+    def decode_active_fraction(self) -> float:
+        """Fraction of time decode kernels were resident since the last
+        penalty query — the time-averaged SM steal."""
+        now = self.env.now
+        busy = self._decode_busy.busy_seconds("active")
+        dt = now - self._penalty_mark_t
+        if dt <= 0:
+            return 1.0 if self._decode_kernels_active > 0 else 0.0
+        frac = (busy - self._penalty_mark_busy) / dt
+        self._penalty_mark_t = now
+        self._penalty_mark_busy = busy
+        return min(max(frac, 0.0), 1.0)
+
+    def compute_penalty(self) -> float:
+        """Stretch factor for a compute kernel launched now.
+
+        Uses the decode units' *time-averaged* residency since the last
+        launch (instantaneous sampling correlates with decode-gap
+        instants and systematically misses the contention).
+        """
+        frac = self.decode_active_fraction()
+        if frac <= 0.0:
+            return 1.0
+        return 1.0 / (1.0 - self._decode_share * frac)
+
+    def run_compute(self, base_seconds: float,
+                    category: str = "compute") -> Event:
+        """Launch a compute kernel subject to current decode contention."""
+        return self.compute_stream.submit(
+            base_seconds * self.compute_penalty(), category)
+
+    # -- measurement ----------------------------------------------------
+    def utilization(self, category: Optional[str] = None) -> float:
+        return self.busy.cores(category)

@@ -1,0 +1,93 @@
+"""TensorRT-like online inference engine (S5.3).
+
+Consumes device batches from its Trans Queues, runs the fp16 engine
+(saturating batch-rate law), completes each request's ``done_event`` and
+records the serving latency "from the point when the inference system
+receives pictures ... to the point when engines make a prediction".
+"""
+
+from __future__ import annotations
+
+from ..calib import GpuModelSpec, Testbed
+from ..sim import Counter, Environment, LatencyRecorder, QueuePair
+from .cpu import CpuCorePool
+from .gpu import GpuDevice
+from .models import inference_batch_seconds
+from .training import DeviceBatch
+
+__all__ = ["InferenceEngine"]
+
+
+class InferenceEngine:
+    """One GPU's serving loop."""
+
+    TRANS_DEPTH = 3
+
+    def __init__(self, env: Environment, gpu: GpuDevice, spec: GpuModelSpec,
+                 cpu: CpuCorePool, testbed: Testbed, batch_size: int):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.env = env
+        self.gpu = gpu
+        self.spec = spec
+        self.cpu = cpu
+        self.testbed = testbed
+        self.batch_size = batch_size
+        item_bytes = spec.input_hw[0] * spec.input_hw[1] * spec.channels
+        self.trans = QueuePair(env, capacity=self.TRANS_DEPTH,
+                               name=f"{gpu.name}.trans")
+        self.trans.seed([
+            DeviceBatch(device_addr=0xA000_0000 + i * 0x200_0000,
+                        capacity_bytes=item_bytes * batch_size,
+                        gpu_index=gpu.index)
+            for i in range(self.TRANS_DEPTH)])
+        self.predictions = Counter(env, name=f"{gpu.name}.predictions")
+        self.batches = Counter(env, name=f"{gpu.name}.batches")
+        self.latency = LatencyRecorder(name=f"{gpu.name}.latency")
+        self.copy_stream = gpu.copy_stream
+        self._proc = None
+
+    @property
+    def trans_queues(self) -> QueuePair:
+        return self.trans
+
+    def start(self) -> None:
+        if self._proc is not None:
+            raise RuntimeError("engine already started")
+        self._proc = self.env.process(self._loop(),
+                                      name=f"infer-{self.gpu.index}")
+
+    def _loop(self):
+        tb = self.testbed
+        while True:
+            batch: DeviceBatch = yield from self.trans.full.get()
+            n = batch.item_count or self.batch_size
+            compute_s = inference_batch_seconds(self.spec, n)
+            # Host thread issues one launch per layer-kernel (Fig. 9's
+            # residual CPU cost for the offloaded backends); enqueue work
+            # cannot exceed the kernel wall time in steady state.
+            self.cpu.charge_unaccounted(
+                min(self.spec.launches_per_batch * tb.cuda_launch_overhead_s,
+                    compute_s),
+                "kernels")
+            kernel = self.gpu.run_compute(compute_s, "infer")
+            yield kernel
+            now = self.env.now
+            items = batch.payload or []
+            for item in items:
+                request = getattr(item, "request", None) or item
+                done = getattr(request, "done_event", None)
+                if done is not None and not done.triggered:
+                    done.succeed()
+                received = getattr(request, "received_at", None)
+                if received is not None:
+                    self.latency.record(now - received)
+            self.predictions.add(n)
+            self.batches.add()
+            self.gpu.images_in.add(n)
+            batch.reset()
+            yield from self.trans.free.put(batch)
+
+    def throughput(self, since: float = 0.0) -> float:
+        elapsed = self.env.now - since
+        return self.predictions.total / elapsed if elapsed > 0 else 0.0

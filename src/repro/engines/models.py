@@ -1,0 +1,56 @@
+"""DL-model cost helpers built on the calibrated specs."""
+
+from __future__ import annotations
+
+from ..calib import INFER_MODELS, TRAIN_MODELS, GpuModelSpec, Testbed
+
+__all__ = ["get_model", "train_iteration_seconds", "inference_rate",
+           "inference_batch_seconds", "allreduce_seconds"]
+
+
+def get_model(name: str) -> GpuModelSpec:
+    """Look up a model spec in either the training or inference zoo."""
+    if name in TRAIN_MODELS:
+        return TRAIN_MODELS[name]
+    if name in INFER_MODELS:
+        return INFER_MODELS[name]
+    raise KeyError(f"unknown model {name!r}; known: "
+                   f"{sorted(TRAIN_MODELS) + sorted(INFER_MODELS)}")
+
+
+def train_iteration_seconds(spec: GpuModelSpec, batch_size: int) -> float:
+    """Forward + backward GPU time for one iteration on one GPU."""
+    if spec.train_rate <= 0:
+        raise ValueError(f"{spec.name} has no training calibration")
+    return batch_size / spec.train_rate
+
+
+def inference_rate(spec: GpuModelSpec, batch_size: int) -> float:
+    """Engine throughput (img/s) at a given batch size.
+
+    Saturating-law form: rate(b) = peak * b / (b + half_sat); at small
+    batches the engine is kernel-launch bound, at large batches it
+    approaches peak — the growth every curve of Fig. 7 shows.
+    """
+    if spec.peak_rate <= 0:
+        raise ValueError(f"{spec.name} has no inference calibration")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    return spec.peak_rate * batch_size / (batch_size + spec.half_sat_batch)
+
+
+def inference_batch_seconds(spec: GpuModelSpec, batch_size: int) -> float:
+    """GPU time to infer one batch."""
+    return batch_size / inference_rate(spec, batch_size)
+
+
+def allreduce_seconds(spec: GpuModelSpec, world: int,
+                      testbed: Testbed) -> float:
+    """Ring-allreduce time for one gradient exchange.
+
+    Classic ring cost: each rank moves 2*(n-1)/n of the buffer.
+    """
+    if world <= 1:
+        return 0.0
+    return (2.0 * (world - 1) / world) * spec.param_bytes \
+        / testbed.allreduce_rate

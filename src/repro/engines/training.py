@@ -1,0 +1,142 @@
+"""Data-parallel training solvers (the NVCaffe compute engine of S5.2).
+
+Each GPU hosts one :class:`TrainingSolver`; solvers consume device
+batches from their Trans Queues (filled by the backend's dispatcher or
+loader), run forward+backward, synchronize gradients through a ring
+allreduce, apply the update, and recycle the device buffer — "every GPU
+device is isolated from the others and fetches data from its individual
+pipeline" (S3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..calib import GpuModelSpec, Testbed
+from ..sim import Counter, Environment, QueuePair
+from .cpu import CpuCorePool
+from .gpu import GpuDevice
+from .models import allreduce_seconds, train_iteration_seconds
+
+__all__ = ["DeviceBatch", "SyncGroup", "TrainingSolver"]
+
+
+@dataclass
+class DeviceBatch:
+    """A pre-allocated device-memory buffer cycling through Trans Queues."""
+
+    device_addr: int
+    capacity_bytes: int
+    gpu_index: int
+    payload: object = None
+    item_count: int = 0
+    tag: object = field(default=None)
+
+    def reset(self) -> None:
+        self.payload = None
+        self.item_count = 0
+        self.tag = None
+
+
+class SyncGroup:
+    """Gradient-synchronization barrier + ring allreduce timing."""
+
+    def __init__(self, env: Environment, world: int, spec: GpuModelSpec,
+                 testbed: Testbed):
+        if world < 1:
+            raise ValueError("world must be >= 1")
+        self.env = env
+        self.world = world
+        self.spec = spec
+        self.testbed = testbed
+        self._arrived = 0
+        self._release = env.event()
+        self.rounds = 0
+
+    def arrive(self):
+        """Generator: rendezvous, then pay the allreduce cost together."""
+        if self.world == 1:
+            return
+        self._arrived += 1
+        release = self._release
+        if self._arrived == self.world:
+            self._arrived = 0
+            self._release = self.env.event()
+            self.rounds += 1
+            self.env.process(self._do_allreduce(release))
+        yield release
+
+    def _do_allreduce(self, release):
+        yield self.env.timeout(
+            allreduce_seconds(self.spec, self.world, self.testbed))
+        release.succeed()
+
+
+class TrainingSolver:
+    """One GPU's training loop."""
+
+    # Device-side buffers per solver; 3 gives copy/compute overlap
+    # headroom without hoarding device memory.
+    TRANS_DEPTH = 3
+
+    def __init__(self, env: Environment, gpu: GpuDevice, spec: GpuModelSpec,
+                 sync: SyncGroup, cpu: CpuCorePool, testbed: Testbed,
+                 batch_size: Optional[int] = None):
+        self.env = env
+        self.gpu = gpu
+        self.spec = spec
+        self.sync = sync
+        self.cpu = cpu
+        self.testbed = testbed
+        self.batch_size = batch_size or spec.batch_size
+        item_bytes = spec.input_hw[0] * spec.input_hw[1] * spec.channels
+        self.trans = QueuePair(env, capacity=self.TRANS_DEPTH,
+                               name=f"{gpu.name}.trans")
+        self.trans.seed([
+            DeviceBatch(device_addr=0x9000_0000 + i * 0x400_0000,
+                        capacity_bytes=item_bytes * self.batch_size,
+                        gpu_index=gpu.index)
+            for i in range(self.TRANS_DEPTH)])
+        self.images_trained = Counter(env, name=f"{gpu.name}.trained")
+        self.iterations = Counter(env, name=f"{gpu.name}.iters")
+        self.copy_stream = gpu.copy_stream
+        self._proc = None
+
+    @property
+    def trans_queues(self) -> QueuePair:
+        return self.trans
+
+    def start(self) -> None:
+        if self._proc is not None:
+            raise RuntimeError("solver already started")
+        self._proc = self.env.process(self._loop(),
+                                      name=f"solver-{self.gpu.index}")
+
+    def _loop(self):
+        tb = self.testbed
+        while True:
+            batch: DeviceBatch = yield from self.trans.full.get()
+            n = batch.item_count or self.batch_size
+            # Forward + backward.
+            compute_s = train_iteration_seconds(self.spec, n)
+            kernel = self.gpu.run_compute(compute_s, "train")
+            # The solver thread spins launching kernels while the GPU runs
+            # (the 0.95-core component of Fig. 6d).
+            self.cpu.charge_unaccounted(
+                compute_s * tb.kernel_launch_core_frac, "kernels")
+            yield kernel
+            # Gradient synchronization across the data-parallel group.
+            yield from self.sync.arrive()
+            # Parameter update (GPU-trivial; CPU-side solver bookkeeping
+            # is the 0.12-core component of Fig. 6d).
+            self.cpu.charge_unaccounted(
+                compute_s * tb.model_update_core_frac, "update")
+            self.images_trained.add(n)
+            self.iterations.add()
+            batch.reset()
+            yield from self.trans.free.put(batch)
+
+    def throughput(self, since: float = 0.0) -> float:
+        elapsed = self.env.now - since
+        return self.images_trained.total / elapsed if elapsed > 0 else 0.0

@@ -1,0 +1,26 @@
+"""One module per reproduced table/figure, each returning a
+:class:`~repro.experiments.report.Report` of measured rows plus the
+paper's qualitative claims as machine-checked assertions."""
+
+from . import (econ_analysis, fig2_motivation, fig5_train_throughput,
+               fig6_train_cpu, fig7_infer_throughput, fig8_infer_latency,
+               fig9_infer_cpu, scalability)
+from .paper_reference import PAPER_CLAIMS, PaperClaim, claims_for
+from .report import Report, ShapeCheck, fmt_table
+
+ALL_EXPERIMENTS = {
+    "fig2": fig2_motivation.run,
+    "fig5": fig5_train_throughput.run,
+    "fig6": fig6_train_cpu.run,
+    "fig7": fig7_infer_throughput.run,
+    "fig8": fig8_infer_latency.run,
+    "fig9": fig9_infer_cpu.run,
+    "sec5.4": econ_analysis.run,
+    "sec2.2": scalability.run,
+}
+
+__all__ = ["Report", "ShapeCheck", "fmt_table", "ALL_EXPERIMENTS",
+           "PAPER_CLAIMS", "PaperClaim", "claims_for",
+           "fig2_motivation", "fig5_train_throughput", "fig6_train_cpu",
+           "fig7_infer_throughput", "fig8_infer_latency", "fig9_infer_cpu",
+           "econ_analysis", "scalability"]

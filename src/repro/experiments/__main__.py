@@ -1,0 +1,54 @@
+"""CLI: regenerate every reproduced table/figure.
+
+Usage:
+    python -m repro.experiments                 # all, quick profile
+    python -m repro.experiments fig5 fig7       # a subset
+    python -m repro.experiments --full          # full sweeps (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__)
+    parser.add_argument("experiments", nargs="*",
+                        choices=[[], *ALL_EXPERIMENTS.keys()],
+                        help="which to run (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="full batch sweeps / long windows")
+    parser.add_argument("--csv-dir", default=None,
+                        help="also write each report's rows as CSV here")
+    args = parser.parse_args(argv)
+
+    keys = args.experiments or list(ALL_EXPERIMENTS)
+    failures = 0
+    for key in keys:
+        t0 = time.time()
+        report = ALL_EXPERIMENTS[key](quick=not args.full)
+        print(report.render())
+        if args.csv_dir:
+            import os
+            os.makedirs(args.csv_dir, exist_ok=True)
+            path = os.path.join(args.csv_dir,
+                                f"{key.replace('.', '_')}.csv")
+            with open(path, "w") as fh:
+                fh.write(report.to_csv())
+        print(f"  ({time.time() - t0:.1f}s wall)")
+        print()
+        failures += len(report.failed_checks())
+    if failures:
+        print(f"{failures} shape check(s) FAILED", file=sys.stderr)
+        return 1
+    print("all shape checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Section 5.4 — economic analysis of offloading preprocessing to FPGAs.
+
+The paper's arithmetic, reproduced from the calibrated cost parameters:
+
+* a physical core sells for $0.10-0.11/hour -> ~$900/year;
+* one well-optimized FPGA decoder replaces ~30 cores of decode, so the
+  freed cores resell for >$1.5/hour;
+* power: FPGA ~25 W vs CPU ~130 W vs GPU ~250 W;
+* offline backends also cost *time*: >2 h to convert ILSVRC12 to LMDB.
+"""
+
+from __future__ import annotations
+
+from ..backends import ingest_manifest
+from ..calib import DEFAULT_TESTBED, TRAIN_MODELS, Testbed
+from ..data import imagenet_like_manifest
+from ..host import BatchSpec
+from ..sim import SeedBank
+from .report import Report
+
+__all__ = ["run", "core_revenue_per_year", "freed_core_value_per_hour",
+           "fpga_breakeven_hours", "power_cost_per_year"]
+
+ILSVRC12_IMAGES = 12_800_000  # "more than 12.8 million color images" (S5.1)
+
+
+def core_revenue_per_year(testbed: Testbed = DEFAULT_TESTBED) -> float:
+    """Cloud revenue of one physical core (S5.4: ~$900/year)."""
+    return testbed.core_price_per_hour * testbed.hours_per_year
+
+
+def freed_core_value_per_hour(testbed: Testbed = DEFAULT_TESTBED) -> float:
+    """Hourly resale of the cores one FPGA decoder frees (S5.4: >$1.5/h)."""
+    return testbed.fpga_equivalent_cores * testbed.core_price_per_hour
+
+
+def fpga_breakeven_hours(testbed: Testbed = DEFAULT_TESTBED) -> float:
+    """Hours of freed-core resale that pay for the FPGA card."""
+    return testbed.fpga_card_price / freed_core_value_per_hour(testbed)
+
+
+def power_cost_per_year(watts: float,
+                        testbed: Testbed = DEFAULT_TESTBED) -> float:
+    """Yearly electricity cost of a device drawing ``watts``."""
+    return watts / 1000.0 * testbed.hours_per_year \
+        * testbed.electricity_per_kwh
+
+
+def run(quick: bool = False) -> Report:
+    """Reproduce S5.4: the cost/power arithmetic as a report."""
+    tb = DEFAULT_TESTBED
+    report = Report(
+        experiment_id="sec5.4",
+        title="Economic analysis of FPGA-offloaded preprocessing",
+        columns=["quantity", "value", "unit"])
+
+    rev = core_revenue_per_year(tb)
+    freed = freed_core_value_per_hour(tb)
+    breakeven = fpga_breakeven_hours(tb)
+    report.add_row("core resale", tb.core_price_per_hour, "$/h")
+    report.add_row("core revenue", rev, "$/year")
+    report.add_row("cores one FPGA replaces", tb.fpga_equivalent_cores,
+                   "cores")
+    report.add_row("freed-core resale", freed, "$/h")
+    report.add_row("FPGA card break-even", breakeven / 24.0, "days")
+    report.add_row("FPGA power cost", power_cost_per_year(tb.fpga_power_w),
+                   "$/year")
+    report.add_row("CPU power cost", power_cost_per_year(tb.cpu_power_w),
+                   "$/year")
+    report.add_row("GPU power cost", power_cost_per_year(tb.gpu_power_w),
+                   "$/year")
+
+    # Offline time cost (S2.2): LMDB conversion of ILSVRC12.
+    n = 50_000 if quick else ILSVRC12_IMAGES
+    manifest = imagenet_like_manifest(min(n, 50_000), SeedBank(0))
+    spec = TRAIN_MODELS["alexnet"]
+    bspec = BatchSpec(batch_size=spec.batch_size, out_h=spec.input_hw[0],
+                      out_w=spec.input_hw[1], channels=spec.channels)
+    per_image = ingest_manifest(manifest, bspec, tb) / len(manifest)
+    ingest_hours = per_image * ILSVRC12_IMAGES / 3600.0
+    report.add_row("LMDB ingest of ILSVRC12", ingest_hours, "hours")
+
+    report.check("a physical core yields ~$900/year (S5.4)",
+                 800 <= rev <= 1000, f"${rev:.0f}")
+    report.check("freed cores resell for more than $1.5/h (S5.4)",
+                 freed > 1.5, f"${freed:.2f}/h")
+    report.check("FPGA has the lowest power draw (S5.4: 25 vs 130 vs 250 W)",
+                 tb.fpga_power_w < tb.cpu_power_w < tb.gpu_power_w, "")
+    report.check("preparing LMDB for ILSVRC12 takes more than 2 hours "
+                 "(S2.2)", ingest_hours > 2.0, f"{ingest_hours:.1f} h")
+    report.check("the FPGA card pays for itself within a year of resale",
+                 breakeven < tb.hours_per_year, f"{breakeven / 24:.0f} days")
+    return report

@@ -1,0 +1,86 @@
+"""Figure 2 — motivation: AlexNet training on P100s with Caffe.
+
+(a) image-processing performance under the *default configuration*
+    (few decode threads) for CPU-based and LMDB backends vs the GPU
+    performance upper boundary;
+(b) CPU cost when each backend is given whatever it needs to reach its
+    *maximum* performance.
+
+Paper annotations: CPU-based reaches ~25% of GPU performance by
+default; LMDB loses ~30% at 2 GPUs; max-perf throughputs are annotated
+2,346/4,363 (CPU), 2,446/3,200 (LMDB), 2,496/4,652 (ideal).
+"""
+
+from __future__ import annotations
+
+from ..workflows import TrainingConfig, run_training
+from .report import Report
+
+__all__ = ["run"]
+
+# Caffe's out-of-the-box data layer: a couple of decode threads per GPU.
+DEFAULT_CONFIG_WORKERS = 2
+
+
+def run(quick: bool = False) -> Report:
+    """Reproduce Fig. 2: default-config throughput + max-perf CPU cost."""
+    warmup, measure = (1.0, 3.0) if quick else (2.0, 8.0)
+    report = Report(
+        experiment_id="fig2",
+        title="Motivation: AlexNet/Caffe backends vs GPU bound "
+              "(default-config throughput; CPU cost at max perf)",
+        columns=["backend", "gpus", "mode", "img/s", "% of bound",
+                 "cpu cores"])
+
+    bounds = {}
+    rows = {}
+    for gpus in (1, 2):
+        ideal = run_training(TrainingConfig(
+            model="alexnet", backend="synthetic", num_gpus=gpus,
+            warmup_s=warmup, measure_s=measure))
+        bounds[gpus] = ideal.throughput
+        report.add_row("upper-bound", gpus, "-", ideal.throughput, 100.0,
+                       ideal.cpu_cores)
+        for backend, mode, workers in [
+                ("cpu-online", "default", DEFAULT_CONFIG_WORKERS * gpus),
+                ("cpu-online", "max-perf", None),
+                ("lmdb", "max-perf", None)]:
+            res = run_training(TrainingConfig(
+                model="alexnet", backend=backend, num_gpus=gpus,
+                warmup_s=warmup, measure_s=measure, max_workers=workers))
+            rows[(backend, mode, gpus)] = res
+            report.add_row(backend, gpus, mode, res.throughput,
+                           100.0 * res.throughput / ideal.throughput,
+                           res.cpu_cores)
+
+    # -- the paper's qualitative claims -----------------------------------
+    frac_default = (rows[("cpu-online", "default", 1)].throughput
+                    / bounds[1])
+    report.check(
+        "CPU-based Caffe reaches only ~25% of GPU performance in the "
+        "default configuration (S2.2)",
+        0.15 <= frac_default <= 0.40, f"measured {frac_default:.0%}")
+
+    lmdb2 = rows[("lmdb", "max-perf", 2)].throughput / bounds[2]
+    report.check(
+        "LMDB-enabled Caffe downgrades throughput by ~30% at 2 GPUs "
+        "(Fig. 2a)",
+        0.60 <= lmdb2 <= 0.80, f"measured {1 - lmdb2:.0%} loss")
+
+    lmdb1 = rows[("lmdb", "max-perf", 1)].throughput / bounds[1]
+    report.check(
+        "LMDB achieves high throughput during single-GPU training (S5.2)",
+        lmdb1 >= 0.90, f"measured {lmdb1:.0%} of bound")
+
+    cpu_cores = rows[("cpu-online", "max-perf", 1)].cpu_cores
+    report.check(
+        "CPU-based Caffe burns >>1 CPU cores per GPU at max performance "
+        "(S2.2: 'more than 12 CPU cores per GPU')",
+        cpu_cores >= 7.0, f"measured {cpu_cores:.1f} cores")
+
+    cpu_max = rows[("cpu-online", "max-perf", 2)].throughput / bounds[2]
+    report.check(
+        "CPU-based backend approaches the bound when given cores "
+        "(Fig. 2b: 4,363 vs 4,652)",
+        cpu_max >= 0.85, f"measured {cpu_max:.0%}")
+    return report

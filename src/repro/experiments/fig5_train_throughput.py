@@ -1,0 +1,83 @@
+"""Figure 5 — training throughput for LeNet-5 / AlexNet / ResNet-18 on
+NVCaffe with CPU-based, LMDB and DLBooster backends (1 and 2 GPUs),
+against the GPU performance upper boundary.
+
+Paper claims reproduced as shape checks:
+* DLBooster approaches the GPU performance boundary on all models;
+* LMDB loses ~30% at 2 GPUs on AlexNet (shared-DB competition);
+* per-datum small-piece copies cost CPU/LMDB ~20% on LeNet-5;
+* DLBooster outperforms CPU-based/LMDB by roughly 30%/20% overall.
+"""
+
+from __future__ import annotations
+
+from ..workflows import TrainingConfig, run_training
+from .report import Report
+
+__all__ = ["run", "MODELS"]
+
+MODELS = ("lenet5", "alexnet", "resnet18")
+BACKENDS = ("cpu-online", "lmdb", "dlbooster")
+
+
+def run(quick: bool = False, models=MODELS) -> Report:
+    """Reproduce Fig. 5: training throughput per backend vs the bound."""
+    warmup, measure = (1.0, 3.0) if quick else (2.0, 8.0)
+    report = Report(
+        experiment_id="fig5",
+        title="Training throughput by backend (batch sizes: LeNet 512, "
+              "AlexNet 256, ResNet-18 128 per GPU)",
+        columns=["model", "backend", "gpus", "img/s", "% of bound"])
+
+    perf: dict[tuple, float] = {}
+    bounds: dict[tuple, float] = {}
+    for model in models:
+        for gpus in (1, 2):
+            bound = run_training(TrainingConfig(
+                model=model, backend="synthetic", num_gpus=gpus,
+                warmup_s=warmup, measure_s=measure)).throughput
+            bounds[(model, gpus)] = bound
+            report.add_row(model, "upper-bound", gpus, bound, 100.0)
+            for backend in BACKENDS:
+                res = run_training(TrainingConfig(
+                    model=model, backend=backend, num_gpus=gpus,
+                    warmup_s=warmup, measure_s=measure))
+                perf[(model, backend, gpus)] = res.throughput
+                report.add_row(model, backend, gpus, res.throughput,
+                               100.0 * res.throughput / bound)
+
+    def frac(model, backend, gpus):
+        return perf[(model, backend, gpus)] / bounds[(model, gpus)]
+
+    for model in models:
+        report.check(
+            f"DLBooster approaches the GPU bound on {model} (S5.2 (1))",
+            frac(model, "dlbooster", 2) >= 0.93,
+            f"measured {frac(model, 'dlbooster', 2):.0%}")
+
+    if "alexnet" in models:
+        loss = 1 - frac("alexnet", "lmdb", 2)
+        report.check(
+            "LMDB loses ~30% at 2 GPUs on AlexNet (S5.2 (2))",
+            0.20 <= loss <= 0.40, f"measured {loss:.0%}")
+        report.check(
+            "DLBooster beats LMDB by >=20% on AlexNet at 2 GPUs (S5.2)",
+            perf[("alexnet", "dlbooster", 2)]
+            >= 1.20 * perf[("alexnet", "lmdb", 2)],
+            f"ratio {perf[('alexnet', 'dlbooster', 2)] / perf[('alexnet', 'lmdb', 2)]:.2f}x")
+
+    if "lenet5" in models:
+        for backend in ("cpu-online", "lmdb"):
+            loss = 1 - frac("lenet5", backend, 1)
+            report.check(
+                f"per-datum small copies cost {backend} ~20% on LeNet-5 "
+                f"(S5.2 (1))",
+                0.10 <= loss <= 0.30, f"measured {loss:.0%}")
+
+    if "resnet18" in models:
+        report.check(
+            "CPU-based NVCaffe achieves attractive throughput on "
+            "ResNet-18 (S5.2 (3))",
+            frac("resnet18", "cpu-online", 2) >= 0.85,
+            f"measured {frac('resnet18', 'cpu-online', 2):.0%}")
+    return report

@@ -1,0 +1,89 @@
+"""Figure 8 — online-inference latency (NIC receive -> prediction).
+
+Paper findings: DLBooster lowest at every batch size; at batch 1 all
+three are in the low-millisecond range (1.2 / 1.8 / 3.4 ms for
+DLBooster / nvJPEG / CPU); nvJPEG's latency grows fastest with batch
+(GPU-core competition); all three grow at large batch as engine time
+dominates.
+"""
+
+from __future__ import annotations
+
+from ..workflows import InferenceConfig, run_inference
+from .fig7_infer_throughput import BACKENDS, batch_sweep
+from .report import Report
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False, models=("googlenet", "vgg16", "resnet50")
+        ) -> Report:
+    """Reproduce Fig. 8: serving latency, loaded and unloaded."""
+    warmup, measure = (0.8, 2.5) if quick else (1.0, 5.0)
+    report = Report(
+        experiment_id="fig8",
+        title="Inference latency (ms, receive->prediction), fp16",
+        columns=["model", "backend", "batch", "mean ms", "p99 ms"])
+
+    lat: dict[tuple, float] = {}
+    for model in models:
+        for backend in BACKENDS:
+            for bs in batch_sweep(model, quick):
+                res = run_inference(InferenceConfig(
+                    model=model, backend=backend, batch_size=bs,
+                    warmup_s=warmup, measure_s=measure))
+                lat[(model, backend, bs)] = res.latency_mean_ms
+                report.add_row(model, backend, bs, res.latency_mean_ms,
+                               res.latency_p99_ms)
+
+    for model in models:
+        sweep = batch_sweep(model, quick)
+        for bs in sweep:
+            dlb = lat[(model, "dlbooster", bs)]
+            others = [lat[(model, b, bs)] for b in ("cpu-online", "nvjpeg")]
+            report.check(
+                f"DLBooster achieves the lowest latency on {model} at "
+                f"batch {bs} (S5.3 (1))",
+                dlb <= min(others) * 1.05,
+                f"{dlb:.2f} ms vs {min(others):.2f} ms")
+        # The paper's "ultralow" bs=1 numbers (1.2 / 1.8 / 3.4 ms) are
+        # unloaded minima: measure them with exactly one batch in flight.
+        unloaded = {}
+        for backend in BACKENDS:
+            unloaded[backend] = run_inference(InferenceConfig(
+                model=model, backend=backend, batch_size=1,
+                warmup_s=0.4, measure_s=1.0,
+                unloaded=True)).latency_mean_ms
+        report.notes.append(
+            f"{model} unloaded bs=1 latency (paper: 1.2/1.8/3.4 ms): "
+            f"DLBooster {unloaded['dlbooster']:.2f} / nvJPEG "
+            f"{unloaded['nvjpeg']:.2f} / CPU {unloaded['cpu-online']:.2f}")
+        report.check(
+            f"unloaded bs=1 ordering DLBooster < nvJPEG < CPU on {model} "
+            f"(Fig. 8: 1.2 < 1.8 < 3.4 ms)",
+            unloaded["dlbooster"] < unloaded["nvjpeg"]
+            < unloaded["cpu-online"], "")
+        report.check(
+            f"CPU-based unloaded latency ~2-3x DLBooster's at batch 1 on "
+            f"{model} (Fig. 8: 3.4 vs 1.2 ms)",
+            1.8 <= unloaded["cpu-online"] / unloaded["dlbooster"] <= 4.0,
+            f"ratio {unloaded['cpu-online'] / unloaded['dlbooster']:.2f}x")
+        report.check(
+            f"latency increases with batch size on {model} (S5.3 (4))",
+            lat[(model, "dlbooster", sweep[-1])]
+            >= lat[(model, "dlbooster", 1)], "")
+        nv_growth = (lat[(model, "nvjpeg", sweep[-1])]
+                     / lat[(model, "nvjpeg", 1)])
+        dlb_growth = (lat[(model, "dlbooster", sweep[-1])]
+                      / lat[(model, "dlbooster", 1)])
+        report.check(
+            f"nvJPEG latency grows faster with batch than DLBooster's on "
+            f"{model} (S5.3 (3))",
+            nv_growth >= dlb_growth,
+            f"nvJPEG x{nv_growth:.1f} vs DLBooster x{dlb_growth:.1f}")
+
+    report.notes.append(
+        "Absolute bs=1 latencies include ~2 batches of closed-loop "
+        "queueing; the paper's 1.2/1.8/3.4 ms are unloaded minima — "
+        "ordering and ratios are the reproduced shape.")
+    return report

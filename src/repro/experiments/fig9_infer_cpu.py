@@ -1,0 +1,58 @@
+"""Figure 9 — CPU cost in the inference experiments.
+
+At the figures' batch sizes (GoogLeNet/VGG-16 at 32, ResNet-50 at 64):
+CPU-based TensorRT burns 7-14 cores per GPU; nvJPEG ~1.5 (kernel
+launching); DLBooster ~0.5.
+"""
+
+from __future__ import annotations
+
+from ..calib import INFER_MODELS
+from ..workflows import InferenceConfig, run_inference
+from .report import Report
+
+__all__ = ["run"]
+
+BACKENDS = ("cpu-online", "nvjpeg", "dlbooster")
+
+
+def run(quick: bool = False, models=("googlenet", "vgg16", "resnet50")
+        ) -> Report:
+    """Reproduce Fig. 9: inference CPU cores per backend."""
+    warmup, measure = (0.8, 2.5) if quick else (1.0, 5.0)
+    report = Report(
+        experiment_id="fig9",
+        title="CPU cost in inference (cores; batch = 32, 32, 64)",
+        columns=["model", "backend", "batch", "cores", "gpu decode busy"])
+
+    cores: dict[tuple, float] = {}
+    for model in models:
+        bs = INFER_MODELS[model].batch_size
+        for backend in BACKENDS:
+            res = run_inference(InferenceConfig(
+                model=model, backend=backend, batch_size=bs,
+                warmup_s=warmup, measure_s=measure))
+            cores[(model, backend)] = res.cpu_cores
+            report.add_row(model, backend, bs, res.cpu_cores,
+                           res.gpu_decode_util)
+
+    for model in models:
+        report.check(
+            f"CPU-based TensorRT burns 7~14 cores on {model} (S5.3)",
+            cores[(model, "cpu-online")] >= 6.0,
+            f"measured {cores[(model, 'cpu-online')]:.1f}")
+        report.check(
+            f"nvJPEG consumes ~1.5 cores on {model} (S5.3)",
+            0.8 <= cores[(model, "nvjpeg")] <= 3.0,
+            f"measured {cores[(model, 'nvjpeg')]:.1f}")
+        report.check(
+            f"DLBooster consumes ~0.5 core on {model} (S5.3)",
+            cores[(model, "dlbooster")] <= 1.2,
+            f"measured {cores[(model, 'dlbooster')]:.2f}")
+        report.check(
+            f"DLBooster uses < 1/10 the CPU of the CPU-based backend on "
+            f"{model} (abstract)",
+            cores[(model, "cpu-online")]
+            >= 8.0 * cores[(model, "dlbooster")],
+            f"ratio {cores[(model, 'cpu-online')] / max(cores[(model, 'dlbooster')], 1e-9):.0f}x")
+    return report

@@ -1,0 +1,106 @@
+"""Experiment report infrastructure: paper-style rows + shape checks.
+
+Every experiment module produces a :class:`Report` — a titled table of
+measured rows plus a list of :class:`ShapeCheck` assertions encoding the
+paper's qualitative claims (who wins, by what factor, where crossovers
+fall).  Benchmarks print the table and assert the checks, so a
+regression in any reproduced result fails CI rather than silently
+drifting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+__all__ = ["Report", "ShapeCheck", "fmt_table"]
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative claim from the paper, evaluated on measured data."""
+
+    claim: str                   # e.g. "LMDB loses ~30% at 2 GPUs"
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.claim}" + (f" — {self.detail}"
+                                           if self.detail else "")
+
+
+@dataclass
+class Report:
+    """A reproduced table/figure: rows + shape checks."""
+
+    experiment_id: str           # "fig5a", "fig7c", "sec5.4", ...
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence] = field(default_factory=list)
+    checks: list[ShapeCheck] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(f"row width {len(values)} != "
+                             f"{len(self.columns)} columns")
+        self.rows.append(values)
+
+    def check(self, claim: str, condition: bool, detail: str = "") -> None:
+        self.checks.append(ShapeCheck(claim, bool(condition), detail))
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def failed_checks(self) -> list[ShapeCheck]:
+        return [c for c in self.checks if not c.passed]
+
+    def to_csv(self) -> str:
+        """Rows as CSV (for downstream plotting tools)."""
+        import csv
+        import io
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def render(self) -> str:
+        out = [f"== {self.experiment_id}: {self.title} =="]
+        out.append(fmt_table(self.columns, self.rows))
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        for check in self.checks:
+            out.append(f"  {check}")
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def fmt_table(columns: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Plain-text aligned table."""
+    cells = [[_fmt_cell(v) for v in row] for row in rows]
+    widths = [max(len(str(col)), *(len(r[i]) for r in cells))
+              if cells else len(str(col))
+              for i, col in enumerate(columns)]
+    def line(vals):
+        return "  ".join(str(v).rjust(w) for v, w in zip(vals, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = [line(columns), sep]
+    body.extend(line(r) for r in cells)
+    return "\n".join(body)

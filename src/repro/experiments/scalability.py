@@ -1,0 +1,60 @@
+"""Section 2.2 — the scalability argument, quantified.
+
+"The NVIDIA Tesla V100 can process 5,000 images per second when
+inferring the ResNet-50 model whereas each Xeon E5 CPU core can decode
+only 300 images per second, and the demands on CPU cores to fully boost
+GPUs' performance have already exceeded what such servers can offer
+[...] in NVIDIA DGX-2, each GPU can use at most 3 cores on average."
+"""
+
+from __future__ import annotations
+
+from ..calib import DEFAULT_TESTBED, Testbed
+from .report import Report
+
+__all__ = ["run", "cores_needed_per_gpu"]
+
+V100_RESNET50_RATE = 5_000.0   # img/s (S2.2)
+DGX2_GPUS = 16
+DGX2_CORES = 48
+
+
+def cores_needed_per_gpu(gpu_rate: float,
+                         testbed: Testbed = DEFAULT_TESTBED) -> float:
+    """Decode cores required to keep one GPU of ``gpu_rate`` img/s fed."""
+    per_core = 1.0 / testbed.cpu_decode_seconds(
+        110_000, int(375 * 500 * 1.5))  # the 500x375 corpus image
+    return gpu_rate / per_core
+
+
+def run(quick: bool = False) -> Report:
+    """Reproduce S2.2: decode-core demand vs availability."""
+    tb = DEFAULT_TESTBED
+    report = Report(
+        experiment_id="sec2.2",
+        title="Scalability: decode cores demanded per GPU vs cores "
+              "available",
+        columns=["platform", "gpu img/s", "cores needed/GPU",
+                 "cores avail/GPU"])
+
+    per_core = 1.0 / tb.cpu_decode_seconds(110_000, int(375 * 500 * 1.5))
+    needed_v100 = cores_needed_per_gpu(V100_RESNET50_RATE, tb)
+    avail_8gpu = 48 / 8.0
+    avail_dgx2 = DGX2_CORES / DGX2_GPUS
+    report.add_row("8-GPU server (2x24c)", V100_RESNET50_RATE, needed_v100,
+                   avail_8gpu)
+    report.add_row("DGX-2 (16 GPU, 48c)", V100_RESNET50_RATE, needed_v100,
+                   avail_dgx2)
+
+    report.check(
+        "one Xeon core decodes ~300 ImageNet-scale JPEGs/s (S2.2)",
+        250 <= per_core <= 350, f"measured {per_core:.0f}")
+    report.check(
+        "decode demand per V100 exceeds the cores an 8-GPU server offers "
+        "(S2.2)", needed_v100 > avail_8gpu,
+        f"{needed_v100:.1f} needed vs {avail_8gpu:.1f} available")
+    report.check(
+        "on DGX-2 each GPU can use at most ~3 cores — far below demand "
+        "(S2.2)", needed_v100 > 4 * avail_dgx2,
+        f"{needed_v100:.1f} needed vs {avail_dgx2:.1f} available")
+    return report

@@ -1,0 +1,16 @@
+"""Behavioural FPGA decoder model (paper Figure 4 + S3.3/S4.1)."""
+
+from .channel import FPGAChannel, fpga_init
+from .decoder import CLB_COSTS, DecodeCmd, FinishRecord, ImageDecoderMirror
+from .device import ARRIA10_CLB_BUDGET, FpgaDevice, FpgaResourceError
+from .mirrors import (MIRROR_REGISTRY, AudioCmd, AudioSpectrogramMirror,
+                      TextCmd, TextQuantizerMirror, create_mirror,
+                      register_mirror)
+from .units import PipelineUnit
+
+__all__ = ["FpgaDevice", "FpgaResourceError", "ARRIA10_CLB_BUDGET",
+           "ImageDecoderMirror", "DecodeCmd", "FinishRecord", "CLB_COSTS",
+           "FPGAChannel", "fpga_init", "PipelineUnit",
+           "MIRROR_REGISTRY", "register_mirror", "create_mirror",
+           "AudioCmd", "AudioSpectrogramMirror", "TextCmd",
+           "TextQuantizerMirror"]

@@ -1,0 +1,89 @@
+"""FPGAChannel — the host-side abstraction over one FPGA decoder.
+
+Table 1 of the paper defines the surface: ``submit_cmd`` ("submit cmd to
+FPGA decoder and launch decoding operation") and ``drain_out`` ("query
+the FPGA decoder processing signal asynchronously").  "Each FPGAChannel
+is bound to one FPGA decoder and works independently" (S3.4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Counter, Environment, TimeWeighted
+from .decoder import DecodeCmd, FinishRecord, ImageDecoderMirror
+
+__all__ = ["FPGAChannel"]
+
+
+class FPGAChannel:
+    """Bound to one decoder mirror; owns its FIFO cmd queue."""
+
+    def __init__(self, env: Environment, mirror: ImageDecoderMirror,
+                 queue_id: int = 0):
+        self.env = env
+        self.mirror = mirror
+        self.queue_id = queue_id
+        self.submitted = Counter(env, name=f"ch{queue_id}.submitted")
+        self.completed = Counter(env, name=f"ch{queue_id}.completed")
+        self.outstanding = TimeWeighted(env, 0, name=f"ch{queue_id}.inflight")
+        self._recycled = False
+
+    # -- Table 1 API ------------------------------------------------------
+    def submit_cmd(self, cmd: DecodeCmd):
+        """Generator: push one packeted cmd into the FPGA FIFO queue.
+
+        Blocks when the FIFO is at its hardware depth — the natural
+        backpressure FPGAReader leans on.  Returns any completions that
+        were already available (the "mem_carriers" of Algorithm 1 line 13).
+        """
+        self._check()
+        yield from self.mirror.cmd_queue.put(cmd)
+        self.submitted.add()
+        self.outstanding.set(self.submitted.total - self.completed.total)
+        return self.drain_out()
+
+    def try_submit_cmd(self, cmd: DecodeCmd) -> bool:
+        """Non-blocking submit; False when the FIFO is full."""
+        self._check()
+        ok = self.mirror.cmd_queue.try_put(cmd)
+        if ok:
+            self.submitted.add()
+            self.outstanding.set(self.submitted.total - self.completed.total)
+        return ok
+
+    def drain_out(self) -> list[FinishRecord]:
+        """Non-blocking: collect every FINISH signal currently pending."""
+        self._check()
+        records = self.mirror.finish_queue.drain()
+        if records:
+            self.completed.add(len(records))
+            self.outstanding.set(self.submitted.total - self.completed.total)
+        return records
+
+    def wait_one(self):
+        """Generator: block until at least one FINISH record arrives."""
+        self._check()
+        record = yield from self.mirror.finish_queue.get()
+        self.completed.add()
+        self.outstanding.set(self.submitted.total - self.completed.total)
+        return record
+
+    def recycle(self) -> None:
+        """Algorithm 1 line 18: release channel state at shutdown."""
+        self._recycled = True
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return int(self.submitted.total - self.completed.total)
+
+    def _check(self) -> None:
+        if self._recycled:
+            raise RuntimeError("FPGAChannel used after recycle()")
+
+
+def fpga_init(env: Environment, mirror: ImageDecoderMirror,
+              queue_id: int = 0) -> FPGAChannel:
+    """The paper's ``FPGAInit(Queue_ID)`` (Algorithm 1 line 2)."""
+    return FPGAChannel(env, mirror, queue_id=queue_id)

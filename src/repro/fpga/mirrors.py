@@ -1,0 +1,224 @@
+"""Pluggable decoder mirrors and their registry.
+
+"The decoder in FPGA is pluggable, which allows users to download
+relevant preprocessing mirrors to FPGA devices for different
+applications (e.g., language models, video models and speech models)"
+(S3.1).  The registry maps a mirror name to a factory; besides the image
+decoder we ship an audio spectrogram mirror (the paper's speech example:
+"audio samples undergo a discrete cosine transform to obtain the spectra
+data", S2.1) and a text-quantization mirror ("text samples ... are
+quantized to obtain the vectorized features").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..calib import Testbed
+from ..sim import Channel, Counter, Environment
+from .decoder import CLB_COSTS, FinishRecord, ImageDecoderMirror
+from .units import PipelineUnit
+
+__all__ = ["MIRROR_REGISTRY", "register_mirror", "create_mirror",
+           "AudioCmd", "AudioSpectrogramMirror", "TextCmd",
+           "TextQuantizerMirror"]
+
+MIRROR_REGISTRY: dict[str, Callable] = {}
+
+
+def register_mirror(name: str, factory: Callable) -> None:
+    """Register a mirror factory under ``name`` (overwrites allowed)."""
+    if not callable(factory):
+        raise TypeError("factory must be callable")
+    MIRROR_REGISTRY[name] = factory
+
+
+def create_mirror(name: str, env: Environment, testbed: Testbed,
+                  **kwargs):
+    """Instantiate a registered mirror by name (the 'download' step)."""
+    try:
+        factory = MIRROR_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no mirror {name!r}; available: {sorted(MIRROR_REGISTRY)}"
+        ) from None
+    return factory(env, testbed, **kwargs)
+
+
+# --------------------------------------------------------------- audio
+@dataclass
+class AudioCmd:
+    """Decode command for the audio mirror: PCM frames -> spectrogram."""
+
+    cmd_id: int
+    num_samples: int
+    frame_size: int
+    dest_phy: int
+    dest_offset: int
+    batch_tag: object = None
+    samples: Optional[np.ndarray] = field(default=None, repr=False)
+    result: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def num_frames(self) -> int:
+        return max(1, self.num_samples // self.frame_size)
+
+    @property
+    def out_bytes(self) -> int:
+        return self.num_frames * self.frame_size * 4  # float32 spectra
+
+
+class AudioSpectrogramMirror:
+    """framer -> windowed DCT unit (2-way) -> log-power -> FINISH."""
+
+    def __init__(self, env: Environment, testbed: Testbed,
+                 dct_ways: int = 2, functional: bool = False,
+                 name: str = "audio-spectrogram"):
+        self.env = env
+        self.testbed = testbed
+        self.name = name
+        self.functional = functional
+        self.device = None
+        depth = testbed.fpga_queue_depth
+        self.cmd_queue = Channel(env, capacity=depth, name=f"{name}.fifo")
+        self._dct_q = Channel(env, capacity=depth, name=f"{name}.dct")
+        self._power_q = Channel(env, capacity=depth, name=f"{name}.pow")
+        self.finish_queue = Channel(env, capacity=float("inf"),
+                                    name=f"{name}.finish")
+        self.decoded = Counter(env, name=f"{name}.decoded")
+
+        samples_rate = 2.0e9  # framing is cheap
+        dct_rate = 0.8e9      # transformed samples/s per way
+
+        self.framer = PipelineUnit(
+            env, f"{name}.framer", ways=1,
+            service_time=lambda c: c.num_samples / samples_rate,
+            inbox=self.cmd_queue, outbox=self._dct_q,
+            clb_cost_per_way=CLB_COSTS["parser"])
+        self.dct = PipelineUnit(
+            env, f"{name}.dct", ways=dct_ways,
+            service_time=lambda c: (
+                c.num_frames * c.frame_size * np.log2(max(c.frame_size, 2))
+                / dct_rate),
+            inbox=self._dct_q, outbox=self._power_q,
+            transform=self._dct_fn,
+            clb_cost_per_way=CLB_COSTS["idct"])
+        self.power = PipelineUnit(
+            env, f"{name}.power", ways=1,
+            service_time=lambda c: c.num_frames * c.frame_size / samples_rate,
+            inbox=self._power_q, outbox=self.finish_queue,
+            transform=self._finish_fn,
+            clb_cost_per_way=CLB_COSTS["resizer"])
+        self._units = [self.framer, self.dct, self.power]
+
+    def _dct_fn(self, cmd: AudioCmd) -> AudioCmd:
+        if self.functional and cmd.samples is not None:
+            from scipy.fft import dct as scipy_dct
+            n = cmd.num_frames * cmd.frame_size
+            frames = np.asarray(cmd.samples[:n], dtype=np.float64)
+            frames = frames.reshape(cmd.num_frames, cmd.frame_size)
+            window = np.hanning(cmd.frame_size)
+            cmd.result = scipy_dct(frames * window, type=2, norm="ortho",
+                                   axis=1)
+        return cmd
+
+    def _finish_fn(self, cmd: AudioCmd) -> FinishRecord:
+        if self.functional and cmd.result is not None:
+            cmd.result = np.log1p(np.abs(cmd.result)).astype(np.float32)
+        self.decoded.add()
+        record = FinishRecord(
+            cmd_id=cmd.cmd_id, batch_tag=cmd.batch_tag,
+            dest_phy=cmd.dest_phy, dest_offset=cmd.dest_offset,
+            out_bytes=cmd.out_bytes, finished_at=self.env.now)
+        record = (record, cmd.result) if self.functional else record
+        return record
+
+    def clb_cost(self) -> int:
+        return sum(u.clb_cost for u in self._units) + CLB_COSTS["dma"]
+
+    def bind(self, device) -> None:
+        self.device = device
+        self.start()
+
+    def shutdown(self) -> None:
+        self.device = None
+
+    def start(self) -> None:
+        for unit in self._units:
+            if not unit._running:
+                unit.start()
+
+
+# ---------------------------------------------------------------- text
+@dataclass
+class TextCmd:
+    cmd_id: int
+    num_tokens: int
+    embed_dim: int
+    dest_phy: int
+    dest_offset: int
+    batch_tag: object = None
+
+    @property
+    def out_bytes(self) -> int:
+        return self.num_tokens * self.embed_dim * 4
+
+
+class TextQuantizerMirror:
+    """tokenizer -> hash-embed lookup; the language-model mirror."""
+
+    def __init__(self, env: Environment, testbed: Testbed,
+                 lookup_ways: int = 2, name: str = "text-quantizer"):
+        self.env = env
+        self.testbed = testbed
+        self.name = name
+        self.device = None
+        depth = testbed.fpga_queue_depth
+        self.cmd_queue = Channel(env, capacity=depth, name=f"{name}.fifo")
+        self._embed_q = Channel(env, capacity=depth, name=f"{name}.embed")
+        self.finish_queue = Channel(env, capacity=float("inf"),
+                                    name=f"{name}.finish")
+        self.decoded = Counter(env, name=f"{name}.decoded")
+
+        self.tokenizer = PipelineUnit(
+            env, f"{name}.tok", ways=1,
+            service_time=lambda c: c.num_tokens / 50e6,
+            inbox=self.cmd_queue, outbox=self._embed_q,
+            clb_cost_per_way=CLB_COSTS["parser"])
+        self.embedder = PipelineUnit(
+            env, f"{name}.embed", ways=lookup_ways,
+            service_time=lambda c: c.num_tokens * c.embed_dim / 2e9,
+            inbox=self._embed_q, outbox=self.finish_queue,
+            transform=self._finish_fn,
+            clb_cost_per_way=CLB_COSTS["huffman"])
+        self._units = [self.tokenizer, self.embedder]
+
+    def _finish_fn(self, cmd: TextCmd) -> FinishRecord:
+        self.decoded.add()
+        return FinishRecord(
+            cmd_id=cmd.cmd_id, batch_tag=cmd.batch_tag,
+            dest_phy=cmd.dest_phy, dest_offset=cmd.dest_offset,
+            out_bytes=cmd.out_bytes, finished_at=self.env.now)
+
+    def clb_cost(self) -> int:
+        return sum(u.clb_cost for u in self._units) + CLB_COSTS["dma"]
+
+    def bind(self, device) -> None:
+        self.device = device
+        self.start()
+
+    def shutdown(self) -> None:
+        self.device = None
+
+    def start(self) -> None:
+        for unit in self._units:
+            if not unit._running:
+                unit.start()
+
+
+register_mirror("image-decoder", ImageDecoderMirror)
+register_mirror("audio-spectrogram", AudioSpectrogramMirror)
+register_mirror("text-quantizer", TextQuantizerMirror)

@@ -1,0 +1,100 @@
+"""Generic FPGA pipeline-unit framework.
+
+The paper's decoder (Fig. 4) is a chain of units — parser, DataReader,
+Huffman decoder, iDCT, resizer, DMA — each replicated across a
+configurable number of "ways" mapped onto CLBs, "which allows each of
+them to work in pipelining and increases the parallelism" (S3.3).
+
+:class:`PipelineUnit` models one such stage: ``ways`` parallel servers
+pulling work items from an input channel, holding them for a
+per-item service time, optionally transforming the payload
+(functional mode), and pushing downstream.  Multi-way output is
+collected round-robin-fairly simply by sharing one output channel, as
+the hardware's "multiplex streams collector (round-robin)" does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..sim import BusyTracker, Channel, Counter, Environment
+from ..sim.trace import Tracer
+
+__all__ = ["PipelineUnit", "UnitStats"]
+
+
+class UnitStats:
+    """Aggregated per-unit measurements for load-balance analysis."""
+
+    def __init__(self, env: Environment, name: str, ways: int):
+        self.busy = BusyTracker(env, name=f"{name}.busy")
+        self.items = Counter(env, name=f"{name}.items")
+        self.per_way_items = [0] * ways
+
+    def utilization(self, ways: int) -> float:
+        """Mean busy fraction per way (1.0 = the unit is the bottleneck)."""
+        return self.busy.cores() / ways if ways else 0.0
+
+
+class PipelineUnit:
+    """One stage of the decoder pipeline with N parallel ways."""
+
+    def __init__(self, env: Environment, name: str, ways: int,
+                 service_time: Callable[[Any], float],
+                 inbox: Channel, outbox: Optional[Channel],
+                 transform: Optional[Callable[[Any], Any]] = None,
+                 clb_cost_per_way: int = 0,
+                 tracer: Optional[Tracer] = None):
+        if ways < 1:
+            raise ValueError(f"{name}: ways must be >= 1")
+        self.env = env
+        self.name = name
+        self.ways = ways
+        self.service_time = service_time
+        self.inbox = inbox
+        self.outbox = outbox
+        self.transform = transform
+        self.clb_cost_per_way = clb_cost_per_way
+        self.tracer = tracer
+        self.stats = UnitStats(env, name, ways)
+        self._running = False
+
+    @property
+    def clb_cost(self) -> int:
+        return self.clb_cost_per_way * self.ways
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError(f"{self.name} already started")
+        self._running = True
+        for way in range(self.ways):
+            self.env.process(self._way_loop(way), name=f"{self.name}[{way}]")
+
+    def _way_loop(self, way: int):
+        while True:
+            item = yield from self.inbox.get()
+            duration = self.service_time(item)
+            if duration < 0:
+                raise ValueError(f"{self.name}: negative service time")
+            tok = self.stats.busy.begin(self.name)
+            trace_tok = (self.tracer.begin("service", f"{self.name}[{way}]")
+                         if self.tracer else None)
+            yield self.env.timeout(duration)
+            if trace_tok is not None:
+                self.tracer.end(trace_tok)
+            self.stats.busy.end(tok)
+            self.stats.items.add()
+            self.stats.per_way_items[way] += 1
+            if self.transform is not None:
+                item = self.transform(item)
+            if self.outbox is not None:
+                yield from self.outbox.put(item)
+
+    def utilization(self) -> float:
+        return self.stats.utilization(self.ways)
+
+    def way_imbalance(self) -> float:
+        """max/mean per-way item count; ~1.0 means balanced ways."""
+        counts = self.stats.per_way_items
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 0.0

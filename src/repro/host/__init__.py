@@ -1,0 +1,10 @@
+"""Host bridger: FPGAReader (Alg. 1), DataCollector, Dispatcher (Alg. 3)
+and the Table-1 API inventory."""
+
+from .api import TABLE1, ApiRow, validate_table1
+from .collector import DataCollector, WorkItem
+from .dispatcher import Dispatcher
+from .reader import BatchSpec, FPGAReader
+
+__all__ = ["DataCollector", "WorkItem", "FPGAReader", "BatchSpec",
+           "Dispatcher", "TABLE1", "ApiRow", "validate_table1"]

@@ -1,0 +1,87 @@
+"""DataCollector — the data abstraction feeding FPGAReader (S3.4.1).
+
+"A DataCollector is set up as a data abstraction, which translates the
+metadata (i.e., block information) that describes the storage
+information of the data on the disk or generates the metadata (i.e.,
+physical address of memory) that describes where the data are placed by
+NICs.  The DataCollector is globally shared by its callers in
+generating cmds for FPGA decoders."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..net import NetRequest, Nic
+from ..sim import Counter, Environment
+from ..storage import FileEntry, FileManifest
+
+__all__ = ["WorkItem", "DataCollector"]
+
+
+@dataclass
+class WorkItem:
+    """Source-agnostic description of one sample to preprocess."""
+
+    source: str                  # "disk" | "dram"
+    size_bytes: int
+    work_pixels: int
+    channels: int
+    label: int = 0
+    payload: Optional[bytes] = None
+    request: Optional[NetRequest] = None   # set for net-sourced items
+    entry: Optional[FileEntry] = None      # set for disk-sourced items
+
+
+class DataCollector:
+    """Globally-shared translator from disk manifests / NIC queues to
+    :class:`WorkItem` streams."""
+
+    def __init__(self, env: Environment, name: str = "collector"):
+        self.env = env
+        self.name = name
+        self._manifest: Optional[FileManifest] = None
+        self._nic: Optional[Nic] = None
+        self.items_from_disk = Counter(env, name=f"{name}.disk")
+        self.items_from_net = Counter(env, name=f"{name}.net")
+
+    # -- Table 1 API -------------------------------------------------------
+    def load_from_disk(self, manifest: FileManifest) -> None:
+        """Obtain the metadata (blocks description) of files from disk."""
+        self._manifest = manifest
+
+    def load_from_net(self, nic: Nic) -> None:
+        """Fetch data from networking; NIC DMA placement supplies the
+        physical addresses."""
+        self._nic = nic
+
+    # -- streaming ------------------------------------------------------
+    def disk_epoch(self, rng: Optional[np.random.Generator] = None
+                   ) -> Iterator[WorkItem]:
+        """One pass over the manifest (optionally shuffled) — the
+        ``foreach file in data_collector`` of Algorithm 1."""
+        if self._manifest is None:
+            raise RuntimeError("load_from_disk() has not been called")
+        for idx in self._manifest.epoch_order(rng):
+            entry = self._manifest[int(idx)]
+            self.items_from_disk.add()
+            yield WorkItem(
+                source="disk", size_bytes=entry.size_bytes,
+                work_pixels=entry.decode_work_pixels,
+                channels=entry.channels, label=entry.label,
+                payload=entry.payload, entry=entry)
+
+    def next_from_net(self):
+        """Generator: block for the next NIC-delivered image."""
+        if self._nic is None:
+            raise RuntimeError("load_from_net() has not been called")
+        request: NetRequest = yield from self._nic.rx_queue.get()
+        self.items_from_net.add()
+        return WorkItem(
+            source="dram", size_bytes=request.size_bytes,
+            work_pixels=request.decode_work_pixels,
+            channels=request.channels, payload=request.payload,
+            request=request)

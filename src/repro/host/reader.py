@@ -1,0 +1,197 @@
+"""FPGAReader — the asynchronous decode driver (paper Algorithm 1).
+
+The reader walks WorkItems from the DataCollector, packs them
+``batch_size`` at a time into hugepage memory units, encapsulates each
+item's metadata plus the unit's *physical* address (+ in-batch offset)
+into a cmd, and aggressively submits cmds to the FPGA FIFO queue while
+pulling completion status with best effort.  When every slot of a batch
+has its FINISH record, the unit is pushed to the Full_Batch_Queue for
+the Dispatcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..calib import Testbed
+from ..fpga import DecodeCmd, FPGAChannel
+from ..memory import MemManager, MemoryUnit
+from ..engines.cpu import CpuCorePool
+from ..sim import Counter, Environment
+from .collector import WorkItem
+
+__all__ = ["BatchSpec", "FPGAReader"]
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """Geometry of the batches handed to the compute engine."""
+
+    batch_size: int
+    out_h: int
+    out_w: int
+    channels: int
+
+    @property
+    def item_bytes(self) -> int:
+        return self.out_h * self.out_w * self.channels
+
+    @property
+    def batch_bytes(self) -> int:
+        return self.item_bytes * self.batch_size
+
+
+@dataclass
+class _OpenBatch:
+    unit: MemoryUnit
+    tag: int
+    filled: int = 0          # cmds submitted
+    finished: int = 0        # FINISH records seen
+    closed: bool = False     # no more cmds will join
+    items: list = field(default_factory=list)
+
+
+class FPGAReader:
+    """Algorithm 1, split into a submission loop and a completion pump.
+
+    The pump realises the "pulls the processing status with the best
+    effort" half of the async design: completions are absorbed the
+    moment the FINISH arbiter raises them, independent of submission
+    progress, so a slow consumer never stalls the FPGA FIFO.
+    """
+
+    def __init__(self, env: Environment, testbed: Testbed,
+                 channel: FPGAChannel, pool: MemManager, spec: BatchSpec,
+                 cpu: Optional[CpuCorePool] = None,
+                 channels: Optional[list[FPGAChannel]] = None,
+                 name: str = "fpga-reader"):
+        self.env = env
+        self.testbed = testbed
+        # Multiple decoders may be attached ("plugging more FPGA
+        # devices", S5.3); cmds round-robin across their channels.
+        self.channels = channels if channels else [channel]
+        self.pool = pool
+        self.spec = spec
+        self.cpu = cpu
+        self.name = name
+        self.batches_produced = Counter(env, name=f"{name}.batches")
+        self.items_submitted = Counter(env, name=f"{name}.items")
+        self._open: dict[int, _OpenBatch] = {}
+        self._next_tag = 0
+        self._next_cmd = 0
+        self._rr = 0
+        self.running = True
+        for ch in self.channels:
+            self.env.process(self._completion_pump(ch),
+                             name=f"{name}.pump{ch.queue_id}")
+
+    # -- submission side (Algorithm 1 main loop) ---------------------------
+    def run_epoch(self, items: Iterable[WorkItem]):
+        """Generator: submit every item of one epoch; returns when all
+        resulting batches have been pushed to the Full_Batch_Queue."""
+        batch: Optional[_OpenBatch] = None
+        for item in items:
+            if batch is None:
+                unit = yield from self.pool.get_item()   # may block: line 5-10
+                batch = _OpenBatch(unit=unit, tag=self._next_tag)
+                self._next_tag += 1
+                self._open[batch.tag] = batch
+            cmd = self._cmd_generator(item, batch)        # lines 11-12
+            if self.cpu is not None:
+                self.cpu.charge_unaccounted(
+                    self.testbed.reader_cmd_cost_s, "preprocess")
+            ch = self.channels[self._rr % len(self.channels)]
+            self._rr += 1
+            yield from ch.submit_cmd(cmd)                 # line 13
+            self.items_submitted.add()
+            batch.filled += 1
+            batch.items.append(item)
+            if batch.filled == self.spec.batch_size:
+                batch.closed = True
+                self._maybe_complete(batch)
+                batch = None
+        if batch is not None:  # short tail batch at epoch end
+            batch.closed = True
+            self._maybe_complete(batch)
+        # Wait until every open batch of this epoch has drained.
+        while self._open:
+            yield self.env.timeout(self._poll_interval())
+
+    def run_stream(self, next_item_fn, count: Optional[int] = None):
+        """Generator: like :meth:`run_epoch` but pulls items from a
+        *blocking* source (the NIC path: ``next_item_fn`` is a generator
+        function returning one WorkItem, e.g.
+        ``DataCollector.next_from_net``)."""
+        batch: Optional[_OpenBatch] = None
+        submitted = 0
+        while count is None or submitted < count:
+            item = yield from next_item_fn()
+            if batch is None:
+                unit = yield from self.pool.get_item()
+                batch = _OpenBatch(unit=unit, tag=self._next_tag)
+                self._next_tag += 1
+                self._open[batch.tag] = batch
+            cmd = self._cmd_generator(item, batch)
+            if self.cpu is not None:
+                self.cpu.charge_unaccounted(
+                    self.testbed.reader_cmd_cost_s, "preprocess")
+            ch = self.channels[self._rr % len(self.channels)]
+            self._rr += 1
+            yield from ch.submit_cmd(cmd)
+            self.items_submitted.add()
+            submitted += 1
+            batch.filled += 1
+            batch.items.append(item)
+            if batch.filled == self.spec.batch_size:
+                batch.closed = True
+                self._maybe_complete(batch)
+                batch = None
+        if batch is not None:
+            batch.closed = True
+            self._maybe_complete(batch)
+
+    def _cmd_generator(self, item: WorkItem, batch: _OpenBatch) -> DecodeCmd:
+        """The paper's ``cmd_generator(f_metainfo, phyaddr + offset)``."""
+        offset = batch.filled * self.spec.item_bytes
+        cmd = DecodeCmd(
+            cmd_id=self._next_cmd, source=item.source,
+            size_bytes=item.size_bytes, work_pixels=item.work_pixels,
+            out_h=self.spec.out_h, out_w=self.spec.out_w,
+            channels=self.spec.channels,
+            dest_phy=batch.unit.phy_addr, dest_offset=offset,
+            batch_tag=batch.tag, payload=item.payload)
+        self._next_cmd += 1
+        return cmd
+
+    def _poll_interval(self) -> float:
+        return max(self.testbed.fpga_cmd_overhead_s * 4, 1e-6)
+
+    # -- completion side -----------------------------------------------------
+    def _completion_pump(self, ch: FPGAChannel):
+        while self.running:
+            record = yield from ch.wait_one()
+            batch = self._open.get(record.batch_tag)
+            if batch is None:
+                raise RuntimeError(
+                    f"FINISH for unknown batch {record.batch_tag}")
+            batch.finished += 1
+            self._maybe_complete(batch)
+
+    def _maybe_complete(self, batch: _OpenBatch) -> None:
+        if not (batch.closed and batch.finished == batch.filled):
+            return
+        del self._open[batch.tag]
+        unit = batch.unit
+        unit.item_count = batch.filled
+        unit.payload = batch.items
+        unit.used_bytes = batch.filled * self.spec.item_bytes
+        if not self.pool.full_batch_queue.try_put(unit):
+            raise RuntimeError("Full_Batch_Queue overflow (pool misuse)")
+        self.batches_produced.add()
+
+    def recycle(self) -> None:
+        """Algorithm 1 lines 18-19: shut down the channel bindings."""
+        self.running = False
+        for ch in self.channels:
+            ch.recycle()

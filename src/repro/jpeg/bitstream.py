@@ -1,0 +1,123 @@
+"""Entropy-coded-segment bit I/O with JPEG byte stuffing.
+
+Within a JPEG scan, any 0xFF data byte is followed by a stuffed 0x00 so
+decoders can find markers by scanning for 0xFF. The reader treats
+0xFF D0-D7 (RSTn) as segment boundaries and any other marker as
+end-of-scan.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader", "EndOfScan"]
+
+
+class EndOfScan(Exception):
+    """Reader hit a non-RST marker (or ran out of bytes) mid-read."""
+
+
+class BitWriter:
+    """MSB-first bit accumulator emitting a stuffed entropy-coded segment."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` of ``value``, MSB first."""
+        if nbits < 0 or nbits > 24:
+            raise ValueError(f"nbits out of range: {nbits}")
+        if nbits == 0:
+            return
+        if value < 0 or value >= (1 << nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            byte = (self._acc >> self._nbits) & 0xFF
+            self._out.append(byte)
+            if byte == 0xFF:
+                self._out.append(0x00)  # stuffing
+        self._acc &= (1 << self._nbits) - 1
+
+    def flush(self) -> None:
+        """Pad the final partial byte with 1-bits (T.81 F.1.2.3)."""
+        if self._nbits:
+            pad = 8 - self._nbits
+            self.write((1 << pad) - 1, pad)
+
+    def emit_marker(self, marker_low: int) -> None:
+        """Flush then write a raw marker (e.g. RSTn) into the stream."""
+        self.flush()
+        self._out.append(0xFF)
+        self._out.append(marker_low)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._out)
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+
+class BitReader:
+    """MSB-first bit reader over a stuffed entropy-coded segment."""
+
+    def __init__(self, data: bytes, pos: int = 0):
+        self._data = data
+        self._pos = pos
+        self._acc = 0
+        self._nbits = 0
+        self.marker_found: int | None = None
+
+    @property
+    def byte_pos(self) -> int:
+        """Position of the next unread byte in the underlying buffer."""
+        return self._pos
+
+    def _pull_byte(self) -> None:
+        data, pos = self._data, self._pos
+        if pos >= len(data):
+            raise EndOfScan("out of data")
+        byte = data[pos]
+        pos += 1
+        if byte == 0xFF:
+            if pos >= len(data):
+                raise EndOfScan("truncated after 0xFF")
+            nxt = data[pos]
+            if nxt == 0x00:
+                pos += 1  # stuffed byte: 0xFF is data
+            else:
+                # A real marker terminates bit-reading here.
+                self.marker_found = nxt
+                raise EndOfScan(f"marker 0xFF{nxt:02X}")
+        self._acc = (self._acc << 8) | byte
+        self._nbits += 8
+        self._pos = pos
+
+    def read(self, nbits: int) -> int:
+        """Read ``nbits`` (MSB first); raises EndOfScan past the segment."""
+        if nbits < 0 or nbits > 24:
+            raise ValueError(f"nbits out of range: {nbits}")
+        while self._nbits < nbits:
+            self._pull_byte()
+        self._nbits -= nbits
+        value = (self._acc >> self._nbits) & ((1 << nbits) - 1)
+        self._acc &= (1 << self._nbits) - 1
+        return value
+
+    def read_bit(self) -> int:
+        return self.read(1)
+
+    def align_and_consume_rst(self) -> int:
+        """Drop pad bits, consume an RSTn marker; returns n (0..7)."""
+        self._acc = 0
+        self._nbits = 0
+        data, pos = self._data, self._pos
+        if pos + 1 >= len(data) or data[pos] != 0xFF:
+            raise EndOfScan("expected RST marker")
+        low = data[pos + 1]
+        if not 0xD0 <= low <= 0xD7:
+            raise EndOfScan(f"expected RSTn, found 0xFF{low:02X}")
+        self._pos = pos + 2
+        return low - 0xD0

@@ -1,0 +1,72 @@
+"""Color-space conversion and chroma (sub/up)sampling (JFIF / BT.601).
+
+Full-range YCbCr as used by JFIF: Y in [0, 255], Cb/Cr centred at 128.
+All routines are vectorised over whole images.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rgb_to_ycbcr", "ycbcr_to_rgb", "subsample_420", "upsample_420"]
+
+_FWD = np.array([
+    [0.299, 0.587, 0.114],
+    [-0.168735892, -0.331264108, 0.5],
+    [0.5, -0.418687589, -0.081312411],
+])
+_INV = np.linalg.inv(_FWD)
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """(H, W, 3) uint8/float RGB -> float64 YCbCr (same shape)."""
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3), got {rgb.shape}")
+    ycc = rgb.astype(np.float64) @ _FWD.T
+    ycc[..., 1:] += 128.0
+    return ycc
+
+
+def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
+    """Float YCbCr -> uint8 RGB, clipped to [0, 255]."""
+    ycc = np.asarray(ycc, dtype=np.float64)
+    if ycc.ndim != 3 or ycc.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3), got {ycc.shape}")
+    shifted = ycc.copy()
+    shifted[..., 1:] -= 128.0
+    rgb = shifted @ _INV.T
+    return np.clip(np.round(rgb), 0, 255).astype(np.uint8)
+
+
+def _pad_even(plane: np.ndarray) -> np.ndarray:
+    """Edge-pad so both dimensions are even (needed for 2x2 pooling)."""
+    h, w = plane.shape
+    return np.pad(plane, ((0, h % 2), (0, w % 2)), mode="edge")
+
+
+def subsample_420(plane: np.ndarray) -> np.ndarray:
+    """2x2 box-average downsample of one chroma plane (4:2:0)."""
+    plane = np.asarray(plane, dtype=np.float64)
+    if plane.ndim != 2:
+        raise ValueError(f"expected 2-D plane, got {plane.shape}")
+    plane = _pad_even(plane)
+    h, w = plane.shape
+    return plane.reshape(h // 2, 2, w // 2, 2).mean(axis=(1, 3))
+
+
+def upsample_420(plane: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Nearest (pixel-replication) 2x upsample, cropped to (out_h, out_w).
+
+    Replication matches what fast decoders (and the paper's FPGA unit)
+    do; the box-filter downsample plus replication round-trips DC levels
+    exactly.
+    """
+    plane = np.asarray(plane, dtype=np.float64)
+    if plane.ndim != 2:
+        raise ValueError(f"expected 2-D plane, got {plane.shape}")
+    up = np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)
+    if up.shape[0] < out_h or up.shape[1] < out_w:
+        up = np.pad(up, ((0, max(0, out_h - up.shape[0])),
+                         (0, max(0, out_w - up.shape[1]))), mode="edge")
+    return up[:out_h, :out_w]

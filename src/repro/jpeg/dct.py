@@ -1,0 +1,57 @@
+"""8x8 type-II/III DCT for JPEG, vectorised over stacks of blocks.
+
+The transform is the separable matrix form C @ X @ C.T with the
+orthonormal DCT-II basis; precomputing C once makes a full image a pair
+of batched matmuls, which is the NumPy-idiomatic analogue of the paper's
+iDCT hardware unit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DCT_MATRIX", "fdct2", "idct2", "idct2_dequant"]
+
+
+def _dct_matrix() -> np.ndarray:
+    k = np.arange(8).reshape(8, 1)
+    n = np.arange(8).reshape(1, 8)
+    mat = np.cos((2 * n + 1) * k * np.pi / 16) * np.sqrt(2.0 / 8.0)
+    mat[0, :] = 1.0 / np.sqrt(8.0)
+    return mat
+
+
+DCT_MATRIX = _dct_matrix()
+_DCT_T = DCT_MATRIX.T.copy()
+
+
+def _check_blocks(blocks: np.ndarray) -> np.ndarray:
+    blocks = np.asarray(blocks, dtype=np.float64)
+    if blocks.shape[-2:] != (8, 8):
+        raise ValueError(f"expected trailing (8, 8), got {blocks.shape}")
+    return blocks
+
+
+def fdct2(blocks: np.ndarray) -> np.ndarray:
+    """Forward 8x8 DCT-II of a block or stack of blocks."""
+    blocks = _check_blocks(blocks)
+    return DCT_MATRIX @ blocks @ _DCT_T
+
+
+def idct2(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse 8x8 DCT (type-III) of a coefficient block or stack."""
+    coeffs = _check_blocks(coeffs)
+    return _DCT_T @ coeffs @ DCT_MATRIX
+
+
+def idct2_dequant(qcoeffs: np.ndarray, qtable: np.ndarray) -> np.ndarray:
+    """Dequantize + inverse DCT in one step (the decoder hot path).
+
+    ``qcoeffs`` is an integer stack (..., 8, 8) of quantized coefficients;
+    ``qtable`` the (8, 8) quantizer. Returns float pixel-domain blocks
+    (still level-shifted by -128).
+    """
+    qtable = np.asarray(qtable, dtype=np.float64)
+    if qtable.shape != (8, 8):
+        raise ValueError(f"qtable must be (8, 8), got {qtable.shape}")
+    return idct2(np.asarray(qcoeffs, dtype=np.float64) * qtable)

@@ -1,0 +1,156 @@
+"""Baseline JPEG decoder, staged to mirror the paper's FPGA pipeline.
+
+Figure 4 of the paper decomposes the decoder into parser -> Huffman
+decoding unit -> iDCT & RGB unit -> resizer.  This module exposes the
+same stage boundaries:
+
+* :func:`entropy_decode` — the Huffman stage; bitstream -> quantized
+  zig-zag coefficient blocks per component.
+* :func:`coefficients_to_planes` — the iDCT stage; dequantize + inverse
+  DCT -> component pixel planes.
+* :func:`planes_to_image` — chroma upsampling + YCbCr->RGB.
+* :func:`decode` / :func:`decode_resized` — the fused full pipeline, the
+  latter ending in the resizer unit like the FPGA decoder does.
+
+The staged API is exactly what :mod:`repro.fpga` drives, so the hardware
+model's functional output is bit-identical to this software path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitstream import BitReader, EndOfScan
+from .color import upsample_420, ycbcr_to_rgb
+from .dct import idct2_dequant
+from .huffman import decode_block
+from .jfif import JpegFormatError, ParsedJpeg, parse_jpeg
+from .quant import zigzag_unflatten
+from .resize import resize_bilinear
+
+__all__ = ["entropy_decode", "coefficients_to_planes", "planes_to_image",
+           "decode", "decode_resized"]
+
+
+def entropy_decode(parsed: ParsedJpeg) -> list[np.ndarray]:
+    """Huffman-decode the interleaved scan.
+
+    Returns, per frame component, an int32 array of shape
+    (blocks_h, blocks_w, 64) of quantized coefficients in zig-zag order —
+    the exact output of the paper's 4-way Huffman decoding unit.
+    """
+    frame, scan = parsed.frame, parsed.scan
+    order = {c.component_id: i for i, c in enumerate(frame.components)}
+    ncomp = len(frame.components)
+    mcus_x, mcus_y = frame.mcus_per_row, frame.mcu_rows
+
+    out: list[np.ndarray] = []
+    for comp in frame.components:
+        out.append(np.zeros(
+            (mcus_y * comp.v_samp, mcus_x * comp.h_samp, 64),
+            dtype=np.int32))
+
+    # Scan component order may differ from frame order; map via ids.
+    scan_idx = [order[c.component_id] for c in scan.components]
+    dc_tabs = []
+    ac_tabs = []
+    for c in scan.components:
+        try:
+            dc_tabs.append(parsed.dc_tables[c.dc_table_id])
+            ac_tabs.append(parsed.ac_tables[c.ac_table_id])
+        except KeyError as exc:
+            raise JpegFormatError(f"missing Huffman table {exc}") from None
+
+    reader = BitReader(parsed.data, parsed.scan_offset)
+    pred = [0] * ncomp
+    interval = parsed.restart_interval
+    mcu_index = 0
+    expected_rst = 0
+    for my in range(mcus_y):
+        for mx in range(mcus_x):
+            if interval and mcu_index and mcu_index % interval == 0:
+                n = reader.align_and_consume_rst()
+                if n != expected_rst:
+                    raise JpegFormatError(
+                        f"restart marker out of order: RST{n}, "
+                        f"expected RST{expected_rst}")
+                expected_rst = (expected_rst + 1) % 8
+                pred = [0] * ncomp
+            for si, ci in enumerate(scan_idx):
+                comp = frame.components[ci]
+                for by in range(comp.v_samp):
+                    for bx in range(comp.h_samp):
+                        try:
+                            zz, pred[ci] = decode_block(
+                                reader, pred[ci], dc_tabs[si], ac_tabs[si])
+                        except EndOfScan as exc:
+                            raise JpegFormatError(
+                                f"scan truncated in MCU {mcu_index}: {exc}"
+                            ) from None
+                        except ValueError as exc:
+                            raise JpegFormatError(
+                                f"corrupt scan in MCU {mcu_index}: {exc}"
+                            ) from None
+                        out[ci][my * comp.v_samp + by,
+                                mx * comp.h_samp + bx] = zz
+            mcu_index += 1
+    return out
+
+
+def coefficients_to_planes(parsed: ParsedJpeg,
+                           coeffs: list[np.ndarray]) -> list[np.ndarray]:
+    """Dequantize + inverse-DCT coefficient blocks into pixel planes.
+
+    Output planes are cropped to each component's true dimensions
+    (sub-sampled for chroma), values in [0, 255] float64.
+    """
+    frame = parsed.frame
+    planes = []
+    for comp, zz in zip(frame.components, coeffs):
+        try:
+            qtable = parsed.qtables[comp.qtable_id]
+        except KeyError:
+            raise JpegFormatError(
+                f"missing quantization table {comp.qtable_id}") from None
+        blocks = zigzag_unflatten(zz)                    # (bh, bw, 8, 8)
+        pix = idct2_dequant(blocks, qtable) + 128.0
+        bh, bw = pix.shape[:2]
+        plane = pix.transpose(0, 2, 1, 3).reshape(bh * 8, bw * 8)
+        comp_h = -(-frame.height * comp.v_samp // frame.vmax)
+        comp_w = -(-frame.width * comp.h_samp // frame.hmax)
+        planes.append(np.clip(plane[:comp_h, :comp_w], 0.0, 255.0))
+    return planes
+
+
+def planes_to_image(parsed: ParsedJpeg,
+                    planes: list[np.ndarray]) -> np.ndarray:
+    """Upsample chroma and convert to uint8 RGB (or grayscale)."""
+    frame = parsed.frame
+    if len(planes) == 1:
+        return np.clip(np.round(planes[0]), 0, 255).astype(np.uint8)
+    if len(planes) != 3:
+        raise JpegFormatError(f"unsupported component count {len(planes)}")
+    h, w = frame.height, frame.width
+    full = []
+    for comp, plane in zip(frame.components, planes):
+        if plane.shape == (h, w):
+            full.append(plane)
+        else:
+            full.append(upsample_420(plane, h, w))
+    ycc = np.stack(full, axis=-1)
+    return ycbcr_to_rgb(ycc)
+
+
+def decode(data: bytes) -> np.ndarray:
+    """Full pipeline: JPEG bytes -> uint8 RGB (H, W, 3) or grayscale (H, W)."""
+    parsed = parse_jpeg(data)
+    coeffs = entropy_decode(parsed)
+    planes = coefficients_to_planes(parsed, coeffs)
+    return planes_to_image(parsed, planes)
+
+
+def decode_resized(data: bytes, out_h: int, out_w: int) -> np.ndarray:
+    """Decode then bilinear-resize — the fused decoder+resizer the paper
+    offloads to the FPGA (decode and resize on device, augmentation on GPU).
+    """
+    return resize_bilinear(decode(data), out_h, out_w)

@@ -1,0 +1,208 @@
+"""Baseline JPEG encoder (grayscale, YCbCr 4:4:4 and 4:2:0).
+
+Used to synthesise the experiment corpora: the paper's inference clients
+send "color JPEG-formatted images (average size 375x500)", and its
+training sets are MNIST / ILSVRC12 — all of which we regenerate as real
+JPEG bytes so the decoder substrates operate on genuine bitstreams.
+
+Supports optional restart intervals; independent restart segments are
+exactly what lets the FPGA decoder run a 4-way-parallel Huffman unit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitstream import BitWriter
+from .color import rgb_to_ycbcr, subsample_420
+from .dct import fdct2
+from .huffman import (STD_AC_CHROMA, STD_AC_LUMA, STD_DC_CHROMA,
+                      STD_DC_LUMA, build_table_from_freqs,
+                      count_block_symbols, encode_block)
+from .jfif import (FrameComponent, FrameHeader, Marker, ScanComponent,
+                   ScanHeader, SegmentWriter)
+from .quant import (STD_CHROMA_QTABLE, STD_LUMA_QTABLE, scale_qtable,
+                    zigzag_flatten)
+
+__all__ = ["encode", "plane_to_quantized_blocks"]
+
+
+def plane_to_quantized_blocks(plane: np.ndarray, qtable: np.ndarray,
+                              blocks_h: int, blocks_w: int) -> np.ndarray:
+    """Level-shift, pad, 8x8-tile, DCT and quantize one component plane.
+
+    Returns an int32 array of shape (blocks_h, blocks_w, 64) in zig-zag
+    order, ready for entropy coding.
+    """
+    plane = np.asarray(plane, dtype=np.float64) - 128.0
+    h, w = plane.shape
+    pad_h, pad_w = blocks_h * 8 - h, blocks_w * 8 - w
+    if pad_h < 0 or pad_w < 0:
+        raise ValueError("block grid smaller than plane")
+    if pad_h or pad_w:
+        plane = np.pad(plane, ((0, pad_h), (0, pad_w)), mode="edge")
+    blocks = (plane.reshape(blocks_h, 8, blocks_w, 8)
+              .transpose(0, 2, 1, 3))          # (bh, bw, 8, 8)
+    coeffs = fdct2(blocks)
+    quantized = np.round(coeffs / qtable.astype(np.float64)).astype(np.int32)
+    return zigzag_flatten(quantized)
+
+
+def _component_planes(image: np.ndarray,
+                      subsampling: str) -> tuple[list[np.ndarray],
+                                                 list[tuple[int, int]]]:
+    """Split the input into component planes + per-component (h, v)."""
+    if image.ndim == 2:
+        return [np.asarray(image, dtype=np.float64)], [(1, 1)]
+    ycc = rgb_to_ycbcr(image)
+    y, cb, cr = ycc[..., 0], ycc[..., 1], ycc[..., 2]
+    if subsampling == "4:4:4":
+        return [y, cb, cr], [(1, 1), (1, 1), (1, 1)]
+    if subsampling == "4:2:0":
+        return [y, subsample_420(cb), subsample_420(cr)], \
+            [(2, 2), (1, 1), (1, 1)]
+    raise ValueError(f"unsupported subsampling {subsampling!r}")
+
+
+def _mcu_blocks(comp_blocks, samplings, mcus_y, mcus_x, restart_interval):
+    """Yield (component index, zig-zag block, at_restart) in scan order."""
+    ncomp = len(comp_blocks)
+    mcu_index = 0
+    for my in range(mcus_y):
+        for mx in range(mcus_x):
+            at_restart = bool(restart_interval and mcu_index
+                              and mcu_index % restart_interval == 0)
+            first_in_mcu = True
+            for ci in range(ncomp):
+                h, v = samplings[ci]
+                for by in range(v):
+                    for bx in range(h):
+                        yield (ci, comp_blocks[ci][my * v + by, mx * h + bx],
+                               at_restart and first_in_mcu)
+                        first_in_mcu = False
+            mcu_index += 1
+
+
+def _optimized_tables(comp_blocks, samplings, mcus_y, mcus_x,
+                      restart_interval, ncomp):
+    """Statistics pass: per-class optimal Huffman tables (two-pass
+    encoding, a la cjpeg -optimize)."""
+    dc_freqs = [dict(), dict()]   # class 0 = luma, 1 = chroma
+    ac_freqs = [dict(), dict()]
+    pred = [0] * ncomp
+    for ci, zz, at_restart in _mcu_blocks(comp_blocks, samplings, mcus_y,
+                                          mcus_x, restart_interval):
+        if at_restart:
+            pred = [0] * ncomp
+        cls = 0 if ci == 0 else 1
+        pred[ci] = count_block_symbols(zz, pred[ci], dc_freqs[cls],
+                                       ac_freqs[cls])
+    tables = []
+    for cls in range(2):
+        if not dc_freqs[cls]:
+            tables.append((None, None))
+            continue
+        tables.append((build_table_from_freqs(dc_freqs[cls]),
+                       build_table_from_freqs(ac_freqs[cls])))
+    return tables
+
+
+def encode(image: np.ndarray, quality: int = 75,
+           subsampling: str = "4:2:0", restart_interval: int = 0,
+           optimize_huffman: bool = False) -> bytes:
+    """Encode (H, W) grayscale or (H, W, 3) RGB uint8 to baseline JPEG.
+
+    ``optimize_huffman`` enables two-pass encoding with per-image
+    optimal canonical tables instead of the Annex-K defaults (smaller
+    files, identical decoded pixels).
+    """
+    image = np.asarray(image)
+    if image.dtype != np.uint8:
+        raise TypeError(f"expected uint8 image, got {image.dtype}")
+    if image.ndim == 2:
+        pass
+    elif image.ndim == 3 and image.shape[2] == 3:
+        pass
+    else:
+        raise ValueError(f"expected (H, W) or (H, W, 3), got {image.shape}")
+    height, width = image.shape[:2]
+
+    planes, samplings = _component_planes(image, subsampling)
+    ncomp = len(planes)
+    hmax = max(h for h, _ in samplings)
+    vmax = max(v for _, v in samplings)
+    mcus_x = -(-width // (8 * hmax))
+    mcus_y = -(-height // (8 * vmax))
+
+    luma_q = scale_qtable(STD_LUMA_QTABLE, quality)
+    chroma_q = scale_qtable(STD_CHROMA_QTABLE, quality)
+    qtables = [luma_q] + [chroma_q] * (ncomp - 1)
+    qtable_ids = [0] + [1] * (ncomp - 1)
+
+    # Per-component quantized blocks on the MCU-aligned grid.
+    comp_blocks = []
+    for plane, (h, v), q in zip(planes, samplings, qtables):
+        comp_blocks.append(plane_to_quantized_blocks(
+            plane, q, blocks_h=mcus_y * v, blocks_w=mcus_x * h))
+
+    if optimize_huffman:
+        cls_tables = _optimized_tables(comp_blocks, samplings, mcus_y,
+                                       mcus_x, restart_interval, ncomp)
+        dc_luma, ac_luma = cls_tables[0]
+        dc_chroma, ac_chroma = cls_tables[1] if ncomp > 1 else (None, None)
+    else:
+        dc_luma, ac_luma = STD_DC_LUMA, STD_AC_LUMA
+        dc_chroma, ac_chroma = STD_DC_CHROMA, STD_AC_CHROMA
+    dc_tables = [dc_luma] + [dc_chroma] * (ncomp - 1)
+    ac_tables = [ac_luma] + [ac_chroma] * (ncomp - 1)
+
+    # --- headers ---------------------------------------------------------
+    seg = SegmentWriter()
+    seg.soi()
+    seg.app0_jfif()
+    seg.dqt(0, luma_q)
+    if ncomp > 1:
+        seg.dqt(1, chroma_q)
+    frame = FrameHeader(
+        precision=8, height=height, width=width,
+        components=tuple(
+            FrameComponent(i + 1, samplings[i][0], samplings[i][1],
+                           qtable_ids[i])
+            for i in range(ncomp)))
+    seg.sof0(frame)
+    seg.dht(0, 0, dc_luma)
+    seg.dht(1, 0, ac_luma)
+    if ncomp > 1:
+        seg.dht(0, 1, dc_chroma)
+        seg.dht(1, 1, ac_chroma)
+    if restart_interval:
+        seg.dri(restart_interval)
+    scan = ScanHeader(tuple(
+        ScanComponent(i + 1, 0 if i == 0 else 1, 0 if i == 0 else 1)
+        for i in range(ncomp)))
+    seg.sos(scan)
+
+    # --- entropy-coded scan ----------------------------------------------
+    writer = BitWriter()
+    pred = [0] * ncomp
+    rst_n = 0
+    mcu_index = 0
+    for my in range(mcus_y):
+        for mx in range(mcus_x):
+            if restart_interval and mcu_index and \
+                    mcu_index % restart_interval == 0:
+                writer.emit_marker(Marker.RST0 + rst_n)
+                rst_n = (rst_n + 1) % 8
+                pred = [0] * ncomp
+            for ci in range(ncomp):
+                h, v = samplings[ci]
+                for by in range(v):
+                    for bx in range(h):
+                        zz = comp_blocks[ci][my * v + by, mx * h + bx]
+                        pred[ci] = encode_block(writer, zz, pred[ci],
+                                                dc_tables[ci], ac_tables[ci])
+            mcu_index += 1
+    writer.flush()
+    seg.raw(writer.getvalue())
+    seg.eoi()
+    return seg.getvalue()

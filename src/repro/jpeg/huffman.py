@@ -1,0 +1,333 @@
+"""Canonical Huffman coding for baseline JPEG (ITU-T T.81 Annex C/F/K).
+
+Tables are the (BITS, HUFFVAL) pairs from the standard; both the encoder
+side (symbol -> (code, length)) and a fast decoder side (length-indexed
+canonical ranges) are derived from them.  The DC/AC symbol conventions —
+magnitude categories, run/size packing, ZRL and EOB — live here too, so
+the FPGA Huffman-unit model and the software decoder share one
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .bitstream import BitReader, BitWriter
+
+__all__ = ["HuffmanTable", "STD_DC_LUMA", "STD_AC_LUMA", "STD_DC_CHROMA",
+           "STD_AC_CHROMA", "magnitude_category", "encode_magnitude",
+           "decode_magnitude", "encode_block", "decode_block",
+           "build_table_from_freqs"]
+
+
+@dataclass
+class HuffmanTable:
+    """A canonical Huffman table defined by (bits, values) a la T.81.
+
+    ``bits[i]`` is the number of codes of length i+1 (i = 0..15);
+    ``values`` the symbols in canonical order.
+    """
+
+    bits: tuple[int, ...]
+    values: tuple[int, ...]
+    # Derived members (filled in __post_init__).
+    encode_map: dict[int, tuple[int, int]] = field(default_factory=dict,
+                                                   repr=False)
+    _mincode: list[int] = field(default_factory=list, repr=False)
+    _maxcode: list[int] = field(default_factory=list, repr=False)
+    _valptr: list[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.bits) != 16:
+            raise ValueError(f"bits must have 16 entries, got {len(self.bits)}")
+        if sum(self.bits) != len(self.values):
+            raise ValueError("sum(bits) must equal len(values)")
+        if sum(self.bits) == 0:
+            raise ValueError("empty Huffman table")
+        # Canonical code assignment (T.81 C.2).
+        code = 0
+        k = 0
+        self._mincode = [0] * 17
+        self._maxcode = [-1] * 17
+        self._valptr = [0] * 17
+        for length in range(1, 17):
+            count = self.bits[length - 1]
+            self._valptr[length] = k
+            self._mincode[length] = code
+            for _ in range(count):
+                symbol = self.values[k]
+                if symbol in self.encode_map:
+                    raise ValueError(f"duplicate symbol {symbol}")
+                self.encode_map[symbol] = (code, length)
+                code += 1
+                k += 1
+            self._maxcode[length] = code - 1
+            if code > (1 << length):
+                raise ValueError(f"over-subscribed at length {length}")
+            code <<= 1
+
+    def encode(self, writer: BitWriter, symbol: int) -> None:
+        try:
+            code, length = self.encode_map[symbol]
+        except KeyError:
+            raise ValueError(f"symbol {symbol} not in table") from None
+        writer.write(code, length)
+
+    def decode(self, reader: BitReader) -> int:
+        """Read one symbol (T.81 F.2.2.3 DECODE procedure)."""
+        code = reader.read_bit()
+        length = 1
+        while code > self._maxcode[length]:
+            length += 1
+            if length > 16:
+                raise ValueError("corrupt stream: code longer than 16 bits")
+            code = (code << 1) | reader.read_bit()
+        idx = self._valptr[length] + (code - self._mincode[length])
+        return self.values[idx]
+
+    def code_lengths(self) -> dict[int, int]:
+        """symbol -> code length, for entropy/cost analysis."""
+        return {sym: ln for sym, (_, ln) in self.encode_map.items()}
+
+
+# --- Annex K standard tables ---------------------------------------------
+STD_DC_LUMA = HuffmanTable(
+    bits=(0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0),
+    values=tuple(range(12)),
+)
+
+STD_DC_CHROMA = HuffmanTable(
+    bits=(0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0),
+    values=tuple(range(12)),
+)
+
+STD_AC_LUMA = HuffmanTable(
+    bits=(0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D),
+    values=(
+        0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12,
+        0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61, 0x07,
+        0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08,
+        0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0,
+        0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A, 0x16,
+        0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28,
+        0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,
+        0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+        0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+        0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+        0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79,
+        0x7A, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+        0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+        0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7,
+        0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+        0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5,
+        0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4,
+        0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2,
+        0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA,
+        0xF1, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+        0xF9, 0xFA,
+    ),
+)
+
+STD_AC_CHROMA = HuffmanTable(
+    bits=(0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77),
+    values=(
+        0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21,
+        0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61, 0x71,
+        0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91,
+        0xA1, 0xB1, 0xC1, 0x09, 0x23, 0x33, 0x52, 0xF0,
+        0x15, 0x62, 0x72, 0xD1, 0x0A, 0x16, 0x24, 0x34,
+        0xE1, 0x25, 0xF1, 0x17, 0x18, 0x19, 0x1A, 0x26,
+        0x27, 0x28, 0x29, 0x2A, 0x35, 0x36, 0x37, 0x38,
+        0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48,
+        0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58,
+        0x59, 0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68,
+        0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78,
+        0x79, 0x7A, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87,
+        0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96,
+        0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5,
+        0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4,
+        0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3,
+        0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2,
+        0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA,
+        0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9,
+        0xEA, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+        0xF9, 0xFA,
+    ),
+)
+
+
+# --- magnitude coding ------------------------------------------------------
+def magnitude_category(value: int) -> int:
+    """SSSS category: number of bits to represent |value| (0 for 0)."""
+    return int(abs(int(value))).bit_length()
+
+
+def encode_magnitude(value: int) -> tuple[int, int]:
+    """Return (bits, nbits) of the T.81 variable-length integer."""
+    value = int(value)
+    ssss = magnitude_category(value)
+    if ssss == 0:
+        return 0, 0
+    if value < 0:
+        # One's-complement style: negative v encoded as v + 2^ssss - 1.
+        return value + (1 << ssss) - 1, ssss
+    return value, ssss
+
+
+def decode_magnitude(bits: int, ssss: int) -> int:
+    """Invert :func:`encode_magnitude` (T.81 F.2.2.1 EXTEND)."""
+    if ssss == 0:
+        return 0
+    if bits < (1 << (ssss - 1)):
+        return bits - (1 << ssss) + 1
+    return bits
+
+
+# --- block-level (de)coding -----------------------------------------------
+ZRL = 0xF0  # run of 16 zeros
+EOB = 0x00  # end of block
+
+
+def encode_block(writer: BitWriter, zz: np.ndarray, pred_dc: int,
+                 dc_table: HuffmanTable, ac_table: HuffmanTable) -> int:
+    """Entropy-encode one zig-zag block; returns the new DC predictor."""
+    dc = int(zz[0])
+    diff = dc - pred_dc
+    bits, ssss = encode_magnitude(diff)
+    dc_table.encode(writer, ssss)
+    writer.write(bits, ssss)
+
+    run = 0
+    for k in range(1, 64):
+        coef = int(zz[k])
+        if coef == 0:
+            run += 1
+            continue
+        while run >= 16:
+            ac_table.encode(writer, ZRL)
+            run -= 16
+        bits, ssss = encode_magnitude(coef)
+        ac_table.encode(writer, (run << 4) | ssss)
+        writer.write(bits, ssss)
+        run = 0
+    if run:
+        ac_table.encode(writer, EOB)
+    return dc
+
+
+def decode_block(reader: BitReader, pred_dc: int, dc_table: HuffmanTable,
+                 ac_table: HuffmanTable) -> tuple[np.ndarray, int]:
+    """Decode one block; returns (zig-zag int32 vector, new DC predictor)."""
+    zz = np.zeros(64, dtype=np.int32)
+    ssss = dc_table.decode(reader)
+    diff = decode_magnitude(reader.read(ssss), ssss) if ssss else 0
+    dc = pred_dc + diff
+    zz[0] = dc
+
+    k = 1
+    while k < 64:
+        rs = ac_table.decode(reader)
+        if rs == EOB:
+            break
+        run, ssss = rs >> 4, rs & 0x0F
+        if ssss == 0:
+            if rs != ZRL:
+                raise ValueError(f"invalid AC symbol 0x{rs:02X}")
+            k += 16
+            continue
+        k += run
+        if k >= 64:
+            raise ValueError("AC run overflows block")
+        zz[k] = decode_magnitude(reader.read(ssss), ssss)
+        k += 1
+    return zz, dc
+
+
+def count_block_symbols(zz: np.ndarray, pred_dc: int,
+                        dc_freqs: dict[int, int],
+                        ac_freqs: dict[int, int]) -> int:
+    """Tally the Huffman symbols :func:`encode_block` would emit.
+
+    The statistics pass of two-pass (optimized-table) encoding; returns
+    the new DC predictor so callers chain it exactly like encoding.
+    """
+    dc = int(zz[0])
+    ssss = magnitude_category(dc - pred_dc)
+    dc_freqs[ssss] = dc_freqs.get(ssss, 0) + 1
+    run = 0
+    for k in range(1, 64):
+        coef = int(zz[k])
+        if coef == 0:
+            run += 1
+            continue
+        while run >= 16:
+            ac_freqs[ZRL] = ac_freqs.get(ZRL, 0) + 1
+            run -= 16
+        symbol = (run << 4) | magnitude_category(coef)
+        ac_freqs[symbol] = ac_freqs.get(symbol, 0) + 1
+        run = 0
+    if run:
+        ac_freqs[EOB] = ac_freqs.get(EOB, 0) + 1
+    return dc
+
+
+def build_table_from_freqs(freqs: dict[int, int],
+                           max_length: int = 16) -> HuffmanTable:
+    """Build an optimal length-limited canonical table from symbol counts.
+
+    Package-merge is overkill for our corpus sizes; we use the classic
+    Huffman construction followed by the T.81 K.3 length-limiting
+    adjustment, matching what libjpeg's optimizer does.
+    """
+    if not freqs:
+        raise ValueError("no symbols")
+    # T.81 K.2: reserve one codepoint so no code is all-ones.
+    counts = dict(freqs)
+    reserved = 256
+    counts[reserved] = 1
+
+    import heapq
+    heap: list[tuple[int, int, tuple[int, ...]]] = []
+    serial = 0
+    for sym, f in counts.items():
+        heap.append((f, serial, (sym,)))
+        serial += 1
+    heapq.heapify(heap)
+    depth: dict[int, int] = {s: 0 for s in counts}
+    while len(heap) > 1:
+        f1, _, s1 = heapq.heappop(heap)
+        f2, _, s2 = heapq.heappop(heap)
+        for s in s1 + s2:
+            depth[s] += 1
+        heapq.heappush(heap, (f1 + f2, serial, s1 + s2))
+        serial += 1
+
+    # Histogram of code lengths, then limit to max_length (K.3).
+    maxdepth = max(depth.values()) if len(counts) > 1 else 1
+    bits = [0] * (maxdepth + 1)
+    for s, d in depth.items():
+        bits[max(d, 1)] += 1
+    i = len(bits) - 1
+    while i > max_length:
+        while bits[i] > 0:
+            j = i - 2
+            while bits[j] == 0:
+                j -= 1
+            bits[i] -= 2
+            bits[i - 1] += 1
+            bits[j + 1] += 2
+            bits[j] -= 1
+        i -= 1
+    bits = bits[:max_length + 1]
+    # Remove the reserved symbol: drop one code from the longest length.
+    i = len(bits) - 1
+    while bits[i] == 0:
+        i -= 1
+    bits[i] -= 1
+
+    ordered = sorted((s for s in counts if s != reserved),
+                     key=lambda s: (depth[s], s))
+    bits16 = tuple(bits[1:] + [0] * (16 - (len(bits) - 1)))
+    return HuffmanTable(bits=bits16, values=tuple(ordered))

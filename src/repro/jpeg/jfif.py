@@ -1,0 +1,298 @@
+"""JPEG marker-segment writing and parsing (JFIF container, baseline DCT).
+
+The parser mirrors the FPGA decoder's front-end "parser" unit from the
+paper's Figure 4: it walks the marker stream, collects quantization and
+Huffman tables, the frame/scan headers and the restart interval, and
+hands the offset of the entropy-coded data to the Huffman stage.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .huffman import HuffmanTable
+from .quant import ZIGZAG
+
+__all__ = ["Marker", "FrameComponent", "FrameHeader", "ScanComponent",
+           "ScanHeader", "ParsedJpeg", "SegmentWriter", "parse_jpeg",
+           "JpegFormatError"]
+
+
+class JpegFormatError(ValueError):
+    """Raised on malformed or unsupported JPEG input."""
+
+
+class Marker:
+    """Two-byte marker codes (low byte; all are prefixed 0xFF)."""
+
+    SOI = 0xD8
+    EOI = 0xD9
+    SOF0 = 0xC0  # baseline sequential DCT
+    SOF2 = 0xC2  # progressive (detected, rejected)
+    DHT = 0xC4
+    DQT = 0xDB
+    DRI = 0xDD
+    SOS = 0xDA
+    APP0 = 0xE0
+    COM = 0xFE
+    RST0 = 0xD0
+
+
+@dataclass(frozen=True)
+class FrameComponent:
+    component_id: int
+    h_samp: int
+    v_samp: int
+    qtable_id: int
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    precision: int
+    height: int
+    width: int
+    components: tuple[FrameComponent, ...]
+
+    @property
+    def hmax(self) -> int:
+        return max(c.h_samp for c in self.components)
+
+    @property
+    def vmax(self) -> int:
+        return max(c.v_samp for c in self.components)
+
+    @property
+    def mcu_width(self) -> int:
+        return 8 * self.hmax
+
+    @property
+    def mcu_height(self) -> int:
+        return 8 * self.vmax
+
+    @property
+    def mcus_per_row(self) -> int:
+        return -(-self.width // self.mcu_width)
+
+    @property
+    def mcu_rows(self) -> int:
+        return -(-self.height // self.mcu_height)
+
+
+@dataclass(frozen=True)
+class ScanComponent:
+    component_id: int
+    dc_table_id: int
+    ac_table_id: int
+
+
+@dataclass(frozen=True)
+class ScanHeader:
+    components: tuple[ScanComponent, ...]
+
+
+@dataclass
+class ParsedJpeg:
+    """Everything the entropy/pixel stages need, plus raw scan location."""
+
+    frame: FrameHeader
+    scan: ScanHeader
+    qtables: dict[int, np.ndarray]
+    dc_tables: dict[int, HuffmanTable]
+    ac_tables: dict[int, HuffmanTable]
+    restart_interval: int
+    scan_offset: int  # byte offset of entropy-coded data
+    data: bytes = field(repr=False)
+
+
+class SegmentWriter:
+    """Emits a well-formed JFIF byte stream segment by segment."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+
+    def soi(self) -> None:
+        self._out += b"\xFF\xD8"
+
+    def eoi(self) -> None:
+        self._out += b"\xFF\xD9"
+
+    def _segment(self, marker: int, payload: bytes) -> None:
+        self._out += struct.pack(">BBH", 0xFF, marker, len(payload) + 2)
+        self._out += payload
+
+    def app0_jfif(self, density: tuple[int, int] = (72, 72)) -> None:
+        payload = b"JFIF\x00" + struct.pack(">BBBHHBB", 1, 2, 1,
+                                            density[0], density[1], 0, 0)
+        self._segment(Marker.APP0, payload)
+
+    def dqt(self, table_id: int, qtable: np.ndarray) -> None:
+        if not 0 <= table_id <= 3:
+            raise ValueError(f"bad qtable id {table_id}")
+        zz = qtable.reshape(64)[ZIGZAG].astype(np.uint8)
+        self._segment(Marker.DQT, bytes([table_id]) + zz.tobytes())
+
+    def dht(self, table_class: int, table_id: int,
+            table: HuffmanTable) -> None:
+        if table_class not in (0, 1):
+            raise ValueError("table_class must be 0 (DC) or 1 (AC)")
+        header = bytes([(table_class << 4) | table_id])
+        payload = header + bytes(table.bits) + bytes(table.values)
+        self._segment(Marker.DHT, payload)
+
+    def sof0(self, frame: FrameHeader) -> None:
+        payload = struct.pack(">BHHB", frame.precision, frame.height,
+                              frame.width, len(frame.components))
+        for c in frame.components:
+            payload += bytes([c.component_id,
+                              (c.h_samp << 4) | c.v_samp,
+                              c.qtable_id])
+        self._segment(Marker.SOF0, payload)
+
+    def dri(self, interval: int) -> None:
+        self._segment(Marker.DRI, struct.pack(">H", interval))
+
+    def sos(self, scan: ScanHeader) -> None:
+        payload = bytes([len(scan.components)])
+        for c in scan.components:
+            payload += bytes([c.component_id,
+                              (c.dc_table_id << 4) | c.ac_table_id])
+        payload += bytes([0, 63, 0])  # Ss, Se, Ah/Al for baseline
+        self._segment(Marker.SOS, payload)
+
+    def raw(self, data: bytes) -> None:
+        self._out += data
+
+    def getvalue(self) -> bytes:
+        return bytes(self._out)
+
+
+def _parse_dqt(payload: bytes, qtables: dict[int, np.ndarray]) -> None:
+    pos = 0
+    while pos < len(payload):
+        pq_tq = payload[pos]
+        pq, tq = pq_tq >> 4, pq_tq & 0x0F
+        pos += 1
+        if pq != 0:
+            raise JpegFormatError("16-bit quantization tables unsupported")
+        if pos + 64 > len(payload):
+            raise JpegFormatError("truncated DQT")
+        zz = np.frombuffer(payload[pos:pos + 64], dtype=np.uint8)
+        table = np.zeros(64, dtype=np.uint16)
+        table[ZIGZAG] = zz
+        qtables[tq] = table.reshape(8, 8)
+        pos += 64
+
+
+def _parse_dht(payload: bytes, dc: dict[int, HuffmanTable],
+               ac: dict[int, HuffmanTable]) -> None:
+    pos = 0
+    while pos < len(payload):
+        tc_th = payload[pos]
+        tc, th = tc_th >> 4, tc_th & 0x0F
+        pos += 1
+        if pos + 16 > len(payload):
+            raise JpegFormatError("truncated DHT")
+        bits = tuple(payload[pos:pos + 16])
+        pos += 16
+        nvals = sum(bits)
+        if pos + nvals > len(payload):
+            raise JpegFormatError("truncated DHT values")
+        values = tuple(payload[pos:pos + nvals])
+        pos += nvals
+        try:
+            table = HuffmanTable(bits=bits, values=values)
+        except ValueError as exc:
+            raise JpegFormatError(f"malformed Huffman table: {exc}") \
+                from None
+        (dc if tc == 0 else ac)[th] = table
+
+
+def _parse_sof0(payload: bytes) -> FrameHeader:
+    if len(payload) < 6:
+        raise JpegFormatError("truncated SOF0")
+    precision, height, width, ncomp = struct.unpack(">BHHB", payload[:6])
+    if precision != 8:
+        raise JpegFormatError(f"unsupported precision {precision}")
+    if height == 0 or width == 0:
+        raise JpegFormatError("zero image dimension")
+    if not 1 <= ncomp <= 4 or len(payload) < 6 + 3 * ncomp:
+        raise JpegFormatError(f"bad SOF0 component count {ncomp}")
+    comps = []
+    pos = 6
+    for _ in range(ncomp):
+        cid, hv, tq = payload[pos], payload[pos + 1], payload[pos + 2]
+        h_samp, v_samp = hv >> 4, hv & 0x0F
+        if not (1 <= h_samp <= 4 and 1 <= v_samp <= 4):
+            raise JpegFormatError(f"bad sampling factors {h_samp}x{v_samp}")
+        comps.append(FrameComponent(cid, h_samp, v_samp, tq))
+        pos += 3
+    return FrameHeader(precision, height, width, tuple(comps))
+
+
+def _parse_sos(payload: bytes, frame: FrameHeader) -> ScanHeader:
+    if not payload:
+        raise JpegFormatError("empty SOS")
+    ncomp = payload[0]
+    if not 1 <= ncomp <= 4 or len(payload) < 1 + 2 * ncomp:
+        raise JpegFormatError(f"bad SOS component count {ncomp}")
+    frame_ids = {c.component_id for c in frame.components}
+    comps = []
+    pos = 1
+    for _ in range(ncomp):
+        cid, tables = payload[pos], payload[pos + 1]
+        if cid not in frame_ids:
+            raise JpegFormatError(f"scan references unknown component {cid}")
+        comps.append(ScanComponent(cid, tables >> 4, tables & 0x0F))
+        pos += 2
+    return ScanHeader(tuple(comps))
+
+
+def parse_jpeg(data: bytes) -> ParsedJpeg:
+    """Walk marker segments up to SOS; return headers + scan offset."""
+    if len(data) < 4 or data[0] != 0xFF or data[1] != Marker.SOI:
+        raise JpegFormatError("missing SOI")
+    pos = 2
+    qtables: dict[int, np.ndarray] = {}
+    dc_tables: dict[int, HuffmanTable] = {}
+    ac_tables: dict[int, HuffmanTable] = {}
+    frame: FrameHeader | None = None
+    restart_interval = 0
+
+    while pos < len(data):
+        if data[pos] != 0xFF:
+            raise JpegFormatError(f"expected marker at byte {pos}")
+        marker = data[pos + 1]
+        pos += 2
+        if marker == Marker.EOI:
+            raise JpegFormatError("EOI before SOS")
+        if marker == Marker.SOF2:
+            raise JpegFormatError("progressive JPEG unsupported (baseline only)")
+        if pos + 2 > len(data):
+            raise JpegFormatError("truncated segment header")
+        seg_len = struct.unpack(">H", data[pos:pos + 2])[0]
+        payload = data[pos + 2:pos + seg_len]
+        if len(payload) != seg_len - 2:
+            raise JpegFormatError("truncated segment payload")
+        pos += seg_len
+
+        if marker == Marker.DQT:
+            _parse_dqt(payload, qtables)
+        elif marker == Marker.DHT:
+            _parse_dht(payload, dc_tables, ac_tables)
+        elif marker == Marker.SOF0:
+            frame = _parse_sof0(payload)
+        elif marker == Marker.DRI:
+            restart_interval = struct.unpack(">H", payload)[0]
+        elif marker == Marker.SOS:
+            if frame is None:
+                raise JpegFormatError("SOS before SOF0")
+            scan = _parse_sos(payload, frame)
+            return ParsedJpeg(frame=frame, scan=scan, qtables=qtables,
+                              dc_tables=dc_tables, ac_tables=ac_tables,
+                              restart_interval=restart_interval,
+                              scan_offset=pos, data=data)
+        # APPn / COM / others: skipped.
+    raise JpegFormatError("no SOS marker found")

@@ -1,0 +1,138 @@
+"""Restart-interval-parallel entropy decoding.
+
+The hardware justification for the paper's 4-way Huffman unit is that a
+JPEG scan cut by restart markers (RSTn) consists of *independently
+decodable* segments: each restart resets the DC predictors and
+bit-aligns the stream, so segments can decode concurrently with no
+cross-talk.  This module is the functional counterpart: it splits the
+entropy-coded data at restart markers and decodes the segments
+independently (round-robin over ``ways`` lanes, exactly like the
+hardware's multiplex-streams collector), then verifies against the
+sequential decoder in the tests.
+
+For streams without restart markers the scan is a single segment and
+parallel decode degenerates to sequential — which is why DLBooster's
+ingest prefers restart-enabled encodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitstream import BitReader, EndOfScan
+from .huffman import decode_block
+from .jfif import JpegFormatError, ParsedJpeg
+
+__all__ = ["find_restart_segments", "entropy_decode_segments",
+           "entropy_decode_parallel"]
+
+
+def find_restart_segments(parsed: ParsedJpeg) -> list[tuple[int, int]]:
+    """Byte ranges [(start, end), ...] of the scan's restart segments.
+
+    Scans the entropy-coded data for unstuffed RSTn markers.  The final
+    segment ends at the terminating (non-RST) marker.
+    """
+    data = parsed.data
+    pos = parsed.scan_offset
+    segments = []
+    start = pos
+    while pos < len(data) - 1:
+        if data[pos] == 0xFF:
+            nxt = data[pos + 1]
+            if nxt == 0x00:
+                pos += 2  # stuffed data byte
+                continue
+            if 0xD0 <= nxt <= 0xD7:
+                segments.append((start, pos))
+                pos += 2
+                start = pos
+                continue
+            # Any other marker terminates the scan.
+            segments.append((start, pos))
+            return segments
+        pos += 1
+    segments.append((start, len(data)))
+    return segments
+
+
+def _decode_segment(parsed: ParsedJpeg, seg_start: int, seg_end: int,
+                    first_mcu: int, mcu_count: int,
+                    out: list[np.ndarray]) -> None:
+    """Decode ``mcu_count`` MCUs from one restart segment into ``out``."""
+    frame, scan = parsed.frame, parsed.scan
+    order = {c.component_id: i for i, c in enumerate(frame.components)}
+    scan_idx = [order[c.component_id] for c in scan.components]
+    dc_tabs = [parsed.dc_tables[c.dc_table_id] for c in scan.components]
+    ac_tabs = [parsed.ac_tables[c.ac_table_id] for c in scan.components]
+    mcus_x = frame.mcus_per_row
+
+    reader = BitReader(parsed.data[seg_start:seg_end])
+    pred = [0] * len(frame.components)  # restart resets DC prediction
+    for k in range(mcu_count):
+        mcu = first_mcu + k
+        my, mx = divmod(mcu, mcus_x)
+        for si, ci in enumerate(scan_idx):
+            comp = frame.components[ci]
+            for by in range(comp.v_samp):
+                for bx in range(comp.h_samp):
+                    try:
+                        zz, pred[ci] = decode_block(
+                            reader, pred[ci], dc_tabs[si], ac_tabs[si])
+                    except EndOfScan as exc:
+                        raise JpegFormatError(
+                            f"segment truncated at MCU {mcu}: {exc}"
+                        ) from None
+                    except ValueError as exc:
+                        raise JpegFormatError(
+                            f"corrupt segment at MCU {mcu}: {exc}"
+                        ) from None
+                    out[ci][my * comp.v_samp + by,
+                            mx * comp.h_samp + bx] = zz
+
+
+def entropy_decode_segments(parsed: ParsedJpeg) -> list[np.ndarray]:
+    """Sequential reference over the segment list (used for testing the
+    splitter independently of lane assignment)."""
+    return entropy_decode_parallel(parsed, ways=1)
+
+
+def entropy_decode_parallel(parsed: ParsedJpeg,
+                            ways: int = 4) -> list[np.ndarray]:
+    """Decode the scan with ``ways`` independent Huffman lanes.
+
+    Segments are dealt round-robin to lanes (the hardware's round-robin
+    collector); because Python is sequential this is a *functional*
+    model — the lanes' independence, not wall-clock speedup, is the
+    property being modelled, and the FPGA timing model charges the
+    per-way service times.
+    """
+    if ways < 1:
+        raise ValueError(f"ways must be >= 1, got {ways}")
+    frame = parsed.frame
+    total_mcus = frame.mcus_per_row * frame.mcu_rows
+    interval = parsed.restart_interval
+
+    segments = find_restart_segments(parsed)
+    if interval == 0 and len(segments) > 1:
+        raise JpegFormatError("restart markers present but DRI missing")
+    expected = 1 if interval == 0 else -(-total_mcus // interval)
+    if len(segments) != expected:
+        raise JpegFormatError(
+            f"expected {expected} restart segments, found {len(segments)}")
+
+    out: list[np.ndarray] = []
+    for comp in frame.components:
+        out.append(np.zeros(
+            (frame.mcu_rows * comp.v_samp,
+             frame.mcus_per_row * comp.h_samp, 64), dtype=np.int32))
+
+    # Lane k takes segments k, k+ways, k+2*ways, ... — round robin.
+    for lane in range(ways):
+        for seg_index in range(lane, len(segments), ways):
+            seg_start, seg_end = segments[seg_index]
+            first_mcu = seg_index * (interval or total_mcus)
+            count = min(interval or total_mcus, total_mcus - first_mcu)
+            _decode_segment(parsed, seg_start, seg_end, first_mcu, count,
+                            out)
+    return out

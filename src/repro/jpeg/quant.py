@@ -1,0 +1,86 @@
+"""Quantization tables and zig-zag scan order (ITU-T T.81 Annex K).
+
+The tables here are the "typical" luminance/chrominance matrices from the
+JPEG standard, scaled by the familiar IJG quality formula so encoder and
+decoder agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["STD_LUMA_QTABLE", "STD_CHROMA_QTABLE", "ZIGZAG", "INV_ZIGZAG",
+           "scale_qtable", "zigzag_flatten", "zigzag_unflatten"]
+
+# Annex K Table K.1 — luminance.
+STD_LUMA_QTABLE = np.array([
+    [16, 11, 10, 16, 24, 40, 51, 61],
+    [12, 12, 14, 19, 26, 58, 60, 55],
+    [14, 13, 16, 24, 40, 57, 69, 56],
+    [14, 17, 22, 29, 51, 87, 80, 62],
+    [18, 22, 37, 56, 68, 109, 103, 77],
+    [24, 35, 55, 64, 81, 104, 113, 92],
+    [49, 64, 78, 87, 103, 121, 120, 101],
+    [72, 92, 95, 98, 112, 100, 103, 99],
+], dtype=np.uint16)
+
+# Annex K Table K.2 — chrominance.
+STD_CHROMA_QTABLE = np.array([
+    [17, 18, 24, 47, 99, 99, 99, 99],
+    [18, 21, 26, 66, 99, 99, 99, 99],
+    [24, 26, 56, 99, 99, 99, 99, 99],
+    [47, 66, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+], dtype=np.uint16)
+
+
+def _build_zigzag() -> np.ndarray:
+    """Index map: ZIGZAG[k] = flat (row*8+col) index of the k-th coefficient
+    in zig-zag scan order."""
+    order = sorted(
+        ((r, c) for r in range(8) for c in range(8)),
+        key=lambda rc: (rc[0] + rc[1],
+                        rc[0] if (rc[0] + rc[1]) % 2 else rc[1]),
+    )
+    return np.array([r * 8 + c for r, c in order], dtype=np.intp)
+
+
+ZIGZAG = _build_zigzag()
+INV_ZIGZAG = np.argsort(ZIGZAG)
+
+
+def scale_qtable(table: np.ndarray, quality: int) -> np.ndarray:
+    """Scale a base table by IJG quality (1..100); entries clamped to 1..255.
+
+    quality 50 returns the base table; 100 is (almost) lossless-ish; low
+    values quantize savagely.
+    """
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in 1..100, got {quality}")
+    if quality < 50:
+        scale = 5000 // quality
+    else:
+        scale = 200 - 2 * quality
+    scaled = (table.astype(np.int64) * scale + 50) // 100
+    return np.clip(scaled, 1, 255).astype(np.uint16)
+
+
+def zigzag_flatten(block: np.ndarray) -> np.ndarray:
+    """8x8 block -> length-64 vector in zig-zag order.
+
+    Accepts a trailing-(8, 8) stack of blocks and vectorises over it.
+    """
+    if block.shape[-2:] != (8, 8):
+        raise ValueError(f"expected trailing (8, 8), got {block.shape}")
+    flat = block.reshape(*block.shape[:-2], 64)
+    return flat[..., ZIGZAG]
+
+
+def zigzag_unflatten(vec: np.ndarray) -> np.ndarray:
+    """Length-64 zig-zag vector -> 8x8 block (stacks supported)."""
+    if vec.shape[-1] != 64:
+        raise ValueError(f"expected trailing 64, got {vec.shape}")
+    return vec[..., INV_ZIGZAG].reshape(*vec.shape[:-1], 8, 8)

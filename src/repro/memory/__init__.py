@@ -1,0 +1,5 @@
+"""HugePage batch memory pool (paper Algorithm 2)."""
+
+from .hugepage import HugePageError, MemManager, MemoryUnit
+
+__all__ = ["MemManager", "MemoryUnit", "HugePageError"]

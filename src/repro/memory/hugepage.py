@@ -1,0 +1,189 @@
+"""HugePage-backed batch memory pool (paper Algorithm 2, S3.4.2).
+
+DLBooster allocates one large (>1 GB in the paper) physically-contiguous
+hugepage region at start-up, slices it into batch-sized units, and
+recycles the units through a Free_Batch_Queue / Full_Batch_Queue pair.
+Each unit records its physical address, virtual address and size; the
+FPGA decoder is handed *physical* addresses (it cannot walk page
+tables), the host side works on virtual ones, and ``phy2virt`` /
+``virt2phy`` translate.
+
+Here the region is a real ``numpy`` byte arena: virtual addresses are
+offsets into it, the "physical" mapping is a fixed base translation
+(hugepages are physically contiguous, which is the whole point of using
+them), and buffer views alias the arena with zero copies — so
+functional-mode pipelines move real decoded pixels through the exact
+recycling protocol of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..sim import Environment, QueuePair, TimeWeighted
+
+__all__ = ["MemoryUnit", "MemManager", "HugePageError"]
+
+# Simulated physical placement of the hugepage region. Any constant
+# works; a recognizable one makes address-translation bugs obvious.
+_PHYS_BASE = 0x4000_0000
+
+
+class HugePageError(RuntimeError):
+    """Pool misuse: double recycle, foreign unit, exhaustion on try-get."""
+
+
+@dataclass
+class MemoryUnit:
+    """One slice of the hugepage arena, carrying a batch of processed data.
+
+    Mirrors the paper's "memory piece" items: physical address, virtual
+    address and memory size identify the unit (S3.4.2).
+    """
+
+    index: int
+    phy_addr: int
+    virt_addr: int
+    size: int
+    view: np.ndarray = field(repr=False)
+    # Filled by producers as the unit travels the pipeline:
+    payload: object = None
+    item_count: int = 0
+    used_bytes: int = 0
+
+    def write(self, offset: int, data: np.ndarray) -> None:
+        """Copy raw bytes into the unit at ``offset`` (DMA target path)."""
+        flat = np.frombuffer(np.ascontiguousarray(data).tobytes(),
+                             dtype=np.uint8)
+        if offset < 0 or offset + flat.size > self.size:
+            raise HugePageError(
+                f"write of {flat.size} B at offset {offset} overflows "
+                f"unit of {self.size} B")
+        self.view[offset:offset + flat.size] = flat
+        self.used_bytes = max(self.used_bytes, offset + flat.size)
+
+    def read(self, offset: int, nbytes: int) -> np.ndarray:
+        if offset < 0 or offset + nbytes > self.size:
+            raise HugePageError("read outside unit bounds")
+        return self.view[offset:offset + nbytes]
+
+    def reset(self) -> None:
+        self.payload = None
+        self.item_count = 0
+        self.used_bytes = 0
+
+
+class MemManager:
+    """The pool of :class:`MemoryUnit` plus the two batch queues.
+
+    Implements the Table-1 surface: ``get_item`` / ``recycle_item`` /
+    ``phy2virt`` / ``virt2phy``, and owns the ``free_batch_queue`` /
+    ``full_batch_queue`` pair that connects FPGAReader to the Dispatcher.
+    """
+
+    def __init__(self, env: Environment, unit_size: int, unit_count: int,
+                 name: str = "mempool", allocate_arena: bool = True):
+        if unit_size <= 0 or unit_count <= 0:
+            raise ValueError("unit_size and unit_count must be positive")
+        self.env = env
+        self.name = name
+        self.unit_size = int(unit_size)
+        self.unit_count = int(unit_count)
+        self.arena_bytes = self.unit_size * self.unit_count
+        # Algorithm 2 line 1: get_HugePage(size * counts). In 'modeled'
+        # mode (allocate_arena=False) the arena is not materialised, only
+        # the address bookkeeping — big experiments don't pay the RAM.
+        self._arena: Optional[np.ndarray] = (
+            np.zeros(self.arena_bytes, dtype=np.uint8) if allocate_arena
+            else None)
+        self._virt_base = id(self) & 0x7FFF_F000  # arbitrary, per-pool
+        self.queues = QueuePair(env, capacity=unit_count, name=name)
+        self._units: list[MemoryUnit] = []
+        empty = np.empty(0, dtype=np.uint8)
+        for index in range(self.unit_count):  # Algorithm 2 lines 2-5
+            offset = index * self.unit_size
+            view = (self._arena[offset:offset + self.unit_size]
+                    if self._arena is not None else empty)
+            unit = MemoryUnit(
+                index=index,
+                phy_addr=_PHYS_BASE + offset,
+                virt_addr=self._virt_base + offset,
+                size=self.unit_size,
+                view=view)
+            self._units.append(unit)
+        self.queues.seed(list(self._units))
+        self._free_set = set(range(self.unit_count))
+        self.occupancy = TimeWeighted(env, 0, name=f"{name}.in_use")
+
+    # -- Table 1 API -------------------------------------------------------
+    @property
+    def free_batch_queue(self):
+        return self.queues.free
+
+    @property
+    def full_batch_queue(self):
+        return self.queues.full
+
+    def get_item(self):
+        """Generator: obtain a free memory unit (blocks when exhausted —
+        the backpressure that keeps FPGAReader from over-submitting)."""
+        unit: MemoryUnit = yield from self.queues.free.get()
+        self._free_set.discard(unit.index)
+        self.occupancy.set(self.unit_count - len(self._free_set))
+        return unit
+
+    def try_get_item(self) -> Optional[MemoryUnit]:
+        ok, unit = self.queues.free.try_get()
+        if not ok:
+            return None
+        self._free_set.discard(unit.index)
+        self.occupancy.set(self.unit_count - len(self._free_set))
+        return unit
+
+    def recycle_item(self, unit: MemoryUnit):
+        """Generator: return a unit to the free queue for the next use."""
+        self._check_owned(unit)
+        if unit.index in self._free_set:
+            raise HugePageError(f"double recycle of unit {unit.index}")
+        unit.reset()
+        self._free_set.add(unit.index)
+        self.occupancy.set(self.unit_count - len(self._free_set))
+        yield from self.queues.free.put(unit)
+
+    def phy2virt(self, phy_addr: int) -> int:
+        off = phy_addr - _PHYS_BASE
+        if not 0 <= off < self.arena_bytes:
+            raise HugePageError(f"physical address 0x{phy_addr:x} outside "
+                                f"the hugepage region")
+        return self._virt_base + off
+
+    def virt2phy(self, virt_addr: int) -> int:
+        off = virt_addr - self._virt_base
+        if not 0 <= off < self.arena_bytes:
+            raise HugePageError(f"virtual address 0x{virt_addr:x} outside "
+                                f"the hugepage region")
+        return _PHYS_BASE + off
+
+    # -- helpers -------------------------------------------------------
+    def unit_by_phy(self, phy_addr: int) -> MemoryUnit:
+        off = phy_addr - _PHYS_BASE
+        if not 0 <= off < self.arena_bytes:
+            raise HugePageError(f"0x{phy_addr:x} outside region")
+        return self._units[off // self.unit_size]
+
+    def _check_owned(self, unit: MemoryUnit) -> None:
+        if not (0 <= unit.index < self.unit_count
+                and self._units[unit.index] is unit):
+            raise HugePageError(f"unit {unit!r} does not belong to {self.name}")
+
+    @property
+    def in_use(self) -> int:
+        return self.unit_count - len(self._free_set)
+
+    def conservation_ok(self) -> bool:
+        """Every unit is free, full, or in flight — never duplicated."""
+        return (len(self.queues.free) + len(self.queues.full)
+                + self.queues.in_flight() == self.unit_count)

@@ -1,0 +1,7 @@
+"""Network substrate: 40 Gbps link, server NIC RX path, client fleet."""
+
+from .clients import ClientFleet
+from .link import Link
+from .nic import NetRequest, Nic
+
+__all__ = ["Link", "Nic", "NetRequest", "ClientFleet"]

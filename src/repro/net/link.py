@@ -1,0 +1,50 @@
+"""Point-to-point link model (the 40 Gbps fabric of S5.3).
+
+Transmissions serialize on the link's bandwidth and are chopped into
+MTU-sized packets; each packet also charges a small per-packet host cost
+on the receive side (interrupt/softirq work) to the NIC's CPU tracker.
+"""
+
+from __future__ import annotations
+
+from ..sim import BusyTracker, Counter, Environment, Resource
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A shared full-duplex pipe; we model the client->server direction."""
+
+    def __init__(self, env: Environment, rate_bytes_per_s: float,
+                 mtu: int = 9000, name: str = "link"):
+        if rate_bytes_per_s <= 0:
+            raise ValueError("link rate must be positive")
+        if mtu <= 0:
+            raise ValueError("mtu must be positive")
+        self.env = env
+        self.name = name
+        self.rate = rate_bytes_per_s
+        self.mtu = mtu
+        self._serializer = Resource(env, capacity=1, name=f"{name}.tx")
+        self.bytes_sent = Counter(env, name=f"{name}.bytes")
+        self.busy = BusyTracker(env, name=f"{name}.busy")
+
+    def packets_for(self, nbytes: int) -> int:
+        return -(-nbytes // self.mtu)
+
+    def transmit(self, nbytes: int):
+        """Generator: completes when the last byte is on the wire."""
+        if nbytes <= 0:
+            raise ValueError(f"transmit size must be positive, got {nbytes}")
+        grant = self._serializer.request()
+        yield grant
+        tok = self.busy.begin("tx")
+        try:
+            yield self.env.timeout(nbytes / self.rate)
+            self.bytes_sent.add(nbytes)
+        finally:
+            self.busy.end(tok)
+            self._serializer.release(grant)
+
+    def utilization(self) -> float:
+        return self.busy.cores("tx")

@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate for the DLBooster reproduction.
+
+The kernel (:mod:`~repro.sim.core`) is a from-scratch generator-based
+event loop; :mod:`~repro.sim.resources` adds semaphores/stores/containers;
+:mod:`~repro.sim.queues` the instrumented channels; :mod:`~repro.sim.monitor`
+the measurement instruments; :mod:`~repro.sim.rand` deterministic RNG
+streams.
+"""
+
+from .core import (AllOf, AnyOf, Environment, Event, Interrupt, Process,
+                   SimulationError, Timeout)
+from .monitor import (BusyTracker, Counter, IntervalRate, LatencyRecorder,
+                      TimeWeighted)
+from .queues import Channel, QueuePair
+from .rand import SeedBank
+from .resources import (Container, FilterStore, PriorityResource, Resource,
+                        Store)
+from .trace import Span, Tracer
+
+__all__ = [
+    "Environment", "Event", "Timeout", "Process", "Interrupt",
+    "AllOf", "AnyOf", "SimulationError",
+    "Resource", "PriorityResource", "Store", "FilterStore", "Container",
+    "Channel", "QueuePair",
+    "Counter", "TimeWeighted", "BusyTracker", "LatencyRecorder",
+    "IntervalRate",
+    "SeedBank",
+    "Tracer", "Span",
+]

@@ -1,0 +1,416 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free event loop in the style of SimPy: simulation
+actors are Python generators that ``yield`` :class:`Event` objects and are
+resumed when those events fire.  The kernel is deterministic — given the
+same seed streams (see :mod:`repro.sim.rand`) a simulation replays
+identically, which the test suite relies on.
+
+Virtual time is a ``float`` in **seconds**.  Nothing in the kernel sleeps
+on the wall clock; large cluster runs execute in milliseconds of real time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another actor interrupted.
+
+    The ``cause`` attribute carries whatever the interrupter supplied.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+PENDING = 0
+TRIGGERED = 1  # scheduled on the event queue, callbacks not yet run
+PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Events move through three states: *pending* (created), *triggered*
+    (given a value/exception and scheduled), *processed* (callbacks ran).
+    Processes wait on events by ``yield``-ing them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = PENDING
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        if self._state == PENDING:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != PENDING:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self._state = TRIGGERED
+        self.env._push(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every waiting process.
+        """
+        if self._state != PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._value = exception
+        self._ok = False
+        self._state = TRIGGERED
+        self.env._push(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        self._state = TRIGGERED
+        env._push(self, delay)
+
+
+class Initialize(Event):
+    """Internal: starts a freshly created :class:`Process`."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._value = None
+        self._ok = True
+        self._state = TRIGGERED
+        self.callbacks.append(process._resume)
+        env._push(self)
+
+
+class Process(Event):
+    """A running simulation actor wrapping a generator.
+
+    The process *is itself an event* that triggers when the generator
+    returns (value = its return value) or raises (failure).  Other
+    processes may ``yield proc`` to join on it, or call
+    :meth:`interrupt` to raise :class:`Interrupt` inside it.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process() needs a generator, got {generator!r}")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self._waiting_on is not None:
+            target = self._waiting_on
+            if self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            # An interrupted wait on a resource request withdraws the
+            # request — otherwise the slot would later be granted to a
+            # process that is no longer listening and leak forever.
+            cancel = getattr(target, "cancel", None)
+            if callable(cancel) and not target.triggered:
+                cancel()
+            self._waiting_on = None
+        hook = Event(self.env)
+        hook.callbacks.append(self._resume_interrupt(cause))
+        hook.succeed()
+
+    def _resume_interrupt(self, cause: Any) -> Callable[[Event], None]:
+        def do_resume(_evt: Event) -> None:
+            if not self.is_alive:  # finished before the interrupt landed
+                return
+            self._step(lambda: self.generator.throw(Interrupt(cause)))
+        return do_resume
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._ok:
+            self._step(lambda: self.generator.send(event._value))
+        else:
+            self._step(lambda: self.generator.throw(event._value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        self.env._active_process = self
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An uncaught Interrupt terminates the process as a failure.
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            if self.env.strict:
+                raise
+            self.fail(exc)
+            return
+        self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; only Event "
+                f"instances may be yielded")
+        if target._state == PROCESSED:
+            # Already complete: resume immediately via a fresh hook so the
+            # event queue stays the single source of ordering.
+            hook = Event(self.env)
+            hook._value, hook._ok = target._value, target._ok
+            hook.callbacks.append(self._resume)
+            hook._state = TRIGGERED
+            self.env._push(hook)
+            self._waiting_on = hook
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite waits."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._pending_count = 0
+        for evt in self.events:
+            if evt._state == PROCESSED:
+                self._observe(evt)
+            else:
+                evt.callbacks.append(self._observe)
+                self._pending_count += 1
+        self._check_trivial()
+
+    def _check_trivial(self) -> None:
+        raise NotImplementedError
+
+    def _observe(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Triggers when every constituent event has triggered.
+
+    Value is a dict mapping each event to its value.
+    """
+
+    __slots__ = ("_done",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        self._done = 0
+        super().__init__(env, events)
+
+    def _check_trivial(self) -> None:
+        if self._state == PENDING and self._done == len(self.events):
+            self.succeed({e: e._value for e in self.events})
+
+    def _observe(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done == len(self.events):
+            self.succeed({e: e._value for e in self.events})
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any constituent event triggers.
+
+    Value is a dict of the events that had triggered at that moment.
+    """
+
+    __slots__ = ()
+
+    def _check_trivial(self) -> None:
+        if self._state == PENDING and any(
+                e._state == PROCESSED for e in self.events):
+            self.succeed({e: e._value for e in self.events
+                          if e._state == PROCESSED})
+
+    def _observe(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed({e: e._value for e in self.events
+                      if e._state == PROCESSED})
+
+
+class Environment:
+    """The simulation clock plus the event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now`.
+    strict:
+        When True (the default), an exception escaping a process propagates
+        out of :meth:`run` immediately instead of failing the process
+        event — the right behaviour for tests.
+    """
+
+    def __init__(self, initial_time: float = 0.0, strict: bool = True):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._eid = itertools.count()
+        self._active_process: Optional[Process] = None
+        self.strict = strict
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event constructors ----------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator,
+                name: Optional[str] = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _push(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process one event; advances :attr:`now` to its timestamp."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a time (stop when the clock would pass it), an
+        :class:`Event` (stop when it triggers, returning its value), or
+        ``None`` (run until no events remain).
+        """
+        if isinstance(until, Event):
+            stop_evt = until
+            while not stop_evt.triggered:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran dry before the awaited event fired")
+                self.step()
+            if not stop_evt._ok:
+                raise stop_evt._value
+            return stop_evt._value
+
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until={horizon} is in the past (now={self._now})")
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = max(self._now, horizon)
+            return None
+
+        while self._queue:
+            self.step()
+        return None

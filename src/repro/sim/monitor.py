@@ -1,0 +1,232 @@
+"""Measurement instruments for simulations.
+
+Everything the experiment harness reports — throughput, CPU cores burned,
+GPU utilization, latency percentiles — is integrated by these classes from
+raw simulation activity; no result is ever entered by hand.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from typing import Optional
+
+from .core import Environment
+
+__all__ = ["Counter", "TimeWeighted", "BusyTracker", "LatencyRecorder",
+           "IntervalRate"]
+
+
+class Counter:
+    """A monotonically increasing event count with rate helpers."""
+
+    def __init__(self, env: Environment, name: str = "counter"):
+        self.env = env
+        self.name = name
+        self.total = 0.0
+        self._t0 = env.now
+
+    def add(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.total += n
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self._t0 = self.env.now
+
+    def rate(self, since: Optional[float] = None) -> float:
+        """Average events/second since ``since`` (default: creation/reset)."""
+        start = self._t0 if since is None else since
+        elapsed = self.env.now - start
+        return self.total / elapsed if elapsed > 0 else 0.0
+
+
+class TimeWeighted:
+    """Tracks a piecewise-constant value and its time-weighted mean/max.
+
+    Used for queue depths, memory-pool occupancy and outstanding-command
+    counts.
+    """
+
+    def __init__(self, env: Environment, initial: float = 0.0,
+                 name: str = "level"):
+        self.env = env
+        self.name = name
+        self._value = float(initial)
+        self._last_t = env.now
+        self._area = 0.0
+        self._t0 = env.now
+        self.max_value = float(initial)
+        self.min_value = float(initial)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self.env.now
+        self._area += self._value * (now - self._last_t)
+        self._last_t = now
+        self._value = float(value)
+        self.max_value = max(self.max_value, self._value)
+        self.min_value = min(self.min_value, self._value)
+
+    def adjust(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def mean(self) -> float:
+        elapsed = self.env.now - self._t0
+        if elapsed <= 0:
+            return self._value
+        area = self._area + self._value * (self.env.now - self._last_t)
+        return area / elapsed
+
+
+class BusyTracker:
+    """Integrates busy time of a multi-slot device into "cores used".
+
+    Each ``begin()``/``end()`` pair contributes its duration; the headline
+    number is ``busy_time / wall_time`` — e.g. two workers each busy half
+    the time report 1.0 cores.  Nested/concurrent intervals accumulate, so
+    a pool of N workers reports up to N.  Categories let Fig. 6(d)-style
+    breakdowns fall out of one tracker.
+    """
+
+    def __init__(self, env: Environment, name: str = "busy"):
+        self.env = env
+        self.name = name
+        self._t0 = env.now
+        self._busy: dict[str, float] = {}
+        self._open: dict[int, tuple[str, float]] = {}
+        self._next_token = 0
+
+    def begin(self, category: str = "work") -> int:
+        token = self._next_token
+        self._next_token += 1
+        self._open[token] = (category, self.env.now)
+        return token
+
+    def end(self, token: int) -> None:
+        category, start = self._open.pop(token)
+        self._busy[category] = self._busy.get(category, 0.0) + (
+            self.env.now - start)
+
+    def charge(self, duration: float, category: str = "work") -> None:
+        """Directly account ``duration`` seconds of busy time."""
+        if duration < 0:
+            raise ValueError("negative busy duration")
+        self._busy[category] = self._busy.get(category, 0.0) + duration
+
+    def busy_seconds(self, category: Optional[str] = None) -> float:
+        closed = (sum(self._busy.values()) if category is None
+                  else self._busy.get(category, 0.0))
+        # Include still-open intervals up to now.
+        for cat, start in self._open.values():
+            if category is None or cat == category:
+                closed += self.env.now - start
+        return closed
+
+    def cores(self, category: Optional[str] = None,
+              since: Optional[float] = None) -> float:
+        start = self._t0 if since is None else since
+        elapsed = self.env.now - start
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_seconds(category) / elapsed
+
+    def breakdown(self) -> dict[str, float]:
+        """Cores by category (Fig. 6(d) style)."""
+        elapsed = self.env.now - self._t0
+        if elapsed <= 0:
+            return {}
+        out: dict[str, float] = {}
+        for cat in self._busy:
+            out[cat] = self.busy_seconds(cat) / elapsed
+        for cat, _ in self._open.values():
+            out.setdefault(cat, self.busy_seconds(cat) / elapsed)
+        return out
+
+
+class LatencyRecorder:
+    """Collects per-item latencies; reports mean/percentiles.
+
+    Samples are kept sorted on insertion so percentile queries are O(log n)
+    lookups; memory is bounded by optional reservoir capping.
+    """
+
+    def __init__(self, name: str = "latency", max_samples: int = 200_000):
+        self.name = name
+        self._sorted: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._max_samples = max_samples
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self._count += 1
+        self._sum += latency
+        if len(self._sorted) < self._max_samples:
+            insort(self._sorted, latency)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 100]; linear interpolation between order statistics."""
+        if not self._sorted:
+            return math.nan
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        n = len(self._sorted)
+        pos = (q / 100.0) * (n - 1)
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        if lo == hi:
+            return self._sorted[lo]
+        frac = pos - lo
+        return self._sorted[lo] * (1 - frac) + self._sorted[hi] * frac
+
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def max(self) -> float:
+        return self._sorted[-1] if self._sorted else math.nan
+
+    def min(self) -> float:
+        return self._sorted[0] if self._sorted else math.nan
+
+
+class IntervalRate:
+    """Windowed throughput: items completed between mark() calls."""
+
+    def __init__(self, env: Environment, name: str = "rate"):
+        self.env = env
+        self.name = name
+        self._count = 0.0
+        self._mark_t = env.now
+        self._mark_count = 0.0
+
+    def add(self, n: float = 1.0) -> None:
+        self._count += n
+
+    def mark(self) -> float:
+        """Rate since the previous mark; resets the window."""
+        now = self.env.now
+        dt = now - self._mark_t
+        dn = self._count - self._mark_count
+        self._mark_t = now
+        self._mark_count = self._count
+        return dn / dt if dt > 0 else 0.0
+
+    @property
+    def total(self) -> float:
+        return self._count

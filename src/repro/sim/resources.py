@@ -1,0 +1,351 @@
+"""Shared-resource primitives built on the event kernel.
+
+Three families:
+
+* :class:`Resource` — a counted semaphore with FIFO (or priority) queueing;
+  models CPU-core pools, DMA engines, PCIe lanes, database reader slots.
+* :class:`Store` — a buffer of discrete items with put/get blocking; the
+  basis of every queue in the system (FIFO cmd queues, batch queues,
+  Trans Queues).
+* :class:`Container` — a continuous level (bytes in a buffer, joules).
+
+All waiters are served in strict FIFO order within the same priority so
+simulations are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Request", "Release", "Resource", "PriorityResource",
+           "Preempted", "Store", "FilterStore", "Container"]
+
+
+class Request(Event):
+    """Pending acquisition of one slot of a :class:`Resource`.
+
+    Usable as a context manager in generator code::
+
+        req = resource.request()
+        yield req
+        ...critical section...
+        resource.release(req)
+    """
+
+    __slots__ = ("resource", "priority", "enqueued_at")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.enqueued_at = resource.env.now
+        resource._enqueue(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        self.resource._cancel(self)
+
+
+class Release(Event):
+    """Immediate-fire event acknowledging a release (for symmetry)."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """Counted FIFO resource with ``capacity`` slots."""
+
+    def __init__(self, env: Environment, capacity: int = 1,
+                 name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._users: list[Request] = []
+        self._waiters: deque[Request] = deque()
+
+    # -- public API --------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiters)
+
+    def request(self, priority: int = 0) -> Request:
+        return Request(self, priority)
+
+    def release(self, request: Request) -> Release:
+        if request not in self._users:
+            raise SimulationError(
+                f"release of a request not holding {self.name}")
+        self._users.remove(request)
+        self._grant_next()
+        evt = Release(self.env)
+        evt.succeed()
+        return evt
+
+    # -- internals -----------------------------------------------------
+    def _enqueue(self, request: Request) -> None:
+        self._waiters.append(request)
+        self._grant_next()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._waiters.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self._waiters and len(self._users) < self.capacity:
+            nxt = self._waiters.popleft()
+            self._users.append(nxt)
+            nxt.succeed(nxt)
+
+
+class Preempted(Exception):
+    """Cause object delivered when a priority resource preempts a holder."""
+
+    def __init__(self, by: Request, usage_since: float):
+        super().__init__(f"preempted at priority {by.priority}")
+        self.by = by
+        self.usage_since = usage_since
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served lowest-priority-value-first."""
+
+    def __init__(self, env: Environment, capacity: int = 1,
+                 name: str = "priority-resource"):
+        super().__init__(env, capacity, name)
+        self._pq: list[tuple[int, int, Request]] = []
+        self._seq = itertools.count()
+
+    def _enqueue(self, request: Request) -> None:
+        heapq.heappush(self._pq, (request.priority, next(self._seq), request))
+        self._grant_next()
+
+    def _cancel(self, request: Request) -> None:
+        self._pq = [(p, s, r) for (p, s, r) in self._pq if r is not request]
+        heapq.heapify(self._pq)
+
+    def _grant_next(self) -> None:
+        while self._pq and len(self._users) < self.capacity:
+            _, _, nxt = heapq.heappop(self._pq)
+            self._users.append(nxt)
+            nxt.succeed(nxt)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._pq)
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiters.append(self)
+        store._drain()
+
+
+class StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store",
+                 filter: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.filter = filter
+        store._get_waiters.append(self)
+        store._drain()
+
+
+class Store:
+    """A buffer of items with blocking put/get.
+
+    ``capacity`` bounds the number of buffered items; a full store blocks
+    putters, an empty one blocks getters.  FIFO both ways.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 name: str = "store"):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.items: deque[Any] = deque()
+        self._put_waiters: deque[StorePut] = deque()
+        self._get_waiters: deque[StoreGet] = deque()
+
+    # -- public API --------------------------------------------------
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        return StoreGet(self)
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; False when the store is full."""
+        if len(self.items) >= self.capacity:
+            return False
+        self.items.append(item)
+        self._drain()
+        return True
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; ``(False, None)`` when empty."""
+        if not self.items:
+            return False, None
+        item = self.items.popleft()
+        self._drain()
+        return True, item
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def level(self) -> int:
+        return len(self.items)
+
+    # -- internals -----------------------------------------------------
+    def _match_get(self, getter: StoreGet) -> bool:
+        if getter.filter is None:
+            if self.items:
+                getter.succeed(self.items.popleft())
+                return True
+            return False
+        for idx, item in enumerate(self.items):
+            if getter.filter(item):
+                del self.items[idx]
+                getter.succeed(item)
+                return True
+        return False
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit puts while there is room.
+            while self._put_waiters and len(self.items) < self.capacity:
+                putter = self._put_waiters.popleft()
+                self.items.append(putter.item)
+                putter.succeed()
+                progressed = True
+            # Serve getters in arrival order; a filtered getter that cannot
+            # match stays at the head (strict FIFO, no overtaking).
+            while self._get_waiters:
+                getter = self._get_waiters[0]
+                if self._match_get(getter):
+                    self._get_waiters.popleft()
+                    progressed = True
+                else:
+                    break
+
+
+class FilterStore(Store):
+    """Store whose getters may select items by predicate.
+
+    Unlike the base store, a blocked filtered getter does not stall the
+    getters queued behind it.
+    """
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        return StoreGet(self, filter)
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_waiters and len(self.items) < self.capacity:
+                putter = self._put_waiters.popleft()
+                self.items.append(putter.item)
+                putter.succeed()
+                progressed = True
+            still_waiting: deque[StoreGet] = deque()
+            while self._get_waiters:
+                getter = self._get_waiters.popleft()
+                if self._match_get(getter):
+                    progressed = True
+                else:
+                    still_waiting.append(getter)
+            self._get_waiters = still_waiting
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount must be > 0, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_waiters.append(self)
+        container._drain()
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount must be > 0, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_waiters.append(self)
+        container._drain()
+
+
+class Container:
+    """A continuous quantity with blocking put/get (e.g. bytes of buffer)."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 init: float = 0.0, name: str = "container"):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._level = float(init)
+        self._put_waiters: deque[ContainerPut] = deque()
+        self._get_waiters: deque[ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_waiters:
+                putter = self._put_waiters[0]
+                if self._level + putter.amount <= self.capacity:
+                    self._put_waiters.popleft()
+                    self._level += putter.amount
+                    putter.succeed()
+                    progressed = True
+            if self._get_waiters:
+                getter = self._get_waiters[0]
+                if self._level >= getter.amount:
+                    self._get_waiters.popleft()
+                    self._level -= getter.amount
+                    getter.succeed()
+                    progressed = True

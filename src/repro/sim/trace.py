@@ -1,0 +1,110 @@
+"""Span tracing for simulations, exportable as Chrome trace JSON.
+
+A :class:`Tracer` collects *spans* (named intervals on a named track)
+and *instants*; ``to_chrome_trace()`` writes the ``chrome://tracing`` /
+Perfetto JSON array format, with simulated seconds mapped to
+microseconds.  Components accept an optional tracer, so a decode run
+can be opened in a trace viewer to see every pipeline stage — the
+visual counterpart of the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .core import Environment
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    name: str
+    track: str
+    start: float
+    end: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans/instants; bounded to ``max_events`` to keep big
+    simulations cheap (the tail is dropped, never the head)."""
+
+    def __init__(self, env: Environment, max_events: int = 500_000):
+        self.env = env
+        self.max_events = max_events
+        self.spans: list[Span] = []
+        self.instants: list[tuple[str, str, float]] = []
+        self._open: dict[int, tuple[str, str, float, dict]] = {}
+        self._next = 0
+        self.dropped = 0
+
+    # -- recording -----------------------------------------------------
+    def begin(self, name: str, track: str, **args) -> int:
+        token = self._next
+        self._next += 1
+        self._open[token] = (name, track, self.env.now, args)
+        return token
+
+    def end(self, token: int) -> None:
+        name, track, start, args = self._open.pop(token)
+        if len(self.spans) >= self.max_events:
+            self.dropped += 1
+            return
+        self.spans.append(Span(name, track, start, self.env.now, args))
+
+    def instant(self, name: str, track: str = "events") -> None:
+        if len(self.instants) >= self.max_events:
+            self.dropped += 1
+            return
+        self.instants.append((name, track, self.env.now))
+
+    # -- analysis -----------------------------------------------------
+    def spans_on(self, track: str) -> list[Span]:
+        return [s for s in self.spans if s.track == track]
+
+    def busy_time(self, track: str) -> float:
+        return sum(s.duration for s in self.spans_on(track))
+
+    def tracks(self) -> list[str]:
+        seen = dict.fromkeys(s.track for s in self.spans)
+        return list(seen)
+
+    # -- export -----------------------------------------------------
+    def to_chrome_trace(self, path: Optional[str] = None) -> str:
+        """Serialize to the Chrome trace-event JSON array format.
+
+        Tracks map to thread ids; simulated seconds map to trace
+        microseconds.  Returns the JSON string (and writes it when a
+        path is given).
+        """
+        tids = {track: i for i, track in enumerate(self.tracks())}
+        for _, track, _ in self.instants:
+            tids.setdefault(track, len(tids))
+        events = []
+        for track, tid in tids.items():
+            events.append({"ph": "M", "pid": 1, "tid": tid,
+                           "name": "thread_name",
+                           "args": {"name": track}})
+        for span in self.spans:
+            events.append({
+                "ph": "X", "pid": 1, "tid": tids[span.track],
+                "name": span.name,
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "args": span.args,
+            })
+        for name, track, when in self.instants:
+            events.append({"ph": "i", "pid": 1, "tid": tids[track],
+                           "name": name, "ts": when * 1e6, "s": "t"})
+        text = json.dumps(events)
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text

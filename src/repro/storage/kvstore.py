@@ -1,0 +1,260 @@
+"""An LMDB-like embedded key-value store (the Caffe offline backend).
+
+The paper's training baseline reads datums out of LMDB [50].  We rebuild
+the essential semantics from scratch:
+
+* single writer / many readers, with explicit transactions;
+* keys served in sorted order via cursors (Caffe iterates sequentially);
+* append-only data file with length-prefixed, checksummed records and a
+  rebuildable index — a crash mid-write loses at most the torn tail;
+* read-only transactions see a consistent snapshot (records committed
+  before the transaction began).
+
+Timing is *not* modelled here — this class is the functional substrate;
+the LMDB *backend* (:mod:`repro.backends.lmdb_backend`) charges the
+calibrated per-record service time and models multi-reader contention.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from bisect import bisect_left, insort
+from typing import Iterator, Optional
+
+__all__ = ["KVStore", "ReadTransaction", "WriteTransaction", "KVError"]
+
+_MAGIC = b"RKV1"
+_REC_HEADER = struct.Struct("<IIQ")  # key_len, val_len, crc64-ish (crc32 x2)
+
+
+class KVError(RuntimeError):
+    """Store misuse or corruption."""
+
+
+def _crc(key: bytes, value: bytes) -> int:
+    return (zlib.crc32(key) << 32) | zlib.crc32(value)
+
+
+class KVStore:
+    """The environment object: open/close, transactions, stats."""
+
+    def __init__(self, path: str, readonly: bool = False):
+        self.path = path
+        self.readonly = readonly
+        self._data_path = os.path.join(path, "data.rkv")
+        self._index: dict[bytes, tuple[int, int]] = {}  # key -> (off, vlen)
+        self._sorted_keys: list[bytes] = []
+        self._write_open = False
+        self._readers = 0
+        self._commit_seq = 0
+        os.makedirs(path, exist_ok=True)
+        if not os.path.exists(self._data_path):
+            if readonly:
+                raise KVError(f"no store at {path}")
+            with open(self._data_path, "wb") as fh:
+                fh.write(_MAGIC)
+        self._fh = open(self._data_path, "rb" if readonly else "r+b")
+        self._recover()
+
+    # -- recovery ----------------------------------------------------
+    def _recover(self) -> None:
+        """Scan the log, rebuild the index, truncate any torn tail."""
+        fh = self._fh
+        fh.seek(0)
+        if fh.read(4) != _MAGIC:
+            raise KVError("bad magic: not a KVStore data file")
+        pos = 4
+        valid_end = 4
+        while True:
+            header = fh.read(_REC_HEADER.size)
+            if len(header) < _REC_HEADER.size:
+                break
+            key_len, val_len, crc = _REC_HEADER.unpack(header)
+            body = fh.read(key_len + val_len)
+            if len(body) < key_len + val_len:
+                break  # torn write
+            key, value = body[:key_len], body[key_len:]
+            if _crc(key, value) != crc:
+                break  # corrupt tail
+            if key not in self._index:
+                insort(self._sorted_keys, key)
+            value_off = pos + _REC_HEADER.size + key_len
+            self._index[key] = (value_off, val_len)
+            pos += _REC_HEADER.size + key_len + val_len
+            valid_end = pos
+        if not self.readonly:
+            self._fh.truncate(valid_end)
+        self._append_pos = valid_end
+
+    # -- transactions --------------------------------------------------
+    def begin(self, write: bool = False):
+        if write:
+            if self.readonly:
+                raise KVError("store opened read-only")
+            if self._write_open:
+                raise KVError("a write transaction is already open "
+                              "(single-writer store)")
+            self._write_open = True
+            return WriteTransaction(self)
+        self._readers += 1
+        return ReadTransaction(self, snapshot_seq=self._commit_seq)
+
+    # -- raw access (used by transactions) ------------------------------
+    def _read_value(self, key: bytes) -> Optional[bytes]:
+        loc = self._index.get(key)
+        if loc is None:
+            return None
+        off, vlen = loc
+        self._fh.seek(off)
+        return self._fh.read(vlen)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- stats -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._index
+
+    @property
+    def data_bytes(self) -> int:
+        return self._append_pos
+
+    @property
+    def active_readers(self) -> int:
+        return self._readers
+
+
+class ReadTransaction:
+    """A consistent snapshot reader with a sorted cursor."""
+
+    def __init__(self, store: KVStore, snapshot_seq: int):
+        self._store = store
+        self._snapshot = snapshot_seq
+        self._open = True
+        # Snapshot the key list: later commits don't appear.
+        self._keys = list(store._sorted_keys)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._check()
+        if key not in self._keys_set():
+            return None
+        return self._store._read_value(key)
+
+    def _keys_set(self):
+        if not hasattr(self, "_kset"):
+            self._kset = set(self._keys)
+        return self._kset
+
+    def cursor(self, start: Optional[bytes] = None) -> Iterator[
+            tuple[bytes, bytes]]:
+        """Iterate (key, value) in sorted key order from ``start``."""
+        self._check()
+        begin = 0 if start is None else bisect_left(self._keys, start)
+        for key in self._keys[begin:]:
+            yield key, self._store._read_value(key)
+
+    def keys(self) -> list[bytes]:
+        self._check()
+        return list(self._keys)
+
+    def abort(self) -> None:
+        self.commit()
+
+    def commit(self) -> None:
+        if self._open:
+            self._open = False
+            self._store._readers -= 1
+
+    def _check(self) -> None:
+        if not self._open:
+            raise KVError("transaction is closed")
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.commit()
+
+
+class WriteTransaction:
+    """Buffered single-writer transaction; atomic on commit."""
+
+    def __init__(self, store: KVStore):
+        self._store = store
+        self._pending: dict[bytes, bytes] = {}
+        self._open = True
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check()
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise TypeError("keys and values must be bytes")
+        if not key:
+            raise KVError("empty key")
+        self._pending[key] = value
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Read-your-writes within the transaction."""
+        self._check()
+        if key in self._pending:
+            return self._pending[key]
+        return self._store._read_value(key)
+
+    def commit(self) -> None:
+        self._check()
+        store = self._store
+        buf = io.BytesIO()
+        for key, value in self._pending.items():
+            buf.write(_REC_HEADER.pack(len(key), len(value),
+                                       _crc(key, value)))
+            buf.write(key)
+            buf.write(value)
+        data = buf.getvalue()
+        store._fh.seek(store._append_pos)
+        store._fh.write(data)
+        store._fh.flush()
+        # Publish: update index only after the bytes are durable.
+        pos = store._append_pos
+        for key, value in self._pending.items():
+            if key not in store._index:
+                insort(store._sorted_keys, key)
+            value_off = pos + _REC_HEADER.size + len(key)
+            store._index[key] = (value_off, len(value))
+            pos += _REC_HEADER.size + len(key) + len(value)
+        store._append_pos = pos
+        store._commit_seq += 1
+        self._open = False
+        store._write_open = False
+
+    def abort(self) -> None:
+        self._check()
+        self._pending.clear()
+        self._open = False
+        self._store._write_open = False
+
+    def _check(self) -> None:
+        if not self._open:
+            raise KVError("transaction is closed")
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, *exc):
+        if self._open:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()

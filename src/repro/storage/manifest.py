@@ -1,0 +1,111 @@
+"""Dataset manifests: the block-level metadata DataCollector translates.
+
+The paper's DataCollector "translates the metadata (i.e., block
+information) that describes the storage information of the data on the
+disk" (S3.4.1).  A :class:`FileManifest` is that metadata: per sample,
+its logical blocks on the (simulated) NVMe device plus the image
+properties the cost models need (encoded bytes, decoded pixels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+__all__ = ["BlockExtent", "FileEntry", "FileManifest", "BLOCK_SIZE"]
+
+BLOCK_SIZE = 4096  # logical block size of the simulated NVMe namespace
+
+
+@dataclass(frozen=True)
+class BlockExtent:
+    """A contiguous run of logical blocks."""
+
+    lba: int
+    block_count: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.block_count * BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One sample on disk: identity, extent, and decode-cost metadata."""
+
+    file_id: int
+    name: str
+    size_bytes: int
+    extents: tuple[BlockExtent, ...]
+    height: int
+    width: int
+    channels: int
+    label: int = 0
+    payload: Optional[bytes] = None  # real JPEG bytes in functional mode
+
+    @property
+    def pixels(self) -> int:
+        return self.height * self.width
+
+    @property
+    def decode_work_pixels(self) -> int:
+        """Pixels including chroma planes (4:2:0 -> x1.5 for color)."""
+        return self.pixels if self.channels == 1 else self.pixels * 3 // 2
+
+    def get_metainfo(self) -> dict:
+        """The paper's ``file.get_metainfo()`` (Algorithm 1 line 11)."""
+        return {
+            "file_id": self.file_id,
+            "size_bytes": self.size_bytes,
+            "extents": self.extents,
+            "shape": (self.height, self.width, self.channels),
+        }
+
+
+class FileManifest:
+    """An ordered collection of :class:`FileEntry` with a block allocator."""
+
+    def __init__(self, name: str = "dataset"):
+        self.name = name
+        self._entries: list[FileEntry] = []
+        self._next_lba = 0
+
+    def add(self, name: str, size_bytes: int, height: int, width: int,
+            channels: int, label: int = 0,
+            payload: Optional[bytes] = None) -> FileEntry:
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        nblocks = -(-size_bytes // BLOCK_SIZE)
+        extent = BlockExtent(lba=self._next_lba, block_count=nblocks)
+        self._next_lba += nblocks
+        entry = FileEntry(
+            file_id=len(self._entries), name=name, size_bytes=size_bytes,
+            extents=(extent,), height=height, width=width,
+            channels=channels, label=label, payload=payload)
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, idx: int) -> FileEntry:
+        return self._entries[idx]
+
+    def __iter__(self) -> Iterator[FileEntry]:
+        return iter(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.size_bytes for e in self._entries)
+
+    @property
+    def total_blocks(self) -> int:
+        return self._next_lba
+
+    def epoch_order(self, rng=None) -> Sequence[int]:
+        """Sample order for one epoch; shuffled when an RNG is given."""
+        import numpy as np
+        idx = np.arange(len(self._entries))
+        if rng is not None:
+            rng.shuffle(idx)
+        return idx

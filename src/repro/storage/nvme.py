@@ -1,0 +1,62 @@
+"""NVMe disk model (Intel Optane 900p, S5.1).
+
+Timing model: a read costs a fixed access latency plus transfer time at
+the device's aggregate bandwidth; transfers serialize on the bandwidth
+while latencies overlap (NVMe queues many commands).  Admission is
+bounded by the device queue depth, so a flood of readers sees queueing
+delay rather than infinite parallelism — this is what throttles the
+data plane when preprocessing outpaces storage.
+"""
+
+from __future__ import annotations
+
+from ..calib import Testbed
+from ..sim import BusyTracker, Counter, Environment, Resource
+
+__all__ = ["NvmeDisk"]
+
+
+class NvmeDisk:
+    """Shared NVMe device with bounded queue depth and finite bandwidth."""
+
+    def __init__(self, env: Environment, testbed: Testbed,
+                 name: str = "nvme"):
+        self.env = env
+        self.name = name
+        self.read_rate = testbed.nvme_read_rate
+        self.access_latency = testbed.nvme_access_latency_s
+        self._queue = Resource(env, capacity=testbed.nvme_max_queue,
+                               name=f"{name}.queue")
+        self._bandwidth = Resource(env, capacity=1, name=f"{name}.bw")
+        self.bytes_read = Counter(env, name=f"{name}.bytes")
+        self.busy = BusyTracker(env, name=f"{name}.busy")
+
+    def read(self, nbytes: int):
+        """Generator: complete when ``nbytes`` have arrived in host memory."""
+        if nbytes <= 0:
+            raise ValueError(f"read size must be positive, got {nbytes}")
+        slot = self._queue.request()
+        yield slot
+        try:
+            # Seek/access phase: overlaps with other commands.
+            yield self.env.timeout(self.access_latency)
+            # Transfer phase: serialized on device bandwidth.
+            grant = self._bandwidth.request()
+            yield grant
+            tok = self.busy.begin("transfer")
+            try:
+                yield self.env.timeout(nbytes / self.read_rate)
+            finally:
+                self.busy.end(tok)
+                self._bandwidth.release(grant)
+            self.bytes_read.add(nbytes)
+        finally:
+            self._queue.release(slot)
+
+    def utilization(self) -> float:
+        """Fraction of wall time the transfer engine was busy."""
+        return self.busy.cores("transfer")
+
+    @property
+    def queue_len(self) -> int:
+        return self._queue.queue_len

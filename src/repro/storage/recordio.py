@@ -1,0 +1,173 @@
+"""RecordIO-style sequential record format (MXNet's offline backend).
+
+The paper's related-work section lists RecordIO [2] and TFRecord [17] as
+the other offline primitives; we provide one concrete sequential format
+so the offline-ingest comparison isn't LMDB-specific.  Wire format per
+record, after a file header:
+
+    magic (4 B) | flags:3 bits + length:29 bits (4 B, LE) | crc32 (4 B)
+    | payload | pad to 4-byte boundary
+
+Readers resynchronize by scanning for the magic, so a corrupt record
+skips forward instead of poisoning the rest of the file.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Iterator, Optional
+
+__all__ = ["RecordWriter", "RecordReader", "IndexedRecordFile",
+           "RecordFormatError"]
+
+_FILE_HEADER = b"RIO1"
+_REC_MAGIC = 0x6D782E72  # arbitrary tag
+_HEADER = struct.Struct("<III")  # magic, flags_len, crc
+_LEN_MASK = (1 << 29) - 1
+
+
+class RecordFormatError(RuntimeError):
+    """Malformed RecordIO input (bad magic, oversized record)."""
+
+
+def _pad(n: int) -> int:
+    return (-n) % 4
+
+
+class RecordWriter:
+    """Appends records; returns each record's byte offset for indexing."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "wb")
+        self._fh.write(_FILE_HEADER)
+        self._pos = len(_FILE_HEADER)
+        self.record_count = 0
+
+    def write(self, payload: bytes, flags: int = 0) -> int:
+        if not isinstance(payload, bytes):
+            raise TypeError("payload must be bytes")
+        if len(payload) > _LEN_MASK:
+            raise RecordFormatError("record too large (>512 MiB)")
+        if not 0 <= flags < 8:
+            raise ValueError("flags must be 0..7")
+        offset = self._pos
+        flags_len = (flags << 29) | len(payload)
+        self._fh.write(_HEADER.pack(_REC_MAGIC, flags_len,
+                                    zlib.crc32(payload)))
+        self._fh.write(payload)
+        self._fh.write(b"\x00" * _pad(len(payload)))
+        self._pos += _HEADER.size + len(payload) + _pad(len(payload))
+        self.record_count += 1
+        return offset
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class RecordReader:
+    """Sequential reader with magic-scan resynchronization."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "rb")
+        if self._fh.read(4) != _FILE_HEADER:
+            raise RecordFormatError(f"{path}: not a RecordIO file")
+        self.skipped = 0  # corrupt records resynced past
+
+    def __iter__(self) -> Iterator[tuple[int, bytes]]:
+        """Yields (flags, payload) pairs."""
+        while True:
+            rec = self._read_one()
+            if rec is None:
+                return
+            yield rec
+
+    def read_at(self, offset: int) -> tuple[int, bytes]:
+        """Random access via an index offset."""
+        self._fh.seek(offset)
+        rec = self._read_one(resync=False)
+        if rec is None:
+            raise RecordFormatError(f"no record at offset {offset}")
+        return rec
+
+    def _read_one(self, resync: bool = True) -> Optional[tuple[int, bytes]]:
+        while True:
+            header = self._fh.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                return None
+            magic, flags_len, crc = _HEADER.unpack(header)
+            if magic != _REC_MAGIC:
+                if not resync:
+                    raise RecordFormatError("bad record magic")
+                # Slide forward one byte and rescan.
+                self._fh.seek(-(_HEADER.size - 1), os.SEEK_CUR)
+                self.skipped += 1
+                continue
+            length = flags_len & _LEN_MASK
+            flags = flags_len >> 29
+            payload = self._fh.read(length)
+            if len(payload) < length:
+                return None  # torn tail
+            self._fh.read(_pad(length))
+            if zlib.crc32(payload) != crc:
+                if not resync:
+                    raise RecordFormatError("record CRC mismatch")
+                self.skipped += 1
+                continue
+            return flags, payload
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class IndexedRecordFile:
+    """RecordIO file + sidecar offset index for O(1) random access."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.index_path = path + ".idx"
+
+    @classmethod
+    def build(cls, path: str, payloads) -> "IndexedRecordFile":
+        obj = cls(path)
+        offsets = []
+        with RecordWriter(path) as writer:
+            for payload in payloads:
+                offsets.append(writer.write(payload))
+        with open(obj.index_path, "wb") as fh:
+            fh.write(struct.pack("<I", len(offsets)))
+            for off in offsets:
+                fh.write(struct.pack("<Q", off))
+        return obj
+
+    def offsets(self) -> list[int]:
+        with open(self.index_path, "rb") as fh:
+            count = struct.unpack("<I", fh.read(4))[0]
+            return [struct.unpack("<Q", fh.read(8))[0] for _ in range(count)]
+
+    def read(self, index: int) -> bytes:
+        offs = self.offsets()
+        if not 0 <= index < len(offs):
+            raise IndexError(index)
+        with RecordReader(self.path) as reader:
+            return reader.read_at(offs[index])[1]
+
+    def __len__(self) -> int:
+        return len(self.offsets())

@@ -1,0 +1,125 @@
+"""TFRecord-style sequential format (TensorFlow's offline primitive [17]).
+
+Wire format per record:
+
+    length   : uint64 LE
+    crc(len) : uint32 LE, *masked* CRC32C of the 8 length bytes
+    payload  : length bytes
+    crc(data): uint32 LE, masked CRC32C of the payload
+
+CRC32C (Castagnoli) is implemented from scratch (table-driven,
+reflected polynomial 0x82F63B78), and the mask is TensorFlow's
+``rotr15 + 0xa282ead8`` so files interoperate with real TFRecord
+readers byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+__all__ = ["crc32c", "masked_crc", "TFRecordWriter", "TFRecordReader",
+           "TFRecordError"]
+
+
+class TFRecordError(RuntimeError):
+    """Corrupt or truncated TFRecord input."""
+
+
+def _build_crc32c_table() -> list[int]:
+    poly = 0x82F63B78
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ poly if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_crc32c_table()
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """CRC32C (Castagnoli) of ``data``; chainable via ``crc``."""
+    crc ^= 0xFFFFFFFF
+    for byte in data:
+        crc = _TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def masked_crc(data: bytes) -> int:
+    """TensorFlow's masked CRC: rotate right 15 and add a constant."""
+    crc = crc32c(data)
+    return (((crc >> 15) | (crc << 17)) + 0xA282EAD8) & 0xFFFFFFFF
+
+
+class TFRecordWriter:
+    """Appends records in the TensorFlow wire format."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "wb")
+        self.record_count = 0
+
+    def write(self, payload: bytes) -> None:
+        if not isinstance(payload, bytes):
+            raise TypeError("payload must be bytes")
+        header = struct.pack("<Q", len(payload))
+        self._fh.write(header)
+        self._fh.write(struct.pack("<I", masked_crc(header)))
+        self._fh.write(payload)
+        self._fh.write(struct.pack("<I", masked_crc(payload)))
+        self.record_count += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class TFRecordReader:
+    """Strict sequential reader; corruption raises (TFRecord has no
+    resync magic — unlike RecordIO, a bad record poisons the tail)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "rb")
+
+    def __iter__(self) -> Iterator[bytes]:
+        while True:
+            header = self._fh.read(8)
+            if not header:
+                return
+            if len(header) < 8:
+                raise TFRecordError("truncated length field")
+            crc_bytes = self._fh.read(4)
+            if len(crc_bytes) < 4:
+                raise TFRecordError("truncated length crc")
+            if struct.unpack("<I", crc_bytes)[0] != masked_crc(header):
+                raise TFRecordError("length crc mismatch")
+            (length,) = struct.unpack("<Q", header)
+            payload = self._fh.read(length)
+            if len(payload) < length:
+                raise TFRecordError("truncated payload")
+            data_crc = self._fh.read(4)
+            if len(data_crc) < 4:
+                raise TFRecordError("truncated payload crc")
+            if struct.unpack("<I", data_crc)[0] != masked_crc(payload):
+                raise TFRecordError("payload crc mismatch")
+            yield payload
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

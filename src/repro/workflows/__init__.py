@@ -1,0 +1,13 @@
+"""End-to-end workflow drivers: offline training (S5.2) and online
+inference (S5.3), plus windowed metrics."""
+
+from .inference import (INFERENCE_BACKENDS, InferenceConfig,
+                        InferenceResult, run_inference)
+from .metrics import CounterWindow, CpuWindow
+from .training import (TRAINING_BACKENDS, TrainingConfig, TrainingResult,
+                       ideal_training_throughput, run_training)
+
+__all__ = ["TrainingConfig", "TrainingResult", "run_training",
+           "ideal_training_throughput", "TRAINING_BACKENDS",
+           "InferenceConfig", "InferenceResult", "run_inference",
+           "INFERENCE_BACKENDS", "CounterWindow", "CpuWindow"]

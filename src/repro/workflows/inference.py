@@ -1,0 +1,169 @@
+"""Online-inference workflow driver (the S5.3 experiments).
+
+5 closed-loop clients stream JPEGs over the 40 Gbps fabric to a serving
+stack of {backend, TensorRT engine}; the driver measures steady-state
+throughput, serving latency (NIC receive -> prediction) and CPU cores —
+the three panels of Figs. 7, 8 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..backends import (CpuInferenceBackend, DLBoosterInferenceBackend,
+                        NvJpegInferenceBackend)
+from ..calib import DEFAULT_TESTBED, INFER_MODELS, Testbed
+from ..data import jpeg_size_sampler
+from ..engines import CpuCorePool, GpuDevice, InferenceEngine
+from ..host import BatchSpec
+from ..net import ClientFleet, Link, Nic
+from ..sim import Environment, LatencyRecorder, SeedBank
+from .metrics import CounterWindow, CpuWindow
+
+__all__ = ["InferenceConfig", "InferenceResult", "run_inference",
+           "INFERENCE_BACKENDS"]
+
+INFERENCE_BACKENDS = ("cpu-online", "nvjpeg", "dlbooster")
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    model: str                       # googlenet | vgg16 | resnet50
+    backend: str                     # INFERENCE_BACKENDS
+    batch_size: int = 1
+    num_gpus: int = 1
+    num_clients: Optional[int] = None    # default: testbed (5)
+    warmup_s: float = 1.0
+    measure_s: float = 4.0
+    seed: int = 0
+    max_workers: Optional[int] = None    # cpu-online
+    num_fpgas: int = 1                   # dlbooster
+    gpu_direct: bool = False             # dlbooster future-work (S7 (2))
+    # Unloaded mode: exactly one batch outstanding, so latency is pure
+    # pipeline time (the paper's "ultralow latency" bs=1 numbers are
+    # unloaded minima; under closed-loop saturation Little's law ties
+    # latency to the population instead).
+    unloaded: bool = False
+
+
+@dataclass
+class InferenceResult:
+    config: InferenceConfig
+    throughput: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    cpu_cores: float
+    cpu_breakdown: dict[str, float] = field(default_factory=dict)
+    gpu_compute_util: float = 0.0
+    gpu_decode_util: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+
+def _make_backend(cfg: InferenceConfig, env, testbed, cpu, nic, spec):
+    if cfg.backend == "cpu-online":
+        return CpuInferenceBackend(env, testbed, cpu, nic, spec,
+                                   max_workers=cfg.max_workers)
+    if cfg.backend == "nvjpeg":
+        return NvJpegInferenceBackend(env, testbed, cpu, nic, spec)
+    if cfg.backend == "dlbooster":
+        return DLBoosterInferenceBackend(env, testbed, cpu, nic, spec,
+                                         num_fpgas=cfg.num_fpgas,
+                                         gpu_direct=cfg.gpu_direct)
+    raise ValueError(f"unknown backend {cfg.backend!r}; "
+                     f"choose from {INFERENCE_BACKENDS}")
+
+
+def run_inference(cfg: InferenceConfig,
+                  testbed: Testbed = DEFAULT_TESTBED) -> InferenceResult:
+    """Execute one serving experiment and report its window metrics."""
+    if cfg.model not in INFER_MODELS:
+        raise ValueError(f"unknown model {cfg.model!r}")
+    if cfg.batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if cfg.num_gpus < 1 or cfg.num_gpus > testbed.gpu_count:
+        raise ValueError(f"num_gpus must be 1..{testbed.gpu_count}")
+
+    env = Environment()
+    seeds = SeedBank(cfg.seed)
+    spec = INFER_MODELS[cfg.model]
+    bspec = BatchSpec(batch_size=cfg.batch_size, out_h=spec.input_hw[0],
+                      out_w=spec.input_hw[1], channels=spec.channels)
+    cpu = CpuCorePool(env, testbed.cpu_cores)
+
+    link = Link(env, testbed.nic_rate, mtu=testbed.nic_mtu)
+    nic = Nic(env, link, cpu.tracker, per_packet_s=testbed.nic_per_packet_s,
+              rx_capacity=max(4096, 16 * cfg.batch_size))
+    num_clients = cfg.num_clients or testbed.inference_clients
+    # Closed-loop credit: ~2.5 batches per GPU outstanding — one being
+    # inferred, one being decoded, headroom for the copy — so the server
+    # saturates while the latency metric reflects pipeline time rather
+    # than unbounded queue build-up.
+    if cfg.unloaded:
+        total_window = cfg.batch_size * cfg.num_gpus
+        num_clients = min(num_clients, total_window)
+    else:
+        total_window = max(num_clients,
+                           int(2.5 * cfg.batch_size * cfg.num_gpus) + 2)
+    window = -(-total_window // num_clients)
+    fleet = ClientFleet(env, nic, num_clients=num_clients,
+                        image_hw=testbed.client_image_hw,
+                        rng=seeds.stream("clients"), window=window,
+                        size_sampler=jpeg_size_sampler())
+    fleet.start()
+
+    engines = []
+    for g in range(cfg.num_gpus):
+        gpu = GpuDevice(env, testbed, g)
+        engine = InferenceEngine(env, gpu, spec, cpu, testbed,
+                                 batch_size=cfg.batch_size)
+        engine.start()
+        engines.append(engine)
+
+    backend = _make_backend(cfg, env, testbed, cpu, nic, bspec)
+    backend.start(engines)
+
+    env.run(until=cfg.warmup_s)
+    predictions = CounterWindow(env, [e.predictions for e in engines])
+    cores = CpuWindow(env, cpu)
+    predictions.mark()
+    cores.mark()
+    gpu_busy_mark = {e.gpu.name: (e.gpu.busy.busy_seconds("infer"),
+                                  e.gpu.busy.busy_seconds("nvjpeg"))
+                     for e in engines}
+    for engine in engines:  # fresh latency windows
+        engine.latency = LatencyRecorder(name=f"{engine.gpu.name}.latency")
+    env.run(until=cfg.warmup_s + cfg.measure_s)
+
+    lat_all = LatencyRecorder()
+    for engine in engines:
+        for sample in engine.latency._sorted:
+            lat_all.record(sample)
+
+    breakdown = cores.breakdown()
+    window_s = cfg.measure_s
+    compute_util = sum(
+        e.gpu.busy.busy_seconds("infer") - gpu_busy_mark[e.gpu.name][0]
+        for e in engines) / (window_s * cfg.num_gpus)
+    decode_util = sum(
+        e.gpu.busy.busy_seconds("nvjpeg") - gpu_busy_mark[e.gpu.name][1]
+        for e in engines) / (window_s * cfg.num_gpus)
+
+    extras = {"client_rtt_ms": fleet.rtt.mean() * 1e3,
+              "rx_drops": nic.drops.total}
+    if cfg.backend == "dlbooster":
+        extras["decoder_utilizations"] = [
+            d.mirror.stage_utilizations() for d in backend.devices]
+
+    return InferenceResult(
+        config=cfg,
+        throughput=predictions.rate(),
+        latency_mean_ms=lat_all.mean() * 1e3,
+        latency_p50_ms=lat_all.p50() * 1e3,
+        latency_p99_ms=lat_all.p99() * 1e3,
+        cpu_cores=sum(breakdown.values()),
+        cpu_breakdown=breakdown,
+        gpu_compute_util=compute_util,
+        gpu_decode_util=decode_util,
+        extras=extras)

@@ -1,0 +1,74 @@
+"""Measurement-window helpers for the workflow drivers.
+
+Experiments warm the pipeline up, *mark*, run a measurement window and
+report deltas — so ramp-up (pipeline fill, first-epoch decode) never
+pollutes steady-state numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engines import CpuCorePool
+from ..sim import Counter, Environment
+
+__all__ = ["CpuWindow", "CounterWindow"]
+
+
+@dataclass
+class CounterWindow:
+    """Delta-rate measurement over one or more counters."""
+
+    env: Environment
+    counters: list[Counter]
+    _mark_t: float = 0.0
+    _mark_totals: list[float] = field(default_factory=list)
+
+    def mark(self) -> None:
+        self._mark_t = self.env.now
+        self._mark_totals = [c.total for c in self.counters]
+
+    def rate(self) -> float:
+        elapsed = self.env.now - self._mark_t
+        if elapsed <= 0:
+            return 0.0
+        delta = sum(c.total for c in self.counters) - sum(self._mark_totals)
+        return delta / elapsed
+
+    def delta(self) -> float:
+        return sum(c.total for c in self.counters) - sum(self._mark_totals)
+
+
+class CpuWindow:
+    """Windowed cores-used breakdown over a :class:`CpuCorePool`."""
+
+    def __init__(self, env: Environment, cpu: CpuCorePool):
+        self.env = env
+        self.cpu = cpu
+        self._mark_t = env.now
+        self._mark_busy: dict[str, float] = {}
+
+    def _categories(self) -> set[str]:
+        tracker = self.cpu.tracker
+        cats = set(tracker._busy)
+        cats.update(cat for cat, _ in tracker._open.values())
+        return cats
+
+    def mark(self) -> None:
+        self._mark_t = self.env.now
+        self._mark_busy = {cat: self.cpu.tracker.busy_seconds(cat)
+                           for cat in self._categories()}
+
+    def breakdown(self) -> dict[str, float]:
+        elapsed = self.env.now - self._mark_t
+        if elapsed <= 0:
+            return {}
+        out = {}
+        for cat in self._categories():
+            delta = (self.cpu.tracker.busy_seconds(cat)
+                     - self._mark_busy.get(cat, 0.0))
+            out[cat] = delta / elapsed
+        return out
+
+    def total_cores(self) -> float:
+        return sum(self.breakdown().values())

@@ -1,0 +1,95 @@
+"""Tests anchoring the calibration constants to the paper's numbers."""
+
+import dataclasses
+
+import pytest
+
+from repro.calib import (DEFAULT_TESTBED, GB, INFER_MODELS, KB, MB,
+                         TRAIN_MODELS)
+
+
+def test_unit_constants():
+    assert KB == 1024
+    assert MB == 1024 ** 2
+    assert GB == 1024 ** 3
+
+
+def test_testbed_matches_section_5_1():
+    tb = DEFAULT_TESTBED
+    assert tb.cpu_cores == 32          # "32 cores in all"
+    assert tb.gpu_count == 2           # 2x Tesla P100
+    assert tb.nic_rate == pytest.approx(40e9 / 8)  # 40 Gbps
+    assert tb.inference_clients == 5
+    assert tb.client_image_hw == (375, 500)
+
+
+def test_cpu_decode_anchor_300_per_core():
+    # S2.2: "each Xeon E5 CPU core can decode only 300 images per second"
+    # for the 500x375 color corpus image (~110 KB).
+    t = DEFAULT_TESTBED.cpu_decode_seconds(110_000, int(375 * 500 * 1.5))
+    assert 1 / t == pytest.approx(300, rel=0.1)
+
+
+def test_mnist_decode_much_cheaper():
+    t_mnist = DEFAULT_TESTBED.cpu_decode_seconds(700, 784)
+    t_imagenet = DEFAULT_TESTBED.cpu_decode_seconds(
+        110_000, int(375 * 500 * 1.5))
+    assert t_mnist < t_imagenet / 20
+
+
+def test_lmdb_record_service_anchor():
+    # AlexNet datum records (~197 KB) -> ~3,200 img/s aggregate (Fig. 2b).
+    per = DEFAULT_TESTBED.lmdb_record_seconds(256 * 256 * 3 + 64)
+    assert 1 / per == pytest.approx(3200, rel=0.12)
+
+
+def test_training_specs_cover_paper_models():
+    assert set(TRAIN_MODELS) == {"lenet5", "alexnet", "resnet18"}
+    assert TRAIN_MODELS["lenet5"].batch_size == 512
+    assert TRAIN_MODELS["alexnet"].batch_size == 256
+    assert TRAIN_MODELS["resnet18"].batch_size == 128
+    for spec in TRAIN_MODELS.values():
+        assert spec.train_rate > 0
+        assert spec.param_bytes > 0
+
+
+def test_inference_specs_cover_paper_models():
+    assert set(INFER_MODELS) == {"googlenet", "vgg16", "resnet50"}
+    assert INFER_MODELS["googlenet"].batch_size == 32
+    assert INFER_MODELS["vgg16"].batch_size == 32
+    assert INFER_MODELS["resnet50"].batch_size == 64
+    for spec in INFER_MODELS.values():
+        assert spec.peak_rate > 0
+        assert spec.half_sat_batch > 0
+
+
+def test_power_numbers_match_section_5_4():
+    tb = DEFAULT_TESTBED
+    assert tb.fpga_power_w == 25.0
+    assert tb.cpu_power_w == 130.0
+    assert tb.gpu_power_w == 250.0
+    assert 0.10 <= tb.core_price_per_hour <= 0.11
+    assert tb.fpga_equivalent_cores == 30
+
+
+def test_fpga_unit_counts_match_section_4_1():
+    tb = DEFAULT_TESTBED
+    assert tb.fpga_huffman_ways == 4
+    assert tb.fpga_resizer_ways == 2
+
+
+def test_testbed_is_immutable_but_replaceable():
+    tb = DEFAULT_TESTBED
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        tb.cpu_cores = 64
+    slower = dataclasses.replace(tb, nvme_read_rate=1 * GB)
+    assert slower.nvme_read_rate == GB
+    assert DEFAULT_TESTBED.nvme_read_rate == 2.5 * GB
+
+
+def test_cost_helpers_monotone():
+    tb = DEFAULT_TESTBED
+    assert tb.per_item_copy_seconds(2_000_000) > tb.per_item_copy_seconds(1)
+    assert tb.transform_seconds(1_000_000) > tb.transform_seconds(100)
+    assert tb.cpu_decode_seconds(200_000, 300_000) > \
+        tb.cpu_decode_seconds(100_000, 150_000)

@@ -1,0 +1,107 @@
+"""Tests for the parameter-server ring and the contention study."""
+
+import dataclasses
+
+import pytest
+
+from repro.calib import DEFAULT_TESTBED, TRAIN_MODELS
+from repro.cluster import (PsGroup, PsShardConfig, PsStudyConfig, PsWorker,
+                           run_ps_study)
+from repro.engines import CpuCorePool
+from repro.sim import Environment
+
+
+def test_shard_config_split():
+    cfg = PsShardConfig(world=4, param_bytes=1000)
+    assert cfg.shard_bytes == 250
+    odd = PsShardConfig(world=3, param_bytes=1000)
+    assert odd.shard_bytes == 334  # ceil
+
+
+def make_ring(world=2, cores=32, backend_delay=0.0):
+    env = Environment()
+    spec = TRAIN_MODELS["alexnet"]
+    group = PsGroup(env, PsShardConfig(world=world,
+                                       param_bytes=spec.param_bytes),
+                    link_rate=40e9 / 8)
+    workers = []
+    for idx in range(world):
+        cpu = CpuCorePool(env, cores, name=f"s{idx}")
+        worker = PsWorker(env, DEFAULT_TESTBED, spec, group, cpu, idx)
+
+        def source(env=env):
+            if backend_delay:
+                yield env.timeout(backend_delay)
+            else:
+                yield env.timeout(0)
+            return spec.batch_size
+
+        worker.start(source)
+        workers.append(worker)
+    return env, group, workers
+
+
+def test_ring_makes_lockstep_progress():
+    env, group, workers = make_ring(world=3)
+    env.run(until=3.0)
+    iters = [w.iterations.total for w in workers]
+    assert iters[0] > 3
+    # BSP: no worker is more than one iteration ahead.
+    assert max(iters) - min(iters) <= 1
+    assert group.rounds.total >= min(iters)
+
+
+def test_ring_iteration_includes_comm_and_agg():
+    env, group, workers = make_ring(world=2)
+    env.run(until=5.0)
+    iter_s = 5.0 / workers[0].iterations.total
+    from repro.engines import train_iteration_seconds
+    compute = train_iteration_seconds(TRAIN_MODELS["alexnet"], 256)
+    assert iter_s > compute  # sync adds real time
+
+
+def test_worker_double_start_rejected():
+    env, group, workers = make_ring(world=2)
+    with pytest.raises(RuntimeError):
+        workers[0].start(lambda: iter(()))
+
+
+def test_study_validation():
+    with pytest.raises(ValueError):
+        run_ps_study(PsStudyConfig(world=1))
+    with pytest.raises(ValueError):
+        run_ps_study(PsStudyConfig(backend="lmdb", world=2,
+                                   warmup_s=0.2, measure_s=0.5))
+
+
+def test_study_offload_immune_to_core_scarcity():
+    """S3.1 quantified: scarce cores hurt the CPU backend (decode and
+    PS aggregation contend) but not the offloaded one."""
+    tight = dataclasses.replace(DEFAULT_TESTBED, cpu_cores=4)
+    results = {}
+    for backend in ("dlbooster", "cpu-online"):
+        results[backend] = run_ps_study(
+            PsStudyConfig(backend=backend, world=2, warmup_s=0.5,
+                          measure_s=4.0), testbed=tight)
+    assert results["dlbooster"].throughput > \
+        1.1 * results["cpu-online"].throughput
+    assert results["cpu-online"].cpu_cores_per_server > \
+        results["dlbooster"].cpu_cores_per_server
+
+
+def test_study_parity_with_abundant_cores():
+    results = {}
+    for backend in ("dlbooster", "cpu-online"):
+        results[backend] = run_ps_study(
+            PsStudyConfig(backend=backend, world=2, warmup_s=0.5,
+                          measure_s=4.0))
+    ratio = results["dlbooster"].throughput / \
+        results["cpu-online"].throughput
+    assert 0.9 <= ratio <= 1.1  # 32 cores absorb both workloads
+
+
+def test_study_reports_aggregation_cores():
+    res = run_ps_study(PsStudyConfig(backend="dlbooster", world=2,
+                                     warmup_s=0.5, measure_s=3.0))
+    assert res.agg_cores_per_server > 0
+    assert res.extras["rounds"] > 0

@@ -1,0 +1,90 @@
+"""Tests for the synthetic corpora generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (functional_jpeg_manifest, imagenet_like_manifest,
+                        jpeg_size_sampler, mnist_like_manifest,
+                        synthetic_photo)
+from repro.jpeg import decode
+from repro.sim import SeedBank
+
+
+def test_imagenet_manifest_shape():
+    m = imagenet_like_manifest(500, SeedBank(0))
+    assert len(m) == 500
+    entry = m[0]
+    assert (entry.height, entry.width, entry.channels) == (375, 500, 3)
+    assert 0 <= entry.label < 1000
+
+
+def test_imagenet_sizes_lognormal_around_mean():
+    m = imagenet_like_manifest(3000, SeedBank(1))
+    sizes = np.array([e.size_bytes for e in m])
+    assert 90_000 < sizes.mean() < 140_000
+    assert sizes.min() >= 2048
+    assert sizes.std() > 20_000  # real variance, not constant
+
+
+def test_imagenet_manifest_deterministic():
+    a = [e.size_bytes for e in imagenet_like_manifest(100, SeedBank(7))]
+    b = [e.size_bytes for e in imagenet_like_manifest(100, SeedBank(7))]
+    assert a == b
+
+
+def test_mnist_manifest_shape():
+    m = mnist_like_manifest(1000, SeedBank(0))
+    assert len(m) == 1000
+    e = m[0]
+    assert (e.height, e.width, e.channels) == (28, 28, 1)
+    assert 0 <= e.label < 10
+
+
+def test_manifest_validation():
+    with pytest.raises(ValueError):
+        imagenet_like_manifest(0)
+    with pytest.raises(ValueError):
+        mnist_like_manifest(0)
+    with pytest.raises(ValueError):
+        functional_jpeg_manifest(0, 8, 8)
+
+
+def test_size_sampler_positive_and_spread():
+    rng = SeedBank(3).stream("x")
+    sampler = jpeg_size_sampler(mean_bytes=50_000)
+    samples = [sampler(rng) for _ in range(500)]
+    assert all(s >= 2048 for s in samples)
+    assert 30_000 < np.mean(samples) < 80_000
+
+
+def test_synthetic_photo_properties():
+    rng = np.random.default_rng(0)
+    img = synthetic_photo(rng, 32, 48)
+    assert img.shape == (32, 48, 3)
+    assert img.dtype == np.uint8
+    gray = synthetic_photo(rng, 16, 16, gray=True)
+    assert gray.shape == (16, 16)
+
+
+def test_synthetic_photo_compresses_like_a_photo():
+    from repro.jpeg import encode
+    rng = np.random.default_rng(1)
+    img = synthetic_photo(rng, 64, 64)
+    noise = rng.integers(0, 256, (64, 64, 3), dtype=np.uint8)
+    assert len(encode(img, 75)) < 0.7 * len(encode(noise, 75))
+
+
+def test_functional_manifest_carries_decodable_jpegs():
+    m = functional_jpeg_manifest(5, 40, 56, SeedBank(0))
+    for entry in m:
+        assert entry.payload is not None
+        assert entry.size_bytes == len(entry.payload)
+        img = decode(entry.payload)
+        assert img.shape == (40, 56, 3)
+
+
+def test_functional_manifest_gray():
+    m = functional_jpeg_manifest(2, 28, 28, SeedBank(0), gray=True)
+    img = decode(m[0].payload)
+    assert img.shape == (28, 28)
+    assert m[0].channels == 1

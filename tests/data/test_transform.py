@@ -1,0 +1,106 @@
+"""Tests for the Caffe-style augmentation transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (IMAGENET_MEAN, TransformSpec, apply_transform,
+                        mean_subtract, random_crop, random_mirror, to_chw)
+
+
+def img(h=16, w=20, c=3, seed=0):
+    rng = np.random.default_rng(seed)
+    shape = (h, w, c) if c else (h, w)
+    return rng.integers(0, 256, shape, dtype=np.uint8)
+
+
+def test_random_crop_shape_and_content():
+    rng = np.random.default_rng(0)
+    x = img(32, 32)
+    out = random_crop(x, 8, 8, rng)
+    assert out.shape == (8, 8, 3)
+    # The crop is a contiguous window of the source.
+    found = any(
+        np.array_equal(x[y:y + 8, xx:xx + 8], out)
+        for y in range(25) for xx in range(25))
+    assert found
+
+
+def test_random_crop_full_size_identity():
+    rng = np.random.default_rng(0)
+    x = img(8, 8)
+    np.testing.assert_array_equal(random_crop(x, 8, 8, rng), x)
+
+
+def test_random_crop_validation():
+    with pytest.raises(ValueError):
+        random_crop(img(8, 8), 9, 8, np.random.default_rng(0))
+
+
+def test_random_crop_deterministic_given_rng():
+    a = random_crop(img(32, 32), 8, 8, np.random.default_rng(7))
+    b = random_crop(img(32, 32), 8, 8, np.random.default_rng(7))
+    np.testing.assert_array_equal(a, b)
+
+
+def test_random_mirror_either_identity_or_flip():
+    x = img()
+    rng = np.random.default_rng(1)
+    outs = {random_mirror(x, rng).tobytes() for _ in range(20)}
+    assert outs == {x.tobytes(), x[:, ::-1].tobytes()}
+
+
+def test_mean_subtract_color_default():
+    x = np.full((2, 2, 3), 200, dtype=np.uint8)
+    out = mean_subtract(x)
+    np.testing.assert_allclose(out[0, 0], 200 - IMAGENET_MEAN)
+
+
+def test_mean_subtract_custom_and_validation():
+    x = img(4, 4)
+    out = mean_subtract(x, np.array([1.0, 2.0, 3.0]))
+    np.testing.assert_allclose(out[..., 2], x[..., 2] - 3.0)
+    with pytest.raises(ValueError):
+        mean_subtract(x, np.array([1.0, 2.0]))
+
+
+def test_to_chw_layouts():
+    x = img(4, 6)
+    out = to_chw(x)
+    assert out.shape == (3, 4, 6)
+    np.testing.assert_array_equal(out[1], x[..., 1])
+    gray = img(4, 6, c=0)
+    assert to_chw(gray).shape == (1, 4, 6)
+    with pytest.raises(ValueError):
+        to_chw(np.zeros((2, 2, 2, 2)))
+
+
+def test_apply_transform_train_pipeline():
+    spec = TransformSpec(crop_h=8, crop_w=8, mirror=True, scale=1 / 255.0)
+    out = apply_transform(img(16, 16), spec, np.random.default_rng(0))
+    assert out.shape == (3, 8, 8)
+    assert out.dtype == np.float64
+    assert np.abs(out).max() <= (255 + IMAGENET_MEAN.max()) / 255.0
+
+
+def test_apply_transform_eval_is_deterministic():
+    spec = TransformSpec(crop_h=8, crop_w=8, train=False)
+    a = apply_transform(img(16, 16), spec)
+    b = apply_transform(img(16, 16), spec)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_apply_transform_train_needs_rng():
+    spec = TransformSpec(crop_h=8, crop_w=8)
+    with pytest.raises(ValueError):
+        apply_transform(img(16, 16), spec)
+
+
+@given(st.integers(1, 12), st.integers(1, 12), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_apply_transform_shape_property(ch, cw, seed):
+    x = img(12, 12, seed=seed)
+    spec = TransformSpec(crop_h=ch, crop_w=cw)
+    out = apply_transform(x, spec, np.random.default_rng(seed))
+    assert out.shape == (3, ch, cw)

@@ -1,0 +1,203 @@
+"""Tests for model cost helpers, training solvers and inference engines."""
+
+import pytest
+
+from repro.calib import DEFAULT_TESTBED, INFER_MODELS, TRAIN_MODELS
+from repro.engines import (CpuCorePool, DeviceBatch, GpuDevice,
+                           InferenceEngine, SyncGroup, TrainingSolver,
+                           allreduce_seconds, get_model,
+                           inference_batch_seconds, inference_rate,
+                           train_iteration_seconds)
+from repro.sim import Environment
+
+
+# ----------------------------------------------------------------- models
+def test_get_model_both_zoos():
+    assert get_model("alexnet").name == "alexnet"
+    assert get_model("resnet50").name == "resnet50"
+    with pytest.raises(KeyError):
+        get_model("bert")
+
+
+def test_train_iteration_seconds():
+    spec = TRAIN_MODELS["alexnet"]
+    assert train_iteration_seconds(spec, 256) == pytest.approx(256 / 2496.0)
+    with pytest.raises(ValueError):
+        train_iteration_seconds(INFER_MODELS["vgg16"], 32)
+
+
+def test_inference_rate_saturates():
+    spec = INFER_MODELS["googlenet"]
+    r1 = inference_rate(spec, 1)
+    r32 = inference_rate(spec, 32)
+    assert r1 < r32 < spec.peak_rate
+    assert r32 > 0.9 * spec.peak_rate
+    with pytest.raises(ValueError):
+        inference_rate(spec, 0)
+    with pytest.raises(ValueError):
+        inference_rate(TRAIN_MODELS["lenet5"], 8)
+
+
+def test_inference_batch_seconds_monotone():
+    spec = INFER_MODELS["resnet50"]
+    assert inference_batch_seconds(spec, 64) > inference_batch_seconds(
+        spec, 1)
+
+
+def test_allreduce_scaling():
+    spec = TRAIN_MODELS["alexnet"]
+    assert allreduce_seconds(spec, 1, DEFAULT_TESTBED) == 0.0
+    t2 = allreduce_seconds(spec, 2, DEFAULT_TESTBED)
+    t4 = allreduce_seconds(spec, 4, DEFAULT_TESTBED)
+    assert t2 > 0
+    assert t4 > t2  # 2(n-1)/n grows with n
+    # AlexNet's 2-GPU scaling efficiency lands near the paper's 93%.
+    compute = train_iteration_seconds(spec, 256)
+    eff = compute / (compute + t2)
+    assert 0.90 <= eff <= 0.96
+
+
+# ---------------------------------------------------------------- solvers
+def feed_forever(env, solver, batch_size):
+    def feeder(env):
+        while True:
+            batch = yield from solver.trans_queues.free.get()
+            batch.item_count = batch_size
+            yield from solver.trans_queues.full.put(batch)
+
+    env.process(feeder(env))
+
+
+def test_training_solver_throughput_matches_spec():
+    env = Environment()
+    cpu = CpuCorePool(env, 32)
+    spec = TRAIN_MODELS["alexnet"]
+    sync = SyncGroup(env, 1, spec, DEFAULT_TESTBED)
+    solver = TrainingSolver(env, GpuDevice(env, DEFAULT_TESTBED), spec,
+                            sync, cpu, DEFAULT_TESTBED)
+    solver.start()
+    feed_forever(env, solver, 256)
+    env.run(until=10.0)
+    assert solver.throughput() == pytest.approx(spec.train_rate, rel=0.05)
+
+
+def test_training_solver_charges_launch_and_update_cpu():
+    env = Environment()
+    cpu = CpuCorePool(env, 32)
+    spec = TRAIN_MODELS["alexnet"]
+    sync = SyncGroup(env, 1, spec, DEFAULT_TESTBED)
+    solver = TrainingSolver(env, GpuDevice(env, DEFAULT_TESTBED), spec,
+                            sync, cpu, DEFAULT_TESTBED)
+    solver.start()
+    feed_forever(env, solver, 256)
+    env.run(until=10.0)
+    bd = cpu.breakdown()
+    assert bd["kernels"] == pytest.approx(0.95, rel=0.1)
+    assert bd["update"] == pytest.approx(0.12, rel=0.15)
+
+
+def test_two_solvers_sync_throughput():
+    env = Environment()
+    cpu = CpuCorePool(env, 32)
+    spec = TRAIN_MODELS["alexnet"]
+    sync = SyncGroup(env, 2, spec, DEFAULT_TESTBED)
+    solvers = []
+    for g in range(2):
+        s = TrainingSolver(env, GpuDevice(env, DEFAULT_TESTBED, g), spec,
+                           sync, cpu, DEFAULT_TESTBED)
+        s.start()
+        feed_forever(env, s, 256)
+        solvers.append(s)
+    env.run(until=10.0)
+    total = sum(s.throughput() for s in solvers)
+    # Paper Fig. 2: ideal 2-GPU AlexNet ~4,652 img/s.
+    assert total == pytest.approx(4652, rel=0.05)
+    assert sync.rounds == solvers[0].iterations.total
+
+
+def test_sync_group_validation():
+    with pytest.raises(ValueError):
+        SyncGroup(Environment(), 0, TRAIN_MODELS["alexnet"],
+                  DEFAULT_TESTBED)
+
+
+def test_solver_double_start_rejected():
+    env = Environment()
+    cpu = CpuCorePool(env, 4)
+    spec = TRAIN_MODELS["lenet5"]
+    sync = SyncGroup(env, 1, spec, DEFAULT_TESTBED)
+    solver = TrainingSolver(env, GpuDevice(env, DEFAULT_TESTBED), spec,
+                            sync, cpu, DEFAULT_TESTBED)
+    solver.start()
+    with pytest.raises(RuntimeError):
+        solver.start()
+
+
+# ---------------------------------------------------------------- engines
+class FakeRequest:
+    def __init__(self, env, received_at):
+        self.received_at = received_at
+        self.done_event = env.event()
+        self.request = self
+
+
+def test_inference_engine_completes_requests():
+    env = Environment()
+    cpu = CpuCorePool(env, 8)
+    spec = INFER_MODELS["googlenet"]
+    engine = InferenceEngine(env, GpuDevice(env, DEFAULT_TESTBED), spec,
+                             cpu, DEFAULT_TESTBED, batch_size=4)
+    engine.start()
+    reqs = [FakeRequest(env, received_at=0.0) for _ in range(4)]
+
+    def feeder(env):
+        batch = yield from engine.trans_queues.free.get()
+        batch.item_count = 4
+        batch.payload = reqs
+        yield from engine.trans_queues.full.put(batch)
+
+    env.process(feeder(env))
+    env.run(until=1.0)
+    assert all(r.done_event.triggered for r in reqs)
+    assert engine.predictions.total == 4
+    assert engine.latency.count == 4
+    expected = inference_batch_seconds(spec, 4)
+    assert engine.latency.mean() == pytest.approx(expected, rel=0.05)
+
+
+def test_inference_engine_throughput_at_batch():
+    env = Environment()
+    cpu = CpuCorePool(env, 8)
+    spec = INFER_MODELS["vgg16"]
+    engine = InferenceEngine(env, GpuDevice(env, DEFAULT_TESTBED), spec,
+                             cpu, DEFAULT_TESTBED, batch_size=32)
+    engine.start()
+
+    def feeder(env):
+        while True:
+            batch = yield from engine.trans_queues.free.get()
+            batch.item_count = 32
+            batch.payload = []
+            yield from engine.trans_queues.full.put(batch)
+
+    env.process(feeder(env))
+    env.run(until=5.0)
+    assert engine.throughput() == pytest.approx(
+        inference_rate(spec, 32), rel=0.05)
+
+
+def test_inference_engine_validation():
+    env = Environment()
+    cpu = CpuCorePool(env, 8)
+    with pytest.raises(ValueError):
+        InferenceEngine(env, GpuDevice(env, DEFAULT_TESTBED),
+                        INFER_MODELS["vgg16"], cpu, DEFAULT_TESTBED,
+                        batch_size=0)
+
+
+def test_device_batch_reset():
+    batch = DeviceBatch(device_addr=1, capacity_bytes=10, gpu_index=0,
+                        payload=[1], item_count=5, tag="x")
+    batch.reset()
+    assert batch.payload is None and batch.item_count == 0
+    assert batch.tag is None

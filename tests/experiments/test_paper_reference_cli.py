@@ -1,0 +1,67 @@
+"""Tests for the paper-claims ledger, the CSV export and the CLI."""
+
+import pytest
+
+from repro.experiments import (ALL_EXPERIMENTS, PAPER_CLAIMS, Report,
+                               claims_for)
+from repro.experiments.__main__ import main as experiments_main
+
+
+def test_every_experiment_has_paper_claims():
+    for key in ALL_EXPERIMENTS:
+        assert claims_for(key), f"no paper claims recorded for {key}"
+
+
+def test_claims_ledger_wellformed():
+    kinds = {"ratio", "ordering", "absolute", "bound"}
+    for claim in PAPER_CLAIMS:
+        assert claim.experiment_id in ALL_EXPERIMENTS
+        assert claim.kind in kinds
+        assert claim.paper_value
+        assert claim.source.startswith(("S", "Fig"))
+
+
+def test_claims_for_unknown_is_empty():
+    assert claims_for("fig99") == ()
+
+
+def test_headline_claims_present():
+    texts = " | ".join(c.paper_value for c in PAPER_CLAIMS)
+    assert "1.2x~2.4x" in texts            # throughput headline
+    assert "1.2 / 1.8 / 3.4 ms" in texts   # latency headline
+    assert "~0.5 core/GPU" in texts        # CPU-cost headline
+
+
+def test_report_csv_export():
+    rep = Report("figX", "Test", columns=["a", "b"])
+    rep.add_row(1, "x,y")
+    rep.add_row(2.5, "z")
+    csv_text = rep.to_csv()
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == '1,"x,y"'  # quoting handled
+    assert lines[2] == "2.5,z"
+
+
+def test_cli_runs_analytic_subset(capsys):
+    code = experiments_main(["sec2.2", "sec5.4"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "all shape checks passed" in out
+    assert "sec2.2" in out and "sec5.4" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        experiments_main(["fig99"])
+
+
+def test_cli_csv_export(tmp_path, capsys):
+    code = experiments_main(["sec2.2", "--csv-dir", str(tmp_path)])
+    capsys.readouterr()
+    assert code == 0
+    csv_file = tmp_path / "sec2_2.csv"
+    assert csv_file.exists()
+    lines = csv_file.read_text().strip().splitlines()
+    assert lines[0].startswith("platform,")
+    assert len(lines) == 3  # header + 2 rows

@@ -1,0 +1,93 @@
+"""Tests for the report infrastructure and the cheap experiments.
+
+The heavyweight figure experiments run in ``benchmarks/``; here we test
+the report machinery itself plus the two analytic experiments, and one
+miniature figure run to validate the experiment plumbing end to end.
+"""
+
+import pytest
+
+from repro.experiments import (ALL_EXPERIMENTS, Report, ShapeCheck,
+                               econ_analysis, fig5_train_throughput,
+                               fmt_table, scalability)
+
+
+# ----------------------------------------------------------------- report
+def test_report_add_row_and_render():
+    rep = Report("figX", "Test", columns=["a", "b"])
+    rep.add_row(1, 2.5)
+    rep.add_row("x", 12345.0)
+    text = rep.render()
+    assert "figX" in text and "12,345" in text
+
+
+def test_report_row_width_validation():
+    rep = Report("figX", "Test", columns=["a", "b"])
+    with pytest.raises(ValueError):
+        rep.add_row(1)
+
+
+def test_report_checks_and_failures():
+    rep = Report("figX", "Test", columns=["a"])
+    rep.check("always true", 1 < 2)
+    rep.check("always false", 1 > 2, "why")
+    assert not rep.all_passed
+    assert len(rep.failed_checks()) == 1
+    rendered = rep.render()
+    assert "[PASS] always true" in rendered
+    assert "[FAIL] always false — why" in rendered
+
+
+def test_shape_check_str():
+    assert str(ShapeCheck("claim", True)) == "[PASS] claim"
+    assert "detail" in str(ShapeCheck("claim", False, "detail"))
+
+
+def test_fmt_table_alignment():
+    text = fmt_table(["name", "value"], [("a", 1), ("long-name", 123456.0)])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(line) for line in lines)) == 1  # aligned
+
+
+def test_fmt_table_empty_rows():
+    text = fmt_table(["col"], [])
+    assert "col" in text
+
+
+def test_registry_covers_every_table_and_figure():
+    assert set(ALL_EXPERIMENTS) == {
+        "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "sec5.4", "sec2.2"}
+
+
+# ------------------------------------------------------------- analytic
+def test_scalability_experiment_passes():
+    rep = scalability.run(quick=True)
+    assert rep.all_passed, rep.render()
+    assert len(rep.rows) == 2
+
+
+def test_econ_experiment_passes():
+    rep = econ_analysis.run(quick=True)
+    assert rep.all_passed, rep.render()
+    quantities = {row[0] for row in rep.rows}
+    assert "freed-core resale" in quantities
+    assert "LMDB ingest of ILSVRC12" in quantities
+
+
+def test_econ_helpers():
+    assert econ_analysis.core_revenue_per_year() == pytest.approx(
+        0.105 * 8760)
+    assert econ_analysis.freed_core_value_per_hour() == pytest.approx(3.15)
+    assert econ_analysis.fpga_breakeven_hours() > 0
+    assert econ_analysis.power_cost_per_year(1000) == pytest.approx(
+        8760 * 0.12)
+
+
+# --------------------------------------------------------- one mini figure
+def test_fig5_single_model_mini_run():
+    rep = fig5_train_throughput.run(quick=True, models=("resnet18",))
+    assert rep.experiment_id == "fig5"
+    assert rep.all_passed, rep.render()
+    backends = {row[1] for row in rep.rows}
+    assert backends == {"upper-bound", "cpu-online", "lmdb", "dlbooster"}

@@ -1,0 +1,123 @@
+"""Tests for the pluggable-mirror registry and non-image mirrors."""
+
+import numpy as np
+import pytest
+
+from repro.calib import DEFAULT_TESTBED
+from repro.fpga import (AudioCmd, AudioSpectrogramMirror, FpgaDevice,
+                        ImageDecoderMirror, MIRROR_REGISTRY, TextCmd,
+                        TextQuantizerMirror, create_mirror, register_mirror)
+from repro.sim import Environment
+
+
+def test_registry_ships_three_mirrors():
+    for name in ("image-decoder", "audio-spectrogram", "text-quantizer"):
+        assert name in MIRROR_REGISTRY
+
+
+def test_create_mirror_by_name():
+    env = Environment()
+    mirror = create_mirror("image-decoder", env, DEFAULT_TESTBED)
+    assert isinstance(mirror, ImageDecoderMirror)
+
+
+def test_create_unknown_mirror():
+    with pytest.raises(KeyError, match="available"):
+        create_mirror("video-transcoder", Environment(), DEFAULT_TESTBED)
+
+
+def test_register_custom_mirror():
+    register_mirror("custom-test", lambda env, tb, **kw: "sentinel")
+    assert create_mirror("custom-test", Environment(),
+                         DEFAULT_TESTBED) == "sentinel"
+    del MIRROR_REGISTRY["custom-test"]
+
+
+def test_register_requires_callable():
+    with pytest.raises(TypeError):
+        register_mirror("bad", 42)
+
+
+def _drive_audio(functional=False, n=20):
+    env = Environment()
+    device = FpgaDevice(env, DEFAULT_TESTBED)
+    mirror = AudioSpectrogramMirror(env, DEFAULT_TESTBED,
+                                    functional=functional)
+    device.load_mirror(mirror)
+    rng = np.random.default_rng(0)
+
+    done = []
+
+    def submit(env):
+        for i in range(n):
+            samples = rng.standard_normal(4096) if functional else None
+            cmd = AudioCmd(cmd_id=i, num_samples=4096, frame_size=512,
+                           dest_phy=0x4000_0000, dest_offset=0,
+                           samples=samples)
+            yield from mirror.cmd_queue.put(cmd)
+
+    def collect(env):
+        while len(done) < n:
+            done.append((yield from mirror.finish_queue.get()))
+
+    env.process(submit(env))
+    proc = env.process(collect(env))
+    env.run(until=proc)
+    return env, mirror, done
+
+
+def test_audio_mirror_processes_commands():
+    env, mirror, done = _drive_audio()
+    assert len(done) == 20
+    assert mirror.decoded.total == 20
+    assert env.now > 0
+
+
+def test_audio_mirror_functional_spectrogram():
+    env, mirror, done = _drive_audio(functional=True, n=3)
+    record, spectra = done[0]
+    assert spectra.shape == (8, 512)  # 4096 samples / 512 frame
+    assert spectra.dtype == np.float32
+    assert np.all(spectra >= 0)  # log1p(|dct|)
+
+
+def test_audio_mirror_fits_device():
+    env = Environment()
+    mirror = AudioSpectrogramMirror(env, DEFAULT_TESTBED)
+    device = FpgaDevice(env, DEFAULT_TESTBED)
+    device.load_mirror(mirror)
+    assert device.clb_free >= 0
+
+
+def test_text_mirror_processes_commands():
+    env = Environment()
+    device = FpgaDevice(env, DEFAULT_TESTBED)
+    mirror = TextQuantizerMirror(env, DEFAULT_TESTBED)
+    device.load_mirror(mirror)
+    done = []
+
+    def submit(env):
+        for i in range(10):
+            cmd = TextCmd(cmd_id=i, num_tokens=128, embed_dim=256,
+                          dest_phy=0x4000_0000, dest_offset=0)
+            yield from mirror.cmd_queue.put(cmd)
+
+    def collect(env):
+        while len(done) < 10:
+            done.append((yield from mirror.finish_queue.get()))
+
+    env.process(submit(env))
+    proc = env.process(collect(env))
+    env.run(until=proc)
+    assert len(done) == 10
+    assert done[0].out_bytes == 128 * 256 * 4
+
+
+def test_mirror_swap_image_to_audio():
+    """S3.1: different preprocessing mirrors download to the same board."""
+    env = Environment()
+    device = FpgaDevice(env, DEFAULT_TESTBED)
+    device.load_mirror(ImageDecoderMirror(env, DEFAULT_TESTBED))
+    audio = AudioSpectrogramMirror(env, DEFAULT_TESTBED)
+    device.load_mirror(audio)
+    assert device.mirror is audio

@@ -1,0 +1,101 @@
+"""Tests for the DataCollector and the Table-1 API inventory."""
+
+import pytest
+
+from repro.calib import DEFAULT_TESTBED
+from repro.engines import CpuCorePool
+from repro.host import DataCollector, TABLE1, validate_table1
+from repro.net import Link, NetRequest, Nic
+from repro.sim import Environment, SeedBank
+from repro.storage import FileManifest
+
+
+def test_table1_fully_implemented():
+    assert validate_table1() == []
+
+
+def test_table1_covers_paper_rows():
+    owners = {row.owner for row in TABLE1}
+    assert owners == {"FPGAChannel", "MemManager", "DataCollector"}
+    apis = {row.api for row in TABLE1}
+    assert apis == {"submit_cmd", "drain_out", "get_item", "recycle_item",
+                    "phy2virt", "virt2phy", "load_from_disk",
+                    "load_from_net"}
+
+
+def make_manifest(n=10):
+    m = FileManifest()
+    for i in range(n):
+        m.add(f"{i}.jpg", size_bytes=1000 + i, height=375, width=500,
+              channels=3, label=i % 3)
+    return m
+
+
+def test_disk_epoch_translates_metadata():
+    env = Environment()
+    coll = DataCollector(env)
+    coll.load_from_disk(make_manifest(5))
+    items = list(coll.disk_epoch())
+    assert len(items) == 5
+    assert all(i.source == "disk" for i in items)
+    assert items[0].size_bytes == 1000
+    assert items[0].work_pixels == int(375 * 500 * 1.5)
+    assert coll.items_from_disk.total == 5
+
+
+def test_disk_epoch_shuffle():
+    env = Environment()
+    coll = DataCollector(env)
+    coll.load_from_disk(make_manifest(50))
+    rng = SeedBank(1).stream("shuffle")
+    shuffled = [i.entry.file_id for i in coll.disk_epoch(rng)]
+    assert sorted(shuffled) == list(range(50))
+    assert shuffled != list(range(50))
+
+
+def test_disk_epoch_without_load_raises():
+    coll = DataCollector(Environment())
+    with pytest.raises(RuntimeError, match="load_from_disk"):
+        next(coll.disk_epoch())
+
+
+def test_net_source_blocks_until_arrival():
+    env = Environment()
+    link = Link(env, 1e9)
+    cpu = CpuCorePool(env, 4)
+    nic = Nic(env, link, cpu.tracker, per_packet_s=1e-6)
+    coll = DataCollector(env)
+    coll.load_from_net(nic)
+    got = []
+
+    def consumer(env):
+        item = yield from coll.next_from_net()
+        got.append((env.now, item))
+
+    def sender(env):
+        yield env.timeout(0.5)
+        req = NetRequest(request_id=1, client_id=0, size_bytes=50_000,
+                         height=375, width=500, channels=3, sent_at=env.now)
+        yield from nic.deliver(req)
+
+    env.process(consumer(env))
+    env.process(sender(env))
+    env.run()
+    assert len(got) == 1
+    t, item = got[0]
+    assert t > 0.5
+    assert item.source == "dram"
+    assert item.request.request_id == 1
+    assert coll.items_from_net.total == 1
+
+
+def test_net_source_without_load_raises():
+    env = Environment()
+    coll = DataCollector(env)
+
+    def p(env):
+        yield from coll.next_from_net()
+
+    env.process(p(env))
+    with pytest.raises(RuntimeError, match="load_from_net"):
+        env.run()

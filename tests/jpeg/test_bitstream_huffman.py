@@ -1,0 +1,272 @@
+"""Tests for bit I/O, byte stuffing and Huffman coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jpeg import (STD_AC_CHROMA, STD_AC_LUMA, STD_DC_CHROMA,
+                        STD_DC_LUMA, BitReader, BitWriter, EndOfScan,
+                        HuffmanTable, build_table_from_freqs)
+from repro.jpeg.huffman import (decode_block, decode_magnitude, encode_block,
+                                encode_magnitude, magnitude_category)
+
+
+# -------------------------------------------------------------- bitstream
+def test_bitwriter_msb_first():
+    w = BitWriter()
+    w.write(0b1, 1)
+    w.write(0b0101, 4)
+    w.write(0b101, 3)
+    assert w.getvalue() == bytes([0b10101101])
+
+
+def test_bitwriter_stuffs_ff():
+    w = BitWriter()
+    w.write(0xFF, 8)
+    assert w.getvalue() == b"\xFF\x00"
+
+
+def test_bitwriter_flush_pads_with_ones():
+    w = BitWriter()
+    w.write(0b10, 2)
+    w.flush()
+    assert w.getvalue() == bytes([0b10111111])
+
+
+def test_bitwriter_validation():
+    w = BitWriter()
+    with pytest.raises(ValueError):
+        w.write(4, 2)  # doesn't fit
+    with pytest.raises(ValueError):
+        w.write(0, -1)
+    w.write(0, 0)  # zero-width is a no-op
+    assert len(w) == 0
+
+
+def test_bitreader_unstuffs_ff00():
+    r = BitReader(b"\xFF\x00\x80")
+    assert r.read(8) == 0xFF
+    assert r.read(8) == 0x80
+
+
+def test_bitreader_stops_at_marker():
+    r = BitReader(b"\xAB\xFF\xD9")
+    assert r.read(8) == 0xAB
+    with pytest.raises(EndOfScan):
+        r.read(8)
+    assert r.marker_found == 0xD9
+
+
+def test_bitreader_out_of_data():
+    r = BitReader(b"\xAA")
+    assert r.read(8) == 0xAA
+    with pytest.raises(EndOfScan):
+        r.read(1)
+
+
+def test_bit_roundtrip_random_payload():
+    rng = np.random.default_rng(0)
+    fields = [(int(rng.integers(0, 1 << n)), n)
+              for n in rng.integers(1, 17, size=200)]
+    w = BitWriter()
+    for value, n in fields:
+        w.write(value, n)
+    w.flush()
+    r = BitReader(w.getvalue())
+    for value, n in fields:
+        assert r.read(n) == value
+
+
+def test_rst_marker_roundtrip():
+    w = BitWriter()
+    w.write(0b101, 3)
+    w.emit_marker(0xD3)
+    w.write(0xAB, 8)
+    w.flush()
+    r = BitReader(w.getvalue())
+    assert r.read(3) == 0b101
+    assert r.align_and_consume_rst() == 3
+    assert r.read(8) == 0xAB
+
+
+def test_rst_expected_but_missing():
+    r = BitReader(b"\x00\x01")
+    with pytest.raises(EndOfScan):
+        r.align_and_consume_rst()
+
+
+# ---------------------------------------------------------------- huffman
+def test_standard_tables_wellformed():
+    for table in (STD_DC_LUMA, STD_AC_LUMA, STD_DC_CHROMA, STD_AC_CHROMA):
+        assert sum(table.bits) == len(table.values)
+        lengths = table.code_lengths()
+        assert all(1 <= ln <= 16 for ln in lengths.values())
+
+
+def test_huffman_codes_prefix_free():
+    for table in (STD_DC_LUMA, STD_AC_LUMA, STD_DC_CHROMA, STD_AC_CHROMA):
+        codes = [(format(code, f"0{ln}b"))
+                 for code, ln in table.encode_map.values()]
+        codes.sort()
+        for a, b in zip(codes, codes[1:]):
+            assert not b.startswith(a), f"{a} is a prefix of {b}"
+
+
+def test_huffman_encode_decode_all_symbols():
+    for table in (STD_DC_LUMA, STD_AC_LUMA, STD_DC_CHROMA, STD_AC_CHROMA):
+        w = BitWriter()
+        symbols = list(table.values)
+        for s in symbols:
+            table.encode(w, s)
+        w.flush()
+        r = BitReader(w.getvalue())
+        for s in symbols:
+            assert table.decode(r) == s
+
+
+def test_huffman_unknown_symbol_rejected():
+    w = BitWriter()
+    with pytest.raises(ValueError):
+        STD_DC_LUMA.encode(w, 200)
+
+
+def test_huffman_table_validation():
+    with pytest.raises(ValueError):
+        HuffmanTable(bits=(1,) * 8, values=(0,))  # sum mismatch
+    with pytest.raises(ValueError):
+        HuffmanTable(bits=(0,) * 16, values=())  # empty
+    with pytest.raises(ValueError):
+        HuffmanTable(bits=(3,) + (0,) * 15, values=(0, 1, 2))  # oversubscribed
+    with pytest.raises(ValueError):
+        HuffmanTable(bits=(0, 2) + (0,) * 14, values=(5, 5))  # duplicate
+
+
+# -------------------------------------------------------------- magnitudes
+@pytest.mark.parametrize("value,category", [
+    (0, 0), (1, 1), (-1, 1), (2, 2), (3, 2), (-3, 2), (4, 3), (7, 3),
+    (255, 8), (-255, 8), (1023, 10), (-1024, 11), (2047, 11),
+])
+def test_magnitude_category(value, category):
+    assert magnitude_category(value) == category
+
+
+@given(st.integers(-32767, 32767))
+@settings(max_examples=200, deadline=None)
+def test_magnitude_roundtrip_property(value):
+    bits, ssss = encode_magnitude(value)
+    assert decode_magnitude(bits, ssss) == value
+
+
+# ------------------------------------------------------------ block coding
+def _roundtrip_block(zz):
+    w = BitWriter()
+    pred = encode_block(w, zz, 0, STD_DC_LUMA, STD_AC_LUMA)
+    w.flush()
+    r = BitReader(w.getvalue())
+    decoded, pred2 = decode_block(r, 0, STD_DC_LUMA, STD_AC_LUMA)
+    assert pred == pred2
+    return decoded
+
+
+def test_block_roundtrip_sparse():
+    zz = np.zeros(64, dtype=np.int32)
+    zz[0] = 120
+    zz[3] = -7
+    zz[20] = 1
+    np.testing.assert_array_equal(_roundtrip_block(zz), zz)
+
+
+def test_block_roundtrip_zrl_run():
+    # Long zero runs exercise the ZRL (16-zero) symbol.
+    zz = np.zeros(64, dtype=np.int32)
+    zz[0] = 5
+    zz[40] = 3
+    np.testing.assert_array_equal(_roundtrip_block(zz), zz)
+
+
+def test_block_roundtrip_dense():
+    rng = np.random.default_rng(1)
+    zz = rng.integers(-200, 200, 64).astype(np.int32)
+    np.testing.assert_array_equal(_roundtrip_block(zz), zz)
+
+
+def test_block_roundtrip_all_zero():
+    zz = np.zeros(64, dtype=np.int32)
+    np.testing.assert_array_equal(_roundtrip_block(zz), zz)
+
+
+def test_block_last_coefficient_no_eob():
+    # Non-zero in position 63 means no EOB symbol is written.
+    zz = np.zeros(64, dtype=np.int32)
+    zz[63] = -2
+    np.testing.assert_array_equal(_roundtrip_block(zz), zz)
+
+
+def test_dc_prediction_chain():
+    w = BitWriter()
+    blocks = []
+    pred = 0
+    rng = np.random.default_rng(2)
+    for _ in range(10):
+        zz = np.zeros(64, dtype=np.int32)
+        zz[0] = int(rng.integers(-500, 500))
+        blocks.append(zz)
+        pred = encode_block(w, zz, pred, STD_DC_LUMA, STD_AC_LUMA)
+    w.flush()
+    r = BitReader(w.getvalue())
+    pred = 0
+    for zz in blocks:
+        decoded, pred = decode_block(r, pred, STD_DC_LUMA, STD_AC_LUMA)
+        assert decoded[0] == zz[0]
+
+
+@given(st.lists(st.tuples(st.integers(1, 63), st.integers(-255, 255)),
+                max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_block_roundtrip_property(entries):
+    zz = np.zeros(64, dtype=np.int32)
+    zz[0] = 100
+    for pos, val in entries:
+        zz[pos] = val
+    np.testing.assert_array_equal(_roundtrip_block(zz), zz)
+
+
+# ----------------------------------------------------- optimized tables
+def test_build_table_from_freqs_roundtrip():
+    freqs = {0: 100, 1: 50, 2: 25, 3: 10, 4: 5, 5: 1}
+    table = build_table_from_freqs(freqs)
+    w = BitWriter()
+    for s in freqs:
+        table.encode(w, s)
+    w.flush()
+    r = BitReader(w.getvalue())
+    for s in freqs:
+        assert table.decode(r) == s
+
+
+def test_build_table_frequent_symbols_shorter():
+    freqs = {0: 1000, 1: 1}
+    lengths = build_table_from_freqs(freqs).code_lengths()
+    assert lengths[0] <= lengths[1]
+
+
+def test_build_table_length_limit():
+    # Pathological exponential frequencies would want >16-bit codes.
+    freqs = {i: 2 ** i for i in range(25)}
+    lengths = build_table_from_freqs(freqs).code_lengths()
+    assert max(lengths.values()) <= 16
+    assert len(lengths) == 25
+
+
+def test_build_table_empty_rejected():
+    with pytest.raises(ValueError):
+        build_table_from_freqs({})
+
+
+def test_build_table_single_symbol():
+    table = build_table_from_freqs({7: 42})
+    w = BitWriter()
+    table.encode(w, 7)
+    w.flush()
+    assert table.decode(BitReader(w.getvalue())) == 7

@@ -1,0 +1,229 @@
+"""Tests for the DCT, quantization-table and color-space primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy.fft import dctn, idctn
+
+from repro.jpeg import (STD_CHROMA_QTABLE, STD_LUMA_QTABLE, fdct2, idct2,
+                        idct2_dequant, rgb_to_ycbcr, scale_qtable,
+                        subsample_420, upsample_420, ycbcr_to_rgb,
+                        zigzag_flatten, zigzag_unflatten)
+from repro.jpeg.quant import INV_ZIGZAG, ZIGZAG
+
+
+# ------------------------------------------------------------------- DCT
+def test_fdct_matches_scipy():
+    rng = np.random.default_rng(0)
+    block = rng.uniform(-128, 127, (8, 8))
+    ours = fdct2(block)
+    ref = dctn(block, type=2, norm="ortho")
+    np.testing.assert_allclose(ours, ref, atol=1e-10)
+
+
+def test_idct_matches_scipy():
+    rng = np.random.default_rng(1)
+    coeffs = rng.uniform(-1000, 1000, (8, 8))
+    ours = idct2(coeffs)
+    ref = idctn(coeffs, type=2, norm="ortho")
+    np.testing.assert_allclose(ours, ref, atol=1e-10)
+
+
+def test_dct_roundtrip_identity():
+    rng = np.random.default_rng(2)
+    block = rng.uniform(-128, 127, (8, 8))
+    np.testing.assert_allclose(idct2(fdct2(block)), block, atol=1e-10)
+
+
+def test_dct_batched_matches_loop():
+    rng = np.random.default_rng(3)
+    stack = rng.uniform(-128, 127, (5, 7, 8, 8))
+    batched = fdct2(stack)
+    for i in range(5):
+        for j in range(7):
+            np.testing.assert_allclose(batched[i, j], fdct2(stack[i, j]),
+                                       atol=1e-10)
+
+
+def test_dct_dc_coefficient_is_scaled_mean():
+    block = np.full((8, 8), 100.0)
+    coeffs = fdct2(block)
+    assert coeffs[0, 0] == pytest.approx(100.0 * 8)
+    np.testing.assert_allclose(coeffs.reshape(-1)[1:], 0, atol=1e-10)
+
+
+def test_dct_energy_preservation():
+    # Orthonormal transform: Parseval's theorem holds.
+    rng = np.random.default_rng(4)
+    block = rng.uniform(-128, 127, (8, 8))
+    assert np.sum(block ** 2) == pytest.approx(np.sum(fdct2(block) ** 2))
+
+
+def test_dct_shape_validation():
+    with pytest.raises(ValueError):
+        fdct2(np.zeros((7, 8)))
+    with pytest.raises(ValueError):
+        idct2(np.zeros((8, 9)))
+
+
+def test_idct_dequant_equals_manual():
+    rng = np.random.default_rng(5)
+    q = np.arange(1, 65).reshape(8, 8).astype(np.uint16)
+    coeffs = rng.integers(-50, 50, (3, 8, 8))
+    np.testing.assert_allclose(idct2_dequant(coeffs, q),
+                               idct2(coeffs.astype(float) * q), atol=1e-10)
+
+
+def test_idct_dequant_qtable_validation():
+    with pytest.raises(ValueError):
+        idct2_dequant(np.zeros((8, 8)), np.ones((4, 4)))
+
+
+@given(arrays(np.float64, (8, 8),
+              elements=st.floats(-128, 127, allow_nan=False)))
+@settings(max_examples=30, deadline=None)
+def test_dct_roundtrip_property(block):
+    np.testing.assert_allclose(idct2(fdct2(block)), block, atol=1e-8)
+
+
+# --------------------------------------------------------------- zig-zag
+def test_zigzag_is_permutation():
+    assert sorted(ZIGZAG.tolist()) == list(range(64))
+    assert np.array_equal(ZIGZAG[INV_ZIGZAG], np.arange(64))
+
+
+def test_zigzag_standard_prefix():
+    # First coefficients of the T.81 scan: 0, 1, 8, 16, 9, 2, 3, 10 ...
+    assert ZIGZAG[:8].tolist() == [0, 1, 8, 16, 9, 2, 3, 10]
+    assert ZIGZAG[-1] == 63
+
+
+def test_zigzag_roundtrip():
+    rng = np.random.default_rng(6)
+    block = rng.integers(-100, 100, (8, 8))
+    np.testing.assert_array_equal(
+        zigzag_unflatten(zigzag_flatten(block)), block)
+
+
+def test_zigzag_batched():
+    rng = np.random.default_rng(7)
+    stack = rng.integers(-100, 100, (4, 8, 8))
+    flat = zigzag_flatten(stack)
+    assert flat.shape == (4, 64)
+    np.testing.assert_array_equal(zigzag_unflatten(flat), stack)
+
+
+def test_zigzag_validation():
+    with pytest.raises(ValueError):
+        zigzag_flatten(np.zeros((8, 7)))
+    with pytest.raises(ValueError):
+        zigzag_unflatten(np.zeros(63))
+
+
+# ------------------------------------------------------------ quant tables
+def test_quality_50_is_identity():
+    np.testing.assert_array_equal(scale_qtable(STD_LUMA_QTABLE, 50),
+                                  STD_LUMA_QTABLE)
+
+
+def test_quality_extremes():
+    q100 = scale_qtable(STD_LUMA_QTABLE, 100)
+    assert q100.max() == 1  # near lossless
+    q1 = scale_qtable(STD_LUMA_QTABLE, 1)
+    assert q1.max() == 255  # fully clamped
+
+
+def test_quality_monotone_coarseness():
+    prev = None
+    for q in (10, 30, 50, 70, 90):
+        table = scale_qtable(STD_CHROMA_QTABLE, q).astype(int).sum()
+        if prev is not None:
+            assert table <= prev
+        prev = table
+
+
+def test_quality_validation():
+    with pytest.raises(ValueError):
+        scale_qtable(STD_LUMA_QTABLE, 0)
+    with pytest.raises(ValueError):
+        scale_qtable(STD_LUMA_QTABLE, 101)
+
+
+def test_qtable_entries_in_byte_range():
+    for q in (1, 25, 50, 75, 100):
+        t = scale_qtable(STD_LUMA_QTABLE, q)
+        assert t.min() >= 1 and t.max() <= 255
+
+
+# ----------------------------------------------------------------- color
+def test_ycbcr_roundtrip_uint8():
+    rng = np.random.default_rng(8)
+    rgb = rng.integers(0, 256, (16, 16, 3), dtype=np.uint8)
+    back = ycbcr_to_rgb(rgb_to_ycbcr(rgb))
+    assert np.max(np.abs(back.astype(int) - rgb.astype(int))) <= 1
+
+
+def test_gray_maps_to_neutral_chroma():
+    gray = np.full((4, 4, 3), 77, dtype=np.uint8)
+    ycc = rgb_to_ycbcr(gray)
+    np.testing.assert_allclose(ycc[..., 0], 77, atol=1e-9)
+    np.testing.assert_allclose(ycc[..., 1:], 128, atol=1e-9)
+
+
+def test_primary_luma_weights():
+    red = np.zeros((1, 1, 3), dtype=np.uint8)
+    red[..., 0] = 255
+    assert rgb_to_ycbcr(red)[0, 0, 0] == pytest.approx(0.299 * 255)
+
+
+def test_color_shape_validation():
+    with pytest.raises(ValueError):
+        rgb_to_ycbcr(np.zeros((4, 4)))
+    with pytest.raises(ValueError):
+        ycbcr_to_rgb(np.zeros((4, 4, 4)))
+
+
+@given(arrays(np.uint8, (6, 6, 3), elements=st.integers(0, 255)))
+@settings(max_examples=30, deadline=None)
+def test_ycbcr_roundtrip_property(rgb):
+    back = ycbcr_to_rgb(rgb_to_ycbcr(rgb))
+    assert np.max(np.abs(back.astype(int) - rgb.astype(int))) <= 1
+
+
+# ------------------------------------------------------------ subsampling
+def test_subsample_constant_plane_exact():
+    plane = np.full((8, 8), 42.0)
+    np.testing.assert_array_equal(subsample_420(plane), np.full((4, 4), 42.0))
+
+
+def test_subsample_box_average():
+    plane = np.array([[0.0, 4.0], [8.0, 12.0]])
+    np.testing.assert_array_equal(subsample_420(plane), [[6.0]])
+
+
+def test_subsample_odd_dimensions_pad():
+    plane = np.arange(15.0).reshape(3, 5)
+    out = subsample_420(plane)
+    assert out.shape == (2, 3)
+
+
+def test_upsample_replicates_and_crops():
+    plane = np.array([[1.0, 2.0], [3.0, 4.0]])
+    up = upsample_420(plane, 3, 4)
+    np.testing.assert_array_equal(up, [[1, 1, 2, 2], [1, 1, 2, 2],
+                                       [3, 3, 4, 4]])
+
+
+def test_sub_then_up_constant_identity():
+    plane = np.full((10, 12), 99.0)
+    up = upsample_420(subsample_420(plane), 10, 12)
+    np.testing.assert_array_equal(up, plane)
+
+
+def test_subsample_validation():
+    with pytest.raises(ValueError):
+        subsample_420(np.zeros((2, 2, 3)))
+    with pytest.raises(ValueError):
+        upsample_420(np.zeros((2, 2, 1)), 4, 4)

@@ -1,0 +1,125 @@
+"""Edge-case tests for the JFIF marker parser and segment writer."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_photo
+from repro.jpeg import JpegFormatError, Marker, encode, parse_jpeg
+from repro.jpeg.jfif import SegmentWriter, FrameHeader, FrameComponent
+from repro.jpeg.huffman import STD_DC_LUMA
+from repro.jpeg.quant import STD_LUMA_QTABLE
+
+
+def valid_jpeg(seed=0, **kwargs):
+    img = synthetic_photo(np.random.default_rng(seed), 32, 40)
+    return encode(img, 75, **kwargs)
+
+
+# ----------------------------------------------------------------- parser
+def test_progressive_sof2_rejected():
+    data = bytearray(valid_jpeg())
+    # Rewrite the SOF0 marker to SOF2 (progressive).
+    idx = data.find(bytes([0xFF, Marker.SOF0]))
+    data[idx + 1] = Marker.SOF2
+    with pytest.raises(JpegFormatError, match="progressive"):
+        parse_jpeg(bytes(data))
+
+
+def test_sixteen_bit_qtables_rejected():
+    data = bytearray(valid_jpeg())
+    idx = data.find(bytes([0xFF, Marker.DQT]))
+    data[idx + 4] |= 0x10  # Pq = 1 -> 16-bit entries
+    with pytest.raises(JpegFormatError, match="16-bit"):
+        parse_jpeg(bytes(data))
+
+
+def test_eoi_before_sos_rejected():
+    seg = SegmentWriter()
+    seg.soi()
+    seg.eoi()
+    with pytest.raises(JpegFormatError, match="EOI before SOS"):
+        parse_jpeg(seg.getvalue())
+
+
+def test_sos_before_sof_rejected():
+    data = valid_jpeg()
+    sof = data.find(bytes([0xFF, Marker.SOF0]))
+    sof_len = struct.unpack(">H", data[sof + 2:sof + 4])[0]
+    # Remove the SOF segment entirely.
+    stripped = data[:sof] + data[sof + 2 + sof_len:]
+    with pytest.raises(JpegFormatError, match="SOS before SOF0"):
+        parse_jpeg(stripped)
+
+
+def test_zero_dimension_rejected():
+    data = bytearray(valid_jpeg())
+    idx = data.find(bytes([0xFF, Marker.SOF0]))
+    data[idx + 5:idx + 7] = b"\x00\x00"  # height = 0
+    with pytest.raises(JpegFormatError, match="zero"):
+        parse_jpeg(bytes(data))
+
+
+def test_unknown_app_segments_skipped():
+    # Insert an APP7 segment after APP0; the parser must skip it.
+    data = valid_jpeg()
+    app0_end = data.find(bytes([0xFF, Marker.DQT]))
+    custom = bytes([0xFF, 0xE7]) + struct.pack(">H", 6) + b"abcd"
+    patched = data[:app0_end] + custom + data[app0_end:]
+    parsed = parse_jpeg(patched)
+    assert parsed.frame.width == 40
+
+
+def test_comment_segment_skipped():
+    data = valid_jpeg()
+    app0_end = data.find(bytes([0xFF, Marker.DQT]))
+    comment = bytes([0xFF, Marker.COM]) + struct.pack(">H", 7) + b"hello"
+    patched = data[:app0_end] + comment + data[app0_end:]
+    assert parse_jpeg(patched).frame.height == 32
+
+
+def test_truncated_segment_header():
+    data = valid_jpeg()
+    with pytest.raises(JpegFormatError):
+        parse_jpeg(data[:6])
+
+
+def test_multiple_qtables_one_segment():
+    """One DQT segment may carry several tables (T.81 allows it)."""
+    seg = SegmentWriter()
+    payload = b""
+    for tid in (0, 1):
+        zz = STD_LUMA_QTABLE.reshape(64).astype(np.uint8)
+        payload += bytes([tid]) + zz.tobytes()
+    # Build a full minimal stream around the double DQT.
+    data = valid_jpeg()
+    dqt = data.find(bytes([0xFF, Marker.DQT]))
+    dqt_len = struct.unpack(">H", data[dqt + 2:dqt + 4])[0]
+    combined = bytes([0xFF, Marker.DQT]) + \
+        struct.pack(">H", len(payload) + 2) + payload
+    patched = data[:dqt] + combined + data[dqt + 2 + dqt_len:]
+    parsed = parse_jpeg(patched)
+    assert 0 in parsed.qtables and 1 in parsed.qtables
+
+
+# ----------------------------------------------------------------- writer
+def test_segment_writer_dqt_id_validation():
+    seg = SegmentWriter()
+    with pytest.raises(ValueError):
+        seg.dqt(4, STD_LUMA_QTABLE)
+
+
+def test_segment_writer_dht_class_validation():
+    seg = SegmentWriter()
+    with pytest.raises(ValueError):
+        seg.dht(2, 0, STD_DC_LUMA)
+
+
+def test_frame_header_geometry_helpers():
+    frame = FrameHeader(precision=8, height=33, width=49, components=(
+        FrameComponent(1, 2, 2, 0), FrameComponent(2, 1, 1, 1),
+        FrameComponent(3, 1, 1, 1)))
+    assert frame.hmax == 2 and frame.vmax == 2
+    assert frame.mcu_width == 16 and frame.mcu_height == 16
+    assert frame.mcus_per_row == 4 and frame.mcu_rows == 3

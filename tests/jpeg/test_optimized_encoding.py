@@ -1,0 +1,88 @@
+"""Tests for two-pass (optimized-Huffman-table) encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import synthetic_photo
+from repro.jpeg import decode, encode, parse_jpeg
+from repro.jpeg.huffman import count_block_symbols, encode_block
+from repro.jpeg.bitstream import BitWriter
+from repro.jpeg.huffman import STD_AC_LUMA, STD_DC_LUMA
+
+
+def photo(h=64, w=80, seed=0, gray=False):
+    return synthetic_photo(np.random.default_rng(seed), h, w, gray=gray)
+
+
+def test_optimized_decodes_identically():
+    img = photo()
+    std = encode(img, 80)
+    opt = encode(img, 80, optimize_huffman=True)
+    np.testing.assert_array_equal(decode(std), decode(opt))
+
+
+def test_optimized_is_smaller_on_photos():
+    img = photo(seed=1)
+    std = encode(img, 80)
+    opt = encode(img, 80, optimize_huffman=True)
+    assert len(opt) < len(std)
+
+
+def test_optimized_with_restart_markers():
+    img = photo(seed=2)
+    std = encode(img, 75, restart_interval=2)
+    opt = encode(img, 75, restart_interval=2, optimize_huffman=True)
+    np.testing.assert_array_equal(decode(std), decode(opt))
+    assert len(opt) < len(std)
+
+
+def test_optimized_grayscale():
+    img = photo(seed=3, gray=True)
+    opt = encode(img, 85, optimize_huffman=True)
+    out = decode(opt)
+    assert out.shape == img.shape
+    np.testing.assert_array_equal(out, decode(encode(img, 85)))
+
+
+def test_optimized_tables_are_custom():
+    img = photo(seed=4)
+    parsed_std = parse_jpeg(encode(img, 80))
+    parsed_opt = parse_jpeg(encode(img, 80, optimize_huffman=True))
+    assert parsed_std.dc_tables[0].bits == STD_DC_LUMA.bits
+    assert parsed_opt.ac_tables[0].bits != parsed_std.ac_tables[0].bits
+
+
+def test_optimized_444():
+    img = photo(32, 32, seed=5)
+    opt = encode(img, 80, subsampling="4:4:4", optimize_huffman=True)
+    np.testing.assert_array_equal(
+        decode(opt), decode(encode(img, 80, subsampling="4:4:4")))
+
+
+def test_count_block_symbols_matches_encoder_output():
+    """The statistics pass counts exactly the symbols encode_block emits."""
+    rng = np.random.default_rng(6)
+    zz = np.zeros(64, dtype=np.int32)
+    zz[0] = 50
+    for pos in rng.choice(np.arange(1, 64), size=8, replace=False):
+        zz[pos] = int(rng.integers(-100, 100))
+    dc_freqs, ac_freqs = {}, {}
+    pred = count_block_symbols(zz, 0, dc_freqs, ac_freqs)
+    assert pred == 50
+    # Encoding with the standard tables emits one DC symbol + the same
+    # number of AC symbols that were counted.
+    writer = BitWriter()
+    encode_block(writer, zz, 0, STD_DC_LUMA, STD_AC_LUMA)
+    assert sum(dc_freqs.values()) == 1
+    assert sum(ac_freqs.values()) >= 8  # one per nonzero AC (plus runs/EOB)
+
+
+@given(st.integers(10, 48), st.integers(10, 48), st.integers(0, 4))
+@settings(max_examples=10, deadline=None)
+def test_optimized_roundtrip_property(h, w, rst):
+    img = photo(h, w, seed=h * 100 + w)
+    opt = encode(img, 75, restart_interval=rst, optimize_huffman=True)
+    std = encode(img, 75, restart_interval=rst)
+    np.testing.assert_array_equal(decode(opt), decode(std))

@@ -1,0 +1,119 @@
+"""Tests for restart-segment-parallel Huffman decoding — the functional
+model behind the FPGA's 4-way Huffman unit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import synthetic_photo
+from repro.jpeg import (JpegFormatError, decode, encode,
+                        entropy_decode, entropy_decode_parallel,
+                        entropy_decode_segments, find_restart_segments,
+                        parse_jpeg)
+
+
+def make_jpeg(h=64, w=80, restart_interval=2, quality=75, seed=0,
+              gray=False):
+    rng = np.random.default_rng(seed)
+    img = synthetic_photo(rng, h, w, gray=gray)
+    return img, encode(img, quality=quality,
+                       subsampling="4:4:4" if gray else "4:2:0",
+                       restart_interval=restart_interval)
+
+
+def test_segment_count_matches_restart_interval():
+    _, data = make_jpeg(h=64, w=80, restart_interval=2)
+    parsed = parse_jpeg(data)
+    # 64x80 4:2:0 -> 4x5 = 20 MCUs -> ceil(20/2) = 10 segments.
+    assert len(find_restart_segments(parsed)) == 10
+
+
+def test_no_restarts_single_segment():
+    _, data = make_jpeg(restart_interval=0)
+    parsed = parse_jpeg(data)
+    assert len(find_restart_segments(parsed)) == 1
+
+
+def test_segments_cover_scan_without_overlap():
+    _, data = make_jpeg(restart_interval=3)
+    parsed = parse_jpeg(data)
+    segments = find_restart_segments(parsed)
+    assert segments[0][0] == parsed.scan_offset
+    for (s1, e1), (s2, e2) in zip(segments, segments[1:]):
+        assert e1 < s2              # RST marker bytes between segments
+        assert s2 == e1 + 2         # exactly the 2-byte marker
+    assert all(s < e for s, e in segments)
+
+
+@pytest.mark.parametrize("ways", [1, 2, 4, 7])
+def test_parallel_matches_sequential(ways):
+    _, data = make_jpeg(restart_interval=2)
+    parsed = parse_jpeg(data)
+    seq = entropy_decode(parsed)
+    par = entropy_decode_parallel(parsed, ways=ways)
+    assert len(seq) == len(par)
+    for a, b in zip(seq, par):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_parallel_gray():
+    _, data = make_jpeg(restart_interval=4, gray=True)
+    parsed = parse_jpeg(data)
+    seq = entropy_decode(parsed)
+    par = entropy_decode_parallel(parsed, ways=4)
+    np.testing.assert_array_equal(seq[0], par[0])
+
+
+def test_parallel_without_restarts_degenerates():
+    img, data = make_jpeg(restart_interval=0)
+    parsed = parse_jpeg(data)
+    par = entropy_decode_parallel(parsed, ways=4)
+    seq = entropy_decode(parsed)
+    for a, b in zip(seq, par):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_segments_helper_equals_parallel_one_way():
+    _, data = make_jpeg(restart_interval=2)
+    parsed = parse_jpeg(data)
+    a = entropy_decode_segments(parsed)
+    b = entropy_decode_parallel(parsed, ways=1)
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+def test_ways_validation():
+    _, data = make_jpeg()
+    parsed = parse_jpeg(data)
+    with pytest.raises(ValueError):
+        entropy_decode_parallel(parsed, ways=0)
+
+
+def test_truncated_segment_detected():
+    _, data = make_jpeg(restart_interval=2)
+    parsed = parse_jpeg(data)
+    segments = find_restart_segments(parsed)
+    # Chop the middle of the second segment out of the stream.
+    s, e = segments[1]
+    broken = data[:s + 2] + data[e:]
+    with pytest.raises(JpegFormatError):
+        entropy_decode_parallel(parse_jpeg(broken), ways=2)
+
+
+@given(st.integers(1, 6), st.integers(1, 5))
+@settings(max_examples=10, deadline=None)
+def test_parallel_roundtrip_property(restart_interval, ways):
+    img, data = make_jpeg(h=48, w=48, restart_interval=restart_interval,
+                          seed=restart_interval * 10 + ways)
+    parsed = parse_jpeg(data)
+    par = entropy_decode_parallel(parsed, ways=ways)
+    seq = entropy_decode(parsed)
+    for a, b in zip(seq, par):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_full_decode_unaffected_by_restart_encoding():
+    img, plain = make_jpeg(restart_interval=0, seed=5)
+    _, rst = make_jpeg(restart_interval=2, seed=5)
+    np.testing.assert_array_equal(decode(plain), decode(rst))

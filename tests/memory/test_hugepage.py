@@ -1,0 +1,227 @@
+"""Tests for the hugepage memory pool (paper Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import HugePageError, MemManager
+from repro.sim import Environment
+
+
+def make_pool(unit_size=1024, unit_count=4, arena=True):
+    env = Environment()
+    return env, MemManager(env, unit_size=unit_size, unit_count=unit_count,
+                           allocate_arena=arena)
+
+
+def test_pool_seeds_all_units_free():
+    _, pool = make_pool()
+    assert len(pool.free_batch_queue) == 4
+    assert len(pool.full_batch_queue) == 0
+    assert pool.in_use == 0
+    assert pool.conservation_ok()
+
+
+def test_pool_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        MemManager(env, unit_size=0, unit_count=4)
+    with pytest.raises(ValueError):
+        MemManager(env, unit_size=16, unit_count=0)
+
+
+def test_get_and_recycle_item():
+    env, pool = make_pool()
+    log = []
+
+    def p(env):
+        unit = yield from pool.get_item()
+        log.append(pool.in_use)
+        yield from pool.recycle_item(unit)
+        log.append(pool.in_use)
+
+    env.process(p(env))
+    env.run()
+    assert log == [1, 0]
+    assert pool.conservation_ok()
+
+
+def test_exhaustion_blocks_until_recycle():
+    env, pool = make_pool(unit_count=2)
+    times = []
+
+    def hog(env):
+        u1 = yield from pool.get_item()
+        u2 = yield from pool.get_item()
+        yield env.timeout(5.0)
+        yield from pool.recycle_item(u1)
+        yield from pool.recycle_item(u2)
+
+    def latecomer(env):
+        yield env.timeout(1.0)
+        yield from pool.get_item()
+        times.append(env.now)
+
+    env.process(hog(env))
+    env.process(latecomer(env))
+    env.run()
+    assert times == [5.0]
+
+
+def test_try_get_item_nonblocking():
+    env, pool = make_pool(unit_count=1)
+    unit = pool.try_get_item()
+    assert unit is not None
+    assert pool.try_get_item() is None
+
+
+def test_double_recycle_rejected():
+    env, pool = make_pool()
+
+    def p(env):
+        unit = yield from pool.get_item()
+        yield from pool.recycle_item(unit)
+        yield from pool.recycle_item(unit)
+
+    env.process(p(env))
+    with pytest.raises(HugePageError, match="double recycle"):
+        env.run()
+
+
+def test_foreign_unit_rejected():
+    env, pool = make_pool()
+    _, other = make_pool()
+    foreign = other.try_get_item()
+
+    def p(env):
+        yield from pool.recycle_item(foreign)
+
+    env.process(p(env))
+    with pytest.raises(HugePageError):
+        env.run()
+
+
+def test_address_translation_roundtrip():
+    _, pool = make_pool(unit_size=512, unit_count=8)
+    for unit in [pool.try_get_item() for _ in range(3)]:
+        assert pool.phy2virt(unit.phy_addr) == unit.virt_addr
+        assert pool.virt2phy(unit.virt_addr) == unit.phy_addr
+
+
+def test_translation_out_of_range():
+    _, pool = make_pool(unit_size=512, unit_count=2)
+    with pytest.raises(HugePageError):
+        pool.phy2virt(0)
+    with pytest.raises(HugePageError):
+        pool.virt2phy(0xFFFF_FFFF_FFFF)
+
+
+def test_units_physically_contiguous():
+    _, pool = make_pool(unit_size=256, unit_count=4)
+    units = [pool.try_get_item() for _ in range(4)]
+    addrs = sorted(u.phy_addr for u in units)
+    assert [a - addrs[0] for a in addrs] == [0, 256, 512, 768]
+
+
+def test_unit_by_phy_with_offset():
+    _, pool = make_pool(unit_size=256, unit_count=4)
+    unit = pool.try_get_item()
+    assert pool.unit_by_phy(unit.phy_addr + 100) is unit
+
+
+def test_write_read_real_bytes():
+    _, pool = make_pool(unit_size=64, unit_count=2)
+    unit = pool.try_get_item()
+    data = np.arange(16, dtype=np.uint8)
+    unit.write(8, data)
+    np.testing.assert_array_equal(unit.read(8, 16), data)
+    assert unit.used_bytes == 24
+
+
+def test_write_overflow_rejected():
+    _, pool = make_pool(unit_size=16, unit_count=1)
+    unit = pool.try_get_item()
+    with pytest.raises(HugePageError):
+        unit.write(8, np.zeros(16, dtype=np.uint8))
+    with pytest.raises(HugePageError):
+        unit.read(0, 17)
+
+
+def test_views_alias_one_arena_zero_copy():
+    _, pool = make_pool(unit_size=32, unit_count=2)
+    u0 = pool.try_get_item()
+    u1 = pool.try_get_item()
+    u0.write(0, np.full(32, 7, dtype=np.uint8))
+    u1.write(0, np.full(32, 9, dtype=np.uint8))
+    # Distinct units never overlap.
+    assert u0.read(0, 32)[0] == 7 and u1.read(0, 32)[0] == 9
+    # And the views share the arena's memory (no copies were made).
+    assert u0.view.base is u1.view.base
+
+
+def test_recycle_resets_unit_state():
+    env, pool = make_pool()
+
+    def p(env):
+        unit = yield from pool.get_item()
+        unit.payload = "batch"
+        unit.item_count = 10
+        unit.used_bytes = 100
+        yield from pool.recycle_item(unit)
+
+    env.process(p(env))
+    env.run()
+    unit = pool.try_get_item()
+    assert unit.payload is None and unit.item_count == 0
+    assert unit.used_bytes == 0
+
+
+def test_modeled_mode_has_no_arena():
+    _, pool = make_pool(unit_size=1 << 30, unit_count=64, arena=False)
+    unit = pool.try_get_item()
+    assert unit.view.size == 0
+    assert pool.phy2virt(unit.phy_addr) == unit.virt_addr
+
+
+def test_occupancy_tracking():
+    env, pool = make_pool(unit_count=4)
+
+    def p(env):
+        units = []
+        for _ in range(4):
+            u = yield from pool.get_item()
+            units.append(u)
+        yield env.timeout(10.0)
+        for u in units:
+            yield from pool.recycle_item(u)
+        yield env.timeout(10.0)
+
+    env.process(p(env))
+    env.run()
+    assert pool.occupancy.max_value == 4
+    assert pool.occupancy.mean() == pytest.approx(2.0)
+
+
+@given(st.lists(st.sampled_from(["get", "recycle"]), max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_conservation_property(ops):
+    """No interleaving of get/recycle ever loses or duplicates a unit."""
+    env = Environment()
+    pool = MemManager(env, unit_size=64, unit_count=4, allocate_arena=False)
+    held = []
+    for op in ops:
+        if op == "get":
+            unit = pool.try_get_item()
+            if unit is not None:
+                held.append(unit)
+        elif held:
+            unit = held.pop()
+
+            def rec(env, u=unit):
+                yield from pool.recycle_item(u)
+
+            env.process(rec(env))
+            env.run()
+        assert pool.conservation_ok()
+        assert pool.in_use == len(held)

@@ -1,0 +1,128 @@
+"""Property-based tests on the DES substrate's core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (Channel, Environment, LatencyRecorder, QueuePair,
+                       Store, TimeWeighted)
+
+
+@given(st.lists(st.floats(0.001, 100.0), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_timeout_completion_order_is_time_order(delays):
+    """Whatever the creation order, processes finish sorted by delay."""
+    env = Environment()
+    finished = []
+
+    def p(env, idx, delay):
+        yield env.timeout(delay)
+        finished.append(idx)
+
+    for idx, delay in enumerate(delays):
+        env.process(p(env, idx, delay))
+    env.run()
+    expected = [idx for idx, _ in
+                sorted(enumerate(delays), key=lambda t: (t[1], t[0]))]
+    assert finished == expected
+
+
+@given(st.lists(st.integers(0, 1000), max_size=50),
+       st.integers(1, 8))
+@settings(max_examples=50, deadline=None)
+def test_store_is_fifo_under_any_capacity(items, capacity):
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    out = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env):
+        for _ in items:
+            out.append((yield store.get()))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert out == items
+
+
+@given(st.lists(st.sampled_from(["produce", "consume"]), max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_channel_never_loses_or_duplicates(ops):
+    env = Environment()
+    ch = Channel(env, capacity=8)
+    put, got = [], []
+    counter = iter(range(10_000))
+    for op in ops:
+        if op == "produce":
+            val = next(counter)
+            if ch.try_put(val):
+                put.append(val)
+        else:
+            ok, val = ch.try_get()
+            if ok:
+                got.append(val)
+    got.extend(ch.drain())
+    assert got == put  # FIFO, complete, no duplicates
+
+
+@given(st.integers(1, 6), st.lists(st.floats(0.01, 1.0), min_size=1,
+                                   max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_queue_pair_conservation_any_schedule(population, delays):
+    env = Environment()
+    qp = QueuePair(env, capacity=population)
+    qp.seed(list(range(population)))
+
+    def cycler(env, delay):
+        while env.now < 10.0:
+            carrier = yield from qp.free.get()
+            yield env.timeout(delay)
+            yield from qp.full.put(carrier)
+            carrier2 = yield from qp.full.get()
+            yield env.timeout(delay / 2)
+            yield from qp.free.put(carrier2)
+
+    for delay in delays:
+        env.process(cycler(env, delay))
+    env.run(until=12.0)
+    assert len(qp.free) + len(qp.full) + qp.in_flight() == population
+    assert qp.in_flight() >= 0
+
+
+@given(st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1,
+                max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_latency_percentiles_match_numpy(samples):
+    rec = LatencyRecorder()
+    for s in samples:
+        rec.record(s)
+    for q in (0, 25, 50, 75, 99, 100):
+        assert rec.percentile(q) == np.percentile(
+            np.array(samples), q, method="linear") or \
+            abs(rec.percentile(q) - np.percentile(samples, q)) < 1e-6
+
+
+@given(st.lists(st.tuples(st.floats(0.01, 10.0), st.floats(-100, 100)),
+                min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_time_weighted_mean_within_bounds(steps):
+    """The time-weighted mean always lies within [min, max] of values."""
+    env = Environment()
+    tw = TimeWeighted(env, initial=0.0)
+
+    def p(env):
+        for dt, value in steps:
+            yield env.timeout(dt)
+            tw.set(value)
+        yield env.timeout(1.0)
+
+    env.process(p(env))
+    env.run()
+    values = [0.0] + [v for _, v in steps]
+    assert min(values) - 1e-9 <= tw.mean() <= max(values) + 1e-9
+    assert tw.max_value == max(values)
+    assert tw.min_value == min(values)

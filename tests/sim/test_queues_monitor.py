@@ -1,0 +1,306 @@
+"""Tests for instrumented channels, queue pairs and monitors."""
+
+import math
+
+import pytest
+
+from repro.sim import (BusyTracker, Channel, Counter, Environment,
+                       IntervalRate, LatencyRecorder, QueuePair,
+                       TimeWeighted)
+
+
+# ---------------------------------------------------------------- Channel
+def test_channel_put_get_roundtrip():
+    env = Environment()
+    ch = Channel(env)
+    out = []
+
+    def producer(env):
+        yield from ch.put("item")
+
+    def consumer(env):
+        item = yield from ch.get()
+        out.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert out == ["item"]
+    assert ch.put_count == 1 and ch.get_count == 1
+
+
+def test_channel_records_wait_time():
+    env = Environment()
+    ch = Channel(env)
+
+    def producer(env):
+        yield from ch.put("early")
+
+    def consumer(env):
+        yield env.timeout(4.0)
+        yield from ch.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert ch.wait.mean() == pytest.approx(4.0)
+
+
+def test_channel_capacity_backpressure():
+    env = Environment()
+    ch = Channel(env, capacity=2)
+    done = []
+
+    def producer(env):
+        for i in range(4):
+            yield from ch.put(i)
+        done.append(env.now)
+
+    def consumer(env):
+        for _ in range(4):
+            yield env.timeout(1.0)
+            yield from ch.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    # 4th put admitted when a slot opens at t=2 (two items consumed).
+    assert done == [2.0]
+
+
+def test_channel_try_ops_and_drain():
+    env = Environment()
+    ch = Channel(env, capacity=2)
+    assert ch.try_put(1) and ch.try_put(2)
+    assert not ch.try_put(3)
+    assert ch.drain() == [1, 2]
+    ok, item = ch.try_get()
+    assert not ok and item is None
+
+
+def test_channel_occupancy_time_weighted():
+    env = Environment()
+    ch = Channel(env)
+
+    def p(env):
+        ch.try_put("x")
+        yield env.timeout(10.0)
+        ch.try_get()
+        yield env.timeout(10.0)
+
+    env.process(p(env))
+    env.run()
+    assert ch.occupancy.mean() == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------- QueuePair
+def test_queue_pair_seed_and_conservation():
+    env = Environment()
+    qp = QueuePair(env, capacity=10)
+    qp.seed(["buf0", "buf1", "buf2"])
+    assert qp.population == 3
+    assert len(qp.free) == 3 and len(qp.full) == 0
+    assert qp.in_flight() == 0
+
+    ok, buf = qp.free.try_get()
+    assert ok
+    assert qp.in_flight() == 1
+    qp.full.try_put(buf)
+    assert qp.in_flight() == 0
+
+
+def test_queue_pair_seed_overflow():
+    env = Environment()
+    qp = QueuePair(env, capacity=1)
+    with pytest.raises(OverflowError):
+        qp.seed(["a", "b"])
+
+
+def test_queue_pair_recycle_cycle():
+    env = Environment()
+    qp = QueuePair(env, capacity=4)
+    qp.seed([f"b{i}" for i in range(4)])
+    seen = []
+
+    def filler(env):
+        for _ in range(8):
+            buf = yield from qp.free.get()
+            yield env.timeout(0.5)
+            yield from qp.full.put(buf)
+
+    def drainer(env):
+        for _ in range(8):
+            buf = yield from qp.full.get()
+            seen.append(buf)
+            yield env.timeout(0.25)
+            yield from qp.free.put(buf)
+
+    env.process(filler(env))
+    env.process(drainer(env))
+    env.run()
+    assert len(seen) == 8
+    assert qp.in_flight() == 0
+    assert len(qp.free) == 4
+
+
+# ---------------------------------------------------------------- monitors
+def test_counter_rate():
+    env = Environment()
+    c = Counter(env)
+
+    def p(env):
+        for _ in range(10):
+            yield env.timeout(1.0)
+            c.add()
+
+    env.process(p(env))
+    env.run()
+    assert c.total == 10
+    assert c.rate() == pytest.approx(1.0)
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter(Environment()).add(-1)
+
+
+def test_time_weighted_mean():
+    env = Environment()
+    tw = TimeWeighted(env, initial=0)
+
+    def p(env):
+        yield env.timeout(5.0)
+        tw.set(10)
+        yield env.timeout(5.0)
+
+    env.process(p(env))
+    env.run()
+    assert tw.mean() == pytest.approx(5.0)
+    assert tw.max_value == 10
+    assert tw.min_value == 0
+
+
+def test_time_weighted_adjust():
+    env = Environment()
+    tw = TimeWeighted(env, initial=3)
+    tw.adjust(+2)
+    assert tw.value == 5
+    tw.adjust(-4)
+    assert tw.value == 1
+
+
+def test_busy_tracker_cores():
+    env = Environment()
+    bt = BusyTracker(env)
+
+    def worker(env, start, dur):
+        yield env.timeout(start)
+        tok = bt.begin("decode")
+        yield env.timeout(dur)
+        bt.end(tok)
+
+    # Two workers each busy 5 of 10 seconds -> 1.0 cores.
+    env.process(worker(env, 0.0, 5.0))
+    env.process(worker(env, 5.0, 5.0))
+    env.run(until=10.0)
+    assert bt.cores() == pytest.approx(1.0)
+    assert bt.cores("decode") == pytest.approx(1.0)
+    assert bt.cores("other") == 0.0
+
+
+def test_busy_tracker_concurrent_intervals_stack():
+    env = Environment()
+    bt = BusyTracker(env)
+
+    def worker(env):
+        tok = bt.begin()
+        yield env.timeout(10.0)
+        bt.end(tok)
+
+    for _ in range(3):
+        env.process(worker(env))
+    env.run(until=10.0)
+    assert bt.cores() == pytest.approx(3.0)
+
+
+def test_busy_tracker_open_interval_counted():
+    env = Environment()
+    bt = BusyTracker(env)
+
+    def worker(env):
+        bt.begin("forever")
+        yield env.timeout(100.0)
+
+    env.process(worker(env))
+    env.run(until=10.0)
+    assert bt.cores() == pytest.approx(1.0)
+
+
+def test_busy_tracker_charge_and_breakdown():
+    env = Environment()
+    bt = BusyTracker(env)
+
+    def p(env):
+        yield env.timeout(10.0)
+        bt.charge(1.2, "update")
+        bt.charge(9.5, "kernels")
+        bt.charge(1.5, "transform")
+        bt.charge(3.0, "preprocess")
+
+    env.process(p(env))
+    env.run()
+    bd = bt.breakdown()
+    assert bd["update"] == pytest.approx(0.12)
+    assert bd["kernels"] == pytest.approx(0.95)
+    assert bd["transform"] == pytest.approx(0.15)
+    assert bd["preprocess"] == pytest.approx(0.30)
+    assert bt.cores() == pytest.approx(1.52)
+
+
+def test_busy_tracker_rejects_negative_charge():
+    with pytest.raises(ValueError):
+        BusyTracker(Environment()).charge(-1.0)
+
+
+def test_latency_recorder_percentiles():
+    lr = LatencyRecorder()
+    for v in range(1, 101):
+        lr.record(float(v))
+    assert lr.count == 100
+    assert lr.mean() == pytest.approx(50.5)
+    assert lr.p50() == pytest.approx(50.5)
+    assert lr.percentile(0) == 1.0
+    assert lr.percentile(100) == 100.0
+    assert lr.min() == 1.0 and lr.max() == 100.0
+
+
+def test_latency_recorder_empty_is_nan():
+    lr = LatencyRecorder()
+    assert math.isnan(lr.mean())
+    assert math.isnan(lr.p50())
+
+
+def test_latency_recorder_validation():
+    lr = LatencyRecorder()
+    with pytest.raises(ValueError):
+        lr.record(-0.1)
+    lr.record(1.0)
+    with pytest.raises(ValueError):
+        lr.percentile(101)
+
+
+def test_interval_rate_windows():
+    env = Environment()
+    ir = IntervalRate(env)
+
+    def p(env):
+        for _ in range(10):
+            yield env.timeout(1.0)
+            ir.add(2.0)
+
+    env.process(p(env))
+    env.run(until=5.0)
+    assert ir.mark() == pytest.approx(2.0)
+    env.run(until=10.0)
+    assert ir.mark() == pytest.approx(2.0)
+    assert ir.total == 20.0

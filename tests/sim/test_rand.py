@@ -1,0 +1,45 @@
+"""Tests for deterministic seed-bank streams."""
+
+import numpy as np
+
+from repro.sim import SeedBank
+
+
+def test_same_name_same_stream_object():
+    bank = SeedBank(1)
+    assert bank.stream("a") is bank.stream("a")
+
+
+def test_streams_reproducible_across_banks():
+    a = SeedBank(42).stream("clients").random(100)
+    b = SeedBank(42).stream("clients").random(100)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_independent():
+    bank = SeedBank(42)
+    a = bank.stream("a").random(100)
+    b = bank.stream("b").random(100)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = SeedBank(1).stream("x").random(50)
+    b = SeedBank(2).stream("x").random(50)
+    assert not np.array_equal(a, b)
+
+
+def test_reset_replays_streams():
+    bank = SeedBank(7)
+    first = bank.stream("x").random(10)
+    bank.reset()
+    second = bank.stream("x").random(10)
+    assert np.array_equal(first, second)
+
+
+def test_spawn_child_bank_independent_and_reproducible():
+    parent = SeedBank(9)
+    child1 = parent.spawn("worker").stream("x").random(20)
+    child2 = SeedBank(9).spawn("worker").stream("x").random(20)
+    assert np.array_equal(child1, child2)
+    assert not np.array_equal(child1, parent.stream("x").random(20))

@@ -1,0 +1,306 @@
+"""Unit tests for Resource/Store/Container primitives."""
+
+import pytest
+
+from repro.sim import (Container, Environment, FilterStore,
+                       PriorityResource, Resource, SimulationError, Store)
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    grants = []
+
+    def user(env, name):
+        req = res.request()
+        yield req
+        grants.append((name, env.now))
+        yield env.timeout(10.0)
+        res.release(req)
+
+    for name in "abc":
+        env.process(user(env, name))
+    env.run(until=5.0)
+    assert [g[0] for g in grants] == ["a", "b"]
+    env.run(until=15.0)
+    assert grants[-1] == ("c", 10.0)
+
+
+def test_resource_capacity_validation():
+    with pytest.raises(ValueError):
+        Resource(Environment(), capacity=0)
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, name, hold):
+        req = res.request()
+        yield req
+        order.append(name)
+        yield env.timeout(hold)
+        res.release(req)
+
+    for name in ["first", "second", "third"]:
+        env.process(user(env, name, 1.0))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_release_foreign_request_rejected():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    env.run()
+    res.release(req)
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_resource_count_and_queue_len():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    res.request()
+    env.run()
+    assert res.count == 1
+    assert res.queue_len == 1
+    res.release(r1)
+    env.run()
+    assert res.count == 1
+    assert res.queue_len == 0
+
+
+def test_request_cancel_removes_waiter():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    r3 = res.request()
+    env.run()
+    r2.cancel()
+    res.release(r1)
+    env.run()
+    assert r3.triggered
+    assert not r2.triggered
+
+
+def test_priority_resource_serves_lowest_priority_first():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(5.0)
+        res.release(req)
+
+    def user(env, name, prio, arrive):
+        yield env.timeout(arrive)
+        req = res.request(priority=prio)
+        yield req
+        order.append(name)
+        res.release(req)
+
+    env.process(holder(env))
+    env.process(user(env, "low-urgency", 10, 1.0))
+    env.process(user(env, "high-urgency", 0, 2.0))
+    env.run()
+    assert order == ["high-urgency", "low-urgency"]
+
+
+# ---------------------------------------------------------------- Store
+def test_store_put_get_fifo():
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer(env):
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1.0)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            out.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert out == [0, 1, 2]
+
+
+def test_store_capacity_blocks_putter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env):
+        yield store.put("a")
+        times.append(("put-a", env.now))
+        yield store.put("b")
+        times.append(("put-b", env.now))
+
+    def consumer(env):
+        yield env.timeout(5.0)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert times == [("put-a", 0.0), ("put-b", 5.0)]
+
+
+def test_store_get_blocks_until_item():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((item, env.now))
+
+    def producer(env):
+        yield env.timeout(3.0)
+        yield store.put("x")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [("x", 3.0)]
+
+
+def test_store_try_put_try_get():
+    env = Environment()
+    store = Store(env, capacity=1)
+    assert store.try_put("a") is True
+    assert store.try_put("b") is False
+    ok, item = store.try_get()
+    assert ok and item == "a"
+    ok, item = store.try_get()
+    assert not ok and item is None
+
+
+def test_store_capacity_validation():
+    with pytest.raises(ValueError):
+        Store(Environment(), capacity=0)
+
+
+def test_store_len_tracks_buffer():
+    env = Environment()
+    store = Store(env)
+    store.try_put(1)
+    store.try_put(2)
+    assert len(store) == 2 and store.level == 2
+
+
+def test_filter_store_selects_by_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    env.process(consumer(env))
+    store.try_put(1)
+    store.try_put(3)
+    store.try_put(4)
+    env.run()
+    assert got == [4]
+    assert list(store.items) == [1, 3]
+
+
+def test_filter_store_blocked_getter_does_not_stall_others():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def blocked(env):
+        item = yield store.get(lambda x: x == "never")
+        got.append(("blocked", item))
+
+    def eager(env):
+        item = yield store.get(lambda x: x == "yes")
+        got.append(("eager", item))
+
+    env.process(blocked(env))
+    env.process(eager(env))
+    store.try_put("yes")
+    env.run(until=1.0)
+    assert got == [("eager", "yes")]
+
+
+# ---------------------------------------------------------------- Container
+def test_container_levels():
+    env = Environment()
+    tank = Container(env, capacity=100, init=50)
+    assert tank.level == 50
+
+    def p(env):
+        yield tank.get(30)
+        assert tank.level == 20
+        yield tank.put(80)
+        assert tank.level == 100
+
+    env.process(p(env))
+    env.run()
+    assert tank.level == 100
+
+
+def test_container_get_blocks_until_enough():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    got = []
+
+    def consumer(env):
+        yield tank.get(10)
+        got.append(env.now)
+
+    def filler(env):
+        for _ in range(10):
+            yield env.timeout(1.0)
+            yield tank.put(1)
+
+    env.process(consumer(env))
+    env.process(filler(env))
+    env.run()
+    assert got == [10.0]
+
+
+def test_container_put_blocks_when_full():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    times = []
+
+    def producer(env):
+        yield tank.put(5)
+        times.append(env.now)
+
+    def drainer(env):
+        yield env.timeout(2.0)
+        yield tank.get(5)
+
+    env.process(producer(env))
+    env.process(drainer(env))
+    env.run()
+    assert times == [2.0]
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=11)
+    tank = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)

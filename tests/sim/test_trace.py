@@ -1,0 +1,104 @@
+"""Tests for the span tracer and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.sim import Channel, Environment, Tracer
+from repro.fpga import PipelineUnit
+
+
+def test_span_recording():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def p(env):
+        tok = tracer.begin("work", "worker-0", item=7)
+        yield env.timeout(2.0)
+        tracer.end(tok)
+        tracer.instant("done", "worker-0")
+
+    env.process(p(env))
+    env.run()
+    assert len(tracer.spans) == 1
+    span = tracer.spans[0]
+    assert span.name == "work"
+    assert span.track == "worker-0"
+    assert span.start == 0.0 and span.end == 2.0
+    assert span.duration == 2.0
+    assert span.args == {"item": 7}
+    assert tracer.instants == [("done", "worker-0", 2.0)]
+
+
+def test_busy_time_and_tracks():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def p(env, track, dur):
+        tok = tracer.begin("svc", track)
+        yield env.timeout(dur)
+        tracer.end(tok)
+
+    env.process(p(env, "a", 1.0))
+    env.process(p(env, "b", 3.0))
+    env.run()
+    assert tracer.busy_time("a") == pytest.approx(1.0)
+    assert tracer.busy_time("b") == pytest.approx(3.0)
+    assert set(tracer.tracks()) == {"a", "b"}
+    assert len(tracer.spans_on("a")) == 1
+
+
+def test_chrome_trace_export(tmp_path):
+    env = Environment()
+    tracer = Tracer(env)
+
+    def p(env):
+        tok = tracer.begin("decode", "huffman[0]")
+        yield env.timeout(0.001)
+        tracer.end(tok)
+        tracer.instant("finish")
+
+    env.process(p(env))
+    env.run()
+    path = str(tmp_path / "trace.json")
+    text = tracer.to_chrome_trace(path)
+    events = json.loads(text)
+    assert json.loads(open(path).read()) == events
+    phases = {e["ph"] for e in events}
+    assert phases == {"M", "X", "i"}
+    span = next(e for e in events if e["ph"] == "X")
+    assert span["name"] == "decode"
+    assert span["dur"] == pytest.approx(1000.0)  # 1 ms -> 1000 us
+
+
+def test_max_events_drops_tail():
+    env = Environment()
+    tracer = Tracer(env, max_events=2)
+
+    def p(env):
+        for _ in range(5):
+            tok = tracer.begin("s", "t")
+            yield env.timeout(0.1)
+            tracer.end(tok)
+
+    env.process(p(env))
+    env.run()
+    assert len(tracer.spans) == 2
+    assert tracer.dropped == 3
+
+
+def test_pipeline_unit_traces_service_spans():
+    env = Environment()
+    tracer = Tracer(env)
+    inbox = Channel(env, capacity=8, name="in")
+    unit = PipelineUnit(env, "stage", ways=2,
+                        service_time=lambda item: 0.5,
+                        inbox=inbox, outbox=None, tracer=tracer)
+    unit.start()
+    for i in range(4):
+        inbox.try_put(i)
+    env.run(until=2.0)
+    assert len(tracer.spans) == 4
+    # Two ways -> two tracks.
+    assert set(tracer.tracks()) == {"stage[0]", "stage[1]"}
+    assert tracer.busy_time("stage[0]") == pytest.approx(1.0)

@@ -1,0 +1,215 @@
+"""Tests for the LMDB-like KV store substrate."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import KVError, KVStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    with KVStore(str(tmp_path / "db")) as kv:
+        yield kv
+
+
+def test_put_get_roundtrip(store):
+    with store.begin(write=True) as txn:
+        txn.put(b"key", b"value")
+    with store.begin() as txn:
+        assert txn.get(b"key") == b"value"
+
+
+def test_get_missing_returns_none(store):
+    with store.begin() as txn:
+        assert txn.get(b"nope") is None
+
+
+def test_overwrite_key(store):
+    with store.begin(write=True) as txn:
+        txn.put(b"k", b"v1")
+    with store.begin(write=True) as txn:
+        txn.put(b"k", b"v2")
+    with store.begin() as txn:
+        assert txn.get(b"k") == b"v2"
+    assert len(store) == 1
+
+
+def test_read_your_writes(store):
+    with store.begin(write=True) as txn:
+        txn.put(b"k", b"v")
+        assert txn.get(b"k") == b"v"
+
+
+def test_cursor_sorted_order(store):
+    keys = [b"delta", b"alpha", b"charlie", b"bravo"]
+    with store.begin(write=True) as txn:
+        for k in keys:
+            txn.put(k, k.upper())
+    with store.begin() as txn:
+        seen = [k for k, _ in txn.cursor()]
+    assert seen == sorted(keys)
+
+
+def test_cursor_start_key(store):
+    with store.begin(write=True) as txn:
+        for k in [b"a", b"b", b"c", b"d"]:
+            txn.put(k, b"x")
+    with store.begin() as txn:
+        assert [k for k, _ in txn.cursor(start=b"c")] == [b"c", b"d"]
+
+
+def test_single_writer_enforced(store):
+    t1 = store.begin(write=True)
+    with pytest.raises(KVError, match="single-writer"):
+        store.begin(write=True)
+    t1.abort()
+    store.begin(write=True).abort()  # allowed again
+
+
+def test_many_concurrent_readers(store):
+    with store.begin(write=True) as txn:
+        txn.put(b"k", b"v")
+    readers = [store.begin() for _ in range(10)]
+    assert store.active_readers == 10
+    for r in readers:
+        assert r.get(b"k") == b"v"
+        r.commit()
+    assert store.active_readers == 0
+
+
+def test_snapshot_isolation(store):
+    with store.begin(write=True) as txn:
+        txn.put(b"old", b"1")
+    reader = store.begin()
+    with store.begin(write=True) as txn:
+        txn.put(b"new", b"2")
+    assert reader.get(b"new") is None       # committed after snapshot
+    assert reader.get(b"old") == b"1"
+    reader.commit()
+    with store.begin() as txn:
+        assert txn.get(b"new") == b"2"
+
+
+def test_abort_discards_writes(store):
+    txn = store.begin(write=True)
+    txn.put(b"ghost", b"x")
+    txn.abort()
+    with store.begin() as txn:
+        assert txn.get(b"ghost") is None
+
+
+def test_exception_in_with_block_aborts(store):
+    with pytest.raises(RuntimeError):
+        with store.begin(write=True) as txn:
+            txn.put(b"ghost", b"x")
+            raise RuntimeError("boom")
+    with store.begin() as txn:
+        assert txn.get(b"ghost") is None
+
+
+def test_closed_transaction_rejected(store):
+    txn = store.begin(write=True)
+    txn.commit()
+    with pytest.raises(KVError):
+        txn.put(b"k", b"v")
+
+
+def test_type_and_key_validation(store):
+    with store.begin(write=True) as txn:
+        with pytest.raises(TypeError):
+            txn.put("str", b"v")
+        with pytest.raises(TypeError):
+            txn.put(b"k", "str")
+        with pytest.raises(KVError):
+            txn.put(b"", b"v")
+        txn.abort()
+
+
+def test_persistence_across_reopen(tmp_path):
+    path = str(tmp_path / "db")
+    with KVStore(path) as kv:
+        with kv.begin(write=True) as txn:
+            for i in range(20):
+                txn.put(f"k{i:03d}".encode(), f"v{i}".encode() * 10)
+    with KVStore(path, readonly=True) as kv:
+        assert len(kv) == 20
+        with kv.begin() as txn:
+            assert txn.get(b"k007") == b"v7" * 10
+
+
+def test_readonly_open_missing_store(tmp_path):
+    with pytest.raises(KVError):
+        KVStore(str(tmp_path / "missing"), readonly=True)
+
+
+def test_readonly_rejects_writes(tmp_path):
+    path = str(tmp_path / "db")
+    KVStore(path).close()
+    with KVStore(path, readonly=True) as kv:
+        with pytest.raises(KVError):
+            kv.begin(write=True)
+
+
+def test_torn_tail_recovered(tmp_path):
+    path = str(tmp_path / "db")
+    with KVStore(path) as kv:
+        with kv.begin(write=True) as txn:
+            txn.put(b"good", b"data")
+    # Simulate a crash mid-append: garbage half-record at the tail.
+    with open(os.path.join(path, "data.rkv"), "ab") as fh:
+        fh.write(b"\x10\x00\x00\x00\x20\x00\x00")
+    with KVStore(path) as kv:
+        assert len(kv) == 1
+        with kv.begin() as txn:
+            assert txn.get(b"good") == b"data"
+        # Store still writable after recovery.
+        with kv.begin(write=True) as txn:
+            txn.put(b"more", b"x")
+    with KVStore(path, readonly=True) as kv:
+        assert len(kv) == 2
+
+
+def test_corrupt_crc_truncates(tmp_path):
+    path = str(tmp_path / "db")
+    with KVStore(path) as kv:
+        with kv.begin(write=True) as txn:
+            txn.put(b"aaaa", b"bbbb")
+    data_file = os.path.join(path, "data.rkv")
+    raw = bytearray(open(data_file, "rb").read())
+    raw[-1] ^= 0xFF  # flip a payload byte
+    open(data_file, "wb").write(bytes(raw))
+    with KVStore(path) as kv:
+        assert len(kv) == 0
+
+
+def test_data_bytes_grows(store):
+    before = store.data_bytes
+    with store.begin(write=True) as txn:
+        txn.put(b"k", b"v" * 1000)
+    assert store.data_bytes > before + 1000
+
+
+def test_large_values(store):
+    blob = bytes(range(256)) * 4096  # 1 MiB
+    with store.begin(write=True) as txn:
+        txn.put(b"blob", blob)
+    with store.begin() as txn:
+        assert txn.get(b"blob") == blob
+
+
+@given(st.dictionaries(st.binary(min_size=1, max_size=16),
+                       st.binary(max_size=64), max_size=25))
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_property(tmp_path_factory, mapping):
+    path = str(tmp_path_factory.mktemp("kv") / "db")
+    with KVStore(path) as kv:
+        with kv.begin(write=True) as txn:
+            for k, v in mapping.items():
+                txn.put(k, v)
+        with kv.begin() as txn:
+            assert txn.keys() == sorted(mapping)
+            for k, v in mapping.items():
+                assert txn.get(k) == v

@@ -1,0 +1,65 @@
+"""Stateful property tests on the KV store: arbitrary interleavings of
+commits, aborts and reopens preserve the committed view."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import KVStore
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.binary(min_size=1, max_size=8),
+                  st.binary(max_size=16)),
+        st.tuples(st.just("abort_put"), st.binary(min_size=1, max_size=8),
+                  st.binary(max_size=16)),
+        st.tuples(st.just("reopen"), st.just(b""), st.just(b"")),
+    ),
+    max_size=30)
+
+
+@given(ops_strategy)
+@settings(max_examples=25, deadline=None)
+def test_committed_view_survives_any_interleaving(tmp_path_factory, ops):
+    path = str(tmp_path_factory.mktemp("kvp") / "db")
+    expected: dict[bytes, bytes] = {}
+    store = KVStore(path)
+    try:
+        for op, key, value in ops:
+            if op == "put":
+                with store.begin(write=True) as txn:
+                    txn.put(key, value)
+                expected[key] = value
+            elif op == "abort_put":
+                txn = store.begin(write=True)
+                txn.put(key, value)
+                txn.abort()
+            elif op == "reopen":
+                store.close()
+                store = KVStore(path)
+        with store.begin() as txn:
+            assert txn.keys() == sorted(expected)
+            for key, value in expected.items():
+                assert txn.get(key) == value
+    finally:
+        store.close()
+
+
+@given(st.lists(st.binary(min_size=1, max_size=6), min_size=1,
+                max_size=20, unique=True))
+@settings(max_examples=25, deadline=None)
+def test_snapshot_never_sees_later_commits(tmp_path_factory, keys):
+    path = str(tmp_path_factory.mktemp("kvs") / "db")
+    with KVStore(path) as store:
+        half = len(keys) // 2
+        with store.begin(write=True) as txn:
+            for key in keys[:half]:
+                txn.put(key, b"early")
+        reader = store.begin()
+        with store.begin(write=True) as txn:
+            for key in keys[half:]:
+                txn.put(key, b"late")
+        assert reader.keys() == sorted(keys[:half])
+        for key in keys[half:]:
+            assert reader.get(key) is None
+        reader.commit()

@@ -1,0 +1,115 @@
+"""Tests for the TFRecord format and the from-scratch CRC32C."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (TFRecordError, TFRecordReader, TFRecordWriter,
+                           crc32c, masked_crc)
+
+
+# ----------------------------------------------------------------- crc32c
+def test_crc32c_standard_check_value():
+    # The canonical CRC-32C test vector.
+    assert crc32c(b"123456789") == 0xE3069283
+
+
+def test_crc32c_empty():
+    assert crc32c(b"") == 0
+
+
+def test_crc32c_known_vectors():
+    # RFC 3720 appendix B.4 test patterns.
+    assert crc32c(bytes(32)) == 0x8A9136AA
+    assert crc32c(bytes([0xFF] * 32)) == 0x62A8AB43
+
+
+def test_crc32c_chaining_differs_from_concat():
+    # Chained CRC continues the polynomial state.
+    whole = crc32c(b"hello world")
+    assert crc32c(b" world", crc32c(b"hello")) == whole
+
+
+def test_masked_crc_invertible_constant():
+    crc = crc32c(b"payload")
+    masked = masked_crc(b"payload")
+    unmasked = ((masked - 0xA282EAD8) & 0xFFFFFFFF)
+    assert ((unmasked >> 17) | (unmasked << 15)) & 0xFFFFFFFF == crc
+
+
+# ---------------------------------------------------------------- tfrecord
+def test_tfrecord_roundtrip(tmp_path):
+    path = str(tmp_path / "data.tfrecord")
+    payloads = [b"first", b"", b"x" * 5000, bytes(range(256))]
+    with TFRecordWriter(path) as w:
+        for p in payloads:
+            w.write(p)
+    assert w.record_count == 4
+    with TFRecordReader(path) as r:
+        assert list(r) == payloads
+
+
+def test_tfrecord_wire_format(tmp_path):
+    path = str(tmp_path / "one.tfrecord")
+    with TFRecordWriter(path) as w:
+        w.write(b"abc")
+    raw = open(path, "rb").read()
+    length = struct.unpack("<Q", raw[:8])[0]
+    assert length == 3
+    assert struct.unpack("<I", raw[8:12])[0] == masked_crc(raw[:8])
+    assert raw[12:15] == b"abc"
+    assert struct.unpack("<I", raw[15:19])[0] == masked_crc(b"abc")
+
+
+def test_tfrecord_type_validation(tmp_path):
+    with TFRecordWriter(str(tmp_path / "d.tfrecord")) as w:
+        with pytest.raises(TypeError):
+            w.write("not bytes")
+
+
+def test_tfrecord_corrupt_payload_detected(tmp_path):
+    path = str(tmp_path / "bad.tfrecord")
+    with TFRecordWriter(path) as w:
+        w.write(b"payload-data")
+    raw = bytearray(open(path, "rb").read())
+    raw[14] ^= 0xFF
+    open(path, "wb").write(bytes(raw))
+    with TFRecordReader(path) as r:
+        with pytest.raises(TFRecordError, match="payload crc"):
+            list(r)
+
+
+def test_tfrecord_corrupt_length_detected(tmp_path):
+    path = str(tmp_path / "bad.tfrecord")
+    with TFRecordWriter(path) as w:
+        w.write(b"payload")
+    raw = bytearray(open(path, "rb").read())
+    raw[0] ^= 0x01
+    open(path, "wb").write(bytes(raw))
+    with TFRecordReader(path) as r:
+        with pytest.raises(TFRecordError, match="length crc"):
+            list(r)
+
+
+def test_tfrecord_truncation_detected(tmp_path):
+    path = str(tmp_path / "trunc.tfrecord")
+    with TFRecordWriter(path) as w:
+        w.write(b"complete-record")
+    raw = open(path, "rb").read()
+    open(path, "wb").write(raw[:-2])
+    with TFRecordReader(path) as r:
+        with pytest.raises(TFRecordError):
+            list(r)
+
+
+@given(st.lists(st.binary(max_size=200), max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_tfrecord_roundtrip_property(tmp_path_factory, payloads):
+    path = str(tmp_path_factory.mktemp("tf") / "d.tfrecord")
+    with TFRecordWriter(path) as w:
+        for p in payloads:
+            w.write(p)
+    with TFRecordReader(path) as r:
+        assert list(r) == payloads

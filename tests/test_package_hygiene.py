@@ -1,0 +1,60 @@
+"""Package-level hygiene: docstrings, __all__ exports, version."""
+
+import importlib
+import pkgutil
+
+import repro
+
+PACKAGES = ["repro", "repro.sim", "repro.jpeg", "repro.calib",
+            "repro.storage", "repro.net", "repro.memory", "repro.fpga",
+            "repro.host", "repro.engines", "repro.backends",
+            "repro.workflows", "repro.experiments", "repro.data",
+            "repro.cluster"]
+
+
+def iter_all_modules():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        yield pkg_name, pkg
+        for info in pkgutil.iter_modules(pkg.__path__,
+                                         prefix=pkg_name + "."):
+            if info.name.endswith("__main__"):
+                continue
+            yield info.name, importlib.import_module(info.name)
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_every_module_has_a_docstring():
+    missing = [name for name, mod in iter_all_modules()
+               if not (mod.__doc__ or "").strip()]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_package_defines_all():
+    missing = [name for name in PACKAGES
+               if not getattr(importlib.import_module(name), "__all__", None)]
+    assert not missing, f"packages without __all__: {missing}"
+
+
+def test_all_exports_resolve():
+    broken = []
+    for name in PACKAGES:
+        mod = importlib.import_module(name)
+        for symbol in getattr(mod, "__all__", []):
+            if not hasattr(mod, symbol):
+                broken.append(f"{name}.{symbol}")
+    assert not broken, f"__all__ names that do not resolve: {broken}"
+
+
+def test_public_classes_and_functions_documented():
+    undocumented = []
+    for name, mod in iter_all_modules():
+        for symbol in getattr(mod, "__all__", []):
+            obj = getattr(mod, symbol, None)
+            if callable(obj) and not (getattr(obj, "__doc__", "") or
+                                      "").strip():
+                undocumented.append(f"{name}.{symbol}")
+    assert not undocumented, undocumented
