@@ -1,0 +1,9 @@
+"""Chaos: resilience degradation curves under injected faults."""
+
+from repro.experiments import chaos
+
+from conftest import run_report
+
+
+def test_chaos_resilience(benchmark):
+    run_report(benchmark, chaos.run)

@@ -14,6 +14,8 @@ from typing import Optional, Sequence
 
 from ..calib import Testbed
 from ..engines import CpuCorePool
+from ..faults import (CircuitBreaker, FaultInjector, FaultPlan, QuarantineLog,
+                      RetryPolicy)
 from ..fpga import FpgaDevice, FPGAChannel, ImageDecoderMirror
 from ..host import BatchSpec, DataCollector, Dispatcher, FPGAReader
 from ..memory import MemManager
@@ -42,10 +44,27 @@ class DLBoosterBackend(TrainingBackend):
                  resizer_ways: Optional[int] = None,
                  functional: bool = False,
                  disk: Optional[NvmeDisk] = None,
-                 pool_units: int = POOL_UNITS):
+                 pool_units: int = POOL_UNITS,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 tracer=None):
         super().__init__(env, testbed, cpu, manifest, spec, seeds)
         if num_fpgas < 1:
             raise ValueError("num_fpgas must be >= 1")
+        # Fault layer: only materialised when a plan is armed, so the
+        # default build is byte-identical to a fault-free one.
+        self.injector = None
+        if fault_plan:
+            self.injector = FaultInjector(
+                env, fault_plan, seeds=self.seeds.spawn("faults"),
+                tracer=tracer)
+            if disk is not None and disk.injector is None:
+                disk.injector = self.injector
+        self.breaker = breaker
+        if self.breaker is None and (fault_plan or retry is not None):
+            self.breaker = CircuitBreaker(env, tracer=tracer)
+        self.quarantine = QuarantineLog(env, name="dlbooster-quarantine")
         self.pool = MemManager(env, unit_size=spec.batch_bytes,
                                unit_count=pool_units,
                                allocate_arena=functional,
@@ -58,14 +77,19 @@ class DLBoosterBackend(TrainingBackend):
                 env, testbed, huffman_ways=huffman_ways,
                 resizer_ways=resizer_ways, functional=functional,
                 host_pool=self.pool if functional else None,
-                disk=disk, name=f"image-decoder-{i}")
+                disk=disk, name=f"image-decoder-{i}",
+                injector=self.injector, site=f"fpga{i}")
             device.load_mirror(mirror)
             self.devices.append(device)
-            self.channels.append(FPGAChannel(env, mirror, queue_id=i))
+            self.channels.append(FPGAChannel(env, mirror, queue_id=i,
+                                             injector=self.injector))
         self.collector = DataCollector(env)
         self.collector.load_from_disk(manifest)
         self.reader = FPGAReader(env, testbed, self.channels[0], self.pool,
-                                 spec, cpu=cpu, channels=self.channels)
+                                 spec, cpu=cpu, channels=self.channels,
+                                 injector=self.injector, retry=retry,
+                                 breaker=self.breaker,
+                                 quarantine=self.quarantine, tracer=tracer)
         self.dispatcher: Optional[Dispatcher] = None
 
     def start(self, solvers: Sequence) -> None:
@@ -110,3 +134,38 @@ class DLBoosterBackend(TrainingBackend):
     # -- diagnostics ---------------------------------------------------------
     def decoder_utilizations(self) -> list[dict[str, float]]:
         return [d.mirror.stage_utilizations() for d in self.devices]
+
+    def fault_metrics(self) -> dict[str, int]:
+        """Resilience bookkeeping for the metrics layer and reports."""
+        r = self.reader
+        out = {
+            "faults_injected": (int(self.injector.injected.total)
+                                if self.injector is not None else 0),
+            "cmds_dropped": sum(int(ch.dropped.total)
+                                for ch in self.channels),
+            "decode_errors": sum(int(d.mirror.decode_errors.total)
+                                 for d in self.devices),
+            "retries": int(r.retries.total),
+            "timeouts": int(r.timeouts.total),
+            "duplicate_finishes": int(r.duplicate_finishes.total),
+            "quarantined": self.quarantine.total,
+            "failover_items": int(r.failover_items.total),
+            "failovers": (int(self.breaker.failovers.total)
+                          if self.breaker is not None else 0),
+            "recoveries": (int(self.breaker.recoveries.total)
+                           if self.breaker is not None else 0),
+        }
+        return out
+
+    def conservation_ok(self) -> bool:
+        """Every accepted item is decoded, quarantined, or still open.
+
+        ``accepted == fpga_decoded + cpu_failover + quarantined +
+        unresolved-slots-of-open-batches`` — nothing lost, nothing
+        double-counted, under any fault plan.
+        """
+        r = self.reader
+        resolved = (int(r.items_decoded_fpga.total)
+                    + int(r.failover_items.total) + self.quarantine.total)
+        unresolved = sum(b.filled - b.done for b in r._open.values())
+        return int(r.items_accepted.total) == resolved + unresolved

@@ -2,7 +2,7 @@
 :class:`~repro.experiments.report.Report` of measured rows plus the
 paper's qualitative claims as machine-checked assertions."""
 
-from . import (econ_analysis, fig2_motivation, fig5_train_throughput,
+from . import (chaos, econ_analysis, fig2_motivation, fig5_train_throughput,
                fig6_train_cpu, fig7_infer_throughput, fig8_infer_latency,
                fig9_infer_cpu, scalability)
 from .paper_reference import PAPER_CLAIMS, PaperClaim, claims_for
@@ -17,10 +17,11 @@ ALL_EXPERIMENTS = {
     "fig9": fig9_infer_cpu.run,
     "sec5.4": econ_analysis.run,
     "sec2.2": scalability.run,
+    "chaos": chaos.run,
 }
 
 __all__ = ["Report", "ShapeCheck", "fmt_table", "ALL_EXPERIMENTS",
            "PAPER_CLAIMS", "PaperClaim", "claims_for",
            "fig2_motivation", "fig5_train_throughput", "fig6_train_cpu",
            "fig7_infer_throughput", "fig8_infer_latency", "fig9_infer_cpu",
-           "econ_analysis", "scalability"]
+           "econ_analysis", "scalability", "chaos"]

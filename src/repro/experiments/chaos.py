@@ -1,0 +1,209 @@
+"""Chaos engineering — resilience of the offload pipeline under faults.
+
+The paper's prototype (and its evaluation) assumes a fault-free testbed.
+This experiment goes beyond the paper: it arms the
+:mod:`repro.faults` injection layer against the DLBooster training
+backend and the serving fabric, and checks that the resilience
+machinery (deadline + backoff resubmission, poison quarantine, CPU
+circuit-breaker failover) degrades throughput gracefully while
+preserving the item-conservation invariant
+``accepted == fpga_decoded + cpu_failover + quarantined``.
+
+Scenarios
+---------
+* **cmd-drop 1% / 5%** — commands silently lost on the PCIe path; the
+  retransmit table must recover every one, and at 1% the throughput
+  cost must be within 10% of fault-free.
+* **payload-corrupt 2%** — poison JPEGs; retries cannot cure data, so
+  the items must land in the quarantine log, never in a batch.
+* **NVMe error + latency** — device read failures surface as error
+  FINISH records and are retried/quarantined.
+* **decoder crash window** — the mirror drops *everything* for 200 ms;
+  the circuit breaker must open, fail items over to CPU decode, then
+  re-admit the FPGA via probes once the window passes (visible in the
+  Chrome trace as ``breaker:open``/``breaker:closed`` instants).
+* **NIC loss** — lost packet bursts on the client fabric cost wire
+  time; goodput degrades monotonically and boundedly with loss rate.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..calib import DEFAULT_TESTBED
+from ..faults import FaultInjector, FaultPlan, RetryPolicy
+from ..net import Link
+from ..sim import Environment, SeedBank, Tracer
+from ..workflows import TrainingConfig, run_training
+from .report import Report
+
+__all__ = ["run", "nic_loss_goodput", "train_under_faults"]
+
+
+def train_under_faults(plan: Optional[FaultPlan] = None,
+                       retry: Optional[RetryPolicy] = None,
+                       quick: bool = False,
+                       tracer_factory=None,
+                       **overrides):
+    """One AlexNet/DLBooster training run under the given fault plan.
+
+    The default corpus (400k images) exceeds the decoded-dataset cache,
+    so the FPGA path stays hot for the whole measurement window and the
+    fault plan bites steady-state traffic.
+    """
+    warmup, measure = (1.0, 2.0) if quick else (2.0, 6.0)
+    cfg = TrainingConfig(model="alexnet", backend="dlbooster",
+                         warmup_s=warmup, measure_s=measure,
+                         fault_plan=plan, retry=retry, **overrides)
+    return run_training(cfg, tracer_factory=tracer_factory)
+
+
+def nic_loss_goodput(loss_rate: float, messages: int = 400,
+                     msg_bytes: int = 64_000) -> tuple[float, int]:
+    """Micro-sim: stream ``messages`` JPEG-sized sends over the 40 Gbps
+    link under ``nic_loss`` faults; returns (goodput B/s, retransmits)."""
+    env = Environment()
+    injector = None
+    if loss_rate > 0:
+        plan = FaultPlan.of(FaultPlan.nic_loss(loss_rate, burst_packets=4),
+                            name=f"nic-loss-{loss_rate}")
+        injector = FaultInjector(env, plan, seeds=SeedBank(7))
+    link = Link(env, DEFAULT_TESTBED.nic_rate, mtu=DEFAULT_TESTBED.nic_mtu,
+                injector=injector)
+
+    def _sender():
+        for _ in range(messages):
+            yield from link.transmit(msg_bytes)
+
+    env.run(until=env.process(_sender(), name="chaos-sender"))
+    goodput = messages * msg_bytes / env.now
+    return goodput, int(link.retransmitted_packets.total)
+
+
+def _trace_names(tracer: Tracer) -> set[str]:
+    events = json.loads(tracer.to_chrome_trace())
+    if isinstance(events, dict):
+        events = events["traceEvents"]
+    return {e.get("name", "") for e in events if isinstance(e, dict)}
+
+
+def run(quick: bool = False) -> Report:
+    """Degradation curves + recovery proof for the resilience layer."""
+    report = Report(
+        experiment_id="chaos",
+        title="Resilience under injected faults (AlexNet / DLBooster, "
+              "1 GPU, 1 FPGA)",
+        columns=["scenario", "img/s", "% of fault-free", "retries",
+                 "quarantined", "failover", "conserved"])
+
+    def add(label, res, baseline_tput=None):
+        totals = res.extras["fault_totals"]
+        pct = (100.0 * res.throughput / baseline_tput
+               if baseline_tput else 100.0)
+        report.add_row(label, res.throughput, pct, totals["retries"],
+                       totals["quarantined"], totals["failover_items"],
+                       "yes" if res.extras["item_conservation"] else "NO")
+        return totals
+
+    # -- fault-free reference ------------------------------------------------
+    base = train_under_faults(quick=quick)
+    base_totals = add("fault-free", base)
+    report.check(
+        "fault-free run never touches the resilience machinery",
+        all(v == 0 for v in base_totals.values()),
+        f"totals {base_totals}")
+
+    # -- cmd drop: the retransmit table recovers lost cmds -------------------
+    drop1 = train_under_faults(
+        FaultPlan.of(FaultPlan.cmd_drop(0.01), name="drop-1pct"),
+        retry=RetryPolicy(max_attempts=4), quick=quick)
+    t1 = add("cmd-drop 1%", drop1, base.throughput)
+    report.check(
+        "1% cmd drop stays within 10% of fault-free throughput",
+        drop1.throughput >= 0.90 * base.throughput,
+        f"{drop1.throughput:.0f} vs {base.throughput:.0f} img/s")
+    report.check(
+        "dropped cmds are resubmitted (retries > 0) and conserved",
+        t1["retries"] > 0 and drop1.extras["item_conservation"],
+        f"{t1['retries']} retries")
+
+    drop5 = train_under_faults(
+        FaultPlan.of(FaultPlan.cmd_drop(0.05), name="drop-5pct"),
+        retry=RetryPolicy(max_attempts=4), quick=quick)
+    add("cmd-drop 5%", drop5, base.throughput)
+    report.check(
+        "5% cmd drop still conserves every accepted item",
+        drop5.extras["item_conservation"])
+
+    # -- poison payloads: retries can't cure data, quarantine must -----------
+    corrupt = train_under_faults(
+        FaultPlan.of(FaultPlan.payload_corrupt(0.02), name="corrupt-2pct"),
+        retry=RetryPolicy(max_attempts=2), quick=quick)
+    tc = add("payload-corrupt 2%", corrupt, base.throughput)
+    report.check(
+        "poison JPEGs end in the quarantine log, not in batches",
+        tc["quarantined"] > 0 and corrupt.extras["item_conservation"],
+        f"{tc['quarantined']} quarantined: "
+        f"{corrupt.extras['quarantine_reasons']}")
+
+    # -- NVMe read faults: error FINISH records are retried ------------------
+    nvme = train_under_faults(
+        FaultPlan.of(FaultPlan.nvme_error(0.01),
+                     FaultPlan.nvme_latency(0.05, extra_s=2e-3),
+                     name="nvme-chaos"),
+        retry=RetryPolicy(max_attempts=3), quick=quick)
+    tn = add("nvme err 1% + lat 5%", nvme, base.throughput)
+    report.check(
+        "NVMe read errors are retried and the run stays conserved",
+        tn["retries"] > 0 and nvme.extras["item_conservation"],
+        f"{tn['retries']} retries, {tn['quarantined']} quarantined")
+
+    # -- decoder crash: breaker -> CPU failover -> probe re-admission --------
+    # Short corpus: the 200 ms outage sits inside first-epoch FPGA
+    # traffic and ends before the epoch does, so probe re-admission is
+    # observable.  Tight deadlines force failover rather than waiting
+    # out the outage.
+    crash = train_under_faults(
+        FaultPlan.of(FaultPlan.decoder_crash(0.05, 0.25), name="crash"),
+        retry=RetryPolicy(deadline_s=0.08, max_attempts=2),
+        quick=quick, dataset_size=3000, tracer_factory=Tracer)
+    tk = add("decoder crash 200ms", crash)
+    report.check(
+        "crash opens the breaker and items fail over to CPU decode",
+        tk["failovers"] >= 1 and tk["failover_items"] > 0,
+        f"{tk['failovers']} failovers, {tk['failover_items']} items via CPU")
+    report.check(
+        "probes re-admit the FPGA after the outage (breaker closed)",
+        tk["recoveries"] >= 1
+        and crash.extras.get("breaker_state") == "closed",
+        f"{tk['recoveries']} recoveries, "
+        f"state {crash.extras.get('breaker_state')}")
+    report.check(
+        "crash run conserves every accepted item",
+        crash.extras["item_conservation"])
+    names = _trace_names(crash.extras["tracer"])
+    report.check(
+        "Chrome trace shows the fault and both breaker transitions",
+        any(n.startswith("fault:decoder_crash") for n in names)
+        and "breaker:open" in names and "breaker:closed" in names,
+        f"{len(names)} distinct event names")
+
+    # -- NIC loss: wire-time degradation curve -------------------------------
+    goodputs = {}
+    for rate in (0.0, 0.1, 0.4):
+        goodput, rexmit = nic_loss_goodput(rate)
+        goodputs[rate] = goodput
+        report.add_row(f"nic-loss {rate:.0%}", goodput / 1e9 * 8,
+                       100.0 * goodput / goodputs[0.0], rexmit, 0, 0, "yes")
+    report.notes.append(
+        "nic-loss rows report link goodput in Gbit/s (micro-sim), "
+        "not training img/s")
+    report.check(
+        "NIC loss degrades goodput monotonically",
+        goodputs[0.0] > goodputs[0.1] > goodputs[0.4],
+        f"{[f'{g/1e9*8:.1f}Gb' for g in goodputs.values()]}")
+    report.check(
+        "retransmission bounds the damage (40% loss keeps >=60% goodput)",
+        goodputs[0.4] >= 0.60 * goodputs[0.0])
+    return report

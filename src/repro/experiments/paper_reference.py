@@ -107,6 +107,20 @@ PAPER_CLAIMS: tuple[PaperClaim, ...] = (
                "V100 ResNet-50 inference", "5,000 img/s", "absolute"),
     PaperClaim("sec2.2", "S2.2",
                "DGX-2 cores available per GPU", "3", "absolute"),
+    # ----------------------------------------------------------- chaos
+    # The paper's prototype is fault-free; these anchor the resilience
+    # experiment to the design statements it hardens.
+    PaperClaim("chaos", "S3.4.1",
+               "reader submits cmds aggressively, pulls status best-effort",
+               "asynchronous (no per-cmd wait)", "ordering",
+               note="extended here with a deadline + backoff retransmit "
+                    "table so lost cmds cannot stall the loop"),
+    PaperClaim("chaos", "S3.1",
+               "CPU decode path remains available beside the FPGA",
+               "hybrid primitive", "ordering",
+               note="extended into a circuit-breaker failover: decoder "
+                    "outages re-route items to CPU decode, probes "
+                    "re-admit the FPGA"),
 )
 
 

@@ -1,0 +1,27 @@
+"""Fault injection & resilience for the offload pipeline.
+
+The paper's prototype assumes the FPGA decoder, NVMe disk and NIC never
+fail; a production offload pipeline must survive corrupt inputs, device
+stalls and command loss.  This package supplies both halves:
+
+* **Injection** — :class:`FaultPlan` / :class:`FaultInjector`, a
+  deterministic, seeded fault layer with pluggable fault models wired
+  into :mod:`repro.fpga.channel`, :mod:`repro.fpga.decoder`,
+  :mod:`repro.storage.nvme` and :mod:`repro.net.link` via zero-cost
+  hooks (no behavior change when no plan is armed).
+* **Resilience** — :class:`RetryPolicy` (per-cmd deadline + exponential
+  backoff resubmit), :class:`QuarantineLog` (poison-item isolation) and
+  :class:`CircuitBreaker` (CPU-failover + probe-based re-admission),
+  consumed by ``FPGAReader`` and ``DLBoosterBackend``.
+
+See ``repro.experiments.chaos`` for the degradation-curve experiments.
+"""
+
+from .injector import FaultInjector
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+from .resilience import (CircuitBreaker, QuarantineEntry, QuarantineLog,
+                         RetryPolicy)
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec", "FaultInjector",
+           "RetryPolicy", "QuarantineLog", "QuarantineEntry",
+           "CircuitBreaker"]

@@ -1,0 +1,169 @@
+"""Deterministic, seeded fault injection.
+
+The :class:`FaultInjector` is the single stochastic authority for every
+armed fault: components call cheap site hooks (``drop_cmd``,
+``finish_stall_s``, ...) at each injection *opportunity*, and the
+injector answers from per-``(kind, site)`` :class:`~repro.sim.rand`
+streams.  Two disciplines keep replays bit-identical:
+
+* every hook with a matching active spec draws **exactly one** variate
+  per opportunity, whether or not the fault fires — so arming a second
+  fault kind never perturbs the first kind's stream;
+* streams are named ``faults/<kind>/<site>``, spawned off a dedicated
+  child :class:`SeedBank`, so the injector never touches the streams
+  the workload itself consumes (image sizes, shuffles, think times).
+
+Components hold ``injector=None`` by default and guard every hook call
+with an ``is not None`` check — an unarmed pipeline pays a single
+attribute test per opportunity and behaves bit-identically to a build
+without this subsystem.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim import Counter, Environment, SeedBank
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against injection opportunities."""
+
+    def __init__(self, env: Environment, plan: FaultPlan,
+                 seeds: Optional[SeedBank] = None, tracer=None,
+                 name: str = "faults"):
+        self.env = env
+        self.plan = plan
+        self.seeds = seeds if seeds is not None else SeedBank(0xFA017)
+        self.tracer = tracer
+        self.name = name
+        self.injected = Counter(env, name=f"{name}.injected")
+        self.by_kind: dict[str, Counter] = {
+            kind: Counter(env, name=f"{name}.{kind}")
+            for kind in FAULT_KINDS if plan.by_kind(kind)}
+        self._specs: dict[str, tuple[FaultSpec, ...]] = {
+            kind: plan.by_kind(kind) for kind in FAULT_KINDS}
+        self._uses: dict[FaultSpec, int] = {}
+
+    # -- plumbing --------------------------------------------------------
+    def _stream(self, kind: str, site: str) -> np.random.Generator:
+        return self.seeds.stream(f"faults/{kind}/{site}")
+
+    def _match(self, kind: str, site: str) -> Optional[FaultSpec]:
+        now = self.env.now
+        for spec in self._specs[kind]:
+            if not (spec.matches(site) and spec.active(now)):
+                continue
+            if spec.limit is not None \
+                    and self._uses.get(spec, 0) >= spec.limit:
+                continue
+            return spec
+        return None
+
+    def _roll(self, kind: str, site: str) -> Optional[FaultSpec]:
+        """One Bernoulli opportunity; returns the spec iff it fires."""
+        spec = self._match(kind, site)
+        if spec is None:
+            return None
+        # Always draw when a spec is armed, so outcomes never shift the
+        # stream position of later opportunities.
+        hit = self._stream(kind, site).random() < spec.rate
+        return spec if hit else None
+
+    def _fire(self, spec: FaultSpec, site: str) -> None:
+        self._uses[spec] = self._uses.get(spec, 0) + 1
+        self.injected.add()
+        self.by_kind[spec.kind].add()
+        if self.tracer is not None:
+            self.tracer.instant(f"fault:{spec.kind}@{site}", track="faults")
+
+    def count(self, kind: str) -> int:
+        counter = self.by_kind.get(kind)
+        return int(counter.total) if counter is not None else 0
+
+    # -- site hooks ------------------------------------------------------
+    def drop_cmd(self, site: str) -> bool:
+        """FPGAChannel: lose this cmd between host and FIFO?"""
+        spec = self._roll("cmd_drop", site)
+        if spec is None:
+            return False
+        self._fire(spec, site)
+        return True
+
+    def decoder_down(self, site: str) -> bool:
+        """FPGAChannel: is this decoder inside a crash window?"""
+        spec = self._match("decoder_crash", site)
+        if spec is None:
+            return False
+        self._fire(spec, site)
+        return True
+
+    def finish_stall_s(self, site: str) -> float:
+        """ImageDecoderMirror: extra delay before raising FINISH."""
+        spec = self._roll("finish_stall", site)
+        if spec is None:
+            return 0.0
+        self._fire(spec, site)
+        return spec.magnitude
+
+    def maybe_poison_cmd(self, cmd, site: str = "reader") -> bool:
+        """FPGAReader: corrupt/truncate the cmd's source bytes.
+
+        In functional mode the JPEG payload is really mutated (the
+        decoder then raises a typed :class:`JpegDecodeError`); in
+        modeled mode the cmd is flagged ``poisoned`` and the mirror's
+        parser stage rejects it.  Returns True when poisoned.
+        """
+        spec = self._roll("payload_truncate", site)
+        kind = "payload_truncate" if spec is not None else None
+        if spec is None:
+            spec = self._roll("payload_corrupt", site)
+            kind = "payload_corrupt" if spec is not None else None
+        if spec is None:
+            return False
+        payload = getattr(cmd, "payload", None)
+        if payload is not None and len(payload) > 8:
+            rng = self._stream(kind, site)
+            if kind == "payload_truncate":
+                cut = int(rng.integers(2, max(3, len(payload) // 2)))
+                cmd.payload = bytes(payload[:cut])
+            else:
+                data = bytearray(payload)
+                # Flip bytes in the back half — inside the entropy-coded
+                # scan for any real JPEG, past the SOI/header markers.
+                for _ in range(3):
+                    pos = int(rng.integers(len(data) // 2, len(data) - 2))
+                    data[pos] ^= 0x55
+                cmd.payload = bytes(data)
+        cmd.poisoned = True
+        self._fire(spec, site)
+        return True
+
+    def nvme_read_error(self, site: str = "nvme") -> bool:
+        """NvmeDisk: fail this read with a device error?"""
+        spec = self._roll("nvme_error", site)
+        if spec is None:
+            return False
+        self._fire(spec, site)
+        return True
+
+    def nvme_extra_latency_s(self, site: str = "nvme") -> float:
+        """NvmeDisk: extra access latency (stall / GC pause)."""
+        spec = self._roll("nvme_latency", site)
+        if spec is None:
+            return 0.0
+        self._fire(spec, site)
+        return spec.magnitude
+
+    def nic_loss_burst(self, site: str = "link") -> int:
+        """Link: number of packets lost (to be retransmitted)."""
+        spec = self._roll("nic_loss", site)
+        if spec is None:
+            return 0
+        self._fire(spec, site)
+        return max(1, int(spec.magnitude))

@@ -1,0 +1,170 @@
+"""Resilience policies: retry, quarantine, circuit breaker.
+
+These are the host-side answers to the fault models of
+:mod:`repro.faults.plan`:
+
+* :class:`RetryPolicy` — per-cmd deadline + exponential-backoff
+  resubmission parameters for FPGAReader's retransmit table.
+* :class:`QuarantineLog` — poison items (inputs that keep failing after
+  ``max_attempts``) are set aside, not retried forever; the conservation
+  invariant becomes ``accepted == decoded + quarantined``.
+* :class:`CircuitBreaker` — after ``failure_threshold`` consecutive cmd
+  timeouts the FPGA path is declared down and batches re-route to the
+  CPU decode pool; while open, one probe cmd per ``probe_interval_s`` is
+  let through, and ``probe_successes`` consecutive good FINISHes close
+  the circuit and re-admit the decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim import Counter, Environment
+
+__all__ = ["RetryPolicy", "QuarantineLog", "QuarantineEntry",
+           "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline/backoff knobs for the FPGAReader retransmit table.
+
+    ``deadline_s=None`` derives a per-cmd deadline from the cmd's own
+    decode-work estimate times ``deadline_safety`` (so tiny MNIST cmds
+    and big ImageNet cmds each get a proportionate patience).  Each
+    failed attempt multiplies the next deadline by ``backoff_base`` —
+    the exponential backoff that keeps a congested decoder from being
+    buried under resubmissions.
+    """
+
+    deadline_s: Optional[float] = None
+    deadline_safety: float = 8.0
+    backoff_base: float = 2.0
+    max_attempts: int = 3
+
+    def __post_init__(self):
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if self.deadline_safety <= 0:
+            raise ValueError("deadline_safety must be positive")
+        if self.backoff_base < 1.0:
+            raise ValueError("backoff_base must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def deadline_for(self, estimate_s: float, attempts: int) -> float:
+        base = self.deadline_s if self.deadline_s is not None \
+            else estimate_s * self.deadline_safety
+        return base * (self.backoff_base ** attempts)
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    when: float
+    reason: str
+    item: object
+
+
+class QuarantineLog:
+    """Items set aside after exhausting their retry budget."""
+
+    def __init__(self, env: Environment, name: str = "quarantine",
+                 keep: int = 10_000):
+        self.env = env
+        self.name = name
+        self.keep = keep
+        self.count = Counter(env, name=f"{name}.count")
+        self.entries: list[QuarantineEntry] = []
+
+    def add(self, item, reason: str) -> None:
+        self.count.add()
+        if len(self.entries) < self.keep:
+            self.entries.append(
+                QuarantineEntry(self.env.now, reason, item))
+
+    def reasons(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.entries:
+            out[e.reason] = out.get(e.reason, 0) + 1
+        return out
+
+    @property
+    def total(self) -> int:
+        return int(self.count.total)
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker guarding the FPGA decode path.
+
+    States: *closed* (all traffic to the FPGA), *open* (traffic
+    re-routed to the CPU pool, probes trickling through).  A FINISH of
+    any status counts as proof of life; only cmd *timeouts* count as
+    failures — a poison JPEG is a data problem, not a device problem.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+
+    def __init__(self, env: Environment, failure_threshold: int = 5,
+                 probe_interval_s: float = 0.02, probe_successes: int = 2,
+                 tracer=None, name: str = "breaker"):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if probe_interval_s <= 0:
+            raise ValueError("probe_interval_s must be positive")
+        if probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+        self.env = env
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.probe_interval_s = probe_interval_s
+        self.probe_successes = probe_successes
+        self.tracer = tracer
+        self.state = self.CLOSED
+        self.failovers = Counter(env, name=f"{name}.failovers")
+        self.recoveries = Counter(env, name=f"{name}.recoveries")
+        self._consecutive_failures = 0
+        self._probe_ok = 0
+        self._last_probe_t = -float("inf")
+        self.opened_at: Optional[float] = None
+        self.transitions: list[tuple[float, str]] = []
+
+    # -- signal intake ---------------------------------------------------
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        self._probe_ok = 0
+        if self.state == self.CLOSED \
+                and self._consecutive_failures >= self.failure_threshold:
+            self._transition(self.OPEN)
+            self.failovers.add()
+            self.opened_at = self.env.now
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self.state == self.OPEN:
+            self._probe_ok += 1
+            if self._probe_ok >= self.probe_successes:
+                self._transition(self.CLOSED)
+                self.recoveries.add()
+                self._probe_ok = 0
+
+    def _transition(self, state: str) -> None:
+        self.state = state
+        self.transitions.append((self.env.now, state))
+        if self.tracer is not None:
+            self.tracer.instant(f"breaker:{state}", track="faults")
+
+    # -- routing decisions -----------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return self.state == self.OPEN
+
+    def take_probe(self) -> bool:
+        """While open: may this item go to the FPGA as a health probe?"""
+        if self.state != self.OPEN:
+            return True
+        if self.env.now - self._last_probe_t >= self.probe_interval_s:
+            self._last_probe_t = self.env.now
+            return True
+        return False

@@ -4,6 +4,14 @@ Table 1 of the paper defines the surface: ``submit_cmd`` ("submit cmd to
 FPGA decoder and launch decoding operation") and ``drain_out`` ("query
 the FPGA decoder processing signal asynchronously").  "Each FPGAChannel
 is bound to one FPGA decoder and works independently" (S3.4.1).
+
+The channel is also an injection site for :mod:`repro.faults`: an armed
+``cmd_drop`` spec loses cmds between host and FIFO, and a
+``decoder_crash`` window blacks out the intake entirely — in both cases
+the cmd counts as submitted but no FINISH record will ever arrive,
+which is exactly the failure FPGAReader's retransmit table covers.
+With ``injector=None`` (the default) every hook is a single attribute
+test.
 """
 
 from __future__ import annotations
@@ -20,14 +28,24 @@ class FPGAChannel:
     """Bound to one decoder mirror; owns its FIFO cmd queue."""
 
     def __init__(self, env: Environment, mirror: ImageDecoderMirror,
-                 queue_id: int = 0):
+                 queue_id: int = 0, injector=None,
+                 site: Optional[str] = None):
         self.env = env
         self.mirror = mirror
         self.queue_id = queue_id
+        self.injector = injector
+        self.site = site if site is not None else f"fpga{queue_id}"
         self.submitted = Counter(env, name=f"ch{queue_id}.submitted")
         self.completed = Counter(env, name=f"ch{queue_id}.completed")
+        self.dropped = Counter(env, name=f"ch{queue_id}.dropped")
         self.outstanding = TimeWeighted(env, 0, name=f"ch{queue_id}.inflight")
         self._recycled = False
+
+    def _lost_in_transit(self) -> bool:
+        if self.injector is None:
+            return False
+        return (self.injector.decoder_down(self.site)
+                or self.injector.drop_cmd(self.site))
 
     # -- Table 1 API ------------------------------------------------------
     def submit_cmd(self, cmd: DecodeCmd):
@@ -38,18 +56,28 @@ class FPGAChannel:
         were already available (the "mem_carriers" of Algorithm 1 line 13).
         """
         self._check()
+        if self._lost_in_transit():
+            self.submitted.add()
+            self.dropped.add()
+            self._track()
+            return self.drain_out()
         yield from self.mirror.cmd_queue.put(cmd)
         self.submitted.add()
-        self.outstanding.set(self.submitted.total - self.completed.total)
+        self._track()
         return self.drain_out()
 
     def try_submit_cmd(self, cmd: DecodeCmd) -> bool:
         """Non-blocking submit; False when the FIFO is full."""
         self._check()
+        if self._lost_in_transit():
+            self.submitted.add()
+            self.dropped.add()
+            self._track()
+            return True
         ok = self.mirror.cmd_queue.try_put(cmd)
         if ok:
             self.submitted.add()
-            self.outstanding.set(self.submitted.total - self.completed.total)
+            self._track()
         return ok
 
     def drain_out(self) -> list[FinishRecord]:
@@ -58,7 +86,7 @@ class FPGAChannel:
         records = self.mirror.finish_queue.drain()
         if records:
             self.completed.add(len(records))
-            self.outstanding.set(self.submitted.total - self.completed.total)
+            self._track()
         return records
 
     def wait_one(self):
@@ -66,17 +94,25 @@ class FPGAChannel:
         self._check()
         record = yield from self.mirror.finish_queue.get()
         self.completed.add()
-        self.outstanding.set(self.submitted.total - self.completed.total)
+        self._track()
         return record
 
     def recycle(self) -> None:
         """Algorithm 1 line 18: release channel state at shutdown."""
+        if self._recycled:
+            raise RuntimeError(
+                f"FPGAChannel {self.queue_id} recycled twice")
         self._recycled = True
 
     # -- inspection ----------------------------------------------------------
+    def _track(self) -> None:
+        self.outstanding.set(self.in_flight)
+
     @property
     def in_flight(self) -> int:
-        return int(self.submitted.total - self.completed.total)
+        # Dropped cmds were never in the FIFO: they are lost, not pending.
+        return int(self.submitted.total - self.completed.total
+                   - self.dropped.total)
 
     def _check(self) -> None:
         if self._recycled:
@@ -84,6 +120,8 @@ class FPGAChannel:
 
 
 def fpga_init(env: Environment, mirror: ImageDecoderMirror,
-              queue_id: int = 0) -> FPGAChannel:
+              queue_id: int = 0, injector=None,
+              site: Optional[str] = None) -> FPGAChannel:
     """The paper's ``FPGAInit(Queue_ID)`` (Algorithm 1 line 2)."""
-    return FPGAChannel(env, mirror, queue_id=queue_id)
+    return FPGAChannel(env, mirror, queue_id=queue_id, injector=injector,
+                       site=site)

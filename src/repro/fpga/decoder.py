@@ -22,9 +22,10 @@ from typing import Optional
 import numpy as np
 
 from ..calib import Testbed
-from ..jpeg import (coefficients_to_planes, entropy_decode, parse_jpeg,
-                    planes_to_image, resize_bilinear)
+from ..jpeg import (JpegDecodeError, coefficients_to_planes, entropy_decode,
+                    parse_jpeg, planes_to_image, resize_bilinear)
 from ..sim import Channel, Counter, Environment
+from ..storage.nvme import NvmeReadError
 from .device import FpgaDevice
 from .units import PipelineUnit
 
@@ -65,6 +66,8 @@ class DecodeCmd:
     dest_offset: int
     batch_tag: object = None        # opaque host-side batch identity
     payload: Optional[bytes] = field(default=None, repr=False)
+    poisoned: bool = False          # fault injection: corrupt source bytes
+    error: Optional[str] = None     # first stage failure, sticky
     # Stage intermediates (functional mode).
     _parsed: object = field(default=None, repr=False)
     _coeffs: object = field(default=None, repr=False)
@@ -82,7 +85,13 @@ class DecodeCmd:
 
 @dataclass(frozen=True)
 class FinishRecord:
-    """The FINISH signal raised after the DMA write (Fig. 4)."""
+    """The FINISH signal raised after the DMA write (Fig. 4).
+
+    ``status == "error"`` means the cmd traversed the pipeline but
+    produced no pixels (poison input, device read failure); the record
+    still surfaces so the host can account for the slot instead of
+    waiting forever.
+    """
 
     cmd_id: int
     batch_tag: object
@@ -90,6 +99,8 @@ class FinishRecord:
     dest_offset: int
     out_bytes: int
     finished_at: float
+    status: str = "ok"
+    error: Optional[str] = None
 
 
 class ImageDecoderMirror:
@@ -101,13 +112,17 @@ class ImageDecoderMirror:
                  functional: bool = False,
                  host_pool=None,
                  disk=None,
-                 name: str = "image-decoder"):
+                 name: str = "image-decoder",
+                 injector=None,
+                 site: Optional[str] = None):
         self.env = env
         self.testbed = testbed
         self.name = name
         self.functional = functional
         self.host_pool = host_pool    # MemManager for functional DMA writes
         self.disk = disk              # NvmeDisk for source == "disk"
+        self.injector = injector
+        self.site = site if site is not None else name
         self.device: Optional[FpgaDevice] = None
         hw = huffman_ways if huffman_ways is not None \
             else testbed.fpga_huffman_ways
@@ -124,6 +139,7 @@ class ImageDecoderMirror:
         self.finish_queue = Channel(env, capacity=float("inf"),
                                     name=f"{name}.finish")
         self.decoded = Counter(env, name=f"{name}.decoded")
+        self.decode_errors = Counter(env, name=f"{name}.errors")
 
         tb = testbed
         self.parser = PipelineUnit(
@@ -157,20 +173,30 @@ class ImageDecoderMirror:
 
     # -- fidelity-dependent stage bodies ---------------------------------
     def _huffman_fn(self, cmd: DecodeCmd) -> DecodeCmd:
+        if cmd.error is not None:
+            return cmd
         if self.functional and cmd.payload is not None:
-            cmd._parsed = parse_jpeg(cmd.payload)
-            cmd._coeffs = entropy_decode(cmd._parsed)
+            try:
+                cmd._parsed = parse_jpeg(cmd.payload)
+                cmd._coeffs = entropy_decode(cmd._parsed)
+            except JpegDecodeError as exc:
+                cmd.error = f"{type(exc).__name__}: {exc}"
+                cmd._parsed = cmd._coeffs = None
+        elif cmd.poisoned:
+            # Modeled mode: no real bytes to choke on, so the poison flag
+            # stands in for the parse failure the hardware would hit.
+            cmd.error = "BadHuffmanCodeError: poisoned source (modeled)"
         return cmd
 
     def _idct_fn(self, cmd: DecodeCmd) -> DecodeCmd:
-        if self.functional and cmd._parsed is not None:
+        if cmd.error is None and self.functional and cmd._parsed is not None:
             planes = coefficients_to_planes(cmd._parsed, cmd._coeffs)
             cmd._image = planes_to_image(cmd._parsed, planes)
             cmd._coeffs = None
         return cmd
 
     def _resize_fn(self, cmd: DecodeCmd) -> DecodeCmd:
-        if self.functional and cmd._image is not None:
+        if cmd.error is None and self.functional and cmd._image is not None:
             cmd.result = resize_bilinear(cmd._image, cmd.out_h, cmd.out_w)
             cmd._image = None
             cmd._parsed = None
@@ -206,7 +232,12 @@ class ImageDecoderMirror:
             cmd: DecodeCmd = yield from self._fetch_q.get()
             if cmd.source == "disk":
                 if self.disk is not None:
-                    yield from self.disk.read(cmd.size_bytes)
+                    try:
+                        yield from self.disk.read(cmd.size_bytes)
+                    except NvmeReadError as exc:
+                        # Forward the cmd anyway: the host learns of the
+                        # failure from the error FINISH record, not a hang.
+                        cmd.error = f"NvmeReadError: {exc}"
                 else:
                     yield self.env.timeout(
                         cmd.size_bytes / tb.nvme_read_rate)
@@ -221,6 +252,17 @@ class ImageDecoderMirror:
         """Write results to host hugepages, then raise FINISH."""
         while True:
             cmd: DecodeCmd = yield from self._dma_q.get()
+            if cmd.error is not None:
+                # No pixels to move; raise an error FINISH immediately so
+                # the host can release the slot.
+                self.decode_errors.add()
+                record = FinishRecord(
+                    cmd_id=cmd.cmd_id, batch_tag=cmd.batch_tag,
+                    dest_phy=cmd.dest_phy, dest_offset=cmd.dest_offset,
+                    out_bytes=0, finished_at=self.env.now,
+                    status="error", error=cmd.error)
+                yield from self.finish_queue.put(record)
+                continue
             if self.device is not None:
                 yield from self.device.dma_write(cmd.out_bytes)
             else:
@@ -230,6 +272,10 @@ class ImageDecoderMirror:
                     and self.host_pool is not None:
                 unit = self.host_pool.unit_by_phy(cmd.dest_phy)
                 unit.write(cmd.dest_offset, cmd.result)
+            if self.injector is not None:
+                stall = self.injector.finish_stall_s(self.site)
+                if stall > 0.0:
+                    yield self.env.timeout(stall)
             self.decoded.add()
             record = FinishRecord(
                 cmd_id=cmd.cmd_id, batch_tag=cmd.batch_tag,

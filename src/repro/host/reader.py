@@ -7,21 +7,42 @@ into a cmd, and aggressively submits cmds to the FPGA FIFO queue while
 pulling completion status with best effort.  When every slot of a batch
 has its FINISH record, the unit is pushed to the Full_Batch_Queue for
 the Dispatcher.
+
+Resilience (beyond the paper's fault-free prototype): every in-flight
+cmd lives in a retransmit table with a deadline derived from the cmd's
+own decode-work estimate.  A missed deadline means the cmd was lost
+(dropped on the wire, or the decoder died) — with a
+:class:`~repro.faults.RetryPolicy` armed the cmd is resubmitted under
+exponential backoff, then failed over to the CPU decode pool or
+quarantined; without one the deadline still exists and a stalled mirror
+surfaces as a ``RuntimeError`` instead of a silent hang.  Error FINISH
+records (poison JPEGs, device read failures) retry the same way and end
+in the :class:`~repro.faults.QuarantineLog`, keeping the conservation
+invariant ``accepted == decoded + failover + quarantined``.  An
+optional :class:`~repro.faults.CircuitBreaker` re-routes whole batches
+to the CPU pool while the FPGA path is down and re-admits it via
+probes.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..calib import Testbed
+from ..engines.cpu import CpuCorePool
+from ..faults import CircuitBreaker, QuarantineLog, RetryPolicy
 from ..fpga import DecodeCmd, FPGAChannel
 from ..memory import MemManager, MemoryUnit
-from ..engines.cpu import CpuCorePool
 from ..sim import Counter, Environment
 from .collector import WorkItem
 
 __all__ = ["BatchSpec", "FPGAReader"]
+
+# Deadline shape used when no RetryPolicy is armed: same safety margin,
+# but zero retries — a missed deadline is an error, not a recovery.
+_DEFAULT_POLICY = RetryPolicy()
 
 
 @dataclass(frozen=True)
@@ -46,10 +67,24 @@ class BatchSpec:
 class _OpenBatch:
     unit: MemoryUnit
     tag: int
-    filled: int = 0          # cmds submitted
-    finished: int = 0        # FINISH records seen
+    filled: int = 0          # slots assigned (cmds created)
+    done: int = 0            # slots resolved: decoded, failover or quarantined
+    quarantined: int = 0
     closed: bool = False     # no more cmds will join
     items: list = field(default_factory=list)
+    bad_slots: set = field(default_factory=set)
+
+
+@dataclass
+class _PendingCmd:
+    """One retransmit-table entry: an in-flight cmd awaiting FINISH."""
+
+    cmd: DecodeCmd
+    batch: _OpenBatch
+    slot: int
+    item: WorkItem
+    attempts: int = 0                    # completed (failed) attempts
+    deadline_at: float = float("inf")
 
 
 class FPGAReader:
@@ -65,7 +100,12 @@ class FPGAReader:
                  channel: FPGAChannel, pool: MemManager, spec: BatchSpec,
                  cpu: Optional[CpuCorePool] = None,
                  channels: Optional[list[FPGAChannel]] = None,
-                 name: str = "fpga-reader"):
+                 name: str = "fpga-reader",
+                 injector=None,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 quarantine: Optional[QuarantineLog] = None,
+                 tracer=None):
         self.env = env
         self.testbed = testbed
         # Multiple decoders may be attached ("plugging more FPGA
@@ -75,9 +115,24 @@ class FPGAReader:
         self.spec = spec
         self.cpu = cpu
         self.name = name
+        self.injector = injector
+        self.retry = retry
+        self.breaker = breaker
+        self.quarantine = quarantine if quarantine is not None \
+            else QuarantineLog(env, name=f"{name}.quarantine")
+        self.tracer = tracer
         self.batches_produced = Counter(env, name=f"{name}.batches")
         self.items_submitted = Counter(env, name=f"{name}.items")
+        self.items_accepted = Counter(env, name=f"{name}.accepted")
+        self.items_decoded_fpga = Counter(env, name=f"{name}.fpga_ok")
+        self.retries = Counter(env, name=f"{name}.retries")
+        self.timeouts = Counter(env, name=f"{name}.timeouts")
+        self.duplicate_finishes = Counter(env, name=f"{name}.dup_finish")
+        self.failover_items = Counter(env, name=f"{name}.failover")
+        self.empty_batches = Counter(env, name=f"{name}.empty_batches")
         self._open: dict[int, _OpenBatch] = {}
+        self._pending: dict[int, _PendingCmd] = {}
+        self._wake = None        # watchdog's parking event while idle
         self._next_tag = 0
         self._next_cmd = 0
         self._rr = 0
@@ -85,6 +140,7 @@ class FPGAReader:
         for ch in self.channels:
             self.env.process(self._completion_pump(ch),
                              name=f"{name}.pump{ch.queue_id}")
+        self.env.process(self._watchdog(), name=f"{name}.watchdog")
 
     # -- submission side (Algorithm 1 main loop) ---------------------------
     def run_epoch(self, items: Iterable[WorkItem]):
@@ -97,16 +153,7 @@ class FPGAReader:
                 batch = _OpenBatch(unit=unit, tag=self._next_tag)
                 self._next_tag += 1
                 self._open[batch.tag] = batch
-            cmd = self._cmd_generator(item, batch)        # lines 11-12
-            if self.cpu is not None:
-                self.cpu.charge_unaccounted(
-                    self.testbed.reader_cmd_cost_s, "preprocess")
-            ch = self.channels[self._rr % len(self.channels)]
-            self._rr += 1
-            yield from ch.submit_cmd(cmd)                 # line 13
-            self.items_submitted.add()
-            batch.filled += 1
-            batch.items.append(item)
+            yield from self._submit_item(item, batch)     # lines 11-13
             if batch.filled == self.spec.batch_size:
                 batch.closed = True
                 self._maybe_complete(batch)
@@ -132,17 +179,8 @@ class FPGAReader:
                 batch = _OpenBatch(unit=unit, tag=self._next_tag)
                 self._next_tag += 1
                 self._open[batch.tag] = batch
-            cmd = self._cmd_generator(item, batch)
-            if self.cpu is not None:
-                self.cpu.charge_unaccounted(
-                    self.testbed.reader_cmd_cost_s, "preprocess")
-            ch = self.channels[self._rr % len(self.channels)]
-            self._rr += 1
-            yield from ch.submit_cmd(cmd)
-            self.items_submitted.add()
+            yield from self._submit_item(item, batch)
             submitted += 1
-            batch.filled += 1
-            batch.items.append(item)
             if batch.filled == self.spec.batch_size:
                 batch.closed = True
                 self._maybe_complete(batch)
@@ -151,9 +189,39 @@ class FPGAReader:
             batch.closed = True
             self._maybe_complete(batch)
 
-    def _cmd_generator(self, item: WorkItem, batch: _OpenBatch) -> DecodeCmd:
+    def _submit_item(self, item: WorkItem, batch: _OpenBatch):
+        """Generator: route one item — FPGA cmd, or CPU pool while the
+        circuit breaker holds the FPGA path open."""
+        slot = batch.filled
+        batch.filled += 1
+        batch.items.append(item)
+        self.items_accepted.add()
+        if self.cpu is not None:
+            self.cpu.charge_unaccounted(
+                self.testbed.reader_cmd_cost_s, "preprocess")
+        cmd = self._cmd_generator(item, batch, slot)
+        if self.breaker is not None and self.breaker.is_open \
+                and self.cpu is not None and not self.breaker.take_probe():
+            pend = _PendingCmd(cmd=cmd, batch=batch, slot=slot, item=item)
+            self.env.process(self._cpu_fallback(pend),
+                             name=f"{self.name}.failover{cmd.cmd_id}")
+            return
+        if self.injector is not None:
+            self.injector.maybe_poison_cmd(cmd, site=self.name)
+        ch = self.channels[self._rr % len(self.channels)]
+        self._rr += 1
+        yield from ch.submit_cmd(cmd)                     # line 13
+        self.items_submitted.add()
+        policy = self.retry if self.retry is not None else _DEFAULT_POLICY
+        self._register(_PendingCmd(
+            cmd=cmd, batch=batch, slot=slot, item=item, attempts=0,
+            deadline_at=self.env.now + policy.deadline_for(
+                self._deadline_estimate(cmd), 0)))
+
+    def _cmd_generator(self, item: WorkItem, batch: _OpenBatch,
+                       slot: int) -> DecodeCmd:
         """The paper's ``cmd_generator(f_metainfo, phyaddr + offset)``."""
-        offset = batch.filled * self.spec.item_bytes
+        offset = slot * self.spec.item_bytes
         cmd = DecodeCmd(
             cmd_id=self._next_cmd, source=item.source,
             size_bytes=item.size_bytes, work_pixels=item.work_pixels,
@@ -167,24 +235,171 @@ class FPGAReader:
     def _poll_interval(self) -> float:
         return max(self.testbed.fpga_cmd_overhead_s * 4, 1e-6)
 
+    # -- retransmit table --------------------------------------------------
+    def _deadline_estimate(self, cmd: DecodeCmd) -> float:
+        """Healthy-pipeline upper-bound latency for one cmd.
+
+        A freshly enqueued cmd can sit behind a full FIFO (``depth``
+        cmds) each paying the slowest single-way stage, plus its own
+        trip through every stage.  Real waits are far shorter (stages
+        are multi-way and pipelined), so deadline = estimate x safety
+        only fires when a cmd is genuinely lost.
+        """
+        tb = self.testbed
+        stages = (
+            tb.fpga_cmd_overhead_s,
+            cmd.size_bytes / tb.fpga_huffman_byte_rate,
+            cmd.work_pixels / tb.fpga_idct_pixel_rate,
+            (cmd.out_h * cmd.out_w) / tb.fpga_resizer_pixel_rate,
+            cmd.out_bytes / tb.fpga_dma_rate,
+            tb.nvme_access_latency_s + cmd.size_bytes / tb.nvme_read_rate,
+        )
+        return tb.fpga_queue_depth * max(stages) + sum(stages)
+
+    def _register(self, pend: _PendingCmd) -> None:
+        self._pending[pend.cmd.cmd_id] = pend
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+            self._wake = None
+
+    def _watchdog(self):
+        """Deadline enforcement for the retransmit table.
+
+        Parks on a plain (unscheduled) event while the table is empty so
+        an idle reader leaves the event queue untouched; while cmds are
+        in flight it sleeps to the nearest deadline and expires overdue
+        entries.
+        """
+        while self.running:
+            if not self._pending:
+                self._wake = self.env.event()
+                yield self._wake
+                continue
+            now = self.env.now
+            horizon = min(p.deadline_at for p in self._pending.values())
+            if horizon > now:
+                yield self.env.timeout(horizon - now)
+                continue
+            overdue = [p for p in self._pending.values()
+                       if p.deadline_at <= now]
+            for pend in overdue:
+                del self._pending[pend.cmd.cmd_id]
+                self._expire(pend)
+
+    def _expire(self, pend: _PendingCmd) -> None:
+        """A cmd missed its deadline: it was dropped, or the mirror died."""
+        self.timeouts.add()
+        if self.tracer is not None:
+            self.tracer.instant(f"cmd-timeout:{pend.cmd.cmd_id}",
+                                track="faults")
+        if self.breaker is not None:
+            self.breaker.record_failure()
+        if self.retry is None:
+            raise RuntimeError(
+                f"{self.name}: cmd {pend.cmd.cmd_id} missed its deadline at "
+                f"t={self.env.now:.6f}s — FPGA mirror stalled or cmd lost "
+                f"(arm a RetryPolicy for automatic resubmission)")
+        if pend.attempts + 1 < self.retry.max_attempts:
+            self.retries.add()
+            self.env.process(self._resubmit(pend),
+                             name=f"{self.name}.retry{pend.cmd.cmd_id}")
+        elif self.cpu is not None:
+            self.env.process(self._cpu_fallback(pend),
+                             name=f"{self.name}.failover{pend.cmd.cmd_id}")
+        else:
+            self._quarantine(pend, "deadline-exhausted")
+
+    def _resubmit(self, pend: _PendingCmd):
+        """Generator: resubmit a lost/failed cmd under a fresh cmd_id."""
+        attempts = pend.attempts + 1
+        cmd = dataclasses.replace(pend.cmd, cmd_id=self._next_cmd, error=None)
+        self._next_cmd += 1
+        if self.cpu is not None:
+            self.cpu.charge_unaccounted(
+                self.testbed.reader_cmd_cost_s, "preprocess")
+        ch = self.channels[self._rr % len(self.channels)]
+        self._rr += 1
+        yield from ch.submit_cmd(cmd)
+        policy = self.retry if self.retry is not None else _DEFAULT_POLICY
+        self._register(_PendingCmd(
+            cmd=cmd, batch=pend.batch, slot=pend.slot, item=pend.item,
+            attempts=attempts,
+            deadline_at=self.env.now + policy.deadline_for(
+                self._deadline_estimate(cmd), attempts)))
+
+    def _cpu_fallback(self, pend: _PendingCmd):
+        """Generator: decode one item on the CPU pool instead."""
+        item = pend.item
+        cost = self.testbed.cpu_decode_seconds(
+            item.size_bytes, item.work_pixels)
+        yield from self.cpu.run(cost, "preprocess")
+        self.failover_items.add()
+        self._resolve_ok(pend, via="cpu")
+
     # -- completion side -----------------------------------------------------
     def _completion_pump(self, ch: FPGAChannel):
         while self.running:
             record = yield from ch.wait_one()
-            batch = self._open.get(record.batch_tag)
-            if batch is None:
-                raise RuntimeError(
-                    f"FINISH for unknown batch {record.batch_tag}")
-            batch.finished += 1
-            self._maybe_complete(batch)
+            self._handle_record(record)
+
+    def _handle_record(self, record) -> None:
+        pend = self._pending.pop(record.cmd_id, None)
+        if pend is None:
+            # Late FINISH for a cmd we already retried or failed over —
+            # its slot is accounted for, suppress the duplicate.
+            self.duplicate_finishes.add()
+            return
+        if self.breaker is not None:
+            # A FINISH of any status is proof the decoder is alive; only
+            # silence (timeouts) indicts the device.
+            self.breaker.record_success()
+        if record.status == "ok":
+            self._resolve_ok(pend, via="fpga")
+        else:
+            self._fail_attempt(pend, record.error or "decode-error")
+
+    def _fail_attempt(self, pend: _PendingCmd, reason: str) -> None:
+        if self.retry is not None \
+                and pend.attempts + 1 < self.retry.max_attempts:
+            self.retries.add()
+            self.env.process(self._resubmit(pend),
+                             name=f"{self.name}.retry{pend.cmd.cmd_id}")
+        else:
+            self._quarantine(pend, reason)
+
+    # -- slot resolution ---------------------------------------------------
+    def _resolve_ok(self, pend: _PendingCmd, via: str) -> None:
+        if via == "fpga":
+            self.items_decoded_fpga.add()
+        batch = pend.batch
+        batch.done += 1
+        self._maybe_complete(batch)
+
+    def _quarantine(self, pend: _PendingCmd, reason: str) -> None:
+        batch = pend.batch
+        batch.done += 1
+        batch.quarantined += 1
+        batch.bad_slots.add(pend.slot)
+        self.quarantine.add(pend.item, reason)
+        if self.tracer is not None:
+            self.tracer.instant(f"quarantine:{reason}", track="faults")
+        self._maybe_complete(batch)
 
     def _maybe_complete(self, batch: _OpenBatch) -> None:
-        if not (batch.closed and batch.finished == batch.filled):
+        if not (batch.closed and batch.done == batch.filled):
             return
         del self._open[batch.tag]
         unit = batch.unit
-        unit.item_count = batch.filled
-        unit.payload = batch.items
+        good = batch.filled - batch.quarantined
+        if good == 0:
+            # Every slot was poison: nothing to train on, return the unit.
+            self.empty_batches.add()
+            self.pool.recycle_item_nowait(unit)
+            return
+        unit.item_count = good
+        unit.payload = batch.items if not batch.quarantined else [
+            it for slot, it in enumerate(batch.items)
+            if slot not in batch.bad_slots]
         unit.used_bytes = batch.filled * self.spec.item_bytes
         if not self.pool.full_batch_queue.try_put(unit):
             raise RuntimeError("Full_Batch_Queue overflow (pool misuse)")

@@ -12,6 +12,8 @@ from .dct import fdct2, idct2, idct2_dequant
 from .decoder import (coefficients_to_planes, decode, decode_resized,
                       entropy_decode, planes_to_image)
 from .encoder import encode
+from .errors import (BadHuffmanCodeError, BadMarkerError, JpegDecodeError,
+                     TruncatedStreamError)
 from .huffman import (STD_AC_CHROMA, STD_AC_LUMA, STD_DC_CHROMA, STD_DC_LUMA,
                       HuffmanTable, build_table_from_freqs)
 from .jfif import (FrameHeader, JpegFormatError, Marker, ParsedJpeg,
@@ -34,6 +36,8 @@ __all__ = [
     "rgb_to_ycbcr", "ycbcr_to_rgb", "subsample_420", "upsample_420",
     "resize_bilinear", "resize_nearest", "center_crop",
     "FrameHeader", "ParsedJpeg", "Marker", "JpegFormatError",
+    "JpegDecodeError", "TruncatedStreamError", "BadMarkerError",
+    "BadHuffmanCodeError",
     "entropy_decode_parallel", "entropy_decode_segments",
     "find_restart_segments",
 ]

@@ -23,6 +23,8 @@ import numpy as np
 from .bitstream import BitReader, EndOfScan
 from .color import upsample_420, ycbcr_to_rgb
 from .dct import idct2_dequant
+from .errors import (BadHuffmanCodeError, BadMarkerError,
+                     TruncatedStreamError)
 from .huffman import decode_block
 from .jfif import JpegFormatError, ParsedJpeg, parse_jpeg
 from .quant import zigzag_unflatten
@@ -69,9 +71,14 @@ def entropy_decode(parsed: ParsedJpeg) -> list[np.ndarray]:
     for my in range(mcus_y):
         for mx in range(mcus_x):
             if interval and mcu_index and mcu_index % interval == 0:
-                n = reader.align_and_consume_rst()
+                try:
+                    n = reader.align_and_consume_rst()
+                except EndOfScan as exc:
+                    raise BadMarkerError(
+                        f"restart boundary at MCU {mcu_index}: {exc}"
+                    ) from None
                 if n != expected_rst:
-                    raise JpegFormatError(
+                    raise BadMarkerError(
                         f"restart marker out of order: RST{n}, "
                         f"expected RST{expected_rst}")
                 expected_rst = (expected_rst + 1) % 8
@@ -84,11 +91,13 @@ def entropy_decode(parsed: ParsedJpeg) -> list[np.ndarray]:
                             zz, pred[ci] = decode_block(
                                 reader, pred[ci], dc_tabs[si], ac_tabs[si])
                         except EndOfScan as exc:
-                            raise JpegFormatError(
+                            raise TruncatedStreamError(
                                 f"scan truncated in MCU {mcu_index}: {exc}"
                             ) from None
+                        except JpegFormatError:
+                            raise
                         except ValueError as exc:
-                            raise JpegFormatError(
+                            raise BadHuffmanCodeError(
                                 f"corrupt scan in MCU {mcu_index}: {exc}"
                             ) from None
                         out[ci][my * comp.v_samp + by,

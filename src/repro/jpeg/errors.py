@@ -1,0 +1,42 @@
+"""Typed decode-error hierarchy.
+
+The quarantine policy of :mod:`repro.faults` needs to *classify* corrupt
+inputs, so every malformed-bitstream failure raises a subclass of
+:class:`JpegDecodeError` instead of a bare ``ValueError``:
+
+* :class:`JpegFormatError` — container/marker-structure problems found
+  by the parser (kept as the historical catch-all name; all decode
+  errors derive from it so existing ``except JpegFormatError`` call
+  sites keep working).
+* :class:`TruncatedStreamError` — the entropy-coded scan ended before
+  every MCU was decoded (cut-off file, short read).
+* :class:`BadMarkerError` — a marker appeared where it must not
+  (restart markers out of order, unexpected marker mid-scan).
+* :class:`BadHuffmanCodeError` — the bitstream contained a code word or
+  symbol outside the declared Huffman tables (bit flips in the scan).
+"""
+
+from __future__ import annotations
+
+__all__ = ["JpegDecodeError", "JpegFormatError", "TruncatedStreamError",
+           "BadMarkerError", "BadHuffmanCodeError"]
+
+
+class JpegDecodeError(ValueError):
+    """Base of every malformed/unsupported-JPEG failure."""
+
+
+class JpegFormatError(JpegDecodeError):
+    """Malformed or unsupported JPEG container/marker structure."""
+
+
+class TruncatedStreamError(JpegFormatError):
+    """Entropy-coded data ran out before the scan was complete."""
+
+
+class BadMarkerError(JpegFormatError):
+    """Unexpected or out-of-order marker inside the scan."""
+
+
+class BadHuffmanCodeError(JpegFormatError):
+    """Bitstream decodes to a code word/symbol outside the tables."""

@@ -13,16 +13,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .errors import JpegFormatError
 from .huffman import HuffmanTable
 from .quant import ZIGZAG
 
 __all__ = ["Marker", "FrameComponent", "FrameHeader", "ScanComponent",
            "ScanHeader", "ParsedJpeg", "SegmentWriter", "parse_jpeg",
            "JpegFormatError"]
-
-
-class JpegFormatError(ValueError):
-    """Raised on malformed or unsupported JPEG input."""
 
 
 class Marker:
@@ -264,6 +261,8 @@ def parse_jpeg(data: bytes) -> ParsedJpeg:
     while pos < len(data):
         if data[pos] != 0xFF:
             raise JpegFormatError(f"expected marker at byte {pos}")
+        if pos + 1 >= len(data):
+            raise JpegFormatError("stream ends inside a marker")
         marker = data[pos + 1]
         pos += 2
         if marker == Marker.EOI:

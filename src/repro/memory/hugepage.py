@@ -153,6 +153,22 @@ class MemManager:
         self.occupancy.set(self.unit_count - len(self._free_set))
         yield from self.queues.free.put(unit)
 
+    def recycle_item_nowait(self, unit: MemoryUnit) -> None:
+        """Non-blocking :meth:`recycle_item` for non-process callers.
+
+        The free queue's capacity equals the unit count, so returning an
+        owned, in-use unit can never block; used by FPGAReader when a
+        fully-quarantined batch has nothing to hand downstream.
+        """
+        self._check_owned(unit)
+        if unit.index in self._free_set:
+            raise HugePageError(f"double recycle of unit {unit.index}")
+        unit.reset()
+        self._free_set.add(unit.index)
+        self.occupancy.set(self.unit_count - len(self._free_set))
+        if not self.queues.free.try_put(unit):
+            raise HugePageError("free queue rejected an owned unit")
+
     def phy2virt(self, phy_addr: int) -> int:
         off = phy_addr - _PHYS_BASE
         if not 0 <= off < self.arena_bytes:

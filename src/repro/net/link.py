@@ -3,6 +3,11 @@
 Transmissions serialize on the link's bandwidth and are chopped into
 MTU-sized packets; each packet also charges a small per-packet host cost
 on the receive side (interrupt/softirq work) to the NIC's CPU tracker.
+
+An armed :class:`~repro.faults.FaultInjector` can lose a burst of
+packets per transmit (``nic_loss``); the lost packets are retransmitted,
+so the transfer pays extra wire time and the ``retransmitted_packets``
+counter records the loss.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ class Link:
     """A shared full-duplex pipe; we model the client->server direction."""
 
     def __init__(self, env: Environment, rate_bytes_per_s: float,
-                 mtu: int = 9000, name: str = "link"):
+                 mtu: int = 9000, name: str = "link", injector=None):
         if rate_bytes_per_s <= 0:
             raise ValueError("link rate must be positive")
         if mtu <= 0:
@@ -25,8 +30,10 @@ class Link:
         self.name = name
         self.rate = rate_bytes_per_s
         self.mtu = mtu
+        self.injector = injector
         self._serializer = Resource(env, capacity=1, name=f"{name}.tx")
         self.bytes_sent = Counter(env, name=f"{name}.bytes")
+        self.retransmitted_packets = Counter(env, name=f"{name}.rexmit")
         self.busy = BusyTracker(env, name=f"{name}.busy")
 
     def packets_for(self, nbytes: int) -> int:
@@ -36,11 +43,19 @@ class Link:
         """Generator: completes when the last byte is on the wire."""
         if nbytes <= 0:
             raise ValueError(f"transmit size must be positive, got {nbytes}")
+        wire_bytes = nbytes
+        if self.injector is not None:
+            lost = self.injector.nic_loss_burst(self.name)
+            if lost:
+                # Lost packets ride the wire twice; goodput stays nbytes.
+                lost = min(lost, self.packets_for(nbytes))
+                self.retransmitted_packets.add(lost)
+                wire_bytes += lost * self.mtu
         grant = self._serializer.request()
         yield grant
         tok = self.busy.begin("tx")
         try:
-            yield self.env.timeout(nbytes / self.rate)
+            yield self.env.timeout(wire_bytes / self.rate)
             self.bytes_sent.add(nbytes)
         finally:
             self.busy.end(tok)

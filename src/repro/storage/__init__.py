@@ -3,13 +3,13 @@ LMDB-like KV store and a RecordIO format."""
 
 from .kvstore import KVError, KVStore, ReadTransaction, WriteTransaction
 from .manifest import BLOCK_SIZE, BlockExtent, FileEntry, FileManifest
-from .nvme import NvmeDisk
+from .nvme import NvmeDisk, NvmeReadError
 from .recordio import (IndexedRecordFile, RecordFormatError, RecordReader,
                        RecordWriter)
 from .tfrecord import (TFRecordError, TFRecordReader, TFRecordWriter,
                        crc32c, masked_crc)
 
-__all__ = ["NvmeDisk", "FileManifest", "FileEntry", "BlockExtent",
+__all__ = ["NvmeDisk", "NvmeReadError", "FileManifest", "FileEntry", "BlockExtent",
            "BLOCK_SIZE", "KVStore", "KVError", "ReadTransaction",
            "WriteTransaction", "RecordWriter", "RecordReader",
            "IndexedRecordFile", "RecordFormatError",

@@ -16,6 +16,7 @@ from ..backends import (CpuInferenceBackend, DLBoosterInferenceBackend,
 from ..calib import DEFAULT_TESTBED, INFER_MODELS, Testbed
 from ..data import jpeg_size_sampler
 from ..engines import CpuCorePool, GpuDevice, InferenceEngine
+from ..faults import FaultInjector, FaultPlan
 from ..host import BatchSpec
 from ..net import ClientFleet, Link, Nic
 from ..sim import Environment, LatencyRecorder, SeedBank
@@ -45,6 +46,9 @@ class InferenceConfig:
     # unloaded minima; under closed-loop saturation Little's law ties
     # latency to the population instead).
     unloaded: bool = False
+    # Chaos engineering: ``nic_loss`` specs apply to the client->server
+    # link (lost packet bursts are retransmitted, costing wire time).
+    fault_plan: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -92,7 +96,12 @@ def run_inference(cfg: InferenceConfig,
                       out_w=spec.input_hw[1], channels=spec.channels)
     cpu = CpuCorePool(env, testbed.cpu_cores)
 
-    link = Link(env, testbed.nic_rate, mtu=testbed.nic_mtu)
+    injector = None
+    if cfg.fault_plan:
+        injector = FaultInjector(env, cfg.fault_plan,
+                                 seeds=seeds.spawn("faults"))
+    link = Link(env, testbed.nic_rate, mtu=testbed.nic_mtu,
+                injector=injector)
     nic = Nic(env, link, cpu.tracker, per_packet_s=testbed.nic_per_packet_s,
               rx_capacity=max(4096, 16 * cfg.batch_size))
     num_clients = cfg.num_clients or testbed.inference_clients
@@ -152,6 +161,10 @@ def run_inference(cfg: InferenceConfig,
 
     extras = {"client_rtt_ms": fleet.rtt.mean() * 1e3,
               "rx_drops": nic.drops.total}
+    if injector is not None:
+        extras["faults_injected"] = int(injector.injected.total)
+        extras["retransmitted_packets"] = int(
+            link.retransmitted_packets.total)
     if cfg.backend == "dlbooster":
         extras["decoder_utilizations"] = [
             d.mirror.stage_utilizations() for d in backend.devices]

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from ..engines import CpuCorePool
 from ..sim import Counter, Environment
 
-__all__ = ["CpuWindow", "CounterWindow"]
+__all__ = ["CpuWindow", "CounterWindow", "ResilienceWindow"]
 
 
 @dataclass
@@ -37,6 +37,28 @@ class CounterWindow:
 
     def delta(self) -> float:
         return sum(c.total for c in self.counters) - sum(self._mark_totals)
+
+
+class ResilienceWindow:
+    """Windowed deltas of a backend's fault/retry/failover metrics.
+
+    Wraps any object exposing ``fault_metrics() -> dict[str, int]``
+    (``DLBoosterBackend`` does); the same mark/delta discipline as
+    :class:`CounterWindow` keeps warm-up faults out of the numbers.
+    """
+
+    def __init__(self, env: Environment, backend):
+        self.env = env
+        self.backend = backend
+        self._mark: dict[str, int] = {}
+
+    def mark(self) -> None:
+        self._mark = dict(self.backend.fault_metrics())
+
+    def deltas(self) -> dict[str, int]:
+        now = self.backend.fault_metrics()
+        return {key: value - self._mark.get(key, 0)
+                for key, value in now.items()}
 
 
 class CpuWindow:

@@ -16,11 +16,12 @@ from ..backends import (CpuOnlineBackend, DLBoosterBackend, LmdbBackend,
 from ..calib import DEFAULT_TESTBED, TRAIN_MODELS, Testbed
 from ..engines import (CpuCorePool, GpuDevice, SyncGroup, TrainingSolver,
                        allreduce_seconds, train_iteration_seconds)
+from ..faults import FaultPlan, RetryPolicy
 from ..host import BatchSpec
 from ..data import imagenet_like_manifest, mnist_like_manifest
 from ..sim import Environment, SeedBank
 from ..storage import NvmeDisk
-from .metrics import CounterWindow, CpuWindow
+from .metrics import CounterWindow, CpuWindow, ResilienceWindow
 
 __all__ = ["TrainingConfig", "TrainingResult", "run_training",
            "ideal_training_throughput", "TRAINING_BACKENDS"]
@@ -50,6 +51,9 @@ class TrainingConfig:
     num_fpgas: int = 1                   # dlbooster
     huffman_ways: Optional[int] = None   # dlbooster ablations
     resizer_ways: Optional[int] = None
+    # chaos engineering (dlbooster): armed fault plan + recovery policy
+    fault_plan: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
 
 
 @dataclass
@@ -90,7 +94,10 @@ def _make_manifest(model: str, n: Optional[int], seeds: SeedBank):
 
 
 def _make_backend(cfg: TrainingConfig, env, testbed, cpu, manifest, spec,
-                  seeds, disk):
+                  seeds, disk, tracer=None):
+    if cfg.fault_plan is not None and cfg.backend != "dlbooster":
+        raise ValueError(f"fault_plan is only supported by the dlbooster "
+                         f"backend, not {cfg.backend!r}")
     if cfg.backend == "synthetic":
         return SyntheticBackend(env, testbed, cpu, manifest, spec, seeds)
     if cfg.backend == "cpu-online":
@@ -105,14 +112,21 @@ def _make_backend(cfg: TrainingConfig, env, testbed, cpu, manifest, spec,
                                 num_fpgas=cfg.num_fpgas,
                                 huffman_ways=cfg.huffman_ways,
                                 resizer_ways=cfg.resizer_ways,
-                                disk=disk)
+                                disk=disk, fault_plan=cfg.fault_plan,
+                                retry=cfg.retry, tracer=tracer)
     raise ValueError(f"unknown backend {cfg.backend!r}; "
                      f"choose from {TRAINING_BACKENDS}")
 
 
 def run_training(cfg: TrainingConfig,
-                 testbed: Testbed = DEFAULT_TESTBED) -> TrainingResult:
-    """Execute one training experiment and report its window metrics."""
+                 testbed: Testbed = DEFAULT_TESTBED,
+                 tracer_factory=None) -> TrainingResult:
+    """Execute one training experiment and report its window metrics.
+
+    ``tracer_factory`` (optional) is called with the run's Environment
+    and must return a tracer (e.g. ``repro.sim.Tracer``); the instance
+    lands in ``result.extras["tracer"]`` for Chrome-trace export.
+    """
     if cfg.model not in TRAIN_MODELS:
         raise ValueError(f"unknown model {cfg.model!r}")
     if cfg.num_gpus < 1 or cfg.num_gpus > testbed.gpu_count:
@@ -138,8 +152,9 @@ def run_training(cfg: TrainingConfig,
         solvers.append(solver)
 
     disk = NvmeDisk(env, testbed)
+    tracer = tracer_factory(env) if tracer_factory is not None else None
     backend = _make_backend(cfg, env, testbed, cpu, manifest, bspec, seeds,
-                            disk)
+                            disk, tracer=tracer)
     backend.start(solvers)
 
     # For cacheable corpora the warm-up must cover the first (decode)
@@ -155,8 +170,12 @@ def run_training(cfg: TrainingConfig,
     env.run(until=warmup)
     images = CounterWindow(env, [s.images_trained for s in solvers])
     cores = CpuWindow(env, cpu)
+    resilience = (ResilienceWindow(env, backend)
+                  if cfg.backend == "dlbooster" else None)
     images.mark()
     cores.mark()
+    if resilience is not None:
+        resilience.mark()
     env.run(until=warmup + cfg.measure_s)
 
     throughput = images.rate()
@@ -166,6 +185,14 @@ def run_training(cfg: TrainingConfig,
     if cfg.backend == "dlbooster":
         extras["decoder_utilizations"] = backend.decoder_utilizations()
         extras["pool_conservation"] = backend.pool.conservation_ok()
+        extras["resilience"] = resilience.deltas()
+        extras["fault_totals"] = backend.fault_metrics()
+        extras["item_conservation"] = backend.conservation_ok()
+        extras["quarantine_reasons"] = backend.quarantine.reasons()
+        if backend.breaker is not None:
+            extras["breaker_state"] = backend.breaker.state
+    if tracer is not None:
+        extras["tracer"] = tracer
     if cfg.backend == "lmdb":
         extras["ingest_seconds"] = backend.ingest_seconds
     extras["cache_active"] = backend.cache.active

@@ -1,0 +1,59 @@
+"""Determinism regression: (seed, plan) replays bit-identically.
+
+The whole point of routing every stochastic fault decision through
+named SeedBank streams is that a chaos run can be replayed exactly —
+same metrics, same fault sites, same Chrome trace.  These tests pin
+that property end-to-end through the training workflow.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy
+from repro.sim import Tracer
+from repro.workflows import TrainingConfig, run_training
+
+PLAN = FaultPlan.of(FaultPlan.cmd_drop(0.02),
+                    FaultPlan.payload_corrupt(0.01), name="determinism")
+
+
+def chaos_run(seed=0, trace=False):
+    cfg = TrainingConfig(model="alexnet", backend="dlbooster",
+                         dataset_size=1200, warmup_s=0.1, measure_s=0.3,
+                         seed=seed, fault_plan=PLAN,
+                         retry=RetryPolicy(max_attempts=3))
+    return run_training(cfg, tracer_factory=Tracer if trace else None)
+
+
+def strip(extras):
+    return {k: v for k, v in extras.items() if k != "tracer"}
+
+
+def test_same_seed_and_plan_replays_identically():
+    a, b = chaos_run(seed=0), chaos_run(seed=0)
+    assert a.throughput == b.throughput
+    assert a.extras["fault_totals"] == b.extras["fault_totals"]
+    assert a.extras["resilience"] == b.extras["resilience"]
+    assert a.extras["quarantine_reasons"] == b.extras["quarantine_reasons"]
+    assert strip(a.extras) == strip(b.extras)
+
+
+def test_same_seed_produces_identical_chrome_trace():
+    a, b = chaos_run(seed=0, trace=True), chaos_run(seed=0, trace=True)
+    assert a.extras["tracer"].to_chrome_trace() \
+        == b.extras["tracer"].to_chrome_trace()
+
+
+def test_different_seed_shifts_fault_decisions():
+    a, b = chaos_run(seed=0, trace=True), chaos_run(seed=1, trace=True)
+    # Different workload + fault streams: the runs must not be clones.
+    assert a.extras["tracer"].to_chrome_trace() \
+        != b.extras["tracer"].to_chrome_trace()
+
+
+def test_no_plan_run_is_deterministic_and_fault_free():
+    cfg = TrainingConfig(model="alexnet", backend="dlbooster",
+                         dataset_size=1200, warmup_s=0.1, measure_s=0.3)
+    a, b = run_training(cfg), run_training(cfg)
+    assert a.throughput == b.throughput
+    assert all(v == 0 for v in a.extras["fault_totals"].values())
+    assert a.extras["item_conservation"]

@@ -1,0 +1,154 @@
+"""Tests for FaultSpec/FaultPlan validation and FaultInjector draws."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec
+from repro.sim import Environment, SeedBank
+
+
+def advance(env, t):
+    def _p(env):
+        yield env.timeout(t)
+    proc = env.process(_p(env))
+    env.run(until=proc)
+
+
+# ------------------------------------------------------------------ plan
+def test_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec("gamma_ray")
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"rate": -0.1}, {"rate": 1.5},
+    {"start": -1.0}, {"start": 2.0, "stop": 1.0},
+    {"magnitude": -1.0}, {"limit": 0},
+])
+def test_spec_rejects_bad_fields(kwargs):
+    with pytest.raises(ValueError):
+        FaultSpec("cmd_drop", **kwargs)
+
+
+def test_spec_site_matching_and_window():
+    spec = FaultSpec("cmd_drop", site="fpga0", rate=0.5, start=1.0, stop=2.0)
+    assert spec.matches("fpga0") and not spec.matches("fpga1")
+    assert FaultSpec("cmd_drop", rate=0.5).matches("anything")
+    assert not spec.active(0.5)
+    assert spec.active(1.0) and spec.active(1.999)
+    assert not spec.active(2.0)
+
+
+def test_plan_container_protocol():
+    plan = FaultPlan.of(FaultPlan.cmd_drop(0.01),
+                        FaultPlan.nvme_error(0.02), name="p")
+    assert len(plan) == 2 and bool(plan)
+    assert not FaultPlan()
+    assert [s.kind for s in plan] == ["cmd_drop", "nvme_error"]
+    assert plan.by_kind("cmd_drop")[0].rate == 0.01
+    wider = plan.with_spec(FaultPlan.nic_loss(0.1, burst_packets=8))
+    assert len(wider) == 3
+    assert wider.by_kind("nic_loss")[0].magnitude == 8.0
+
+
+def test_constructors_cover_every_kind():
+    specs = (FaultPlan.cmd_drop(0.1), FaultPlan.finish_stall(0.1, 1e-3),
+             FaultPlan.payload_corrupt(0.1), FaultPlan.payload_truncate(0.1),
+             FaultPlan.decoder_crash(0.0, 1.0), FaultPlan.nvme_error(0.1),
+             FaultPlan.nvme_latency(0.1, 1e-3), FaultPlan.nic_loss(0.1))
+    assert {s.kind for s in specs} == set(FAULT_KINDS)
+
+
+# -------------------------------------------------------------- injector
+def test_injector_replays_bit_identically():
+    decisions = []
+    for _ in range(2):
+        env = Environment()
+        inj = FaultInjector(env, FaultPlan.of(FaultPlan.cmd_drop(0.3)),
+                            seeds=SeedBank(42))
+        decisions.append([inj.drop_cmd("fpga0") for _ in range(200)])
+    assert decisions[0] == decisions[1]
+    assert 20 < sum(decisions[0]) < 100  # ~60 expected
+
+
+def test_arming_second_kind_never_shifts_first_kinds_stream():
+    def drops(plan):
+        env = Environment()
+        inj = FaultInjector(env, plan, seeds=SeedBank(7))
+        out = []
+        for _ in range(100):
+            out.append(inj.drop_cmd("fpga0"))
+            inj.nvme_read_error("nvme")   # interleaved opportunities
+        return out
+
+    only_drop = FaultPlan.of(FaultPlan.cmd_drop(0.25))
+    both = FaultPlan.of(FaultPlan.cmd_drop(0.25), FaultPlan.nvme_error(0.5))
+    assert drops(only_drop) == drops(both)
+
+
+def test_limit_caps_total_injections():
+    env = Environment()
+    inj = FaultInjector(env, FaultPlan.of(
+        FaultPlan.cmd_drop(1.0, limit=3)), seeds=SeedBank(0))
+    fired = sum(inj.drop_cmd("fpga0") for _ in range(10))
+    assert fired == 3
+    assert inj.count("cmd_drop") == 3
+    assert int(inj.injected.total) == 3
+
+
+def test_window_gates_decoder_crash():
+    env = Environment()
+    inj = FaultInjector(env, FaultPlan.of(
+        FaultPlan.decoder_crash(1.0, 2.0)), seeds=SeedBank(0))
+    assert not inj.decoder_down("fpga0")      # t=0: before the window
+    advance(env, 1.5)
+    assert inj.decoder_down("fpga0")          # inside
+    advance(env, 1.0)                         # t=2.5: after
+    assert not inj.decoder_down("fpga0")
+
+
+def test_site_scoped_spec_ignores_other_sites():
+    env = Environment()
+    inj = FaultInjector(env, FaultPlan.of(
+        FaultPlan.cmd_drop(1.0, site="fpga1")), seeds=SeedBank(0))
+    assert not inj.drop_cmd("fpga0")
+    assert inj.drop_cmd("fpga1")
+
+
+class _Cmd:
+    def __init__(self, payload):
+        self.payload = payload
+        self.poisoned = False
+
+
+def test_poison_truncates_payload():
+    env = Environment()
+    inj = FaultInjector(env, FaultPlan.of(
+        FaultPlan.payload_truncate(1.0)), seeds=SeedBank(0))
+    cmd = _Cmd(bytes(range(200)) * 10)
+    assert inj.maybe_poison_cmd(cmd)
+    assert cmd.poisoned
+    assert len(cmd.payload) < 2000
+
+
+def test_poison_corrupts_scan_bytes_in_place():
+    env = Environment()
+    inj = FaultInjector(env, FaultPlan.of(
+        FaultPlan.payload_corrupt(1.0)), seeds=SeedBank(0))
+    original = bytes(range(256)) * 4
+    cmd = _Cmd(original)
+    assert inj.maybe_poison_cmd(cmd)
+    assert cmd.poisoned
+    assert len(cmd.payload) == len(original)
+    assert cmd.payload != original
+    # Header half untouched: corruption lands in the entropy-coded scan.
+    assert cmd.payload[:len(original) // 2] == original[:len(original) // 2]
+
+
+def test_empty_plan_injector_is_inert():
+    env = Environment()
+    inj = FaultInjector(env, FaultPlan(), seeds=SeedBank(0))
+    assert not inj.drop_cmd("fpga0")
+    assert inj.finish_stall_s("fpga0") == 0.0
+    assert inj.nic_loss_burst("link") == 0
+    assert not inj.maybe_poison_cmd(_Cmd(b"x" * 100))
+    assert int(inj.injected.total) == 0

@@ -1,0 +1,112 @@
+"""Unit tests for RetryPolicy, QuarantineLog and CircuitBreaker."""
+
+import pytest
+
+from repro.faults import CircuitBreaker, QuarantineLog, RetryPolicy
+from repro.sim import Environment
+
+
+def advance(env, t):
+    def _p(env):
+        yield env.timeout(t)
+    proc = env.process(_p(env))
+    env.run(until=proc)
+
+
+# ------------------------------------------------------------ RetryPolicy
+@pytest.mark.parametrize("kwargs", [
+    {"deadline_s": 0.0}, {"deadline_s": -1.0}, {"deadline_safety": 0.0},
+    {"backoff_base": 0.5}, {"max_attempts": 0},
+])
+def test_retry_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+def test_retry_policy_derived_deadline_scales_with_estimate():
+    pol = RetryPolicy(deadline_safety=8.0, backoff_base=2.0)
+    assert pol.deadline_for(0.01, 0) == pytest.approx(0.08)
+    assert pol.deadline_for(0.01, 2) == pytest.approx(0.32)  # 8x * 2^2
+    # A bigger cmd gets proportionately more patience.
+    assert pol.deadline_for(0.02, 0) == 2 * pol.deadline_for(0.01, 0)
+
+
+def test_retry_policy_explicit_deadline_ignores_estimate():
+    pol = RetryPolicy(deadline_s=0.05, backoff_base=3.0)
+    assert pol.deadline_for(123.0, 0) == pytest.approx(0.05)
+    assert pol.deadline_for(123.0, 1) == pytest.approx(0.15)
+
+
+# ---------------------------------------------------------- QuarantineLog
+def test_quarantine_counts_and_reasons():
+    env = Environment()
+    log = QuarantineLog(env, keep=2)
+    log.add("a", "poison")
+    log.add("b", "poison")
+    log.add("c", "deadline-exhausted")   # beyond keep: counted, not kept
+    assert log.total == 3
+    assert len(log.entries) == 2
+    assert log.reasons() == {"poison": 2}
+
+
+# --------------------------------------------------------- CircuitBreaker
+@pytest.mark.parametrize("kwargs", [
+    {"failure_threshold": 0}, {"probe_interval_s": 0.0},
+    {"probe_successes": 0},
+])
+def test_breaker_validation(kwargs):
+    with pytest.raises(ValueError):
+        CircuitBreaker(Environment(), **kwargs)
+
+
+def test_breaker_opens_after_consecutive_failures_only():
+    env = Environment()
+    brk = CircuitBreaker(env, failure_threshold=3)
+    brk.record_failure()
+    brk.record_failure()
+    brk.record_success()          # resets the consecutive count
+    brk.record_failure()
+    brk.record_failure()
+    assert not brk.is_open
+    brk.record_failure()
+    assert brk.is_open
+    assert int(brk.failovers.total) == 1
+    # Further failures while open don't count extra failovers.
+    brk.record_failure()
+    assert int(brk.failovers.total) == 1
+
+
+def test_breaker_probe_rate_limiting():
+    env = Environment()
+    brk = CircuitBreaker(env, failure_threshold=1, probe_interval_s=0.5)
+    assert brk.take_probe()       # closed: everything passes
+    brk.record_failure()
+    assert brk.is_open
+    assert brk.take_probe()       # first probe of the window
+    assert not brk.take_probe()   # same instant: rejected
+    advance(env, 0.5)
+    assert brk.take_probe()
+
+
+def test_breaker_closes_after_probe_successes():
+    env = Environment()
+    brk = CircuitBreaker(env, failure_threshold=1, probe_successes=2)
+    brk.record_failure()
+    brk.record_success()
+    assert brk.is_open            # one good probe isn't enough
+    brk.record_success()
+    assert not brk.is_open
+    assert int(brk.recoveries.total) == 1
+    assert [s for _, s in brk.transitions] == ["open", "closed"]
+
+
+def test_breaker_failed_probe_resets_progress():
+    env = Environment()
+    brk = CircuitBreaker(env, failure_threshold=1, probe_successes=2)
+    brk.record_failure()
+    brk.record_success()
+    brk.record_failure()          # probe failed: start over
+    brk.record_success()
+    assert brk.is_open
+    brk.record_success()
+    assert not brk.is_open
