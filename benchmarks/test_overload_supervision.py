@@ -1,0 +1,9 @@
+"""Overload: deadline shedding bounds p99 where no-shed collapses."""
+
+from repro.experiments import overload
+
+from conftest import run_report
+
+
+def test_overload_supervision(benchmark):
+    run_report(benchmark, overload.run)

@@ -48,10 +48,16 @@ class DLBoosterBackend(TrainingBackend):
                  fault_plan: Optional[FaultPlan] = None,
                  retry: Optional[RetryPolicy] = None,
                  breaker: Optional[CircuitBreaker] = None,
+                 supervisor=None,
                  tracer=None):
         super().__init__(env, testbed, cpu, manifest, spec, seeds)
         if num_fpgas < 1:
             raise ValueError("num_fpgas must be >= 1")
+        # Supervision layer (repro.supervision): only consulted when a
+        # Supervisor with an enabled config is handed in, so the default
+        # build is byte-identical to an unsupervised one.
+        self.supervisor = supervisor \
+            if supervisor is not None and supervisor.config.enabled else None
         # Fault layer: only materialised when a plan is armed, so the
         # default build is byte-identical to a fault-free one.
         self.injector = None
@@ -83,20 +89,42 @@ class DLBoosterBackend(TrainingBackend):
             self.devices.append(device)
             self.channels.append(FPGAChannel(env, mirror, queue_id=i,
                                              injector=self.injector))
-        self.collector = DataCollector(env)
+        sup = self.supervisor
+        self.collector = DataCollector(
+            env, integrity=sup.integrity if sup is not None else None)
         self.collector.load_from_disk(manifest)
-        self.reader = FPGAReader(env, testbed, self.channels[0], self.pool,
-                                 spec, cpu=cpu, channels=self.channels,
-                                 injector=self.injector, retry=retry,
-                                 breaker=self.breaker,
-                                 quarantine=self.quarantine, tracer=tracer)
+        self.reader = FPGAReader(
+            env, testbed, self.channels[0], self.pool,
+            spec, cpu=cpu, channels=self.channels,
+            injector=self.injector, retry=retry,
+            breaker=self.breaker,
+            quarantine=self.quarantine, tracer=tracer,
+            heartbeat=sup.register("fpga-reader") if sup is not None else None,
+            integrity=sup.integrity if sup is not None else None,
+            shed_deadlines=(sup is not None and sup.sheds_deadlines
+                            and sup.config.shed_at_reader))
+        if sup is not None:
+            sup.watch_channel(self.pool.full_batch_queue)
+            sup.watch_channel(self.pool.free_batch_queue)
         self.dispatcher: Optional[Dispatcher] = None
 
     def start(self, solvers: Sequence) -> None:
         self._check_start(solvers)
-        self.dispatcher = Dispatcher(self.env, self.testbed, self.pool,
-                                     solvers, cpu=self.cpu)
+        sup = self.supervisor
+        self.dispatcher = Dispatcher(
+            self.env, self.testbed, self.pool, solvers, cpu=self.cpu,
+            heartbeat=(sup.register("dispatcher") if sup is not None
+                       else None),
+            shed_deadlines=(sup is not None and sup.sheds_deadlines
+                            and sup.config.shed_at_dispatcher))
         self.dispatcher.start()
+        if sup is not None:
+            for i, solver in enumerate(solvers):
+                solver.heartbeat = sup.register(f"solver-{i}")
+                sup.watch_channel(solver.trans_queues.full)
+                sup.watch_channel(solver.trans_queues.free)
+            sup.track_stoppable(self.dispatcher)
+            sup.start()
         self.env.process(self._feed(), name="dlbooster-feed")
         # Daemon-thread busy-poll duty cycles (Fig. 6d breakdown).
         self.env.process(self._poll_ticker(
@@ -154,18 +182,30 @@ class DLBoosterBackend(TrainingBackend):
                           if self.breaker is not None else 0),
             "recoveries": (int(self.breaker.recoveries.total)
                            if self.breaker is not None else 0),
+            "shed_expired": int(r.shed_expired.total),
+            "integrity_rejected": int(r.integrity_rejected.total),
         }
+        if self.dispatcher is not None:
+            out["dispatcher_items_shed"] = \
+                int(self.dispatcher.items_shed.total)
         return out
 
     def conservation_ok(self) -> bool:
-        """Every accepted item is decoded, quarantined, or still open.
+        """Every accepted item is decoded, failed over, quarantined,
+        shed, integrity-rejected, or still open.
 
         ``accepted == fpga_decoded + cpu_failover + quarantined +
+        shed_expired + integrity_rejected +
         unresolved-slots-of-open-batches`` — nothing lost, nothing
-        double-counted, under any fault plan.
+        double-counted, under any fault plan and shed policy.
+        (``quarantined`` here excludes integrity rejects, which land in
+        the same quarantine log but are counted on their own.)
         """
         r = self.reader
+        integrity_rejected = int(r.integrity_rejected.total)
+        quarantined_other = self.quarantine.total - integrity_rejected
         resolved = (int(r.items_decoded_fpga.total)
-                    + int(r.failover_items.total) + self.quarantine.total)
+                    + int(r.failover_items.total) + quarantined_other
+                    + integrity_rejected + int(r.shed_expired.total))
         unresolved = sum(b.filled - b.done for b in r._open.values())
         return int(r.items_accepted.total) == resolved + unresolved

@@ -186,11 +186,23 @@ class DLBoosterInferenceBackend(_InferenceBackendBase):
 
     def __init__(self, *args, num_fpgas: int = 1, pool_units: int = 8,
                  functional: bool = False, gpu_direct: bool = False,
+                 supervisor=None,
                  **kwargs):
         super().__init__(*args, **kwargs)
         self.gpu_direct = gpu_direct
         if num_fpgas < 1:
             raise ValueError("num_fpgas must be >= 1")
+        # Supervision (repro.supervision): watchdog heartbeats, deadline
+        # shedding at the NIC/reader/dispatcher boundaries, integrity
+        # verification.  None (or a disabled config) adds nothing.
+        self.supervisor = supervisor \
+            if supervisor is not None and supervisor.config.enabled else None
+        sup = self.supervisor
+        if sup is not None:
+            if sup.sheds_deadlines:
+                self.collector.deadline_s = sup.config.deadline_s
+            self.collector.integrity = sup.integrity
+            sup.arm_admission(self.nic.rx_queue)
         self.pool = MemManager(self.env, unit_size=self.spec.batch_bytes,
                                unit_count=pool_units,
                                allocate_arena=functional,
@@ -210,7 +222,16 @@ class DLBoosterInferenceBackend(_InferenceBackendBase):
         # gpu-direct feed needs, so it exists only on the staged path.
         self.reader = None if gpu_direct else FPGAReader(
             self.env, self.testbed, self.channels[0], self.pool,
-            self.spec, cpu=self.cpu, channels=self.channels)
+            self.spec, cpu=self.cpu, channels=self.channels,
+            heartbeat=(sup.register("fpga-reader")
+                       if sup is not None else None),
+            integrity=sup.integrity if sup is not None else None,
+            shed_deadlines=(sup is not None and sup.sheds_deadlines
+                            and sup.config.shed_at_reader))
+        if sup is not None and not gpu_direct:
+            sup.watch_channel(self.pool.full_batch_queue)
+            sup.watch_channel(self.pool.free_batch_queue)
+            sup.watch_channel(self.nic.rx_queue)
         self._next_cmd = 0
         self.dispatcher: Optional[Dispatcher] = None
 
@@ -224,9 +245,21 @@ class DLBoosterInferenceBackend(_InferenceBackendBase):
                 self.env.process(self._gpu_direct_feed(engine),
                                  name=f"dlb-direct-{engine.gpu.index}")
         else:
-            self.dispatcher = Dispatcher(self.env, self.testbed, self.pool,
-                                         engines, cpu=self.cpu)
+            sup = self.supervisor
+            self.dispatcher = Dispatcher(
+                self.env, self.testbed, self.pool, engines, cpu=self.cpu,
+                heartbeat=(sup.register("dispatcher") if sup is not None
+                           else None),
+                shed_deadlines=(sup is not None and sup.sheds_deadlines
+                                and sup.config.shed_at_dispatcher))
             self.dispatcher.start()
+            if sup is not None:
+                for i, engine in enumerate(engines):
+                    engine.heartbeat = sup.register(f"engine-{i}")
+                    sup.watch_channel(engine.trans_queues.full)
+                    sup.watch_channel(engine.trans_queues.free)
+                sup.track_stoppable(self.dispatcher)
+                sup.start()
             self.env.process(
                 self.reader.run_stream(self.collector.next_from_net),
                 name="dlbooster-infer-feed")
@@ -296,6 +329,27 @@ class DLBoosterInferenceBackend(_InferenceBackendBase):
         dev_batch.item_count = len(items)
         dev_batch.payload = items
         yield from engine.trans_queues.full.put(dev_batch)
+
+    def conservation_ok(self) -> bool:
+        """Item conservation on the staged path (mirrors the training
+        backend's invariant)::
+
+            accepted == fpga_decoded + cpu_failover + quarantined
+                        + shed_expired + integrity_rejected
+                        + unresolved-slots-of-open-batches
+
+        Trivially true on the gpu-direct path (no reader bookkeeping).
+        """
+        if self.reader is None:
+            return True
+        r = self.reader
+        integrity_rejected = int(r.integrity_rejected.total)
+        quarantined_other = r.quarantine.total - integrity_rejected
+        resolved = (int(r.items_decoded_fpga.total)
+                    + int(r.failover_items.total) + quarantined_other
+                    + integrity_rejected + int(r.shed_expired.total))
+        unresolved = sum(b.filled - b.done for b in r._open.values())
+        return int(r.items_accepted.total) == resolved + unresolved
 
     def _poll_ticker(self, core_frac: float, category: str,
                      tick_s: float = 0.01):

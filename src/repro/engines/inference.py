@@ -45,6 +45,7 @@ class InferenceEngine:
         self.batches = Counter(env, name=f"{gpu.name}.batches")
         self.latency = LatencyRecorder(name=f"{gpu.name}.latency")
         self.copy_stream = gpu.copy_stream
+        self.heartbeat = None   # set by a Supervisor when supervised
         self._proc = None
 
     @property
@@ -60,7 +61,11 @@ class InferenceEngine:
     def _loop(self):
         tb = self.testbed
         while True:
+            if self.heartbeat is not None:
+                self.heartbeat.waiting(self.trans.full.name)
             batch: DeviceBatch = yield from self.trans.full.get()
+            if self.heartbeat is not None:
+                self.heartbeat.running()
             n = batch.item_count or self.batch_size
             compute_s = inference_batch_seconds(self.spec, n)
             # Host thread issues one launch per layer-kernel (Fig. 9's
@@ -85,6 +90,8 @@ class InferenceEngine:
             self.predictions.add(n)
             self.batches.add()
             self.gpu.images_in.add(n)
+            if self.heartbeat is not None:
+                self.heartbeat.progress()
             batch.reset()
             yield from self.trans.free.put(batch)
 

@@ -101,6 +101,7 @@ class TrainingSolver:
         self.images_trained = Counter(env, name=f"{gpu.name}.trained")
         self.iterations = Counter(env, name=f"{gpu.name}.iters")
         self.copy_stream = gpu.copy_stream
+        self.heartbeat = None   # set by a Supervisor when supervised
         self._proc = None
 
     @property
@@ -116,7 +117,11 @@ class TrainingSolver:
     def _loop(self):
         tb = self.testbed
         while True:
+            if self.heartbeat is not None:
+                self.heartbeat.waiting(self.trans.full.name)
             batch: DeviceBatch = yield from self.trans.full.get()
+            if self.heartbeat is not None:
+                self.heartbeat.running()
             n = batch.item_count or self.batch_size
             # Forward + backward.
             compute_s = train_iteration_seconds(self.spec, n)
@@ -134,6 +139,8 @@ class TrainingSolver:
                 compute_s * tb.model_update_core_frac, "update")
             self.images_trained.add(n)
             self.iterations.add()
+            if self.heartbeat is not None:
+                self.heartbeat.progress()
             batch.reset()
             yield from self.trans.free.put(batch)
 

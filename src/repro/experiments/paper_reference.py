@@ -121,6 +121,24 @@ PAPER_CLAIMS: tuple[PaperClaim, ...] = (
                note="extended into a circuit-breaker failover: decoder "
                     "outages re-route items to CPU decode, probes "
                     "re-admit the FPGA"),
+    # -------------------------------------------------------- overload
+    # The paper's serving evaluation is closed-loop (5 windowed
+    # clients), so offered load can never exceed capacity; these anchor
+    # the supervision experiment to the statements it stress-tests.
+    PaperClaim("overload", "S5.3 / Fig. 8",
+               "serving latency measured NIC receive -> prediction",
+               "closed-loop, bounded by the client window", "ordering",
+               note="extended to open-loop arrivals at 2x capacity: "
+                    "deadline shedding at the RX/reader/dispatcher "
+                    "boundaries keeps p99 near the deadline where the "
+                    "unsupervised pipeline's latency grows unboundedly"),
+    PaperClaim("overload", "S3.4.2",
+               "Free/Full batch queues bound in-pipeline buffering",
+               "bounded queues (Algorithm 2)", "ordering",
+               note="that buffering sets the admission margin: ingress "
+                    "sheds requests whose slack no longer covers the "
+                    "in-pipeline time, preventing decode-then-expire "
+                    "livelock"),
 )
 
 

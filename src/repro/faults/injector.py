@@ -144,6 +144,34 @@ class FaultInjector:
         self._fire(spec, site)
         return True
 
+    def maybe_bitflip_cmd(self, cmd, site: str = "reader") -> bool:
+        """FPGAReader: *silently* corrupt the cmd's travelling bytes.
+
+        Unlike :meth:`maybe_poison_cmd` the cmd is **not** flagged
+        ``poisoned``: the decoder still reports a successful FINISH, so
+        the corruption rides into a batch unless end-to-end integrity
+        verification (:mod:`repro.supervision`) re-hashes the travelled
+        bytes against the ingest stamp.  Returns True when flipped.
+        """
+        spec = self._roll("payload_bitflip", site)
+        if spec is None:
+            return False
+        payload = getattr(cmd, "payload", None)
+        if payload is not None and len(payload) > 8:
+            rng = self._stream("payload_bitflip", site)
+            data = bytearray(payload)
+            # One low bit deep in the entropy-coded scan: still parses,
+            # pixels are garbage.
+            pos = int(rng.integers(len(data) // 2, len(data) - 2))
+            data[pos] ^= 0x01
+            cmd.payload = bytes(data)
+        else:
+            # Modeled mode: no bytes to flip — skew the metadata the cmd
+            # carries so the travelled fingerprint no longer matches.
+            cmd.size_bytes ^= 1
+        self._fire(spec, site)
+        return True
+
     def nvme_read_error(self, site: str = "nvme") -> bool:
         """NvmeDisk: fail this read with a device error?"""
         spec = self._roll("nvme_error", site)

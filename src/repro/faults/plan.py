@@ -16,6 +16,11 @@ Fault kinds
                       and emits an *error* FINISH record.
 ``payload_truncate``  cut the JPEG payload short — same error surface,
                       classified as a truncated stream.
+``payload_bitflip``   *silent* corruption: bytes change but the decoder
+                      still reports a successful FINISH (bit flips in
+                      the entropy-coded scan that still parse).  Only
+                      end-to-end integrity verification
+                      (:mod:`repro.supervision`) catches it.
 ``cmd_drop``          the cmd vanishes between host and FPGA FIFO; no
                       FINISH record will ever arrive (Algorithm 1's
                       silent-loss case).
@@ -43,6 +48,7 @@ __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
 FAULT_KINDS = (
     "payload_corrupt",
     "payload_truncate",
+    "payload_bitflip",
     "cmd_drop",
     "finish_stall",
     "decoder_crash",
@@ -138,6 +144,10 @@ class FaultPlan:
     @staticmethod
     def payload_truncate(rate: float, site: str = "*", **kw) -> FaultSpec:
         return FaultSpec("payload_truncate", site=site, rate=rate, **kw)
+
+    @staticmethod
+    def payload_bitflip(rate: float, site: str = "*", **kw) -> FaultSpec:
+        return FaultSpec("payload_bitflip", site=site, rate=rate, **kw)
 
     @staticmethod
     def decoder_crash(start: float, stop: float,

@@ -10,6 +10,7 @@ generating cmds for FPGA decoders."
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -34,15 +35,32 @@ class WorkItem:
     payload: Optional[bytes] = None
     request: Optional[NetRequest] = None   # set for net-sourced items
     entry: Optional[FileEntry] = None      # set for disk-sourced items
+    # Supervision metadata (see repro.supervision): absolute deadline
+    # after which the item is dead work, and the ingest checksum the
+    # backend re-verifies after decode.
+    deadline_at: float = math.inf
+    checksum: Optional[int] = None
 
 
 class DataCollector:
     """Globally-shared translator from disk manifests / NIC queues to
-    :class:`WorkItem` streams."""
+    :class:`WorkItem` streams.
 
-    def __init__(self, env: Environment, name: str = "collector"):
+    ``integrity`` (an :class:`~repro.supervision.IntegrityChecker`)
+    stamps every produced item with its ingest checksum.  ``deadline_s``
+    gives net-sourced items an absolute deadline of ``received_at +
+    deadline_s`` when the request does not already carry one — the entry
+    point of deadline propagation.  Both default to off and add nothing
+    to an unsupervised pipeline.
+    """
+
+    def __init__(self, env: Environment, name: str = "collector",
+                 integrity=None, deadline_s: Optional[float] = None):
         self.env = env
         self.name = name
+        self.integrity = integrity
+        self.deadline_s = deadline_s
+        self.heartbeat = None
         self._manifest: Optional[FileManifest] = None
         self._nic: Optional[Nic] = None
         self.items_from_disk = Counter(env, name=f"{name}.disk")
@@ -68,11 +86,16 @@ class DataCollector:
         for idx in self._manifest.epoch_order(rng):
             entry = self._manifest[int(idx)]
             self.items_from_disk.add()
-            yield WorkItem(
+            item = WorkItem(
                 source="disk", size_bytes=entry.size_bytes,
                 work_pixels=entry.decode_work_pixels,
                 channels=entry.channels, label=entry.label,
                 payload=entry.payload, entry=entry)
+            if self.integrity is not None:
+                self.integrity.stamp(item)
+            if self.heartbeat is not None:
+                self.heartbeat.progress()
+            yield item
 
     def next_from_net(self):
         """Generator: block for the next NIC-delivered image."""
@@ -80,8 +103,16 @@ class DataCollector:
             raise RuntimeError("load_from_net() has not been called")
         request: NetRequest = yield from self._nic.rx_queue.get()
         self.items_from_net.add()
-        return WorkItem(
+        deadline_at = getattr(request, "deadline_at", math.inf)
+        if deadline_at == math.inf and self.deadline_s is not None:
+            deadline_at = request.received_at + self.deadline_s
+        item = WorkItem(
             source="dram", size_bytes=request.size_bytes,
             work_pixels=request.decode_work_pixels,
             channels=request.channels, payload=request.payload,
-            request=request)
+            request=request, deadline_at=deadline_at)
+        if self.integrity is not None:
+            self.integrity.stamp(item)
+        if self.heartbeat is not None:
+            self.heartbeat.progress()
+        return item

@@ -35,7 +35,8 @@ from ..engines.cpu import CpuCorePool
 from ..faults import CircuitBreaker, QuarantineLog, RetryPolicy
 from ..fpga import DecodeCmd, FPGAChannel
 from ..memory import MemManager, MemoryUnit
-from ..sim import Counter, Environment
+from ..sim import Counter, Environment, deadline_of
+from ..supervision import expire_request
 from .collector import WorkItem
 
 __all__ = ["BatchSpec", "FPGAReader"]
@@ -105,7 +106,10 @@ class FPGAReader:
                  retry: Optional[RetryPolicy] = None,
                  breaker: Optional[CircuitBreaker] = None,
                  quarantine: Optional[QuarantineLog] = None,
-                 tracer=None):
+                 tracer=None,
+                 heartbeat=None,
+                 integrity=None,
+                 shed_deadlines: bool = False):
         self.env = env
         self.testbed = testbed
         # Multiple decoders may be attached ("plugging more FPGA
@@ -121,6 +125,9 @@ class FPGAReader:
         self.quarantine = quarantine if quarantine is not None \
             else QuarantineLog(env, name=f"{name}.quarantine")
         self.tracer = tracer
+        self.heartbeat = heartbeat
+        self.integrity = integrity
+        self.shed_deadlines = shed_deadlines
         self.batches_produced = Counter(env, name=f"{name}.batches")
         self.items_submitted = Counter(env, name=f"{name}.items")
         self.items_accepted = Counter(env, name=f"{name}.accepted")
@@ -130,6 +137,8 @@ class FPGAReader:
         self.duplicate_finishes = Counter(env, name=f"{name}.dup_finish")
         self.failover_items = Counter(env, name=f"{name}.failover")
         self.empty_batches = Counter(env, name=f"{name}.empty_batches")
+        self.shed_expired = Counter(env, name=f"{name}.shed_expired")
+        self.integrity_rejected = Counter(env, name=f"{name}.integrity_rej")
         self._open: dict[int, _OpenBatch] = {}
         self._pending: dict[int, _PendingCmd] = {}
         self._wake = None        # watchdog's parking event while idle
@@ -148,8 +157,14 @@ class FPGAReader:
         resulting batches have been pushed to the Full_Batch_Queue."""
         batch: Optional[_OpenBatch] = None
         for item in items:
+            if self._shed_if_expired(item):
+                continue
             if batch is None:
+                if self.heartbeat is not None:
+                    self.heartbeat.waiting(self.pool.free_batch_queue.name)
                 unit = yield from self.pool.get_item()   # may block: line 5-10
+                if self.heartbeat is not None:
+                    self.heartbeat.running()
                 batch = _OpenBatch(unit=unit, tag=self._next_tag)
                 self._next_tag += 1
                 self._open[batch.tag] = batch
@@ -173,9 +188,20 @@ class FPGAReader:
         batch: Optional[_OpenBatch] = None
         submitted = 0
         while count is None or submitted < count:
+            if self.heartbeat is not None:
+                self.heartbeat.waiting("collector")
             item = yield from next_item_fn()
+            if self.heartbeat is not None:
+                self.heartbeat.running()
+            if self._shed_if_expired(item):
+                submitted += 1
+                continue
             if batch is None:
+                if self.heartbeat is not None:
+                    self.heartbeat.waiting(self.pool.free_batch_queue.name)
                 unit = yield from self.pool.get_item()
+                if self.heartbeat is not None:
+                    self.heartbeat.running()
                 batch = _OpenBatch(unit=unit, tag=self._next_tag)
                 self._next_tag += 1
                 self._open[batch.tag] = batch
@@ -189,6 +215,21 @@ class FPGAReader:
             batch.closed = True
             self._maybe_complete(batch)
 
+    def _shed_if_expired(self, item: WorkItem) -> bool:
+        """Admission control at the reader boundary: dead work (deadline
+        already passed) is accepted-and-shed instead of decoded.  The
+        item's issuer is failed with ``DeadlineExceeded``."""
+        if not self.shed_deadlines or deadline_of(item) > self.env.now:
+            return False
+        self.items_accepted.add()
+        self.shed_expired.add()
+        expire_request(item, where=f"{self.name}.admission")
+        if self.tracer is not None:
+            self.tracer.instant("shed:reader", track="supervision")
+        if self.heartbeat is not None:
+            self.heartbeat.progress()
+        return True
+
     def _submit_item(self, item: WorkItem, batch: _OpenBatch):
         """Generator: route one item — FPGA cmd, or CPU pool while the
         circuit breaker holds the FPGA path open."""
@@ -196,6 +237,11 @@ class FPGAReader:
         batch.filled += 1
         batch.items.append(item)
         self.items_accepted.add()
+        # Ingest-stamp backstop: sources that bypass the DataCollector
+        # (e.g. the training feed's epoch stream) get stamped here,
+        # before any fault can touch the cmd's travelling copy.
+        if self.integrity is not None and item.checksum is None:
+            self.integrity.stamp(item)
         if self.cpu is not None:
             self.cpu.charge_unaccounted(
                 self.testbed.reader_cmd_cost_s, "preprocess")
@@ -208,6 +254,7 @@ class FPGAReader:
             return
         if self.injector is not None:
             self.injector.maybe_poison_cmd(cmd, site=self.name)
+            self.injector.maybe_bitflip_cmd(cmd, site=self.name)
         ch = self.channels[self._rr % len(self.channels)]
         self._rr += 1
         yield from ch.submit_cmd(cmd)                     # line 13
@@ -370,9 +417,20 @@ class FPGAReader:
     # -- slot resolution ---------------------------------------------------
     def _resolve_ok(self, pend: _PendingCmd, via: str) -> None:
         if via == "fpga":
+            if self.integrity is not None and not self.integrity.verify(
+                    pend.item, pend.cmd.payload,
+                    pend.cmd.size_bytes, pend.cmd.work_pixels):
+                # The decoder reported success over bytes that no longer
+                # match the ingest stamp: silent corruption.  Quarantine
+                # instead of batching garbage pixels.
+                self.integrity_rejected.add()
+                self._quarantine(pend, "integrity-mismatch")
+                return
             self.items_decoded_fpga.add()
         batch = pend.batch
         batch.done += 1
+        if self.heartbeat is not None:
+            self.heartbeat.progress()
         self._maybe_complete(batch)
 
     def _quarantine(self, pend: _PendingCmd, reason: str) -> None:
@@ -383,6 +441,8 @@ class FPGAReader:
         self.quarantine.add(pend.item, reason)
         if self.tracer is not None:
             self.tracer.instant(f"quarantine:{reason}", track="faults")
+        if self.heartbeat is not None:
+            self.heartbeat.progress()
         self._maybe_complete(batch)
 
     def _maybe_complete(self, batch: _OpenBatch) -> None:
@@ -408,5 +468,7 @@ class FPGAReader:
     def recycle(self) -> None:
         """Algorithm 1 lines 18-19: shut down the channel bindings."""
         self.running = False
+        if self.heartbeat is not None:
+            self.heartbeat.idle()
         for ch in self.channels:
             ch.recycle()

@@ -33,7 +33,12 @@ _PHYS_BASE = 0x4000_0000
 
 
 class HugePageError(RuntimeError):
-    """Pool misuse: double recycle, foreign unit, exhaustion on try-get."""
+    """Pool misuse: double recycle, foreign unit, or an address outside
+    the hugepage region.
+
+    Exhaustion is *not* misuse and never raises: ``get_item`` blocks
+    until a unit is recycled and ``try_get_item`` returns ``None``.
+    """
 
 
 @dataclass

@@ -11,11 +11,13 @@ from the same runs.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Optional
 
 import numpy as np
 
 from ..sim import Counter, Environment, LatencyRecorder
+from ..supervision import DeadlineExceeded
 from .nic import NetRequest, Nic
 
 __all__ = ["ClientFleet"]
@@ -30,7 +32,8 @@ class ClientFleet:
                  size_sampler: Optional[Callable[[np.random.Generator],
                                                  int]] = None,
                  payload_factory: Optional[Callable[[int], bytes]] = None,
-                 think_time_s: float = 0.0):
+                 think_time_s: float = 0.0,
+                 deadline_s: Optional[float] = None):
         if num_clients <= 0 or window <= 0:
             raise ValueError("num_clients and window must be positive")
         self.env = env
@@ -40,6 +43,8 @@ class ClientFleet:
         self.image_hw = image_hw
         self.rng = rng
         self.think_time_s = think_time_s
+        self.deadline_s = deadline_s
+        self.expired = Counter(env, name="clients.expired")
         self._size_sampler = size_sampler or self._default_size
         self._payload_factory = payload_factory
         self.sent = Counter(env, name="clients.sent")
@@ -81,11 +86,16 @@ class ClientFleet:
                 height=h, width=w, channels=3, sent_at=self.env.now,
                 payload=(self._payload_factory(rid)
                          if self._payload_factory else None),
-                done_event=done)
+                done_event=done,
+                deadline_at=(self.env.now + self.deadline_s
+                             if self.deadline_s is not None else math.inf))
             self.sent.add()
             yield from self.nic.deliver(request)
             try:
                 yield done  # the serving stack succeeds this on prediction
+            except DeadlineExceeded:
+                self.expired.add()
+                continue  # shed by the server: reissue
             except ConnectionError:
                 continue  # rx drop: reissue
             self.completed.add()

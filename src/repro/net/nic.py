@@ -9,6 +9,7 @@ describes where the data are placed by NICs" path of S3.4.1.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -33,6 +34,7 @@ class NetRequest:
     payload: Optional[bytes] = None       # real JPEG in functional mode
     dma_phy_addr: int = 0                 # where the NIC placed the bytes
     done_event: object = field(default=None, repr=False)
+    deadline_at: float = math.inf         # absolute; inf = no deadline
 
     @property
     def pixels(self) -> int:

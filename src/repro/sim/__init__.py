@@ -11,7 +11,7 @@ from .core import (AllOf, AnyOf, Environment, Event, Interrupt, Process,
                    SimulationError, Timeout)
 from .monitor import (BusyTracker, Counter, IntervalRate, LatencyRecorder,
                       TimeWeighted)
-from .queues import Channel, QueuePair
+from .queues import Channel, QueuePair, ShedPolicy, deadline_of
 from .rand import SeedBank
 from .resources import (Container, FilterStore, PriorityResource, Resource,
                         Store)
@@ -21,7 +21,7 @@ __all__ = [
     "Environment", "Event", "Timeout", "Process", "Interrupt",
     "AllOf", "AnyOf", "SimulationError",
     "Resource", "PriorityResource", "Store", "FilterStore", "Container",
-    "Channel", "QueuePair",
+    "Channel", "QueuePair", "ShedPolicy", "deadline_of",
     "Counter", "TimeWeighted", "BusyTracker", "LatencyRecorder",
     "IntervalRate",
     "SeedBank",

@@ -4,24 +4,62 @@ Every arrow in the paper's Figure 3 (FIFO cmd queues, Free/Full batch
 queues, Trans Queues, packet/block queues) is a :class:`Channel`: a
 bounded FIFO with occupancy and wait-time instrumentation built in, so
 experiments can report where time is spent without extra plumbing.
+
+Channels can additionally be armed with a :class:`ShedPolicy` — the
+admission-control half of the supervision layer.  A shed-armed channel
+rejects items whose deadline has already passed at enqueue
+(*reject-on-admit*) and/or discards expired items transparently at
+dequeue (*drop-expired-at-dequeue*), counting every shed.  An unarmed
+channel (the default) is byte-identical to a build without this
+feature: every hot-path hook is one ``is None`` test.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
 
 from .core import Environment
-from .monitor import LatencyRecorder, TimeWeighted
+from .monitor import Counter, LatencyRecorder, TimeWeighted
 from .resources import Store
 
-__all__ = ["Channel", "QueuePair"]
+__all__ = ["Channel", "QueuePair", "ShedPolicy", "deadline_of"]
+
+
+def deadline_of(item: Any) -> float:
+    """Default deadline extractor: the item's absolute ``deadline_at``
+    (``inf`` — never sheds — when the item carries no deadline)."""
+    return getattr(item, "deadline_at", math.inf)
+
+
+@dataclass(frozen=True)
+class ShedPolicy:
+    """Deadline-aware admission control for one :class:`Channel`.
+
+    ``reject_on_admit`` drops an already-expired item instead of
+    enqueuing it (the cheapest place to shed: the work never occupies a
+    slot).  ``drop_expired_at_dequeue`` makes ``get``/``try_get`` skip
+    items that expired while queued, so consumers only ever see live
+    work.  ``on_shed(item, where)`` — ``where`` in ``{"admit",
+    "dequeue"}`` — lets callers complete per-item bookkeeping (e.g.
+    failing a request's ``done_event`` so closed-loop clients reissue).
+    """
+
+    deadline_of: Callable[[Any], float] = deadline_of
+    reject_on_admit: bool = False
+    drop_expired_at_dequeue: bool = True
+    on_shed: Optional[Callable[[Any, str], None]] = None
+
+    def expired(self, item: Any, now: float) -> bool:
+        return self.deadline_of(item) <= now
 
 
 class Channel:
     """A bounded FIFO channel with built-in occupancy/wait metrics."""
 
     def __init__(self, env: Environment, capacity: float = float("inf"),
-                 name: str = "channel"):
+                 name: str = "channel", shed: Optional[ShedPolicy] = None):
         self.env = env
         self.name = name
         self._store = Store(env, capacity=capacity, name=name)
@@ -29,6 +67,34 @@ class Channel:
         self.wait = LatencyRecorder(name=f"{name}.wait")
         self.put_count = 0
         self.get_count = 0
+        self.shed: Optional[ShedPolicy] = None
+        self._shed_count: Optional[Counter] = None
+        if shed is not None:
+            self.arm_shed(shed)
+
+    def arm_shed(self, policy: ShedPolicy) -> None:
+        """Attach a deadline shed policy (e.g. by a Supervisor, after the
+        channel's owner constructed it)."""
+        self.shed = policy
+        if self._shed_count is None:
+            self._shed_count = Counter(self.env, name=f"{self.name}.shed")
+
+    @property
+    def shed_total(self) -> int:
+        """Items shed by the armed policy (0 when unarmed)."""
+        return int(self._shed_count.total) if self._shed_count else 0
+
+    def _shed_item(self, item: Any, where: str) -> None:
+        self._shed_count.add()
+        if self.shed.on_shed is not None:
+            self.shed.on_shed(item, where)
+
+    def _rejects_at_admit(self, item: Any) -> bool:
+        if self.shed is not None and self.shed.reject_on_admit \
+                and self.shed.expired(item, self.env.now):
+            self._shed_item(item, "admit")
+            return True
+        return False
 
     @property
     def capacity(self) -> float:
@@ -38,21 +104,42 @@ class Channel:
         return len(self._store)
 
     def put(self, item: Any) -> Generator:
-        """Generator: blocks while the channel is full."""
+        """Generator: blocks while the channel is full.
+
+        With a ``reject_on_admit`` shed policy armed, an already-expired
+        item is shed instead of enqueued (and the put returns at once).
+        """
+        if self._rejects_at_admit(item):
+            return
         yield self._store.put((self.env.now, item))
         self.put_count += 1
         self.occupancy.set(len(self._store))
 
     def get(self) -> Generator:
-        """Generator: blocks while the channel is empty; returns the item."""
-        stamped = yield self._store.get()
-        enq_t, item = stamped
-        self.get_count += 1
-        self.wait.record(self.env.now - enq_t)
-        self.occupancy.set(len(self._store))
-        return item
+        """Generator: blocks while the channel is empty; returns the item.
+
+        With a ``drop_expired_at_dequeue`` shed policy armed, items that
+        expired while queued are discarded (counted, never returned) and
+        the get keeps waiting for live work.
+        """
+        while True:
+            stamped = yield self._store.get()
+            enq_t, item = stamped
+            if self.shed is not None and self.shed.drop_expired_at_dequeue \
+                    and self.shed.expired(item, self.env.now):
+                self.occupancy.set(len(self._store))
+                self._shed_item(item, "dequeue")
+                continue
+            self.get_count += 1
+            self.wait.record(self.env.now - enq_t)
+            self.occupancy.set(len(self._store))
+            return item
 
     def try_put(self, item: Any) -> bool:
+        """Non-blocking put.  Returns True when the item was *handled* —
+        enqueued, or shed by an armed reject-on-admit policy."""
+        if self._rejects_at_admit(item):
+            return True
         ok = self._store.try_put((self.env.now, item))
         if ok:
             self.put_count += 1
@@ -60,14 +147,20 @@ class Channel:
         return ok
 
     def try_get(self) -> tuple[bool, Any]:
-        ok, stamped = self._store.try_get()
-        if not ok:
-            return False, None
-        enq_t, item = stamped
-        self.get_count += 1
-        self.wait.record(self.env.now - enq_t)
-        self.occupancy.set(len(self._store))
-        return True, item
+        while True:
+            ok, stamped = self._store.try_get()
+            if not ok:
+                return False, None
+            enq_t, item = stamped
+            if self.shed is not None and self.shed.drop_expired_at_dequeue \
+                    and self.shed.expired(item, self.env.now):
+                self.occupancy.set(len(self._store))
+                self._shed_item(item, "dequeue")
+                continue
+            self.get_count += 1
+            self.wait.record(self.env.now - enq_t)
+            self.occupancy.set(len(self._store))
+            return True, item
 
     def drain(self) -> list[Any]:
         """Non-blocking: remove and return everything currently buffered."""

@@ -1,0 +1,34 @@
+"""Pipeline supervision: watchdogs, deadline shedding, integrity.
+
+PR-1 gave the offload pipeline fault *injection* and decode-path
+*recovery* (retransmit table, circuit breaker, quarantine).  This
+package adds the third leg a production serving system needs —
+*detection and overload safety*:
+
+* :class:`Watchdog` + :class:`Heartbeat` — stalled or deadlocked
+  pipeline stages are detected within a configured threshold and
+  diagnosed with a :class:`StallReport` naming who waits on which
+  channel.
+* :class:`SupervisionConfig` deadlines + :class:`~repro.sim.ShedPolicy`
+  — requests carry absolute deadlines; expired work is shed at the NIC
+  RX queue, the FPGAReader and the Dispatcher instead of being decoded
+  and copied for nothing, keeping p99 bounded under overload (see
+  ``repro.experiments.overload``).
+* :class:`IntegrityChecker` — items are checksummed at ingest and
+  verified after decode, so silent payload corruption is quarantined,
+  never batched.
+
+The :class:`Supervisor` facade wires all three into the training and
+inference workflows.  A disabled supervisor is byte-identical to no
+supervisor.
+"""
+
+from .heartbeat import Heartbeat, StallReport
+from .integrity import IntegrityChecker
+from .supervisor import (DeadlineExceeded, SupervisionConfig, Supervisor,
+                         expire_request)
+from .watchdog import PipelineStallError, Watchdog
+
+__all__ = ["Heartbeat", "StallReport", "Watchdog", "PipelineStallError",
+           "IntegrityChecker", "SupervisionConfig", "Supervisor",
+           "DeadlineExceeded", "expire_request"]

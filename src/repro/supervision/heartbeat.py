@@ -1,0 +1,110 @@
+"""Per-stage liveness handles for the pipeline watchdog.
+
+Every supervised pipeline process (FPGAReader, Dispatcher, solvers,
+DataCollector) owns one :class:`Heartbeat` and reports three things
+through it: *progress* (one unit of work completed), *waiting* (about to
+block on a named channel) and *idle* (legitimately quiescent, e.g.
+between epochs).  The watchdog reads these handles; it never calls into
+the stage itself, so a dead stage cannot hide from it.
+
+Stages hold ``heartbeat=None`` by default and guard every call with an
+``is not None`` test — an unsupervised pipeline pays one attribute test
+per hook and behaves bit-identically to a build without this subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim import Environment
+
+__all__ = ["Heartbeat", "StallReport"]
+
+
+@dataclass(frozen=True)
+class StallReport:
+    """Structured diagnosis of one stall episode.
+
+    Names *who* is stuck (``stage``), *what it is doing* (``state``),
+    *which channel it waits on* (``waiting_on``, None for a busy-stuck
+    stage), for how long, and the stage's lifetime progress count — plus
+    a snapshot of watched queue depths, so a starved queue and its
+    non-feeding producer can be read off one report.
+    """
+
+    when: float
+    stage: str
+    state: str                      # "waiting" | "running"
+    waiting_on: str | None          # channel name when state == "waiting"
+    stalled_for_s: float
+    progress: int
+    queue_depths: dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        what = (f"waiting on '{self.waiting_on}'" if self.waiting_on
+                else "running without progress")
+        depths = ""
+        if self.queue_depths:
+            depths = "; queues " + ", ".join(
+                f"{name}={depth}" for name, depth
+                in sorted(self.queue_depths.items()))
+        return (f"[t={self.when:.4f}s] stage '{self.stage}' stalled "
+                f"{self.stalled_for_s:.4f}s {what} after "
+                f"{self.progress} items{depths}")
+
+
+class Heartbeat:
+    """One stage's liveness state, updated by the stage, read by the
+    watchdog."""
+
+    IDLE = "idle"
+    RUNNING = "running"
+    WAITING = "waiting"
+
+    def __init__(self, env: Environment, name: str):
+        self.env = env
+        self.name = name
+        self.progress_count = 0
+        self.last_progress_t = env.now
+        self.state = self.IDLE
+        self.waiting_on: str | None = None
+        self.state_since = env.now
+        # One report per stall episode; re-armed by any progress.
+        self.stall_reported = False
+
+    def progress(self, n: int = 1) -> None:
+        """One (or ``n``) unit(s) of work completed."""
+        self.progress_count += n
+        self.last_progress_t = self.env.now
+        self.state = self.RUNNING
+        self.waiting_on = None
+        self.state_since = self.env.now
+        self.stall_reported = False
+
+    def waiting(self, on: str) -> None:
+        """About to block on the channel named ``on``."""
+        self.state = self.WAITING
+        self.waiting_on = str(on)
+        self.state_since = self.env.now
+        self.stall_reported = False
+
+    def running(self) -> None:
+        """Unblocked; doing work (no progress yet)."""
+        self.state = self.RUNNING
+        self.waiting_on = None
+        self.state_since = self.env.now
+
+    def idle(self) -> None:
+        """Legitimately quiescent (between epochs, after stop()); the
+        watchdog will not flag an idle stage."""
+        self.state = self.IDLE
+        self.waiting_on = None
+        self.state_since = self.env.now
+
+    def stalled_for(self, now: float) -> float:
+        """Seconds without forward signs of life, per current state."""
+        if self.state == self.WAITING:
+            return now - self.state_since
+        if self.state == self.RUNNING:
+            return now - max(self.last_progress_t, self.state_since)
+        return 0.0

@@ -20,7 +20,8 @@ from ..faults import FaultInjector, FaultPlan
 from ..host import BatchSpec
 from ..net import ClientFleet, Link, Nic
 from ..sim import Environment, LatencyRecorder, SeedBank
-from .metrics import CounterWindow, CpuWindow
+from ..supervision import SupervisionConfig, Supervisor
+from .metrics import CounterWindow, CpuWindow, HealthWindow
 
 __all__ = ["InferenceConfig", "InferenceResult", "run_inference",
            "INFERENCE_BACKENDS"]
@@ -49,6 +50,10 @@ class InferenceConfig:
     # Chaos engineering: ``nic_loss`` specs apply to the client->server
     # link (lost packet bursts are retransmitted, costing wire time).
     fault_plan: Optional[FaultPlan] = None
+    # Pipeline supervision (dlbooster, staged path): watchdog heartbeats,
+    # deadline shedding, integrity verification.  ``deadline_s`` in the
+    # config also stamps every client request with an absolute deadline.
+    supervision: Optional[SupervisionConfig] = None
 
 
 @dataclass
@@ -65,7 +70,11 @@ class InferenceResult:
     extras: dict = field(default_factory=dict)
 
 
-def _make_backend(cfg: InferenceConfig, env, testbed, cpu, nic, spec):
+def _make_backend(cfg: InferenceConfig, env, testbed, cpu, nic, spec,
+                  supervisor=None):
+    if cfg.supervision is not None and cfg.backend != "dlbooster":
+        raise ValueError(f"supervision is only supported by the dlbooster "
+                         f"backend, not {cfg.backend!r}")
     if cfg.backend == "cpu-online":
         return CpuInferenceBackend(env, testbed, cpu, nic, spec,
                                    max_workers=cfg.max_workers)
@@ -74,7 +83,8 @@ def _make_backend(cfg: InferenceConfig, env, testbed, cpu, nic, spec):
     if cfg.backend == "dlbooster":
         return DLBoosterInferenceBackend(env, testbed, cpu, nic, spec,
                                          num_fpgas=cfg.num_fpgas,
-                                         gpu_direct=cfg.gpu_direct)
+                                         gpu_direct=cfg.gpu_direct,
+                                         supervisor=supervisor)
     raise ValueError(f"unknown backend {cfg.backend!r}; "
                      f"choose from {INFERENCE_BACKENDS}")
 
@@ -116,10 +126,15 @@ def run_inference(cfg: InferenceConfig,
         total_window = max(num_clients,
                            int(2.5 * cfg.batch_size * cfg.num_gpus) + 2)
     window = -(-total_window // num_clients)
+    sup_cfg = cfg.supervision
+    supervisor = (Supervisor(env, sup_cfg)
+                  if sup_cfg is not None and sup_cfg.enabled else None)
     fleet = ClientFleet(env, nic, num_clients=num_clients,
                         image_hw=testbed.client_image_hw,
                         rng=seeds.stream("clients"), window=window,
-                        size_sampler=jpeg_size_sampler())
+                        size_sampler=jpeg_size_sampler(),
+                        deadline_s=(sup_cfg.deadline_s
+                                    if supervisor is not None else None))
     fleet.start()
 
     engines = []
@@ -130,14 +145,30 @@ def run_inference(cfg: InferenceConfig,
         engine.start()
         engines.append(engine)
 
-    backend = _make_backend(cfg, env, testbed, cpu, nic, bspec)
+    backend = _make_backend(cfg, env, testbed, cpu, nic, bspec,
+                            supervisor=supervisor)
     backend.start(engines)
 
     env.run(until=cfg.warmup_s)
     predictions = CounterWindow(env, [e.predictions for e in engines])
     cores = CpuWindow(env, cpu)
+    health = None
+    if supervisor is not None:
+        extra = {}
+        if backend.reader is not None:
+            extra["reader_shed_expired"] = backend.reader.shed_expired
+            extra["integrity_rejected"] = backend.reader.integrity_rejected
+        if backend.dispatcher is not None:
+            extra["dispatcher_items_shed"] = backend.dispatcher.items_shed
+            extra["dispatcher_batches_shed"] = backend.dispatcher.batches_shed
+        if nic.rx_queue._shed_count is not None:
+            extra["rx_shed"] = nic.rx_queue._shed_count
+        extra["client_expired"] = fleet.expired
+        health = HealthWindow(env, supervisor, extra_counters=extra)
     predictions.mark()
     cores.mark()
+    if health is not None:
+        health.mark()
     gpu_busy_mark = {e.gpu.name: (e.gpu.busy.busy_seconds("infer"),
                                   e.gpu.busy.busy_seconds("nvjpeg"))
                      for e in engines}
@@ -168,6 +199,10 @@ def run_inference(cfg: InferenceConfig,
     if cfg.backend == "dlbooster":
         extras["decoder_utilizations"] = [
             d.mirror.stage_utilizations() for d in backend.devices]
+    if health is not None:
+        extras["health"] = health.deltas()
+        extras["stall_reports"] = [
+            r.render() for r in supervisor.stall_reports]
 
     return InferenceResult(
         config=cfg,

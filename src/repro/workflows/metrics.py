@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 from ..engines import CpuCorePool
 from ..sim import Counter, Environment
 
-__all__ = ["CpuWindow", "CounterWindow", "ResilienceWindow"]
+__all__ = ["CpuWindow", "CounterWindow", "ResilienceWindow",
+           "HealthWindow"]
 
 
 @dataclass
@@ -59,6 +60,37 @@ class ResilienceWindow:
         now = self.backend.fault_metrics()
         return {key: value - self._mark.get(key, 0)
                 for key, value in now.items()}
+
+
+class HealthWindow:
+    """Windowed deltas of a Supervisor's health/overload metrics.
+
+    Wraps :meth:`repro.supervision.Supervisor.health_metrics` (stall
+    detections, watchdog scans, integrity stamp/verify/mismatch counts)
+    with the same mark/delta discipline as :class:`ResilienceWindow`.
+    Extra named counters (e.g. reader/dispatcher shed counters) can ride
+    along so overload experiments report everything from one window.
+    """
+
+    def __init__(self, env: Environment, supervisor,
+                 extra_counters: dict[str, Counter] | None = None):
+        self.env = env
+        self.supervisor = supervisor
+        self.extra = dict(extra_counters or {})
+        self._mark: dict[str, int] = {}
+
+    def _now(self) -> dict[str, int]:
+        out = dict(self.supervisor.health_metrics())
+        for key, counter in self.extra.items():
+            out[key] = int(counter.total)
+        return out
+
+    def mark(self) -> None:
+        self._mark = self._now()
+
+    def deltas(self) -> dict[str, int]:
+        return {key: value - self._mark.get(key, 0)
+                for key, value in self._now().items()}
 
 
 class CpuWindow:

@@ -21,7 +21,8 @@ from ..host import BatchSpec
 from ..data import imagenet_like_manifest, mnist_like_manifest
 from ..sim import Environment, SeedBank
 from ..storage import NvmeDisk
-from .metrics import CounterWindow, CpuWindow, ResilienceWindow
+from ..supervision import SupervisionConfig, Supervisor
+from .metrics import CounterWindow, CpuWindow, HealthWindow, ResilienceWindow
 
 __all__ = ["TrainingConfig", "TrainingResult", "run_training",
            "ideal_training_throughput", "TRAINING_BACKENDS"]
@@ -54,6 +55,8 @@ class TrainingConfig:
     # chaos engineering (dlbooster): armed fault plan + recovery policy
     fault_plan: Optional[FaultPlan] = None
     retry: Optional[RetryPolicy] = None
+    # pipeline supervision (dlbooster): watchdog + integrity verification
+    supervision: Optional[SupervisionConfig] = None
 
 
 @dataclass
@@ -94,9 +97,12 @@ def _make_manifest(model: str, n: Optional[int], seeds: SeedBank):
 
 
 def _make_backend(cfg: TrainingConfig, env, testbed, cpu, manifest, spec,
-                  seeds, disk, tracer=None):
+                  seeds, disk, tracer=None, supervisor=None):
     if cfg.fault_plan is not None and cfg.backend != "dlbooster":
         raise ValueError(f"fault_plan is only supported by the dlbooster "
+                         f"backend, not {cfg.backend!r}")
+    if cfg.supervision is not None and cfg.backend != "dlbooster":
+        raise ValueError(f"supervision is only supported by the dlbooster "
                          f"backend, not {cfg.backend!r}")
     if cfg.backend == "synthetic":
         return SyntheticBackend(env, testbed, cpu, manifest, spec, seeds)
@@ -113,7 +119,8 @@ def _make_backend(cfg: TrainingConfig, env, testbed, cpu, manifest, spec,
                                 huffman_ways=cfg.huffman_ways,
                                 resizer_ways=cfg.resizer_ways,
                                 disk=disk, fault_plan=cfg.fault_plan,
-                                retry=cfg.retry, tracer=tracer)
+                                retry=cfg.retry, supervisor=supervisor,
+                                tracer=tracer)
     raise ValueError(f"unknown backend {cfg.backend!r}; "
                      f"choose from {TRAINING_BACKENDS}")
 
@@ -153,8 +160,11 @@ def run_training(cfg: TrainingConfig,
 
     disk = NvmeDisk(env, testbed)
     tracer = tracer_factory(env) if tracer_factory is not None else None
+    supervisor = (Supervisor(env, cfg.supervision, tracer=tracer)
+                  if cfg.supervision is not None and cfg.supervision.enabled
+                  else None)
     backend = _make_backend(cfg, env, testbed, cpu, manifest, bspec, seeds,
-                            disk, tracer=tracer)
+                            disk, tracer=tracer, supervisor=supervisor)
     backend.start(solvers)
 
     # For cacheable corpora the warm-up must cover the first (decode)
@@ -172,10 +182,14 @@ def run_training(cfg: TrainingConfig,
     cores = CpuWindow(env, cpu)
     resilience = (ResilienceWindow(env, backend)
                   if cfg.backend == "dlbooster" else None)
+    health = (HealthWindow(env, supervisor)
+              if supervisor is not None else None)
     images.mark()
     cores.mark()
     if resilience is not None:
         resilience.mark()
+    if health is not None:
+        health.mark()
     env.run(until=warmup + cfg.measure_s)
 
     throughput = images.rate()
@@ -191,6 +205,10 @@ def run_training(cfg: TrainingConfig,
         extras["quarantine_reasons"] = backend.quarantine.reasons()
         if backend.breaker is not None:
             extras["breaker_state"] = backend.breaker.state
+        if health is not None:
+            extras["health"] = health.deltas()
+            extras["stall_reports"] = [
+                r.render() for r in supervisor.stall_reports]
     if tracer is not None:
         extras["tracer"] = tracer
     if cfg.backend == "lmdb":

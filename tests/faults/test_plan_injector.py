@@ -53,6 +53,7 @@ def test_plan_container_protocol():
 def test_constructors_cover_every_kind():
     specs = (FaultPlan.cmd_drop(0.1), FaultPlan.finish_stall(0.1, 1e-3),
              FaultPlan.payload_corrupt(0.1), FaultPlan.payload_truncate(0.1),
+             FaultPlan.payload_bitflip(0.1),
              FaultPlan.decoder_crash(0.0, 1.0), FaultPlan.nvme_error(0.1),
              FaultPlan.nvme_latency(0.1, 1e-3), FaultPlan.nic_loss(0.1))
     assert {s.kind for s in specs} == set(FAULT_KINDS)

@@ -225,3 +225,32 @@ def test_conservation_property(ops):
             env.run()
         assert pool.conservation_ok()
         assert pool.in_use == len(held)
+
+
+def test_exhaustion_is_not_misuse_contract():
+    """HugePageError marks pool *misuse* only. Exhaustion never raises:
+    try_get_item returns None and get_item blocks until a recycle."""
+    env, pool = make_pool(unit_count=1)
+    unit = pool.try_get_item()
+    assert unit is not None
+    for _ in range(3):
+        assert pool.try_get_item() is None   # no HugePageError, ever
+
+    got = []
+
+    def blocked_getter(env):
+        u = yield from pool.get_item()       # blocks, does not raise
+        got.append(env.now)
+        yield from pool.recycle_item(u)
+
+    def recycler(env):
+        yield env.timeout(2.0)
+        yield from pool.recycle_item(unit)
+
+    env.process(blocked_getter(env))
+    env.process(recycler(env))
+    env.run()
+    assert got == [2.0]
+    assert pool.conservation_ok()
+    # The docstring promises exactly this contract.
+    assert "never raises" in HugePageError.__doc__

@@ -1,0 +1,220 @@
+"""Deadline propagation, shed policies and boundary shedding."""
+
+import math
+
+import pytest
+
+from repro.calib import DEFAULT_TESTBED
+from repro.engines import DeviceBatch, GpuDevice
+from repro.host import Dispatcher, WorkItem
+from repro.memory import MemManager
+from repro.sim import Channel, Environment, QueuePair, ShedPolicy
+from repro.supervision import (DeadlineExceeded, SupervisionConfig,
+                               Supervisor, expire_request)
+
+
+def work_item(deadline_at=math.inf, label=0):
+    return WorkItem(source="dram", size_bytes=50_000,
+                    work_pixels=int(375 * 500 * 1.5), channels=3,
+                    label=label, deadline_at=deadline_at)
+
+
+# ------------------------------------------------------------- shed policy
+def test_channel_rejects_expired_at_admit():
+    env = Environment()
+    shed_log = []
+    ch = Channel(env, capacity=8, name="rx", shed=ShedPolicy(
+        reject_on_admit=True,
+        on_shed=lambda item, where: shed_log.append((item.label, where))))
+
+    def p(env):
+        yield env.timeout(1.0)
+        yield from ch.put(work_item(deadline_at=0.5, label=1))   # expired
+        yield from ch.put(work_item(deadline_at=2.0, label=2))   # live
+
+    env.process(p(env))
+    env.run()
+    assert len(ch) == 1
+    assert ch.shed_total == 1
+    assert shed_log == [(1, "admit")]
+
+
+def test_channel_drops_expired_at_dequeue():
+    env = Environment()
+    ch = Channel(env, capacity=8, name="rx",
+                 shed=ShedPolicy(drop_expired_at_dequeue=True))
+    got = []
+
+    def p(env):
+        yield from ch.put(work_item(deadline_at=0.5, label=1))
+        yield from ch.put(work_item(deadline_at=9.0, label=2))
+        yield env.timeout(1.0)                  # item 1 expires in queue
+        item = yield from ch.get()
+        got.append(item.label)
+
+    env.process(p(env))
+    env.run()
+    assert got == [2]
+    assert ch.shed_total == 1
+    assert ch.get_count == 1                    # sheds are not gets
+
+
+def test_channel_try_put_counts_admit_shed_as_handled():
+    env = Environment()
+    ch = Channel(env, capacity=1, name="rx",
+                 shed=ShedPolicy(reject_on_admit=True))
+
+    def p(env):
+        yield env.timeout(1.0)
+
+    env.process(p(env))
+    env.run()
+    assert ch.try_put(work_item(deadline_at=0.5)) is True   # shed-absorbed
+    assert len(ch) == 0 and ch.shed_total == 1
+    assert ch.try_put(work_item(deadline_at=2.0)) is True   # enqueued
+    assert len(ch) == 1
+
+
+def test_unarmed_channel_never_sheds():
+    env = Environment()
+    ch = Channel(env, capacity=8, name="plain")
+
+    def p(env):
+        yield env.timeout(1.0)
+        yield from ch.put(work_item(deadline_at=0.5))        # long expired
+        item = yield from ch.get()
+        return item
+
+    proc = env.process(p(env))
+    env.run()
+    assert ch.shed_total == 0
+    assert ch.get_count == 1
+
+
+# ---------------------------------------------------------- expire_request
+def test_expire_request_fails_done_event_with_deadline_exceeded():
+    env = Environment()
+    done = env.event()
+
+    class Req:
+        done_event = done
+
+    item = work_item()
+    item.request = Req()
+    expire_request(item, where="rx")
+    assert done.triggered
+    assert not done.ok
+    assert isinstance(done.value, DeadlineExceeded)
+    assert "rx" in str(done.value)
+    # DeadlineExceeded is a ConnectionError so closed-loop clients
+    # reclaim the window slot like any drop.
+    assert issubclass(DeadlineExceeded, ConnectionError)
+
+
+def test_expire_request_tolerates_missing_event():
+    expire_request(work_item(), where="rx")     # no request: no-op
+
+
+# ------------------------------------------------------- supervisor arming
+def test_arm_admission_applies_slack_margin():
+    env = Environment()
+    sup = Supervisor(env, SupervisionConfig(deadline_s=1.0,
+                                            admission_margin_s=0.25))
+    ch = Channel(env, capacity=8, name="rx")
+    sup.arm_admission(ch)
+    got = []
+
+    def p(env):
+        # 0.2s of slack left: below the 0.25s margin, shed at dequeue.
+        yield from ch.put(work_item(deadline_at=env.now + 0.2, label=1))
+        # 0.5s of slack: above the margin, delivered.
+        yield from ch.put(work_item(deadline_at=env.now + 0.5, label=2))
+        item = yield from ch.get()
+        got.append(item.label)
+
+    env.process(p(env))
+    env.run()
+    assert got == [2]
+    assert ch.shed_total == 1
+
+
+def test_arm_admission_noop_without_deadline():
+    env = Environment()
+    sup = Supervisor(env, SupervisionConfig(deadline_s=None))
+    ch = Channel(env, capacity=8, name="rx")
+    sup.arm_admission(ch)
+    assert ch.shed is None
+    assert not sup.sheds_deadlines
+
+
+# ------------------------------------------------- dispatcher-boundary shed
+def _dispatcher_rig():
+    env = Environment()
+    pool = MemManager(env, unit_size=1024, unit_count=4,
+                      allocate_arena=False)
+    solver_gpu = GpuDevice(env, DEFAULT_TESTBED, 0)
+
+    class FakeSolver:
+        gpu = solver_gpu
+
+        def __init__(self):
+            self.trans = QueuePair(env, capacity=2, name="fake.trans")
+            self.trans.seed([DeviceBatch(device_addr=i,
+                                         capacity_bytes=64_000, gpu_index=0)
+                             for i in range(2)])
+
+        @property
+        def trans_queues(self):
+            return self.trans
+
+    return env, pool, FakeSolver()
+
+
+def test_dispatcher_sheds_expired_items_pre_copy():
+    env, pool, solver = _dispatcher_rig()
+    disp = Dispatcher(env, DEFAULT_TESTBED, pool, [solver],
+                      shed_deadlines=True)
+    disp.start()
+    got = []
+
+    def produce(env):
+        unit = yield from pool.get_item()
+        unit.payload = [work_item(deadline_at=0.5, label=1),   # will expire
+                        work_item(deadline_at=9.0, label=2)]
+        unit.item_count = 2
+        unit.used_bytes = 512
+        yield env.timeout(1.0)                  # item 1 expires while queued
+        yield from pool.full_batch_queue.put(unit)
+
+    def consume(env):
+        batch = yield from solver.trans_queues.full.get()
+        got.append([it.label for it in batch.payload])
+
+    env.process(produce(env))
+    env.process(consume(env))
+    env.run(until=2.0)
+    assert got == [[2]]
+    assert disp.items_shed.total == 1
+    assert disp.batches_shed.total == 0
+
+
+def test_dispatcher_recycles_fully_expired_batches():
+    env, pool, solver = _dispatcher_rig()
+    disp = Dispatcher(env, DEFAULT_TESTBED, pool, [solver],
+                      shed_deadlines=True)
+    disp.start()
+
+    def produce(env):
+        unit = yield from pool.get_item()
+        unit.payload = [work_item(deadline_at=0.5, label=1)]
+        unit.item_count = 1
+        yield env.timeout(1.0)
+        yield from pool.full_batch_queue.put(unit)
+
+    env.process(produce(env))
+    env.run(until=2.0)
+    assert disp.batches_shed.total == 1
+    assert disp.items_shed.total == 1
+    assert disp.batches_dispatched.total == 0
+    assert pool.conservation_ok()               # the unit went back free
+    assert len(pool.free_batch_queue) == 4

@@ -1,0 +1,138 @@
+"""Supervision wired through the full workflows.
+
+Covers the hard contract — a disabled supervisor is bit-identical to no
+supervisor — plus end-to-end integrity under silent corruption, deadline
+shedding under closed-loop serving, and conservation with quarantine +
+shed + integrity paths all active at once.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy
+from repro.supervision import SupervisionConfig
+from repro.workflows import (InferenceConfig, TrainingConfig, run_inference,
+                             run_training)
+
+QUICK_TRAIN = dict(model="alexnet", backend="dlbooster", num_gpus=1,
+                   warmup_s=0.5, measure_s=1.5)
+QUICK_INFER = dict(model="googlenet", backend="dlbooster", batch_size=4,
+                   warmup_s=0.5, measure_s=1.5)
+
+
+# ----------------------------------------------------- the identity contract
+@pytest.mark.timeout(120)
+def test_disabled_supervisor_is_bit_identical_to_none():
+    baseline = run_training(TrainingConfig(**QUICK_TRAIN))
+    disabled = run_training(TrainingConfig(
+        supervision=SupervisionConfig(enabled=False), **QUICK_TRAIN))
+    assert disabled.throughput == baseline.throughput
+    assert disabled.cpu_cores == baseline.cpu_cores
+    assert disabled.cpu_breakdown == baseline.cpu_breakdown
+    assert disabled.extras["fault_totals"] == baseline.extras["fault_totals"]
+    assert "health" not in disabled.extras
+
+
+@pytest.mark.timeout(120)
+def test_observing_supervisor_does_not_perturb_the_pipeline():
+    """Watchdog + heartbeats only observe: with no deadline and no
+    integrity armed, a supervised run produces the same numbers."""
+    baseline = run_training(TrainingConfig(**QUICK_TRAIN))
+    observed = run_training(TrainingConfig(
+        supervision=SupervisionConfig(), **QUICK_TRAIN))
+    assert observed.throughput == baseline.throughput
+    assert observed.cpu_cores == baseline.cpu_cores
+    health = observed.extras["health"]
+    assert health["watchdog_scans"] > 0
+    assert health["stalls_detected"] == 0
+    assert observed.extras["stall_reports"] == []
+
+
+@pytest.mark.timeout(120)
+def test_supervision_rejected_on_non_dlbooster_backends():
+    with pytest.raises(ValueError, match="supervision"):
+        run_training(TrainingConfig(
+            model="alexnet", backend="lmdb",
+            supervision=SupervisionConfig()))
+    with pytest.raises(ValueError, match="supervision"):
+        run_inference(InferenceConfig(
+            model="googlenet", backend="nvjpeg",
+            supervision=SupervisionConfig()))
+
+
+# -------------------------------------------------------- integrity, e2e
+@pytest.mark.timeout(180)
+def test_silent_corruption_quarantined_only_when_supervised():
+    plan = FaultPlan.of(FaultPlan.payload_bitflip(0.05), name="bitflip")
+    unsupervised = run_training(TrainingConfig(
+        fault_plan=plan, retry=RetryPolicy(max_attempts=2), **QUICK_TRAIN))
+    supervised = run_training(TrainingConfig(
+        fault_plan=plan, retry=RetryPolicy(max_attempts=2),
+        supervision=SupervisionConfig(integrity=True), **QUICK_TRAIN))
+
+    # Without integrity the decoder reports ok-FINISH over garbage:
+    # nothing is caught.
+    assert unsupervised.extras["fault_totals"]["integrity_rejected"] == 0
+    assert unsupervised.extras["item_conservation"] is True
+
+    # With integrity every flipped payload is caught and quarantined.
+    totals = supervised.extras["fault_totals"]
+    assert totals["integrity_rejected"] > 0
+    assert supervised.extras["quarantine_reasons"].get(
+        "integrity-mismatch", 0) == totals["integrity_rejected"]
+    health = supervised.extras["health"]
+    assert health["integrity_stamped"] > 0
+    # health is a measurement-window delta; compare against the same
+    # window of the resilience metrics, not lifetime totals.
+    assert health["integrity_mismatches"] == \
+        supervised.extras["resilience"]["integrity_rejected"]
+    assert supervised.extras["item_conservation"] is True
+    assert supervised.extras["pool_conservation"] is True
+
+
+# -------------------------------------- conservation with every path active
+@pytest.mark.timeout(180)
+def test_conservation_with_quarantine_shed_and_integrity_paths():
+    """Satellite: MemManager + item conservation after a chaos run that
+    exercises quarantine (decoder-visible corruption), integrity
+    rejection (silent corruption) and retries at once."""
+    plan = FaultPlan.of(FaultPlan.payload_corrupt(0.02),
+                        FaultPlan.payload_bitflip(0.02),
+                        FaultPlan.cmd_drop(0.01),
+                        name="combined-chaos")
+    res = run_training(TrainingConfig(
+        fault_plan=plan, retry=RetryPolicy(max_attempts=3),
+        supervision=SupervisionConfig(integrity=True), **QUICK_TRAIN))
+    totals = res.extras["fault_totals"]
+    assert totals["quarantined"] > 0
+    assert totals["integrity_rejected"] > 0
+    assert totals["retries"] > 0
+    assert res.extras["item_conservation"] is True
+    assert res.extras["pool_conservation"] is True
+
+
+# ------------------------------------------------------------ serving path
+@pytest.mark.timeout(180)
+def test_inference_deadline_shedding_closed_loop():
+    """A deadline tighter than the saturated closed-loop latency sheds
+    work; clients see DeadlineExceeded and reissue; the backend stays
+    conserved."""
+    baseline = run_inference(InferenceConfig(**QUICK_INFER))
+    tight = run_inference(InferenceConfig(
+        supervision=SupervisionConfig(
+            deadline_s=baseline.latency_p50_ms / 1e3 * 0.8),
+        **QUICK_INFER))
+    health = tight.extras["health"]
+    shed_total = (health["rx_shed"] + health["reader_shed_expired"]
+                  + health["dispatcher_items_shed"])
+    assert shed_total > 0
+    assert health["client_expired"] > 0
+    assert tight.throughput > 0                 # not livelocked
+
+    relaxed = run_inference(InferenceConfig(
+        supervision=SupervisionConfig(deadline_s=1.0), **QUICK_INFER))
+    health = relaxed.extras["health"]
+    assert health["rx_shed"] == 0
+    assert health["reader_shed_expired"] == 0
+    assert health["dispatcher_items_shed"] == 0
+    assert relaxed.throughput == pytest.approx(baseline.throughput,
+                                               rel=0.02)

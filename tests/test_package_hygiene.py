@@ -9,7 +9,7 @@ PACKAGES = ["repro", "repro.sim", "repro.jpeg", "repro.calib",
             "repro.storage", "repro.net", "repro.memory", "repro.fpga",
             "repro.host", "repro.engines", "repro.backends",
             "repro.workflows", "repro.experiments", "repro.data",
-            "repro.cluster"]
+            "repro.cluster", "repro.faults", "repro.supervision"]
 
 
 def iter_all_modules():
