@@ -1,0 +1,55 @@
+"""Telemetry-enabled serving benchmark: end-to-end registry + sampler
+overhead check, emitting the machine-readable ``BENCH_PR3.json``.
+
+The emitted file is the CI artifact for the unified-telemetry PR: the
+serving headline numbers (throughput, p50/p99) measured *with* the
+metrics registry and queue-depth sampler attached, plus observability
+meta (metric count, depth-series points) proving the export pipeline
+ran.  Percentiles come from the reservoir-sampling LatencyRecorder, so
+they reflect the whole measurement window rather than its head.
+"""
+
+import os
+
+from repro.telemetry import TelemetryConfig, emit_bench
+from repro.workflows import InferenceConfig, run_inference
+
+from conftest import FULL
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_PR3.json")
+
+
+def test_telemetry_serving_bench(benchmark):
+    cfg = InferenceConfig(
+        model="googlenet", backend="dlbooster", batch_size=8,
+        warmup_s=1.0 if FULL else 0.4,
+        measure_s=4.0 if FULL else 1.0,
+        telemetry=TelemetryConfig(sample_interval_s=0.005))
+    result = benchmark.pedantic(lambda: run_inference(cfg),
+                                rounds=1, iterations=1)
+    assert result.throughput > 0
+
+    tel = result.extras["telemetry"]
+    metrics = tel["metrics"]
+    depths = tel["queue_depths"]
+    assert "nic.rx.occupancy" in metrics
+    assert "nic.rx.depth" in depths
+
+    doc = emit_bench(
+        {
+            "throughput_img_s": result.throughput,
+            "latency_p50_ms": result.latency_p50_ms,
+            "latency_p99_ms": result.latency_p99_ms,
+            "cpu_cores": result.cpu_cores,
+            "gpu_compute_util": result.gpu_compute_util,
+            "metrics_registered": float(len(metrics)),
+            "depth_series": float(len(depths)),
+            "depth_points_nic_rx": float(len(depths["nic.rx.depth"])),
+        },
+        os.path.abspath(BENCH_PATH),
+        label="telemetry-serving-googlenet-bs8",
+        meta={"profile": "full" if FULL else "quick",
+              "backend": cfg.backend, "model": cfg.model,
+              "batch_size": cfg.batch_size,
+              "sample_interval_s": cfg.telemetry.sample_interval_s})
+    assert doc["metrics"]["latency_p99_ms"] is not None

@@ -9,6 +9,7 @@ Usage:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -25,22 +26,31 @@ def main(argv=None) -> int:
                         help="full batch sweeps / long windows")
     parser.add_argument("--csv-dir", default=None,
                         help="also write each report's rows as CSV here")
+    parser.add_argument("--json-dir", default=None,
+                        help="also write each report (rows + checks) "
+                             "as JSON here")
     args = parser.parse_args(argv)
 
     keys = args.experiments or list(ALL_EXPERIMENTS)
     failures = 0
     for key in keys:
-        t0 = time.time()
+        # perf_counter, not time.time(): a monotonic clock, so wall
+        # reports survive NTP steps / clock adjustments mid-run.
+        t0 = time.perf_counter()
         report = ALL_EXPERIMENTS[key](quick=not args.full)
         print(report.render())
+        slug = key.replace(".", "_")
         if args.csv_dir:
-            import os
             os.makedirs(args.csv_dir, exist_ok=True)
-            path = os.path.join(args.csv_dir,
-                                f"{key.replace('.', '_')}.csv")
-            with open(path, "w") as fh:
+            with open(os.path.join(args.csv_dir, f"{slug}.csv"),
+                      "w") as fh:
                 fh.write(report.to_csv())
-        print(f"  ({time.time() - t0:.1f}s wall)")
+        if args.json_dir:
+            os.makedirs(args.json_dir, exist_ok=True)
+            with open(os.path.join(args.json_dir, f"{slug}.json"),
+                      "w") as fh:
+                fh.write(report.to_json())
+        print(f"  ({time.perf_counter() - t0:.1f}s wall)")
         print()
         failures += len(report.failed_checks())
     if failures:

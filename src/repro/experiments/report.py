@@ -67,6 +67,30 @@ class Report:
         writer.writerows(self.rows)
         return buf.getvalue()
 
+    def to_json(self) -> str:
+        """The whole report — rows, checks, notes — as one JSON document
+        (the machine-readable sibling of :meth:`render`)."""
+        import json
+
+        def cell(value):
+            if isinstance(value, float) and (value != value
+                                             or value in (float("inf"),
+                                                          float("-inf"))):
+                return None
+            return value
+
+        return json.dumps({
+            "schema": "repro-report/1",
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [[cell(v) for v in row] for row in self.rows],
+            "checks": [{"claim": c.claim, "passed": c.passed,
+                        "detail": c.detail} for c in self.checks],
+            "notes": list(self.notes),
+            "all_passed": self.all_passed,
+        }, indent=2, allow_nan=False, default=str)
+
     def render(self) -> str:
         out = [f"== {self.experiment_id}: {self.title} =="]
         out.append(fmt_table(self.columns, self.rows))

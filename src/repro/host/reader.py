@@ -35,7 +35,7 @@ from ..engines.cpu import CpuCorePool
 from ..faults import CircuitBreaker, QuarantineLog, RetryPolicy
 from ..fpga import DecodeCmd, FPGAChannel
 from ..memory import MemManager, MemoryUnit
-from ..sim import Counter, Environment, deadline_of
+from ..sim import Counter, Environment, LatencyRecorder, deadline_of
 from ..supervision import expire_request
 from .collector import WorkItem
 
@@ -86,6 +86,7 @@ class _PendingCmd:
     item: WorkItem
     attempts: int = 0                    # completed (failed) attempts
     deadline_at: float = float("inf")
+    submitted_at: float = 0.0            # first submission (survives retries)
 
 
 class FPGAReader:
@@ -139,6 +140,9 @@ class FPGAReader:
         self.empty_batches = Counter(env, name=f"{name}.empty_batches")
         self.shed_expired = Counter(env, name=f"{name}.shed_expired")
         self.integrity_rejected = Counter(env, name=f"{name}.integrity_rej")
+        # Per-item decode latency, first submission -> slot resolution
+        # (FPGA FINISH or CPU failover), retries included.
+        self.decode_latency = LatencyRecorder(name=f"{name}.latency")
         self._open: dict[int, _OpenBatch] = {}
         self._pending: dict[int, _PendingCmd] = {}
         self._wake = None        # watchdog's parking event while idle
@@ -248,7 +252,8 @@ class FPGAReader:
         cmd = self._cmd_generator(item, batch, slot)
         if self.breaker is not None and self.breaker.is_open \
                 and self.cpu is not None and not self.breaker.take_probe():
-            pend = _PendingCmd(cmd=cmd, batch=batch, slot=slot, item=item)
+            pend = _PendingCmd(cmd=cmd, batch=batch, slot=slot, item=item,
+                               submitted_at=self.env.now)
             self.env.process(self._cpu_fallback(pend),
                              name=f"{self.name}.failover{cmd.cmd_id}")
             return
@@ -263,7 +268,8 @@ class FPGAReader:
         self._register(_PendingCmd(
             cmd=cmd, batch=batch, slot=slot, item=item, attempts=0,
             deadline_at=self.env.now + policy.deadline_for(
-                self._deadline_estimate(cmd), 0)))
+                self._deadline_estimate(cmd), 0),
+            submitted_at=self.env.now))
 
     def _cmd_generator(self, item: WorkItem, batch: _OpenBatch,
                        slot: int) -> DecodeCmd:
@@ -372,7 +378,8 @@ class FPGAReader:
             cmd=cmd, batch=pend.batch, slot=pend.slot, item=pend.item,
             attempts=attempts,
             deadline_at=self.env.now + policy.deadline_for(
-                self._deadline_estimate(cmd), attempts)))
+                self._deadline_estimate(cmd), attempts),
+            submitted_at=pend.submitted_at))
 
     def _cpu_fallback(self, pend: _PendingCmd):
         """Generator: decode one item on the CPU pool instead."""
@@ -427,6 +434,7 @@ class FPGAReader:
                 self._quarantine(pend, "integrity-mismatch")
                 return
             self.items_decoded_fpga.add()
+        self.decode_latency.record(max(0.0, self.env.now - pend.submitted_at))
         batch = pend.batch
         batch.done += 1
         if self.heartbeat is not None:

@@ -10,7 +10,7 @@ streams.
 from .core import (AllOf, AnyOf, Environment, Event, Interrupt, Process,
                    SimulationError, Timeout)
 from .monitor import (BusyTracker, Counter, IntervalRate, LatencyRecorder,
-                      TimeWeighted)
+                      TimeWeighted, set_active_registry)
 from .queues import Channel, QueuePair, ShedPolicy, deadline_of
 from .rand import SeedBank
 from .resources import (Container, FilterStore, PriorityResource, Resource,
@@ -23,7 +23,7 @@ __all__ = [
     "Resource", "PriorityResource", "Store", "FilterStore", "Container",
     "Channel", "QueuePair", "ShedPolicy", "deadline_of",
     "Counter", "TimeWeighted", "BusyTracker", "LatencyRecorder",
-    "IntervalRate",
+    "IntervalRate", "set_active_registry",
     "SeedBank",
     "Tracer", "Span",
 ]

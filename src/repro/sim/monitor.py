@@ -8,13 +8,38 @@ raw simulation activity; no result is ever entered by hand.
 from __future__ import annotations
 
 import math
+import zlib
 from bisect import insort
+from random import Random
 from typing import Optional
 
 from .core import Environment
 
 __all__ = ["Counter", "TimeWeighted", "BusyTracker", "LatencyRecorder",
-           "IntervalRate"]
+           "IntervalRate", "set_active_registry"]
+
+
+# Ambient metrics registry (see repro.telemetry).  While one is active —
+# ``MetricsRegistry.installed()`` sets it around component construction —
+# every instrument built here announces itself, so the whole pipeline's
+# metrics land in one hierarchical namespace with zero plumbing changes.
+_ACTIVE_REGISTRY = None
+
+
+def set_active_registry(registry) -> Optional[object]:
+    """Install ``registry`` as the ambient auto-registration sink (or
+    ``None`` to clear it).  Returns the previously active registry so
+    callers can restore it — :class:`repro.telemetry.MetricsRegistry`
+    wraps this in a context manager."""
+    global _ACTIVE_REGISTRY
+    previous = _ACTIVE_REGISTRY
+    _ACTIVE_REGISTRY = registry
+    return previous
+
+
+def _autoregister(instrument) -> None:
+    if _ACTIVE_REGISTRY is not None:
+        _ACTIVE_REGISTRY.register(instrument)
 
 
 class Counter:
@@ -25,6 +50,7 @@ class Counter:
         self.name = name
         self.total = 0.0
         self._t0 = env.now
+        _autoregister(self)
 
     def add(self, n: float = 1.0) -> None:
         if n < 0:
@@ -59,6 +85,7 @@ class TimeWeighted:
         self._t0 = env.now
         self.max_value = float(initial)
         self.min_value = float(initial)
+        _autoregister(self)
 
     @property
     def value(self) -> float:
@@ -100,6 +127,7 @@ class BusyTracker:
         self._busy: dict[str, float] = {}
         self._open: dict[int, tuple[str, float]] = {}
         self._next_token = 0
+        _autoregister(self)
 
     def begin(self, category: str = "work") -> int:
         token = self._next_token
@@ -151,38 +179,98 @@ class BusyTracker:
 class LatencyRecorder:
     """Collects per-item latencies; reports mean/percentiles.
 
-    Samples are kept sorted on insertion so percentile queries are O(log n)
-    lookups; memory is bounded by optional reservoir capping.
+    Memory is bounded by **uniform reservoir sampling** (Vitter's
+    Algorithm R): the first ``max_samples`` values are kept exactly
+    (sorted on insertion, so percentiles are exact); once the stream
+    exceeds the cap, the i-th value replaces a uniformly random reservoir
+    entry with probability ``max_samples / i``, so the reservoir remains
+    a uniform sample of *everything seen so far* — late-arriving tails
+    are represented with their true weight rather than silently dropped.
+    Beyond the cap, percentiles are therefore unbiased estimates (rank
+    error ~ ``sqrt(q*(1-q)/max_samples)``); ``mean``/``min``/``max`` and
+    ``count`` stay exact over the full stream regardless.
+
+    Replacement choices come from a private deterministic RNG seeded
+    from the recorder's name, so simulations stay reproducible.
     """
 
     def __init__(self, name: str = "latency", max_samples: int = 200_000):
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
         self.name = name
         self._sorted: list[float] = []
         self._count = 0
         self._sum = 0.0
         self._max_samples = max_samples
+        self._min = math.inf
+        self._max = -math.inf
+        self._rng = Random(zlib.crc32(name.encode()) or 1)
+        _autoregister(self)
 
     def record(self, latency: float) -> None:
         if latency < 0:
             raise ValueError(f"negative latency {latency}")
         self._count += 1
         self._sum += latency
+        if latency < self._min:
+            self._min = latency
+        if latency > self._max:
+            self._max = latency
         if len(self._sorted) < self._max_samples:
+            insort(self._sorted, latency)
+            return
+        # Algorithm R: keep the newcomer with probability cap/count,
+        # evicting a uniformly random incumbent.  Index j is uniform on
+        # [0, count); j < cap both decides acceptance *and* names the
+        # victim (positions in a sorted reservoir are exchangeable).
+        j = self._rng.randrange(self._count)
+        if j < self._max_samples:
+            del self._sorted[j]
             insort(self._sorted, latency)
 
     @property
     def count(self) -> int:
         return self._count
 
+    @property
+    def sample_count(self) -> int:
+        """Samples currently retained (== count while below the cap)."""
+        return len(self._sorted)
+
+    @property
+    def is_exact(self) -> bool:
+        """True while every recorded value is retained, i.e. percentiles
+        are exact order statistics rather than reservoir estimates."""
+        return self._count == len(self._sorted)
+
+    @property
+    def samples(self) -> tuple[float, ...]:
+        """The retained (sorted) samples — the whole stream while below
+        the cap, a uniform sample of it beyond."""
+        return tuple(self._sorted)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's retained samples into this one.
+
+        Exact when both recorders are below their caps (the common case:
+        per-engine windows merged into one report); otherwise the merge
+        re-samples the other's reservoir, which is still a uniform —
+        though smaller — sample of its stream.
+        """
+        for sample in other._sorted:
+            self.record(sample)
+
     def mean(self) -> float:
         return self._sum / self._count if self._count else math.nan
 
     def percentile(self, q: float) -> float:
-        """q in [0, 100]; linear interpolation between order statistics."""
-        if not self._sorted:
-            return math.nan
+        """q in [0, 100]; linear interpolation between order statistics
+        of the retained samples (exact below the cap, a uniform-reservoir
+        estimate beyond it)."""
         if not 0 <= q <= 100:
             raise ValueError(f"percentile {q} outside [0, 100]")
+        if not self._sorted:
+            return math.nan
         n = len(self._sorted)
         pos = (q / 100.0) * (n - 1)
         lo = int(math.floor(pos))
@@ -199,10 +287,12 @@ class LatencyRecorder:
         return self.percentile(99)
 
     def max(self) -> float:
-        return self._sorted[-1] if self._sorted else math.nan
+        """Exact maximum over the full stream (never subsampled)."""
+        return self._max if self._count else math.nan
 
     def min(self) -> float:
-        return self._sorted[0] if self._sorted else math.nan
+        """Exact minimum over the full stream (never subsampled)."""
+        return self._min if self._count else math.nan
 
 
 class IntervalRate:
@@ -214,18 +304,28 @@ class IntervalRate:
         self._count = 0.0
         self._mark_t = env.now
         self._mark_count = 0.0
+        _autoregister(self)
 
     def add(self, n: float = 1.0) -> None:
         self._count += n
 
     def mark(self) -> float:
-        """Rate since the previous mark; resets the window."""
+        """Rate since the previous mark; resets the window.
+
+        A zero-length window has no defined rate — it returns
+        ``math.nan`` (not ``0.0``, which would read as a measured zero
+        throughput) and leaves the window open, so counts land in the
+        next mark with a real time span.  Callers polling faster than
+        the sim clock advances should treat NaN as "no new window yet".
+        """
         now = self.env.now
         dt = now - self._mark_t
+        if dt <= 0:
+            return math.nan
         dn = self._count - self._mark_count
         self._mark_t = now
         self._mark_count = self._count
-        return dn / dt if dt > 0 else 0.0
+        return dn / dt
 
     @property
     def total(self) -> float:

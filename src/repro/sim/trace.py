@@ -33,14 +33,15 @@ class Span:
 
 
 class Tracer:
-    """Collects spans/instants; bounded to ``max_events`` to keep big
-    simulations cheap (the tail is dropped, never the head)."""
+    """Collects spans/instants/counter samples; bounded to ``max_events``
+    to keep big simulations cheap (the tail is dropped, never the head)."""
 
     def __init__(self, env: Environment, max_events: int = 500_000):
         self.env = env
         self.max_events = max_events
         self.spans: list[Span] = []
         self.instants: list[tuple[str, str, float]] = []
+        self.counters: list[tuple[str, float, dict]] = []
         self._open: dict[int, tuple[str, str, float, dict]] = {}
         self._next = 0
         self.dropped = 0
@@ -64,6 +65,21 @@ class Tracer:
             self.dropped += 1
             return
         self.instants.append((name, track, self.env.now))
+
+    def counter(self, name: str, values: dict,
+                at: Optional[float] = None) -> None:
+        """Record one sample of a counter track (Chrome ``"ph": "C"``).
+
+        ``values`` maps series label -> number; samples on the same
+        ``name`` render as a stacked counter track in the viewer.  ``at``
+        backdates the sample (used when merging telemetry time series
+        collected elsewhere); default is the current sim time.
+        """
+        if len(self.counters) >= self.max_events:
+            self.dropped += 1
+            return
+        when = self.env.now if at is None else at
+        self.counters.append((name, when, dict(values)))
 
     # -- analysis -----------------------------------------------------
     def spans_on(self, track: str) -> list[Span]:
@@ -103,6 +119,9 @@ class Tracer:
         for name, track, when in self.instants:
             events.append({"ph": "i", "pid": 1, "tid": tids[track],
                            "name": name, "ts": when * 1e6, "s": "t"})
+        for name, when, values in self.counters:
+            events.append({"ph": "C", "pid": 1, "name": name,
+                           "ts": when * 1e6, "args": values})
         text = json.dumps(events)
         if path is not None:
             with open(path, "w") as fh:

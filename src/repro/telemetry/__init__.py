@@ -1,0 +1,27 @@
+"""Unified telemetry: metrics registry, queue-depth sampling, exports.
+
+The observability substrate the perf trajectory is judged against:
+
+- :class:`MetricsRegistry` — one hierarchical namespace over every
+  sim-layer instrument, with typed snapshots, JSON export and
+  Chrome-trace counter merging.
+- :class:`QueueDepthSampler` — bounded-memory depth/occupancy time
+  series for channels, queue pairs and the hugepage pool.
+- :class:`TelemetryConfig` — the workflow-facing knob block.
+- :func:`emit_bench` / :func:`load_bench` — ``BENCH_*.json`` perf
+  baselines consumed by CI.
+"""
+
+from .bench import BENCH_SCHEMA, emit_bench, load_bench
+from .config import TelemetryConfig
+from .registry import MetricsRegistry
+from .sampler import QueueDepthSampler
+
+__all__ = [
+    "MetricsRegistry",
+    "QueueDepthSampler",
+    "TelemetryConfig",
+    "emit_bench",
+    "load_bench",
+    "BENCH_SCHEMA",
+]

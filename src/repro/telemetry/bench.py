@@ -1,0 +1,56 @@
+"""BENCH_*.json emitters — the repo's machine-readable perf trajectory.
+
+Each growth PR that claims a performance-relevant change records a
+baseline here: a flat ``{metric_name: number}`` document the next PR
+can diff against.  CI runs the benchmark suite's quick profile, the
+telemetry benchmark writes ``BENCH_PR3.json``, and the workflow uploads
+every ``BENCH_*.json`` as an artifact — so the trajectory is visible
+per-commit without trawling logs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Optional
+
+__all__ = ["emit_bench", "load_bench", "BENCH_SCHEMA"]
+
+BENCH_SCHEMA = "dlbooster-bench/1"
+
+
+def _finite(value):
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def emit_bench(metrics: dict, path: str, *, label: str,
+               meta: Optional[dict] = None) -> dict:
+    """Write one benchmark baseline document.
+
+    ``metrics`` maps flat metric names (``infer.p99_ms``,
+    ``train.throughput``) to numbers; non-finite values are nulled so
+    the file stays strict JSON.  Returns the document written.
+    """
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "metrics": {name: _finite(value)
+                    for name, value in sorted(metrics.items())},
+    }
+    if meta:
+        doc["meta"] = meta
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return doc
+
+
+def load_bench(path: str) -> dict:
+    """Read a baseline back (schema-checked)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{path}: not a {BENCH_SCHEMA} document")
+    return doc

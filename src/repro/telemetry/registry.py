@@ -1,0 +1,187 @@
+"""MetricsRegistry — one hierarchical namespace for every instrument.
+
+The sim layer's instruments (:class:`~repro.sim.Counter`,
+:class:`~repro.sim.TimeWeighted`, :class:`~repro.sim.BusyTracker`,
+:class:`~repro.sim.LatencyRecorder`, :class:`~repro.sim.IntervalRate`)
+are constructed ad hoc all over ``host/``, ``net/``, ``fpga/``,
+``backends/`` and ``workflows/``.  A :class:`MetricsRegistry` unifies
+them: while installed (``with registry.installed(): ...build...``) every
+instrument auto-registers under its dotted name (``nic.rx.wait``,
+``fpga-reader.latency``, ``gpu0.trans.full.occupancy``, ...), and the
+registry can then snapshot the whole pipeline's state as one nested
+document, export it as JSON, or merge it into a Chrome-trace
+:class:`~repro.sim.Tracer` as counter tracks.
+
+Names are the namespace: dots separate levels, and ``subtree("nic")``
+selects ``nic`` and everything below it.  Duplicate names (two channels
+both called ``qpair.free``) get a ``#2``/``#3`` suffix rather than
+silently shadowing each other.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from contextlib import contextmanager
+from typing import Optional
+
+from ..sim.monitor import (BusyTracker, Counter, IntervalRate,
+                           LatencyRecorder, TimeWeighted,
+                           set_active_registry)
+
+__all__ = ["MetricsRegistry"]
+
+_QUANTILES = (50.0, 90.0, 99.0, 99.9)
+
+
+class MetricsRegistry:
+    """A named collection of measurement instruments with snapshot export."""
+
+    def __init__(self, name: str = "metrics"):
+        self.name = name
+        self._metrics: dict[str, object] = {}
+
+    # -- population ----------------------------------------------------
+    def register(self, instrument, name: Optional[str] = None):
+        """Adopt an instrument under ``name`` (default: its own ``.name``).
+
+        Registering the same object twice is a no-op; a *different*
+        object under a taken name gets a ``#2``-style suffix so both
+        stay visible.  Returns the instrument for chaining.
+        """
+        key = name if name is not None else getattr(
+            instrument, "name", type(instrument).__name__)
+        existing = self._metrics.get(key)
+        if existing is instrument:
+            return instrument
+        if existing is not None:
+            base, n = key, 2
+            while key in self._metrics:
+                if self._metrics[key] is instrument:
+                    return instrument
+                key = f"{base}#{n}"
+                n += 1
+        self._metrics[key] = instrument
+        return instrument
+
+    @contextmanager
+    def installed(self):
+        """Make this registry the ambient auto-registration sink: every
+        instrument constructed inside the block registers itself."""
+        previous = set_active_registry(self)
+        try:
+            yield self
+        finally:
+            set_active_registry(previous)
+
+    # -- factories (explicit registration, for new code) ----------------
+    def counter(self, env, name: str) -> Counter:
+        return self.register(Counter(env, name=name))
+
+    def gauge(self, env, name: str, initial: float = 0.0) -> TimeWeighted:
+        return self.register(TimeWeighted(env, initial, name=name))
+
+    def busy(self, env, name: str) -> BusyTracker:
+        return self.register(BusyTracker(env, name=name))
+
+    def latency(self, name: str, max_samples: int = 200_000
+                ) -> LatencyRecorder:
+        return self.register(LatencyRecorder(name=name,
+                                             max_samples=max_samples))
+
+    def rate(self, env, name: str) -> IntervalRate:
+        return self.register(IntervalRate(env, name=name))
+
+    # -- lookup --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str):
+        return self._metrics[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def subtree(self, prefix: str) -> dict[str, object]:
+        """Every instrument at or below ``prefix`` in the namespace."""
+        dotted = prefix + "."
+        return {key: inst for key, inst in self._metrics.items()
+                if key == prefix or key.startswith(dotted)}
+
+    # -- snapshot / export ---------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """One typed stats dict per metric, keyed by namespace name."""
+        return {key: _snap(inst)
+                for key, inst in sorted(self._metrics.items())}
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2,
+                extra: Optional[dict] = None) -> str:
+        """Serialize :meth:`snapshot` (plus optional ``extra`` document
+        sections, e.g. queue-depth series) as JSON; write when a path is
+        given.  Returns the JSON text."""
+        doc = {"schema": "repro-metrics/1", "registry": self.name,
+               "metrics": self.snapshot()}
+        if extra:
+            doc.update(extra)
+        text = json.dumps(_scrub(doc), indent=indent, allow_nan=False,
+                          default=_jsonable)
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text
+
+    def to_trace(self, tracer) -> None:
+        """Merge the current scalar state into a Chrome-trace tracer as
+        one counter sample per metric (time-series merging is the
+        :class:`~repro.telemetry.QueueDepthSampler`'s job)."""
+        for key, stats in self.snapshot().items():
+            values = {label: value for label, value in stats.items()
+                      if isinstance(value, (int, float))
+                      and not isinstance(value, bool)}
+            if values:
+                tracer.counter(f"metric:{key}", values)
+
+
+def _snap(inst) -> dict:
+    if isinstance(inst, Counter):
+        return {"type": "counter", "total": inst.total,
+                "rate": inst.rate()}
+    if isinstance(inst, TimeWeighted):
+        return {"type": "gauge", "value": inst.value, "mean": inst.mean(),
+                "max": inst.max_value, "min": inst.min_value}
+    if isinstance(inst, BusyTracker):
+        return {"type": "busy", "busy_seconds": inst.busy_seconds(),
+                "cores": inst.cores(), "breakdown": inst.breakdown()}
+    if isinstance(inst, LatencyRecorder):
+        out = {"type": "latency", "count": inst.count,
+               "mean": inst.mean(), "min": inst.min(), "max": inst.max(),
+               "exact": inst.is_exact,
+               "sample_count": inst.sample_count}
+        for q in _QUANTILES:
+            out[f"p{q:g}"] = inst.percentile(q)
+        return out
+    if isinstance(inst, IntervalRate):
+        return {"type": "interval_rate", "total": inst.total}
+    return {"type": type(inst).__name__, "repr": repr(inst)}
+
+
+def _scrub(value):
+    """NaN/Inf (empty recorders, unbounded capacities) -> null, so the
+    export is strict JSON any tool can load."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _scrub(v) for key, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_scrub(v) for v in value]
+    return value
+
+
+def _jsonable(value):
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return repr(value)

@@ -1,0 +1,116 @@
+"""QueueDepthSampler — periodic depth/occupancy time series.
+
+Instantaneous queue depth is the pipeline's blood pressure: a Trans
+Queue pinned at its capacity names the bottleneck, a hugepage pool
+pinned at ``unit_count`` explains reader stalls, an RX ring ramping to
+its cap predicts drops.  The sim layer's :class:`~repro.sim.TimeWeighted`
+gives means and extrema but no *trajectory*; this sampler records one,
+as ``(sim_time, value)`` series per watched probe, with bounded memory.
+
+Memory bound: when any series reaches ``max_points`` the sampler halves
+every series (keeping every other point) and doubles its interval —
+classic trace decimation, so an arbitrarily long run costs a fixed
+amount of memory and keeps uniform coverage of the whole run rather
+than truncating the tail (the same head-bias the latency recorder fix
+removed).
+
+Series merge into a Chrome-trace :class:`~repro.sim.Tracer` as counter
+tracks via :meth:`to_trace`, and ride along registry JSON exports via
+:meth:`series`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Environment
+
+__all__ = ["QueueDepthSampler"]
+
+
+class QueueDepthSampler:
+    """Samples registered probes every ``interval_s`` sim seconds."""
+
+    def __init__(self, env: Environment, interval_s: float = 0.01,
+                 max_points: int = 4096, name: str = "depth-sampler"):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if max_points < 8:
+            raise ValueError("max_points must be >= 8")
+        self.env = env
+        self.name = name
+        self.interval_s = float(interval_s)
+        self.max_points = int(max_points)
+        self.decimations = 0
+        self._probes: list[tuple[str, Callable[[], float]]] = []
+        self._series: dict[str, list[tuple[float, float]]] = {}
+        self._proc = None
+
+    # -- registration --------------------------------------------------
+    def watch(self, name: str, probe: Callable[[], float]) -> None:
+        """Watch an arbitrary zero-arg probe under ``name``."""
+        if name in self._series:
+            raise ValueError(f"duplicate probe name {name!r}")
+        self._probes.append((name, probe))
+        self._series[name] = []
+
+    def watch_channel(self, channel, name: Optional[str] = None) -> None:
+        """Watch a :class:`~repro.sim.Channel`'s instantaneous depth."""
+        self.watch(name or f"{channel.name}.depth",
+                   lambda ch=channel: float(len(ch)))
+
+    def watch_pair(self, pair) -> None:
+        """Watch both sides of a :class:`~repro.sim.QueuePair`."""
+        self.watch_channel(pair.free)
+        self.watch_channel(pair.full)
+
+    def watch_pool(self, pool, name: Optional[str] = None) -> None:
+        """Watch a :class:`~repro.memory.MemManager`'s units in use."""
+        self.watch(name or f"{pool.name}.in_use",
+                   lambda p=pool: float(p.in_use))
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        if self._proc is not None:
+            raise RuntimeError("sampler already started")
+        self._proc = self.env.process(self._run(), name=self.name)
+
+    def _run(self):
+        while True:
+            now = self.env.now
+            for name, probe in self._probes:
+                self._series[name].append((now, float(probe())))
+            if any(len(s) >= self.max_points for s in self._series.values()):
+                self._decimate()
+            yield self.env.timeout(self.interval_s)
+
+    def _decimate(self) -> None:
+        for name, series in self._series.items():
+            self._series[name] = series[::2]
+        self.interval_s *= 2.0
+        self.decimations += 1
+
+    # -- access / export -----------------------------------------------
+    def series(self) -> dict[str, list[tuple[float, float]]]:
+        """Copy of every series: name -> [(sim_time, value), ...]."""
+        return {name: list(points) for name, points in self._series.items()}
+
+    def last(self, name: str) -> float:
+        points = self._series[name]
+        return points[-1][1] if points else float("nan")
+
+    def mean(self, name: str) -> float:
+        points = self._series[name]
+        if not points:
+            return float("nan")
+        return sum(v for _, v in points) / len(points)
+
+    def peak(self, name: str) -> float:
+        points = self._series[name]
+        return max((v for _, v in points), default=float("nan"))
+
+    def to_trace(self, tracer) -> None:
+        """Merge every series into ``tracer`` as counter tracks."""
+        for name, points in self._series.items():
+            for when, value in points:
+                tracer.counter(name, {"depth": value}, at=when)

@@ -21,6 +21,7 @@ from ..host import BatchSpec
 from ..net import ClientFleet, Link, Nic
 from ..sim import Environment, LatencyRecorder, SeedBank
 from ..supervision import SupervisionConfig, Supervisor
+from ..telemetry import MetricsRegistry, QueueDepthSampler, TelemetryConfig
 from .metrics import CounterWindow, CpuWindow, HealthWindow
 
 __all__ = ["InferenceConfig", "InferenceResult", "run_inference",
@@ -54,6 +55,10 @@ class InferenceConfig:
     # deadline shedding, integrity verification.  ``deadline_s`` in the
     # config also stamps every client request with an absolute deadline.
     supervision: Optional[SupervisionConfig] = None
+    # Unified observability (repro.telemetry): metrics registry over
+    # every instrument + queue-depth time series; results land in
+    # ``extras["telemetry"]`` and optionally a JSON export.
+    telemetry: Optional[TelemetryConfig] = None
 
 
 @dataclass
@@ -91,7 +96,22 @@ def _make_backend(cfg: InferenceConfig, env, testbed, cpu, nic, spec,
 
 def run_inference(cfg: InferenceConfig,
                   testbed: Testbed = DEFAULT_TESTBED) -> InferenceResult:
-    """Execute one serving experiment and report its window metrics."""
+    """Execute one serving experiment and report its window metrics.
+
+    With ``cfg.telemetry`` set, the whole stack is built inside an
+    installed :class:`~repro.telemetry.MetricsRegistry` and a
+    :class:`~repro.telemetry.QueueDepthSampler` records the hot queues;
+    both land in ``result.extras["telemetry"]``.
+    """
+    if cfg.telemetry is None:
+        return _run_inference(cfg, testbed, None)
+    registry = MetricsRegistry(name=f"inference.{cfg.backend}")
+    with registry.installed():
+        return _run_inference(cfg, testbed, registry)
+
+
+def _run_inference(cfg: InferenceConfig, testbed: Testbed,
+                   registry: Optional[MetricsRegistry]) -> InferenceResult:
     if cfg.model not in INFER_MODELS:
         raise ValueError(f"unknown model {cfg.model!r}")
     if cfg.batch_size < 1:
@@ -149,6 +169,20 @@ def run_inference(cfg: InferenceConfig,
                             supervisor=supervisor)
     backend.start(engines)
 
+    sampler = None
+    if registry is not None:
+        sampler = QueueDepthSampler(
+            env, interval_s=cfg.telemetry.sample_interval_s,
+            max_points=cfg.telemetry.max_points)
+        sampler.watch_channel(nic.rx_queue)
+        pool = getattr(backend, "pool", None)
+        if pool is not None:
+            sampler.watch_pool(pool)
+            sampler.watch_pair(pool.queues)
+        for engine in engines:
+            sampler.watch_pair(engine.trans_queues)
+        sampler.start()
+
     env.run(until=cfg.warmup_s)
     predictions = CounterWindow(env, [e.predictions for e in engines])
     cores = CpuWindow(env, cpu)
@@ -176,10 +210,9 @@ def run_inference(cfg: InferenceConfig,
         engine.latency = LatencyRecorder(name=f"{engine.gpu.name}.latency")
     env.run(until=cfg.warmup_s + cfg.measure_s)
 
-    lat_all = LatencyRecorder()
+    lat_all = LatencyRecorder(name="serving.latency")
     for engine in engines:
-        for sample in engine.latency._sorted:
-            lat_all.record(sample)
+        lat_all.merge(engine.latency)
 
     breakdown = cores.breakdown()
     window_s = cfg.measure_s
@@ -203,6 +236,13 @@ def run_inference(cfg: InferenceConfig,
         extras["health"] = health.deltas()
         extras["stall_reports"] = [
             r.render() for r in supervisor.stall_reports]
+    if registry is not None:
+        extras["telemetry"] = {"registry": registry,
+                               "metrics": registry.snapshot(),
+                               "queue_depths": sampler.series()}
+        if cfg.telemetry.export_path:
+            registry.to_json(cfg.telemetry.export_path,
+                             extra={"queue_depths": sampler.series()})
 
     return InferenceResult(
         config=cfg,

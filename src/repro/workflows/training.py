@@ -22,6 +22,7 @@ from ..data import imagenet_like_manifest, mnist_like_manifest
 from ..sim import Environment, SeedBank
 from ..storage import NvmeDisk
 from ..supervision import SupervisionConfig, Supervisor
+from ..telemetry import MetricsRegistry, QueueDepthSampler, TelemetryConfig
 from .metrics import CounterWindow, CpuWindow, HealthWindow, ResilienceWindow
 
 __all__ = ["TrainingConfig", "TrainingResult", "run_training",
@@ -57,6 +58,8 @@ class TrainingConfig:
     retry: Optional[RetryPolicy] = None
     # pipeline supervision (dlbooster): watchdog + integrity verification
     supervision: Optional[SupervisionConfig] = None
+    # unified observability: registry + queue-depth series in extras
+    telemetry: Optional[TelemetryConfig] = None
 
 
 @dataclass
@@ -133,7 +136,21 @@ def run_training(cfg: TrainingConfig,
     ``tracer_factory`` (optional) is called with the run's Environment
     and must return a tracer (e.g. ``repro.sim.Tracer``); the instance
     lands in ``result.extras["tracer"]`` for Chrome-trace export.
+
+    With ``cfg.telemetry`` set, the stack is built inside an installed
+    :class:`~repro.telemetry.MetricsRegistry`, queue depths are sampled
+    periodically, and — when a tracer is present — the depth series and
+    final metric state merge into it as Chrome-trace counter tracks.
     """
+    if cfg.telemetry is None:
+        return _run_training(cfg, testbed, tracer_factory, None)
+    registry = MetricsRegistry(name=f"training.{cfg.backend}")
+    with registry.installed():
+        return _run_training(cfg, testbed, tracer_factory, registry)
+
+
+def _run_training(cfg: TrainingConfig, testbed: Testbed, tracer_factory,
+                  registry: Optional[MetricsRegistry]) -> TrainingResult:
     if cfg.model not in TRAIN_MODELS:
         raise ValueError(f"unknown model {cfg.model!r}")
     if cfg.num_gpus < 1 or cfg.num_gpus > testbed.gpu_count:
@@ -166,6 +183,19 @@ def run_training(cfg: TrainingConfig,
     backend = _make_backend(cfg, env, testbed, cpu, manifest, bspec, seeds,
                             disk, tracer=tracer, supervisor=supervisor)
     backend.start(solvers)
+
+    sampler = None
+    if registry is not None:
+        sampler = QueueDepthSampler(
+            env, interval_s=cfg.telemetry.sample_interval_s,
+            max_points=cfg.telemetry.max_points)
+        pool = getattr(backend, "pool", None)
+        if pool is not None:
+            sampler.watch_pool(pool)
+            sampler.watch_pair(pool.queues)
+        for solver in solvers:
+            sampler.watch_pair(solver.trans_queues)
+        sampler.start()
 
     # For cacheable corpora the warm-up must cover the first (decode)
     # epoch so the window measures the steady cached regime, as the
@@ -209,6 +239,16 @@ def run_training(cfg: TrainingConfig,
             extras["health"] = health.deltas()
             extras["stall_reports"] = [
                 r.render() for r in supervisor.stall_reports]
+    if registry is not None:
+        extras["telemetry"] = {"registry": registry,
+                               "metrics": registry.snapshot(),
+                               "queue_depths": sampler.series()}
+        if cfg.telemetry.export_path:
+            registry.to_json(cfg.telemetry.export_path,
+                             extra={"queue_depths": sampler.series()})
+        if tracer is not None and cfg.telemetry.trace_counters:
+            sampler.to_trace(tracer)
+            registry.to_trace(tracer)
     if tracer is not None:
         extras["tracer"] = tracer
     if cfg.backend == "lmdb":

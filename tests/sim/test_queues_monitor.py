@@ -287,6 +287,65 @@ def test_latency_recorder_validation():
     lr.record(1.0)
     with pytest.raises(ValueError):
         lr.percentile(101)
+    with pytest.raises(ValueError):
+        LatencyRecorder(max_samples=0)
+
+
+def test_latency_recorder_head_bias_regression():
+    """ISSUE 3 repro: a late-arriving tail must dominate p99.
+
+    The pre-fix recorder kept only the *first* ``max_samples`` values, so
+    5 small values followed by 100 x 100 ms reported p99 = 4.96 ms.  With
+    true reservoir sampling the reservoir is a uniform sample of all 105
+    values and p99 ~ 100 ms.
+    """
+    lr = LatencyRecorder(max_samples=5)
+    for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+        lr.record(v * 1e-3)
+    for _ in range(100):
+        lr.record(0.100)
+    assert lr.count == 105
+    assert lr.sample_count == 5
+    assert not lr.is_exact
+    assert lr.p99() == pytest.approx(0.100, rel=0.05)
+    # min/max/mean/count stay exact over the full stream.
+    assert lr.min() == pytest.approx(1e-3)
+    assert lr.max() == pytest.approx(0.100)
+    assert lr.mean() == pytest.approx((15e-3 + 100 * 0.100) / 105)
+
+
+def test_latency_recorder_exact_below_cap():
+    lr = LatencyRecorder(max_samples=1000)
+    for v in range(100, 0, -1):
+        lr.record(float(v))
+    assert lr.is_exact and lr.sample_count == 100
+    assert lr.samples == tuple(float(v) for v in range(1, 101))
+    assert lr.p50() == pytest.approx(50.5)
+
+
+def test_latency_recorder_merge_combines_windows():
+    a = LatencyRecorder(name="a")
+    b = LatencyRecorder(name="b")
+    for v in range(1, 51):
+        a.record(float(v))
+    for v in range(51, 101):
+        b.record(float(v))
+    merged = LatencyRecorder(name="merged")
+    merged.merge(a)
+    merged.merge(b)
+    assert merged.count == 100
+    assert merged.p50() == pytest.approx(50.5)
+    assert merged.min() == 1.0 and merged.max() == 100.0
+
+
+def test_latency_recorder_deterministic_reservoir():
+    def build():
+        lr = LatencyRecorder(name="det", max_samples=32)
+        for v in range(10_000):
+            lr.record(float(v % 997))
+        return lr.samples
+
+    assert build() == build()
 
 
 def test_interval_rate_windows():
@@ -304,3 +363,15 @@ def test_interval_rate_windows():
     env.run(until=10.0)
     assert ir.mark() == pytest.approx(2.0)
     assert ir.total == 20.0
+
+
+def test_interval_rate_zero_window_is_nan():
+    """dt == 0 means "no window", not "zero throughput" — two marks at
+    the same sim instant must not report a measured 0.0 rate."""
+    env = Environment()
+    ir = IntervalRate(env)
+    ir.add(5.0)
+    assert math.isnan(ir.mark())        # no time elapsed since creation
+    env.run(until=1.0)
+    assert ir.mark() == pytest.approx(5.0)
+    assert math.isnan(ir.mark())        # immediate re-mark: empty window

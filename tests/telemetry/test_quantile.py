@@ -1,0 +1,133 @@
+"""Quantile accuracy of the reservoir-sampling LatencyRecorder.
+
+Validated against exact ``np.percentile`` (linear interpolation — the
+same rule the recorder uses, so below-cap results must match to float
+precision and beyond-cap results must land within the documented
+reservoir rank-error bound).
+
+Documented bound: for a reservoir of ``k`` samples, the estimate of the
+q-th percentile has rank standard error ``sqrt(q*(1-q)/k)`` (q as a
+fraction).  We assert the estimate lies between the exact percentiles at
+``q +- 5 standard errors`` (plus one rank point of slack for
+interpolation granularity), which a correct uniform reservoir satisfies
+essentially always and the old head-biased recorder fails immediately
+for any late-shifting stream.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import LatencyRecorder
+
+
+def rank_bound(q: float, cap: int) -> float:
+    """+-rank window (in percentile points) for a cap-sized reservoir."""
+    frac = q / 100.0
+    return 100.0 * 5.0 * math.sqrt(frac * (1.0 - frac) / cap) + 1.0
+
+
+def assert_within_rank_bound(recorder, data, q):
+    lo_q = max(0.0, q - rank_bound(q, recorder.sample_count))
+    hi_q = min(100.0, q + rank_bound(q, recorder.sample_count))
+    lo = np.percentile(data, lo_q)
+    hi = np.percentile(data, hi_q)
+    estimate = recorder.percentile(q)
+    assert lo <= estimate <= hi, (
+        f"p{q} estimate {estimate} outside exact[{lo_q:.2f}%, {hi_q:.2f}%] "
+        f"= [{lo}, {hi}]")
+
+
+# ------------------------------------------------------- the 250k regression
+def test_late_tail_250k_stream_p99_within_5pct():
+    """Acceptance pin: a 250k-sample stream whose slowest decile arrives
+    *last* must report p99 within 5% of exact ``np.percentile``.
+
+    The old recorder stopped sampling at ``max_samples``, so the entire
+    late tail was invisible and p99 reflected only the fast head.
+    """
+    rng = np.random.default_rng(1234)
+    head = rng.uniform(0.001, 0.010, size=150_000)       # fast early phase
+    tail = rng.uniform(0.080, 0.120, size=100_000)       # slow late phase
+    stream = np.concatenate([head, tail])                # tail arrives last
+    recorder = LatencyRecorder(name="regression", max_samples=20_000)
+    for value in stream:
+        recorder.record(float(value))
+    exact = float(np.percentile(stream, 99))
+    assert recorder.count == 250_000
+    assert recorder.sample_count == 20_000
+    assert recorder.p99() == pytest.approx(exact, rel=0.05)
+    # And the head-bias smoking gun: the estimate must be nowhere near
+    # the head-only percentile the old code would have reported.
+    head_only = float(np.percentile(stream[:20_000], 99))
+    assert recorder.p99() > 5 * head_only
+
+
+# ------------------------------------------------- orderings x distributions
+def _uniform(rng, n):
+    return rng.uniform(0.0, 1.0, size=n)
+
+
+def _heavy_tail(rng, n):
+    return rng.lognormal(mean=-3.0, sigma=1.5, size=n)
+
+
+@pytest.mark.parametrize("order", ["ascending", "descending", "shuffled"])
+@pytest.mark.parametrize("dist", [_uniform, _heavy_tail])
+@pytest.mark.parametrize("q", [50.0, 90.0, 99.0])
+def test_reservoir_vs_exact_across_orderings(order, dist, q):
+    """n >> cap: the estimate stays inside the documented rank bound for
+    ascending, descending and shuffled arrival orders."""
+    n, cap = 50_000, 4_096
+    rng = np.random.default_rng(7)
+    data = dist(rng, n)
+    if order == "ascending":
+        stream = np.sort(data)
+    elif order == "descending":
+        stream = np.sort(data)[::-1]
+    else:
+        stream = data
+    recorder = LatencyRecorder(name=f"{order}-{q}", max_samples=cap)
+    for value in stream:
+        recorder.record(float(value))
+    assert recorder.sample_count == cap
+    assert_within_rank_bound(recorder, data, q)
+
+
+# ------------------------------------------------------- hypothesis properties
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=200),
+       q=st.floats(min_value=0.0, max_value=100.0))
+def test_exact_below_cap_matches_numpy(values, q):
+    """While the stream fits in the reservoir, percentile() is *exact*:
+    identical (to float tolerance) to np.percentile's linear rule."""
+    recorder = LatencyRecorder(name="exact", max_samples=1_024)
+    for value in values:
+        recorder.record(value)
+    assert recorder.is_exact
+    expected = float(np.percentile(values, q))
+    assert recorder.percentile(q) == pytest.approx(expected, rel=1e-9,
+                                                   abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=50, max_size=2_000))
+def test_scalar_stats_exact_beyond_cap(values):
+    """count/mean/min/max never degrade to reservoir estimates."""
+    cap = 32
+    recorder = LatencyRecorder(name="scalars", max_samples=cap)
+    for value in values:
+        recorder.record(value)
+    assert recorder.count == len(values)
+    assert recorder.sample_count == min(cap, len(values))
+    assert recorder.mean() == pytest.approx(float(np.mean(values)),
+                                            rel=1e-6, abs=1e-6)
+    assert recorder.min() == min(values)
+    assert recorder.max() == max(values)

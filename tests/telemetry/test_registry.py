@@ -1,0 +1,237 @@
+"""Tests for MetricsRegistry, QueueDepthSampler and trace/JSON export."""
+
+import json
+
+import pytest
+
+from repro.memory import MemManager
+from repro.sim import (BusyTracker, Channel, Counter, Environment,
+                       LatencyRecorder, TimeWeighted, Tracer)
+from repro.telemetry import (BENCH_SCHEMA, MetricsRegistry,
+                             QueueDepthSampler, emit_bench, load_bench)
+
+
+# ------------------------------------------------------------- registry core
+def test_register_by_instrument_name_and_collision_suffix():
+    env = Environment()
+    reg = MetricsRegistry()
+    a = Counter(env, name="nic.packets")
+    b = Counter(env, name="nic.packets")
+    reg.register(a)
+    reg.register(b)
+    assert reg.get("nic.packets") is a
+    assert reg.get("nic.packets#2") is b
+    assert len(reg) == 2
+    # re-registering the same object is a no-op
+    reg.register(a)
+    assert len(reg) == 2
+
+
+def test_register_with_explicit_canonical_name():
+    env = Environment()
+    reg = MetricsRegistry()
+    lat = LatencyRecorder(name="fpga-reader.latency")
+    reg.register(lat, name="backend.reader.latency")
+    assert reg.get("backend.reader.latency") is lat
+
+
+def test_installed_context_auto_registers_everything():
+    env = Environment()
+    reg = MetricsRegistry()
+    with reg.installed():
+        Counter(env, name="a.count")
+        TimeWeighted(env, 0, name="a.depth")
+        BusyTracker(env, name="a.busy")
+        LatencyRecorder(name="a.latency")
+        ch = Channel(env, name="nic.rx")   # registers occupancy + wait
+    outside = Counter(env, name="outside")
+    assert "a.count" in reg and "a.latency" in reg
+    assert "nic.rx.occupancy" in reg and "nic.rx.wait" in reg
+    assert "outside" not in reg
+    assert ch.occupancy is reg.get("nic.rx.occupancy")
+
+
+def test_installed_context_restores_previous_sink():
+    env = Environment()
+    outer, inner = MetricsRegistry("outer"), MetricsRegistry("inner")
+    with outer.installed():
+        Counter(env, name="o1")
+        with inner.installed():
+            Counter(env, name="i1")
+        Counter(env, name="o2")
+    assert sorted(outer.names()) == ["o1", "o2"]
+    assert inner.names() == ["i1"]
+
+
+def test_factories_and_subtree():
+    env = Environment()
+    reg = MetricsRegistry()
+    reg.counter(env, "nic.rx.packets")
+    reg.gauge(env, "nic.rx.depth")
+    reg.latency("nic.rx.wait")
+    reg.counter(env, "gpu0.predictions")
+    sub = reg.subtree("nic.rx")
+    assert sorted(sub) == ["nic.rx.depth", "nic.rx.packets", "nic.rx.wait"]
+    assert reg.subtree("nic.rx.depth") == {
+        "nic.rx.depth": reg.get("nic.rx.depth")}
+    assert "gpu0.predictions" not in sub
+
+
+def test_snapshot_types_and_values():
+    env = Environment()
+    reg = MetricsRegistry()
+    c = reg.counter(env, "c")
+    g = reg.gauge(env, "g", initial=2.0)
+    lat = reg.latency("l")
+    c.add(3)
+    g.set(5.0)
+    for v in (1.0, 2.0, 3.0, 4.0):
+        lat.record(v)
+    snap = reg.snapshot()
+    assert snap["c"]["type"] == "counter" and snap["c"]["total"] == 3.0
+    assert snap["g"]["type"] == "gauge" and snap["g"]["value"] == 5.0
+    assert snap["l"]["type"] == "latency"
+    assert snap["l"]["count"] == 4
+    assert snap["l"]["p50"] == pytest.approx(2.5)
+    assert snap["l"]["exact"] is True
+
+
+def test_to_json_is_strict_and_scrubs_nan(tmp_path):
+    env = Environment()
+    reg = MetricsRegistry(name="unit")
+    reg.latency("empty.latency")        # all-NaN stats
+    reg.counter(env, "ok.count").add(7)
+    path = tmp_path / "metrics.json"
+    text = reg.to_json(str(path), extra={"queue_depths": {"q": [(0.0, 1.0)]}})
+    doc = json.loads(text)              # strict: json.dumps(allow_nan=False)
+    assert doc == json.loads(path.read_text())
+    assert doc["schema"] == "repro-metrics/1"
+    assert doc["registry"] == "unit"
+    assert doc["metrics"]["empty.latency"]["mean"] is None
+    assert doc["metrics"]["ok.count"]["total"] == 7.0
+    assert doc["queue_depths"]["q"] == [[0.0, 1.0]]
+
+
+def test_registry_to_trace_emits_counter_events():
+    env = Environment()
+    reg = MetricsRegistry()
+    reg.counter(env, "c").add(2)
+    tracer = Tracer(env)
+    reg.to_trace(tracer)
+    events = json.loads(tracer.to_chrome_trace())
+    counters = [e for e in events if e["ph"] == "C"]
+    assert counters and counters[0]["name"] == "metric:c"
+    assert counters[0]["args"]["total"] == 2.0
+
+
+# ------------------------------------------------------------------ sampler
+def test_sampler_records_depth_series():
+    env = Environment()
+    ch = Channel(env, name="nic.rx")
+    sampler = QueueDepthSampler(env, interval_s=0.01)
+    sampler.watch_channel(ch)
+    sampler.start()
+
+    def burst(env):
+        # Mid-interval times (0.105, 0.205) so no event shares a sample
+        # instant and the observed series is scheduling-independent.
+        yield env.timeout(0.105)
+        for i in range(8):
+            ch.try_put(i)
+        yield env.timeout(0.1)
+        ch.drain()
+
+    env.process(burst(env))
+    env.run(until=0.5)
+    series = sampler.series()["nic.rx.depth"]
+    assert len(series) > 10
+    times = [t for t, _ in series]
+    assert times == sorted(times)
+    assert sampler.peak("nic.rx.depth") == 8.0
+    assert sampler.last("nic.rx.depth") == 0.0
+    assert 0.0 < sampler.mean("nic.rx.depth") < 8.0
+
+
+def test_sampler_decimates_to_bounded_memory():
+    env = Environment()
+    ch = Channel(env, name="q")
+    sampler = QueueDepthSampler(env, interval_s=0.001, max_points=64)
+    sampler.watch_channel(ch)
+    sampler.start()
+    env.run(until=1.0)
+    assert sampler.decimations >= 1
+    assert len(sampler.series()["q.depth"]) <= 64
+    assert sampler.interval_s > 0.001    # coarsened, never truncated
+    # Uniform coverage: first samples survive decimation, so the series
+    # still spans (most of) the run rather than just its head.
+    series = sampler.series()["q.depth"]
+    assert series[0][0] == pytest.approx(0.0)
+    assert series[-1][0] > 0.5
+
+
+def test_sampler_watch_pool_and_pair():
+    env = Environment()
+    pool = MemManager(env, unit_size=16, unit_count=4, name="pool",
+                      allocate_arena=False)
+    sampler = QueueDepthSampler(env, interval_s=0.01)
+    sampler.watch_pool(pool)
+    sampler.watch_pair(pool.queues)
+    sampler.start()
+
+    def consume(env):
+        unit = yield from pool.get_item()
+        yield env.timeout(0.2)
+        yield from pool.recycle_item(unit)
+
+    env.process(consume(env))
+    env.run(until=0.5)
+    assert sampler.peak("pool.in_use") == 1.0
+    assert sampler.last("pool.in_use") == 0.0
+    assert sampler.peak("pool.free.depth") == 4.0
+    assert "pool.full.depth" in sampler.series()
+
+
+def test_sampler_rejects_duplicates_and_bad_config():
+    env = Environment()
+    ch = Channel(env, name="q")
+    sampler = QueueDepthSampler(env)
+    sampler.watch_channel(ch)
+    with pytest.raises(ValueError):
+        sampler.watch_channel(ch)
+    with pytest.raises(ValueError):
+        QueueDepthSampler(env, interval_s=0.0)
+    with pytest.raises(ValueError):
+        QueueDepthSampler(env, max_points=4)
+
+
+def test_sampler_to_trace_counter_tracks():
+    env = Environment()
+    ch = Channel(env, name="q")
+    sampler = QueueDepthSampler(env, interval_s=0.05)
+    sampler.watch_channel(ch)
+    sampler.start()
+    ch.try_put("x")
+    env.run(until=0.2)
+    tracer = Tracer(env)
+    sampler.to_trace(tracer)
+    events = json.loads(tracer.to_chrome_trace())
+    counters = [e for e in events if e["ph"] == "C" and e["name"] == "q.depth"]
+    assert len(counters) >= 3
+    assert all(e["args"]["depth"] == 1.0 for e in counters)
+    # samples are backdated to their collection time, not export time
+    assert counters[0]["ts"] == pytest.approx(0.0)
+
+
+# ------------------------------------------------------------------- bench
+def test_emit_and_load_bench_roundtrip(tmp_path):
+    path = tmp_path / "BENCH_TEST.json"
+    doc = emit_bench({"p99_ms": 4.2, "bad": float("nan")}, str(path),
+                     label="unit", meta={"profile": "quick"})
+    assert doc["schema"] == BENCH_SCHEMA
+    loaded = load_bench(str(path))
+    assert loaded["metrics"]["p99_ms"] == 4.2
+    assert loaded["metrics"]["bad"] is None
+    assert loaded["meta"]["profile"] == "quick"
+    with pytest.raises(ValueError):
+        (tmp_path / "junk.json").write_text("{}")
+        load_bench(str(tmp_path / "junk.json"))

@@ -1,0 +1,91 @@
+"""End-to-end telemetry: registry + queue-depth sampling through the
+real workflow drivers, with JSON export and Chrome-trace counter merge."""
+
+import json
+
+import pytest
+
+from repro.sim import Tracer
+from repro.telemetry import TelemetryConfig
+from repro.workflows import (InferenceConfig, TrainingConfig, run_inference,
+                             run_training)
+
+
+def test_inference_telemetry_end_to_end(tmp_path):
+    export = tmp_path / "metrics.json"
+    cfg = InferenceConfig(
+        model="googlenet", backend="dlbooster", batch_size=4,
+        warmup_s=0.3, measure_s=0.7,
+        telemetry=TelemetryConfig(sample_interval_s=0.005,
+                                  export_path=str(export)))
+    res = run_inference(cfg)
+    assert res.throughput > 0
+
+    tel = res.extras["telemetry"]
+    metrics = tel["metrics"]
+    # Instruments from net/, host/ and backends/ all landed in the one
+    # registry under their hierarchical dotted names.
+    assert "nic.rx.occupancy" in metrics
+    assert any(k.endswith("fpga-reader.latency") for k in metrics)
+    latency_keys = [k for k, v in metrics.items()
+                    if v["type"] == "latency" and v["count"] > 0]
+    assert latency_keys, f"no populated latency metrics in {sorted(metrics)}"
+
+    depths = tel["queue_depths"]
+    assert "nic.rx.depth" in depths
+    # ~1 s of sim at 5 ms sampling: a real time series, not a few points.
+    assert len(depths["nic.rx.depth"]) > 50
+    # Trans Queue depth series exist for the GPU.
+    assert any(".free.depth" in k for k in depths)
+
+    doc = json.loads(export.read_text())
+    assert doc["schema"] == "repro-metrics/1"
+    assert doc["registry"] == "inference.dlbooster"
+    assert doc["metrics"]["nic.rx.occupancy"]["type"] == "gauge"
+    assert "nic.rx.depth" in doc["queue_depths"]
+
+
+def test_inference_without_telemetry_has_no_extras_key():
+    cfg = InferenceConfig(model="googlenet", backend="dlbooster",
+                          batch_size=4, warmup_s=0.2, measure_s=0.4)
+    res = run_inference(cfg)
+    assert "telemetry" not in res.extras
+
+
+def test_telemetry_result_unchanged_by_instrumentation():
+    """Observability must not perturb the simulation: headline metrics
+    are identical with and without the registry/sampler attached."""
+    base = InferenceConfig(model="googlenet", backend="dlbooster",
+                           batch_size=4, warmup_s=0.2, measure_s=0.5)
+    plain = run_inference(base)
+    observed = run_inference(InferenceConfig(
+        model="googlenet", backend="dlbooster", batch_size=4,
+        warmup_s=0.2, measure_s=0.5,
+        telemetry=TelemetryConfig(sample_interval_s=0.01)))
+    assert observed.throughput == pytest.approx(plain.throughput)
+    assert observed.latency_p99_ms == pytest.approx(plain.latency_p99_ms)
+
+
+def test_training_telemetry_merges_counter_tracks_into_trace(tmp_path):
+    cfg = TrainingConfig(
+        model="alexnet", backend="dlbooster", num_gpus=1,
+        warmup_s=0.3, measure_s=0.7,
+        telemetry=TelemetryConfig(sample_interval_s=0.005))
+    res = run_training(cfg, tracer_factory=lambda env: Tracer(env))
+    assert res.throughput > 0
+
+    tel = res.extras["telemetry"]
+    assert any(".in_use" in k for k in tel["queue_depths"])
+
+    tracer = res.extras["tracer"]
+    events = json.loads(tracer.to_chrome_trace())
+    counters = [e for e in events if e["ph"] == "C"]
+    assert counters, "no counter tracks merged into the trace"
+    depth_tracks = {e["name"] for e in counters if "depth" in e["args"]}
+    metric_tracks = {e["name"] for e in counters
+                     if e["name"].startswith("metric:")}
+    assert depth_tracks and metric_tracks
+    # Counter timestamps are backdated to sample times (microseconds,
+    # spread over the run) rather than clustered at export time.
+    depth_ts = sorted(e["ts"] for e in counters if "depth" in e["args"])
+    assert depth_ts[0] < depth_ts[-1]
