@@ -16,4 +16,4 @@ __version__ = "1.0.0"
 
 __all__ = ["sim", "jpeg", "memory", "storage", "net", "fpga", "host",
            "engines", "backends", "workflows", "experiments", "calib",
-           "data", "faults", "supervision", "telemetry"]
+           "data", "faults", "supervision", "telemetry", "tracing"]

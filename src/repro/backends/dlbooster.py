@@ -49,7 +49,8 @@ class DLBoosterBackend(TrainingBackend):
                  retry: Optional[RetryPolicy] = None,
                  breaker: Optional[CircuitBreaker] = None,
                  supervisor=None,
-                 tracer=None):
+                 tracer=None,
+                 rtracker=None):
         super().__init__(env, testbed, cpu, manifest, spec, seeds)
         if num_fpgas < 1:
             raise ValueError("num_fpgas must be >= 1")
@@ -67,9 +68,13 @@ class DLBoosterBackend(TrainingBackend):
                 tracer=tracer)
             if disk is not None and disk.injector is None:
                 disk.injector = self.injector
+        self.rtracker = rtracker
+        self.tracer = tracer
         self.breaker = breaker
         if self.breaker is None and (fault_plan or retry is not None):
             self.breaker = CircuitBreaker(env, tracer=tracer)
+        if self.breaker is not None and rtracker is not None:
+            self.breaker.rtracker = rtracker
         self.quarantine = QuarantineLog(env, name="dlbooster-quarantine")
         self.pool = MemManager(env, unit_size=spec.batch_bytes,
                                unit_count=pool_units,
@@ -102,7 +107,8 @@ class DLBoosterBackend(TrainingBackend):
             heartbeat=sup.register("fpga-reader") if sup is not None else None,
             integrity=sup.integrity if sup is not None else None,
             shed_deadlines=(sup is not None and sup.sheds_deadlines
-                            and sup.config.shed_at_reader))
+                            and sup.config.shed_at_reader),
+            rtracker=rtracker)
         if sup is not None:
             sup.watch_channel(self.pool.full_batch_queue)
             sup.watch_channel(self.pool.free_batch_queue)
@@ -116,7 +122,8 @@ class DLBoosterBackend(TrainingBackend):
             heartbeat=(sup.register("dispatcher") if sup is not None
                        else None),
             shed_deadlines=(sup is not None and sup.sheds_deadlines
-                            and sup.config.shed_at_dispatcher))
+                            and sup.config.shed_at_dispatcher),
+            tracer=self.tracer, rtracker=self.rtracker)
         self.dispatcher.start()
         if sup is not None:
             for i, solver in enumerate(solvers):

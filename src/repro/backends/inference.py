@@ -186,10 +186,11 @@ class DLBoosterInferenceBackend(_InferenceBackendBase):
 
     def __init__(self, *args, num_fpgas: int = 1, pool_units: int = 8,
                  functional: bool = False, gpu_direct: bool = False,
-                 supervisor=None,
+                 supervisor=None, rtracker=None,
                  **kwargs):
         super().__init__(*args, **kwargs)
         self.gpu_direct = gpu_direct
+        self.rtracker = rtracker
         if num_fpgas < 1:
             raise ValueError("num_fpgas must be >= 1")
         # Supervision (repro.supervision): watchdog heartbeats, deadline
@@ -227,7 +228,8 @@ class DLBoosterInferenceBackend(_InferenceBackendBase):
                        if sup is not None else None),
             integrity=sup.integrity if sup is not None else None,
             shed_deadlines=(sup is not None and sup.sheds_deadlines
-                            and sup.config.shed_at_reader))
+                            and sup.config.shed_at_reader),
+            rtracker=rtracker)
         if sup is not None and not gpu_direct:
             sup.watch_channel(self.pool.full_batch_queue)
             sup.watch_channel(self.pool.free_batch_queue)
@@ -251,7 +253,10 @@ class DLBoosterInferenceBackend(_InferenceBackendBase):
                 heartbeat=(sup.register("dispatcher") if sup is not None
                            else None),
                 shed_deadlines=(sup is not None and sup.sheds_deadlines
-                                and sup.config.shed_at_dispatcher))
+                                and sup.config.shed_at_dispatcher),
+                tracer=(self.rtracker.tracer if self.rtracker is not None
+                        else None),
+                rtracker=self.rtracker)
             self.dispatcher.start()
             if sup is not None:
                 for i, engine in enumerate(engines):
@@ -291,10 +296,14 @@ class DLBoosterInferenceBackend(_InferenceBackendBase):
             seq += 1
             done = self.env.event()
             waiters[tag] = [bs, done]
+            opened_at = self.env.now
             items = []
             for slot in range(bs):
                 item = yield from self.collector.next_from_net()
                 items.append(item)
+                trace = getattr(item, "trace", None)
+                if trace is not None and not trace.is_finished:
+                    trace.mark("reader.submit", "service")
                 cmd = DecodeCmd(
                     cmd_id=self._next_cmd, source=item.source,
                     size_bytes=item.size_bytes,
@@ -303,13 +312,16 @@ class DLBoosterInferenceBackend(_InferenceBackendBase):
                     channels=self.spec.channels,
                     dest_phy=dev_batch.device_addr,
                     dest_offset=slot * item_bytes,
-                    batch_tag=tag, payload=item.payload)
+                    batch_tag=tag, payload=item.payload,
+                    trace=trace,
+                    trace_attempt=trace.attempt if trace is not None else 0)
                 self._next_cmd += 1
                 self.cpu.charge_unaccounted(tb.reader_cmd_cost_s,
                                             "preprocess")
                 yield from channel.submit_cmd(cmd)
             self.env.process(
-                self._direct_publish(engine, dev_batch, items, done))
+                self._direct_publish(engine, dev_batch, items, done,
+                                     tag, opened_at))
 
     def _direct_pump(self, channel: FPGAChannel, waiters: dict):
         while True:
@@ -324,8 +336,18 @@ class DLBoosterInferenceBackend(_InferenceBackendBase):
                 entry[1].succeed()
 
     def _direct_publish(self, engine: InferenceEngine, dev_batch, items,
-                        done):
+                        done, tag=None, opened_at: float = 0.0):
         yield done
+        if self.rtracker is not None:
+            traces = [t for t in (getattr(it, "trace", None) for it in items)
+                      if t is not None and not t.is_finished]
+            if traces:
+                # Fan-in happens device-side on this path: N cmds DMA'd
+                # straight into one device batch buffer.
+                self.rtracker.batch_fanin(tag, traces,
+                                          start=opened_at, end=self.env.now)
+            for t in traces:
+                t.mark("gpu.trans", "wait")
         dev_batch.item_count = len(items)
         dev_batch.payload = items
         yield from engine.trans_queues.full.put(dev_batch)

@@ -66,6 +66,12 @@ class InferenceEngine:
             batch: DeviceBatch = yield from self.trans.full.get()
             if self.heartbeat is not None:
                 self.heartbeat.running()
+            items = batch.payload or []
+            if items and getattr(items[0], "trace", None) is not None:
+                for item in items:
+                    trace = getattr(item, "trace", None)
+                    if trace is not None and not trace.is_finished:
+                        trace.mark("gpu.compute", "service")
             n = batch.item_count or self.batch_size
             compute_s = inference_batch_seconds(self.spec, n)
             # Host thread issues one launch per layer-kernel (Fig. 9's
@@ -78,15 +84,20 @@ class InferenceEngine:
             kernel = self.gpu.run_compute(compute_s, "infer")
             yield kernel
             now = self.env.now
-            items = batch.payload or []
             for item in items:
                 request = getattr(item, "request", None) or item
                 done = getattr(request, "done_event", None)
                 if done is not None and not done.triggered:
                     done.succeed()
+                trace = getattr(item, "trace", None)
                 received = getattr(request, "received_at", None)
                 if received is not None:
-                    self.latency.record(now - received)
+                    self.latency.record(
+                        now - received,
+                        trace_id=trace.trace_id if trace is not None
+                        else None)
+                if trace is not None and not trace.is_finished:
+                    trace.finish("ok")
             self.predictions.add(n)
             self.batches.add()
             self.gpu.images_in.add(n)

@@ -122,6 +122,12 @@ class TrainingSolver:
             batch: DeviceBatch = yield from self.trans.full.get()
             if self.heartbeat is not None:
                 self.heartbeat.running()
+            items = batch.payload if isinstance(batch.payload, list) else []
+            if items and getattr(items[0], "trace", None) is not None:
+                for item in items:
+                    trace = getattr(item, "trace", None)
+                    if trace is not None and not trace.is_finished:
+                        trace.mark("gpu.compute", "service")
             n = batch.item_count or self.batch_size
             # Forward + backward.
             compute_s = train_iteration_seconds(self.spec, n)
@@ -139,6 +145,10 @@ class TrainingSolver:
                 compute_s * tb.model_update_core_frac, "update")
             self.images_trained.add(n)
             self.iterations.add()
+            for item in items:
+                trace = getattr(item, "trace", None)
+                if trace is not None and not trace.is_finished:
+                    trace.finish("ok")
             if self.heartbeat is not None:
                 self.heartbeat.progress()
             batch.reset()

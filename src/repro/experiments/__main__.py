@@ -13,7 +13,7 @@ import os
 import sys
 import time
 
-from . import ALL_EXPERIMENTS
+from . import ALL_EXPERIMENTS, traced
 
 
 def main(argv=None) -> int:
@@ -29,6 +29,10 @@ def main(argv=None) -> int:
     parser.add_argument("--json-dir", default=None,
                         help="also write each report (rows + checks) "
                              "as JSON here")
+    parser.add_argument("--trace-dir", default=None,
+                        help="run traced smoke experiments and write "
+                             "their Chrome-trace JSON (open in Perfetto) "
+                             "into this directory")
     args = parser.parse_args(argv)
 
     keys = args.experiments or list(ALL_EXPERIMENTS)
@@ -53,6 +57,10 @@ def main(argv=None) -> int:
         print(f"  ({time.perf_counter() - t0:.1f}s wall)")
         print()
         failures += len(report.failed_checks())
+    if args.trace_dir:
+        print("traced smoke runs:")
+        traced.run_traced_smoke(args.trace_dir, quick=not args.full)
+        print()
     if failures:
         print(f"{failures} shape check(s) FAILED", file=sys.stderr)
         return 1

@@ -121,6 +121,7 @@ class CircuitBreaker:
         self.probe_interval_s = probe_interval_s
         self.probe_successes = probe_successes
         self.tracer = tracer
+        self.rtracker = None   # repro.tracing.RequestTracker, when wired
         self.state = self.CLOSED
         self.failovers = Counter(env, name=f"{name}.failovers")
         self.recoveries = Counter(env, name=f"{name}.recoveries")
@@ -139,6 +140,10 @@ class CircuitBreaker:
             self._transition(self.OPEN)
             self.failovers.add()
             self.opened_at = self.env.now
+            if self.rtracker is not None:
+                # The FPGA path was just declared down: dump the flight
+                # recorder so the trip comes with the stuck requests.
+                self.rtracker.postmortem("circuit-break", stage=self.name)
 
     def record_success(self) -> None:
         self._consecutive_failures = 0

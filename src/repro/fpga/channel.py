@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..sim import Counter, Environment, TimeWeighted
+from ..tracing.context import mark_cmd
 from .decoder import DecodeCmd, FinishRecord, ImageDecoderMirror
 
 __all__ = ["FPGAChannel"]
@@ -61,6 +62,7 @@ class FPGAChannel:
             self.dropped.add()
             self._track()
             return self.drain_out()
+        mark_cmd(cmd, "fpga.fifo", "wait")
         yield from self.mirror.cmd_queue.put(cmd)
         self.submitted.add()
         self._track()
@@ -76,6 +78,7 @@ class FPGAChannel:
             return True
         ok = self.mirror.cmd_queue.try_put(cmd)
         if ok:
+            mark_cmd(cmd, "fpga.fifo", "wait")
             self.submitted.add()
             self._track()
         return ok

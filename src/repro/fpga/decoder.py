@@ -26,6 +26,7 @@ from ..jpeg import (JpegDecodeError, coefficients_to_planes, entropy_decode,
                     parse_jpeg, planes_to_image, resize_bilinear)
 from ..sim import Channel, Counter, Environment
 from ..storage.nvme import NvmeReadError
+from ..tracing.context import mark_cmd
 from .device import FpgaDevice
 from .units import PipelineUnit
 
@@ -68,6 +69,11 @@ class DecodeCmd:
     payload: Optional[bytes] = field(default=None, repr=False)
     poisoned: bool = False          # fault injection: corrupt source bytes
     error: Optional[str] = None     # first stage failure, sticky
+    # Causal trace context (repro.tracing): the originating request's
+    # trace, plus the attempt epoch it was stamped with — a retried cmd's
+    # ghost predecessor fails the epoch check and stops marking.
+    trace: object = field(default=None, repr=False)
+    trace_attempt: int = 0
     # Stage intermediates (functional mode).
     _parsed: object = field(default=None, repr=False)
     _coeffs: object = field(default=None, repr=False)
@@ -230,6 +236,7 @@ class ImageDecoderMirror:
         tb = self.testbed
         while True:
             cmd: DecodeCmd = yield from self._fetch_q.get()
+            mark_cmd(cmd, "fpga.fetch", "service")
             if cmd.source == "disk":
                 if self.disk is not None:
                     try:
@@ -246,12 +253,14 @@ class ImageDecoderMirror:
                 yield self.env.timeout(cmd.size_bytes / tb.fpga_dma_rate)
             else:
                 raise ValueError(f"unknown source {cmd.source!r}")
+            mark_cmd(cmd, "fpga.queue", "wait")
             yield from self._huff_q.put(cmd)
 
     def _dma_loop(self):
         """Write results to host hugepages, then raise FINISH."""
         while True:
             cmd: DecodeCmd = yield from self._dma_q.get()
+            mark_cmd(cmd, "fpga.dma", "service")
             if cmd.error is not None:
                 # No pixels to move; raise an error FINISH immediately so
                 # the host can release the slot.

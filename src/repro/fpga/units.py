@@ -19,6 +19,7 @@ from typing import Any, Callable, Optional
 
 from ..sim import BusyTracker, Channel, Counter, Environment
 from ..sim.trace import Tracer
+from ..tracing.context import mark_cmd
 
 __all__ = ["PipelineUnit", "UnitStats"]
 
@@ -57,6 +58,9 @@ class PipelineUnit:
         self.clb_cost_per_way = clb_cost_per_way
         self.tracer = tracer
         self.stats = UnitStats(env, name, ways)
+        # Request-trace stage label, e.g. "image-decoder.huffman" ->
+        # "fpga.huffman" (stable across decoder instances).
+        self._trace_stage = "fpga." + name.rsplit(".", 1)[-1]
         self._running = False
 
     @property
@@ -73,6 +77,7 @@ class PipelineUnit:
     def _way_loop(self, way: int):
         while True:
             item = yield from self.inbox.get()
+            mark_cmd(item, self._trace_stage, "service")
             duration = self.service_time(item)
             if duration < 0:
                 raise ValueError(f"{self.name}: negative service time")
@@ -88,6 +93,7 @@ class PipelineUnit:
             if self.transform is not None:
                 item = self.transform(item)
             if self.outbox is not None:
+                mark_cmd(item, "fpga.queue", "wait")
                 yield from self.outbox.put(item)
 
     def utilization(self) -> float:

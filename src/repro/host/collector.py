@@ -40,6 +40,9 @@ class WorkItem:
     # backend re-verifies after decode.
     deadline_at: float = math.inf
     checksum: Optional[int] = None
+    # Causal trace context (repro.tracing.RequestTrace), carried by
+    # reference from the originating NetRequest or minted at disk ingest.
+    trace: object = None
 
 
 class DataCollector:
@@ -110,7 +113,11 @@ class DataCollector:
             source="dram", size_bytes=request.size_bytes,
             work_pixels=request.decode_work_pixels,
             channels=request.channels, payload=request.payload,
-            request=request, deadline_at=deadline_at)
+            request=request, deadline_at=deadline_at,
+            trace=getattr(request, "trace", None))
+        if item.trace is not None:
+            # RX wait is over; metadata translation is collector service.
+            item.trace.mark("collector", "service")
         if self.integrity is not None:
             self.integrity.stamp(item)
         if self.heartbeat is not None:

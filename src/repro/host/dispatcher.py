@@ -39,7 +39,8 @@ class Dispatcher:
                  name: str = "dispatcher",
                  heartbeat=None,
                  shed_deadlines: bool = False,
-                 tracer=None):
+                 tracer=None,
+                 rtracker=None):
         if not solvers:
             raise ValueError("dispatcher needs at least one solver")
         self.env = env
@@ -53,6 +54,7 @@ class Dispatcher:
         self.heartbeat = heartbeat
         self.shed_deadlines = shed_deadlines
         self.tracer = tracer
+        self.rtracker = rtracker   # repro.tracing.RequestTracker, optional
         self.batches_dispatched = Counter(env, name=f"{name}.batches")
         self.items_shed = Counter(env, name=f"{name}.items_shed")
         self.batches_shed = Counter(env, name=f"{name}.batches_shed")
@@ -147,6 +149,41 @@ class Dispatcher:
                     continue
             return hst_batch
 
+    # -- trace plumbing ------------------------------------------------------
+    def _live_traces(self, hst_batch: MemoryUnit) -> list:
+        payload = hst_batch.payload
+        if not isinstance(payload, list):
+            return []
+        traces = (getattr(it, "trace", None) for it in payload)
+        return [t for t in traces if t is not None and not t.is_finished]
+
+    def _trace_copy_start(self, hst_batch: MemoryUnit) -> None:
+        """The batch left the Full_Batch_Queue: its members are now being
+        copied (device-buffer acquisition + PCIe transfer)."""
+        for t in self._live_traces(hst_batch):
+            t.mark("dispatch.copy", "service")
+
+    def _trace_publish(self, hst_batch: MemoryUnit, solver,
+                       copy_started: float) -> None:
+        """Fan-out point: the copied batch lands in one solver's FULL
+        Trans Queue.  Members start their gpu.trans wait; a flow arrow
+        ties the batch-assembly span to the dispatch span."""
+        traced = self._live_traces(hst_batch)
+        if not traced:
+            return
+        for t in traced:
+            t.mark("gpu.trans", "wait")
+        tracer = self.rtracker.tracer
+        if tracer is None or not self.rtracker.emit_spans:
+            return
+        label = (f"batch#{hst_batch.index}->"
+                 f"{getattr(solver, 'name', 'solver')}")
+        tracer.span_at(label, "dispatch", copy_started, self.env.now,
+                       members=[t.trace_id for t in traced])
+        fid = tracer.next_flow_id()
+        tracer.flow(label, "batch.assembly", "s", fid, at=copy_started)
+        tracer.flow(label, "dispatch", "f", fid)
+
     # -- the pump -----------------------------------------------------------
     def _loop(self):
         tb = self.testbed
@@ -156,11 +193,15 @@ class Dispatcher:
             working_hst: list[MemoryUnit] = []
             working_dev: list[DeviceBatch] = []
             copies = []
+            copy_started = []
             try:
                 # Phase 1 (Alg. 3 lines 1-11): one batch per solver, async.
                 for solver in self.solvers:
                     hst_batch = yield from self._next_batch()
                     working_hst.append(hst_batch)
+                    copy_started.append(self.env.now)
+                    if self.rtracker is not None:
+                        self._trace_copy_start(hst_batch)
                     if self.heartbeat is not None:
                         self.heartbeat.waiting(solver.trans_queues.free.name)
                     dev_batch: DeviceBatch = yield from \
@@ -186,8 +227,10 @@ class Dispatcher:
             # Publish + recycle without yielding: both queues have room
             # by construction (capacity == carrier population), so a
             # stop() can never land half way through a publish.
-            for solver, hst_batch, dev_batch in zip(
-                    self.solvers, working_hst, working_dev):
+            for solver, hst_batch, dev_batch, started in zip(
+                    self.solvers, working_hst, working_dev, copy_started):
+                if self.rtracker is not None:
+                    self._trace_publish(hst_batch, solver, started)
                 if not solver.trans_queues.full.try_put(dev_batch):
                     raise RuntimeError(
                         f"{self.name}: full Trans Queue overflow")

@@ -68,6 +68,7 @@ class BatchSpec:
 class _OpenBatch:
     unit: MemoryUnit
     tag: int
+    opened_at: float = 0.0   # when the first slot was claimed (fan-in span)
     filled: int = 0          # slots assigned (cmds created)
     done: int = 0            # slots resolved: decoded, failover or quarantined
     quarantined: int = 0
@@ -110,7 +111,8 @@ class FPGAReader:
                  tracer=None,
                  heartbeat=None,
                  integrity=None,
-                 shed_deadlines: bool = False):
+                 shed_deadlines: bool = False,
+                 rtracker=None):
         self.env = env
         self.testbed = testbed
         # Multiple decoders may be attached ("plugging more FPGA
@@ -128,6 +130,7 @@ class FPGAReader:
         self.tracer = tracer
         self.heartbeat = heartbeat
         self.integrity = integrity
+        self.rtracker = rtracker   # repro.tracing.RequestTracker, optional
         self.shed_deadlines = shed_deadlines
         self.batches_produced = Counter(env, name=f"{name}.batches")
         self.items_submitted = Counter(env, name=f"{name}.items")
@@ -161,15 +164,18 @@ class FPGAReader:
         resulting batches have been pushed to the Full_Batch_Queue."""
         batch: Optional[_OpenBatch] = None
         for item in items:
+            self._trace_ingest(item)
             if self._shed_if_expired(item):
                 continue
+            self._trace_mark(item, "reader.pool", "wait")
             if batch is None:
                 if self.heartbeat is not None:
                     self.heartbeat.waiting(self.pool.free_batch_queue.name)
                 unit = yield from self.pool.get_item()   # may block: line 5-10
                 if self.heartbeat is not None:
                     self.heartbeat.running()
-                batch = _OpenBatch(unit=unit, tag=self._next_tag)
+                batch = _OpenBatch(unit=unit, tag=self._next_tag,
+                                   opened_at=self.env.now)
                 self._next_tag += 1
                 self._open[batch.tag] = batch
             yield from self._submit_item(item, batch)     # lines 11-13
@@ -197,16 +203,19 @@ class FPGAReader:
             item = yield from next_item_fn()
             if self.heartbeat is not None:
                 self.heartbeat.running()
+            self._trace_ingest(item)
             if self._shed_if_expired(item):
                 submitted += 1
                 continue
+            self._trace_mark(item, "reader.pool", "wait")
             if batch is None:
                 if self.heartbeat is not None:
                     self.heartbeat.waiting(self.pool.free_batch_queue.name)
                 unit = yield from self.pool.get_item()
                 if self.heartbeat is not None:
                     self.heartbeat.running()
-                batch = _OpenBatch(unit=unit, tag=self._next_tag)
+                batch = _OpenBatch(unit=unit, tag=self._next_tag,
+                                   opened_at=self.env.now)
                 self._next_tag += 1
                 self._open[batch.tag] = batch
             yield from self._submit_item(item, batch)
@@ -234,6 +243,21 @@ class FPGAReader:
             self.heartbeat.progress()
         return True
 
+    # -- trace plumbing ----------------------------------------------------
+    def _trace_ingest(self, item: WorkItem) -> None:
+        """Mint a trace for sources that bypass the NIC (the training
+        feed's epoch stream); net items arrive already traced."""
+        if self.rtracker is not None and getattr(item, "trace", None) is None:
+            item.trace = self.rtracker.start(
+                "reader.ingest", kind="service",
+                baggage={"source": item.source})
+
+    @staticmethod
+    def _trace_mark(item: WorkItem, stage: str, kind: str) -> None:
+        trace = getattr(item, "trace", None)
+        if trace is not None and not trace.is_finished:
+            trace.mark(stage, kind)
+
     def _submit_item(self, item: WorkItem, batch: _OpenBatch):
         """Generator: route one item — FPGA cmd, or CPU pool while the
         circuit breaker holds the FPGA path open."""
@@ -241,6 +265,7 @@ class FPGAReader:
         batch.filled += 1
         batch.items.append(item)
         self.items_accepted.add()
+        self._trace_mark(item, "reader.submit", "service")
         # Ingest-stamp backstop: sources that bypass the DataCollector
         # (e.g. the training feed's epoch stream) get stamped here,
         # before any fault can touch the cmd's travelling copy.
@@ -275,13 +300,16 @@ class FPGAReader:
                        slot: int) -> DecodeCmd:
         """The paper's ``cmd_generator(f_metainfo, phyaddr + offset)``."""
         offset = slot * self.spec.item_bytes
+        trace = getattr(item, "trace", None)
         cmd = DecodeCmd(
             cmd_id=self._next_cmd, source=item.source,
             size_bytes=item.size_bytes, work_pixels=item.work_pixels,
             out_h=self.spec.out_h, out_w=self.spec.out_w,
             channels=self.spec.channels,
             dest_phy=batch.unit.phy_addr, dest_offset=offset,
-            batch_tag=batch.tag, payload=item.payload)
+            batch_tag=batch.tag, payload=item.payload,
+            trace=trace,
+            trace_attempt=trace.attempt if trace is not None else 0)
         self._next_cmd += 1
         return cmd
 
@@ -365,7 +393,14 @@ class FPGAReader:
     def _resubmit(self, pend: _PendingCmd):
         """Generator: resubmit a lost/failed cmd under a fresh cmd_id."""
         attempts = pend.attempts + 1
-        cmd = dataclasses.replace(pend.cmd, cmd_id=self._next_cmd, error=None)
+        trace = getattr(pend.item, "trace", None)
+        if trace is not None and not trace.is_finished:
+            # New attempt epoch: the lost cmd's ghost can no longer mark.
+            trace.attempt += 1
+            trace.mark("reader.retry", "service")
+        cmd = dataclasses.replace(
+            pend.cmd, cmd_id=self._next_cmd, error=None,
+            trace_attempt=trace.attempt if trace is not None else 0)
         self._next_cmd += 1
         if self.cpu is not None:
             self.cpu.charge_unaccounted(
@@ -384,6 +419,10 @@ class FPGAReader:
     def _cpu_fallback(self, pend: _PendingCmd):
         """Generator: decode one item on the CPU pool instead."""
         item = pend.item
+        trace = getattr(item, "trace", None)
+        if trace is not None and not trace.is_finished:
+            trace.attempt += 1            # orphan any in-flight FPGA cmd
+            trace.mark("cpu.decode", "service")
         cost = self.testbed.cpu_decode_seconds(
             item.size_bytes, item.work_pixels)
         yield from self.cpu.run(cost, "preprocess")
@@ -434,7 +473,13 @@ class FPGAReader:
                 self._quarantine(pend, "integrity-mismatch")
                 return
             self.items_decoded_fpga.add()
-        self.decode_latency.record(max(0.0, self.env.now - pend.submitted_at))
+        trace = getattr(pend.item, "trace", None)
+        self.decode_latency.record(
+            max(0.0, self.env.now - pend.submitted_at),
+            trace_id=trace.trace_id if trace is not None else None)
+        if trace is not None and not trace.is_finished:
+            # Decoded; the slot now waits for its batch siblings.
+            trace.mark("batch.fanin", "wait")
         batch = pend.batch
         batch.done += 1
         if self.heartbeat is not None:
@@ -447,6 +492,9 @@ class FPGAReader:
         batch.quarantined += 1
         batch.bad_slots.add(pend.slot)
         self.quarantine.add(pend.item, reason)
+        trace = getattr(pend.item, "trace", None)
+        if trace is not None and not trace.is_finished:
+            trace.abort(f"quarantine:{reason}")
         if self.tracer is not None:
             self.tracer.instant(f"quarantine:{reason}", track="faults")
         if self.heartbeat is not None:
@@ -469,6 +517,16 @@ class FPGAReader:
             it for slot, it in enumerate(batch.items)
             if slot not in batch.bad_slots]
         unit.used_bytes = batch.filled * self.spec.item_bytes
+        traces = [t for t in (getattr(it, "trace", None)
+                              for it in unit.payload)
+                  if t is not None and not t.is_finished]
+        if self.rtracker is not None and traces:
+            # Fan-in point: N request traces converge into one batch.
+            self.rtracker.batch_fanin(batch.tag, traces,
+                                      start=batch.opened_at,
+                                      end=self.env.now)
+        for t in traces:
+            t.mark("pool.full_queue", "wait")
         if not self.pool.full_batch_queue.try_put(unit):
             raise RuntimeError("Full_Batch_Queue overflow (pool misuse)")
         self.batches_produced.add()

@@ -80,6 +80,14 @@ class MemoryUnit:
         self.item_count = 0
         self.used_bytes = 0
 
+    def trace_ids(self) -> tuple[int, ...]:
+        """trace_ids of the traced items riding this unit (empty when the
+        payload is not an item list or nothing is traced)."""
+        if not isinstance(self.payload, list):
+            return ()
+        traces = (getattr(item, "trace", None) for item in self.payload)
+        return tuple(t.trace_id for t in traces if t is not None)
+
 
 class MemManager:
     """The pool of :class:`MemoryUnit` plus the two batch queues.

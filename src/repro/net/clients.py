@@ -99,6 +99,9 @@ class ClientFleet:
             except ConnectionError:
                 continue  # rx drop: reissue
             self.completed.add()
-            self.rtt.record(self.env.now - request.sent_at)
+            trace = getattr(request, "trace", None)
+            self.rtt.record(
+                self.env.now - request.sent_at,
+                trace_id=trace.trace_id if trace is not None else None)
             if self.think_time_s:
                 yield self.env.timeout(self.think_time_s)

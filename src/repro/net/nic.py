@@ -35,6 +35,7 @@ class NetRequest:
     dma_phy_addr: int = 0                 # where the NIC placed the bytes
     done_event: object = field(default=None, repr=False)
     deadline_at: float = math.inf         # absolute; inf = no deadline
+    trace: object = field(default=None, repr=False)  # RequestTrace, if traced
 
     @property
     def pixels(self) -> int:
@@ -50,12 +51,13 @@ class Nic:
 
     def __init__(self, env: Environment, link: Link, cpu_tracker: BusyTracker,
                  per_packet_s: float, rx_capacity: int = 4096,
-                 name: str = "nic"):
+                 name: str = "nic", rtracker=None):
         self.env = env
         self.link = link
         self.name = name
         self.per_packet_s = per_packet_s
         self._cpu = cpu_tracker
+        self.rtracker = rtracker   # repro.tracing.RequestTracker, optional
         self.rx_queue = Channel(env, capacity=rx_capacity, name=f"{name}.rx")
         self.packets = Counter(env, name=f"{name}.packets")
         self.drops = Counter(env, name=f"{name}.drops")
@@ -68,10 +70,21 @@ class Nic:
         # Host-side packet processing (interrupt + protocol) burns CPU.
         self._cpu.charge(npkts * self.per_packet_s, "net-rx")
         request.received_at = self.env.now
+        if self.rtracker is not None:
+            # Trace origin: the request exists for the pipeline the
+            # moment the NIC has its bytes; everything until the
+            # collector drains it is RX-queue wait.
+            request.trace = self.rtracker.start(
+                "nic.rx", kind="wait",
+                baggage={"request_id": request.request_id,
+                         "client_id": request.client_id,
+                         "size_bytes": request.size_bytes})
         if not self.rx_queue.try_put(request):
             # RX ring overflow: the request is dropped (the clients'
             # closed-loop window normally prevents this).
             self.drops.add()
+            if request.trace is not None:
+                request.trace.abort("rx-drop")
             if request.done_event is not None:
                 request.done_event.fail(
                     ConnectionError(f"rx drop of request {request.request_id}"))

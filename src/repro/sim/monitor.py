@@ -192,13 +192,23 @@ class LatencyRecorder:
 
     Replacement choices come from a private deterministic RNG seeded
     from the recorder's name, so simulations stay reproducible.
+
+    **Exemplar linking** (see :mod:`repro.tracing`): ``record()``
+    optionally takes the trace_id of the request the latency belongs
+    to.  Each reservoir entry keeps its trace_id alongside the value,
+    so a percentile doesn't stop at a number — ``exemplar_for(99)``
+    names an actual request whose full trace explains *why* the p99 is
+    what it is.  Reservoir entries are ``(latency, seq, trace_id)``
+    tuples where ``seq`` is the unique arrival index: ties on equal
+    latencies break on ``seq`` before ``trace_id`` is ever compared, so
+    eviction/ordering behaviour is identical with or without exemplars.
     """
 
     def __init__(self, name: str = "latency", max_samples: int = 200_000):
         if max_samples < 1:
             raise ValueError("max_samples must be >= 1")
         self.name = name
-        self._sorted: list[float] = []
+        self._sorted: list[tuple[float, int, Optional[int]]] = []
         self._count = 0
         self._sum = 0.0
         self._max_samples = max_samples
@@ -207,7 +217,7 @@ class LatencyRecorder:
         self._rng = Random(zlib.crc32(name.encode()) or 1)
         _autoregister(self)
 
-    def record(self, latency: float) -> None:
+    def record(self, latency: float, trace_id: Optional[int] = None) -> None:
         if latency < 0:
             raise ValueError(f"negative latency {latency}")
         self._count += 1
@@ -216,8 +226,9 @@ class LatencyRecorder:
             self._min = latency
         if latency > self._max:
             self._max = latency
+        entry = (latency, self._count, trace_id)
         if len(self._sorted) < self._max_samples:
-            insort(self._sorted, latency)
+            insort(self._sorted, entry)
             return
         # Algorithm R: keep the newcomer with probability cap/count,
         # evicting a uniformly random incumbent.  Index j is uniform on
@@ -226,7 +237,7 @@ class LatencyRecorder:
         j = self._rng.randrange(self._count)
         if j < self._max_samples:
             del self._sorted[j]
-            insort(self._sorted, latency)
+            insort(self._sorted, entry)
 
     @property
     def count(self) -> int:
@@ -247,7 +258,31 @@ class LatencyRecorder:
     def samples(self) -> tuple[float, ...]:
         """The retained (sorted) samples — the whole stream while below
         the cap, a uniform sample of it beyond."""
-        return tuple(self._sorted)
+        return tuple(entry[0] for entry in self._sorted)
+
+    def exemplars(self) -> tuple[tuple[float, int], ...]:
+        """The retained ``(latency, trace_id)`` pairs that carry a trace
+        link, sorted by latency — the bridge from a percentile to the
+        flight recorder's full traces."""
+        return tuple((lat, tid) for lat, _, tid in self._sorted
+                     if tid is not None)
+
+    def exemplar_for(self, q: float) -> Optional[int]:
+        """trace_id of the retained sample nearest the q-th percentile
+        (``None`` when no linked sample is close — e.g. exemplars were
+        never recorded)."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        n = len(self._sorted)
+        if n == 0:
+            return None
+        idx = round((q / 100.0) * (n - 1))
+        # Nearest linked sample, scanning outward from the target rank.
+        for off in range(n):
+            for pos in (idx - off, idx + off):
+                if 0 <= pos < n and self._sorted[pos][2] is not None:
+                    return self._sorted[pos][2]
+        return None
 
     def merge(self, other: "LatencyRecorder") -> None:
         """Fold another recorder's retained samples into this one.
@@ -255,10 +290,11 @@ class LatencyRecorder:
         Exact when both recorders are below their caps (the common case:
         per-engine windows merged into one report); otherwise the merge
         re-samples the other's reservoir, which is still a uniform —
-        though smaller — sample of its stream.
+        though smaller — sample of its stream.  Trace links survive the
+        merge.
         """
-        for sample in other._sorted:
-            self.record(sample)
+        for latency, _, trace_id in other._sorted:
+            self.record(latency, trace_id)
 
     def mean(self) -> float:
         return self._sum / self._count if self._count else math.nan
@@ -276,9 +312,9 @@ class LatencyRecorder:
         lo = int(math.floor(pos))
         hi = int(math.ceil(pos))
         if lo == hi:
-            return self._sorted[lo]
+            return self._sorted[lo][0]
         frac = pos - lo
-        return self._sorted[lo] * (1 - frac) + self._sorted[hi] * frac
+        return self._sorted[lo][0] * (1 - frac) + self._sorted[hi][0] * frac
 
     def p50(self) -> float:
         return self.percentile(50)

@@ -1,11 +1,14 @@
 """Span tracing for simulations, exportable as Chrome trace JSON.
 
-A :class:`Tracer` collects *spans* (named intervals on a named track)
-and *instants*; ``to_chrome_trace()`` writes the ``chrome://tracing`` /
-Perfetto JSON array format, with simulated seconds mapped to
-microseconds.  Components accept an optional tracer, so a decode run
-can be opened in a trace viewer to see every pipeline stage — the
-visual counterpart of the paper's Figure 4.
+A :class:`Tracer` collects *spans* (named intervals on a named track),
+*instants*, *counter samples* and *flow events*; ``to_chrome_trace()``
+writes the ``chrome://tracing`` / Perfetto JSON array format, with
+simulated seconds mapped to microseconds.  Components accept an
+optional tracer, so a decode run can be opened in a trace viewer to see
+every pipeline stage — the visual counterpart of the paper's Figure 4.
+Flow events (``ph:"s"``/``"f"``) draw arrows between spans on different
+tracks; :mod:`repro.tracing` uses them to tie one request's journey
+together across the pipeline.
 """
 
 from __future__ import annotations
@@ -33,8 +36,9 @@ class Span:
 
 
 class Tracer:
-    """Collects spans/instants/counter samples; bounded to ``max_events``
-    to keep big simulations cheap (the tail is dropped, never the head)."""
+    """Collects spans/instants/counter samples/flows; bounded to
+    ``max_events`` per event list to keep big simulations cheap (the
+    tail is dropped, never the head)."""
 
     def __init__(self, env: Environment, max_events: int = 500_000):
         self.env = env
@@ -42,9 +46,16 @@ class Tracer:
         self.spans: list[Span] = []
         self.instants: list[tuple[str, str, float]] = []
         self.counters: list[tuple[str, float, dict]] = []
+        self.flows: list[tuple[str, str, str, int, float]] = []
         self._open: dict[int, tuple[str, str, float, dict]] = {}
         self._next = 0
+        self._next_flow = 0
         self.dropped = 0
+        #: Spans still open at the last export — begin() tokens whose
+        #: end() never ran.  They are invisible in the output unless
+        #: :meth:`flush_open` closed them first, so the export counts
+        #: them into the drop accounting instead of losing them silently.
+        self.dropped_open = 0
 
     # -- recording -----------------------------------------------------
     def begin(self, name: str, track: str, **args) -> int:
@@ -54,11 +65,52 @@ class Tracer:
         return token
 
     def end(self, token: int) -> None:
-        name, track, start, args = self._open.pop(token)
+        entry = self._open.pop(token, None)
+        if entry is None:
+            raise KeyError(
+                f"Tracer.end({token!r}): no span is open under this token — "
+                f"either it was never returned by begin(), or end() already "
+                f"consumed it (tokens are single-use); {len(self._open)} "
+                f"span(s) currently open")
+        name, track, start, args = entry
+        self._record_span(Span(name, track, start, self.env.now, args))
+
+    def span_at(self, name: str, track: str, start: float, end: float,
+                **args) -> None:
+        """Record a span with explicit endpoints — for events whose
+        extent is only known after the fact (a request trace's segments,
+        a batch's assembly window)."""
+        self._record_span(Span(name, track, start, end, args))
+
+    def _record_span(self, span: Span) -> None:
         if len(self.spans) >= self.max_events:
             self.dropped += 1
             return
-        self.spans.append(Span(name, track, start, self.env.now, args))
+        self.spans.append(span)
+
+    def flush_open(self) -> int:
+        """Close every still-open span at the current sim time (token
+        order, so output is deterministic).  Call before export to keep
+        in-flight work visible instead of silently dropped; returns the
+        number of spans closed."""
+        closed = 0
+        for token in sorted(self._open):
+            name, track, start, args = self._open.pop(token)
+            self._record_span(Span(name, track, start, self.env.now,
+                                   dict(args, flushed=True)))
+            closed += 1
+        return closed
+
+    @property
+    def open_spans(self) -> int:
+        """begin() tokens not yet end()ed (or flushed)."""
+        return len(self._open)
+
+    @property
+    def total_dropped(self) -> int:
+        """Events missing from the last export: capacity drops plus the
+        spans that were still open when it ran."""
+        return self.dropped + self.dropped_open
 
     def instant(self, name: str, track: str = "events") -> None:
         if len(self.instants) >= self.max_events:
@@ -81,6 +133,25 @@ class Tracer:
         when = self.env.now if at is None else at
         self.counters.append((name, when, dict(values)))
 
+    def next_flow_id(self) -> int:
+        """A fresh id pairing one ``flow(..., "s")`` with its ``"f"``."""
+        fid = self._next_flow
+        self._next_flow += 1
+        return fid
+
+    def flow(self, name: str, track: str, phase: str, flow_id: int,
+             at: Optional[float] = None) -> None:
+        """Record one endpoint of a flow arrow (``phase`` is ``"s"`` for
+        the start, ``"f"`` for the finish; both ends share ``flow_id``).
+        """
+        if phase not in ("s", "f"):
+            raise ValueError(f"flow phase must be 's' or 'f', not {phase!r}")
+        if len(self.flows) >= self.max_events:
+            self.dropped += 1
+            return
+        when = self.env.now if at is None else at
+        self.flows.append((name, track, phase, flow_id, when))
+
     # -- analysis -----------------------------------------------------
     def spans_on(self, track: str) -> list[Span]:
         return [s for s in self.spans if s.track == track]
@@ -97,19 +168,27 @@ class Tracer:
         """Serialize to the Chrome trace-event JSON array format.
 
         Tracks map to thread ids; simulated seconds map to trace
-        microseconds.  Returns the JSON string (and writes it when a
+        microseconds.  Events are emitted in timestamp order (metadata
+        first).  Spans still open at export time are *not* emitted —
+        they are tallied into :attr:`dropped_open` (and thus
+        :attr:`total_dropped`); call :meth:`flush_open` first to close
+        and keep them.  Returns the JSON string (and writes it when a
         path is given).
         """
+        self.dropped_open = len(self._open)
         tids = {track: i for i, track in enumerate(self.tracks())}
         for _, track, _ in self.instants:
+            tids.setdefault(track, len(tids))
+        for _, track, _, _, _ in self.flows:
             tids.setdefault(track, len(tids))
         events = []
         for track, tid in tids.items():
             events.append({"ph": "M", "pid": 1, "tid": tid,
                            "name": "thread_name",
                            "args": {"name": track}})
+        timed = []
         for span in self.spans:
-            events.append({
+            timed.append({
                 "ph": "X", "pid": 1, "tid": tids[span.track],
                 "name": span.name,
                 "ts": span.start * 1e6,
@@ -117,11 +196,19 @@ class Tracer:
                 "args": span.args,
             })
         for name, track, when in self.instants:
-            events.append({"ph": "i", "pid": 1, "tid": tids[track],
-                           "name": name, "ts": when * 1e6, "s": "t"})
+            timed.append({"ph": "i", "pid": 1, "tid": tids[track],
+                          "name": name, "ts": when * 1e6, "s": "t"})
         for name, when, values in self.counters:
-            events.append({"ph": "C", "pid": 1, "name": name,
-                           "ts": when * 1e6, "args": values})
+            timed.append({"ph": "C", "pid": 1, "name": name,
+                          "ts": when * 1e6, "args": values})
+        for name, track, phase, fid, when in self.flows:
+            evt = {"ph": phase, "pid": 1, "tid": tids[track], "cat": "flow",
+                   "name": name, "ts": when * 1e6, "id": fid}
+            if phase == "f":
+                evt["bp"] = "e"   # bind the arrow to the enclosing slice
+            timed.append(evt)
+        timed.sort(key=lambda e: e["ts"])
+        events.extend(timed)
         text = json.dumps(events)
         if path is not None:
             with open(path, "w") as fh:

@@ -44,8 +44,14 @@ class DeadlineExceeded(ConnectionError):
 
 def expire_request(item, where: str = "shed") -> None:
     """Complete the bookkeeping for a shed item: fail its request's
-    ``done_event`` (if any) so the issuer learns the work was dropped."""
+    ``done_event`` (if any) so the issuer learns the work was dropped,
+    and abort its causal trace (if traced) naming the shed point."""
     request = getattr(item, "request", None) or item
+    trace = getattr(item, "trace", None)
+    if trace is None:
+        trace = getattr(request, "trace", None)
+    if trace is not None and not trace.is_finished:
+        trace.abort(f"shed:{where}")
     done = getattr(request, "done_event", None)
     if done is not None and not done.triggered:
         done.fail(DeadlineExceeded(
@@ -106,6 +112,7 @@ class Supervisor:
         self.integrity: Optional[IntegrityChecker] = (
             IntegrityChecker(env, name=f"{name}.integrity")
             if self.config.integrity else None)
+        self.rtracker = None   # repro.tracing.RequestTracker, when attached
         self._stoppables: list = []
         self._started = False
 
@@ -121,6 +128,33 @@ class Supervisor:
         """Remember a component with a ``stop()`` method for
         :meth:`shutdown` (the watchdog's clean-shutdown path)."""
         self._stoppables.append(obj)
+
+    def attach_tracker(self, rtracker) -> None:
+        """Wire a :class:`~repro.tracing.RequestTracker` into the
+        supervision legs: every stall report now dumps the flight
+        recorder as a post-mortem naming the blocking stage.  Runs
+        before any ``fail_fast`` raise, so even a crashed test run has
+        its evidence."""
+        self.rtracker = rtracker
+        previous = self.watchdog.on_stall
+
+        def _on_stall(report, _prev=previous):
+            self._stall_postmortem(report)
+            if _prev is not None:
+                _prev(report)
+
+        self.watchdog.on_stall = _on_stall
+
+    def _stall_postmortem(self, report: StallReport) -> None:
+        if self.rtracker is not None:
+            self.rtracker.postmortem(
+                "stall", stage=report.waiting_on or report.stage)
+
+    @property
+    def postmortems(self) -> list:
+        """Post-mortems collected by the attached tracker (empty when
+        tracing is off)."""
+        return [] if self.rtracker is None else self.rtracker.postmortems
 
     @property
     def sheds_deadlines(self) -> bool:

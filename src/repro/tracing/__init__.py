@@ -1,0 +1,21 @@
+"""Causal per-request tracing, critical-path attribution and the
+post-mortem flight recorder.
+
+Layered over :class:`repro.sim.Tracer`: where the tracer records what
+each *component* did (spans on tracks), this package records what each
+*request* experienced — a :class:`RequestTrace` minted at ingest,
+propagated through cmds and batches, decomposed into per-stage
+wait/service time, and kept in a bounded :class:`FlightRecorder` so
+stalls, sheds, quarantines and circuit-breaks come with evidence.
+"""
+
+from .config import TracingConfig
+from .context import RequestTrace, Segment, mark_cmd, trace_of
+from .critical_path import (CriticalPathAccumulator, TraceDecompositionError,
+                            aggregate, decompose, dominant_segment, validate)
+from .tracker import FlightRecorder, Postmortem, RequestTracker
+
+__all__ = ["TracingConfig", "RequestTrace", "Segment", "mark_cmd",
+           "trace_of", "RequestTracker", "FlightRecorder", "Postmortem",
+           "CriticalPathAccumulator", "TraceDecompositionError",
+           "decompose", "validate", "dominant_segment", "aggregate"]

@@ -1,0 +1,33 @@
+"""TracingConfig — the workflow-level switch for causal tracing.
+
+Mirrors :class:`~repro.telemetry.TelemetryConfig`: a frozen dataclass a
+workflow config carries.  ``None`` (or ``enabled=False``) constructs no
+tracking objects at all, so the run is bit-identical to a build without
+this subsystem — the guarantee the tier-1 observer-effect test pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TracingConfig"]
+
+
+@dataclass(frozen=True)
+class TracingConfig:
+    """Knobs for :class:`~repro.tracing.RequestTracker` wiring.
+
+    ``flight_recorder_size`` bounds the ring of recently finished/
+    aborted traces kept for post-mortems.  ``emit_spans`` also renders
+    every finished trace as per-stage spans + flow events on the run's
+    tracer (turn off to keep only the attribution aggregates on very
+    long runs).  ``export_path`` writes the Chrome-trace JSON at the end
+    of the workflow; ``max_events`` caps the tracer underneath it.
+    """
+
+    enabled: bool = True
+    flight_recorder_size: int = 256
+    emit_spans: bool = True
+    max_events: int = 500_000
+    export_path: Optional[str] = None

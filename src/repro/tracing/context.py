@@ -1,0 +1,175 @@
+"""Per-request trace context: the causal record of one item's journey.
+
+A :class:`RequestTrace` is minted at ingest (NIC RX for serving, the
+reader's epoch stream for training) and rides the item itself — the
+``trace`` attribute on :class:`~repro.net.NetRequest`,
+:class:`~repro.host.WorkItem` and :class:`~repro.fpga.DecodeCmd` — so
+it survives every hand-off of the pipeline, including the batching
+fan-in (N items -> 1 hugepage unit) and the dispatch fan-out (1 batch
+-> a GPU Trans Queue).
+
+The latency decomposition is *cursor-based*: the trace always has
+exactly one open segment, and ``mark(stage, kind)`` closes it at the
+current sim time while opening the next.  Segments therefore tile
+``[started_at, finished_at]`` with no gaps and no overlaps, which makes
+the critical-path invariant — per-stage wait + service sums to the
+measured end-to-end latency — true *by construction* rather than by
+reconciliation (see :mod:`repro.tracing.critical_path`).
+
+Retries get an *attempt epoch*: the reader bumps ``trace.attempt``
+whenever it reissues an item (FPGA resubmission or CPU failover), and
+each travelling :class:`~repro.fpga.DecodeCmd` carries the epoch it was
+created under.  :func:`mark_cmd` only marks when the epochs match, so a
+ghost cmd — one that was declared lost but is still crawling through
+the mirror — can never scribble stages onto a trace that has moved on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["Segment", "RequestTrace", "mark_cmd", "trace_of"]
+
+WAIT = "wait"
+SERVICE = "service"
+
+_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One closed interval of a trace: time spent at ``stage``, either
+    queued (``kind == "wait"``) or being worked on (``"service"``)."""
+
+    stage: str
+    kind: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class RequestTrace:
+    """The causal context of one request/item, propagated by reference."""
+
+    __slots__ = ("trace_id", "started_at", "finished_at", "status",
+                 "segments", "baggage", "attempt",
+                 "_now", "_on_finish", "_stage", "_kind", "_open_at")
+
+    def __init__(self, now_fn: Callable[[], float], stage: str,
+                 kind: str = WAIT, baggage: Optional[dict] = None,
+                 on_finish=None, trace_id: Optional[int] = None):
+        self.trace_id = next(_ids) if trace_id is None else trace_id
+        self._now = now_fn
+        self._on_finish = on_finish
+        now = now_fn()
+        self.started_at = now
+        self.finished_at: Optional[float] = None
+        self.status: Optional[str] = None
+        self.segments: list[Segment] = []
+        self.baggage = baggage
+        self.attempt = 0
+        self._stage = stage
+        self._kind = kind
+        self._open_at = now
+
+    # -- cursor ----------------------------------------------------------
+    @property
+    def current_stage(self) -> str:
+        """Where the request is *right now* (or was when it finished)."""
+        return self._stage
+
+    @property
+    def is_finished(self) -> bool:
+        return self.finished_at is not None
+
+    def _close_segment(self, now: float) -> None:
+        if now > self._open_at:      # zero-length segments add nothing
+            self.segments.append(
+                Segment(self._stage, self._kind, self._open_at, now))
+
+    def mark(self, stage: str, kind: str) -> None:
+        """Advance the cursor: close the open segment at the current sim
+        time and start accounting to ``(stage, kind)``.  No-op once the
+        trace is finished (late duplicate FINISH records, ghost cmds)."""
+        if self.finished_at is not None:
+            return
+        now = self._now()
+        self._close_segment(now)
+        self._stage = stage
+        self._kind = kind
+        self._open_at = now
+
+    def finish(self, status: str = "ok") -> None:
+        """Seal the trace: close the open segment, stamp the outcome and
+        hand the trace to its tracker (flight recorder, attribution)."""
+        if self.finished_at is not None:
+            return
+        now = self._now()
+        self._close_segment(now)
+        self.finished_at = now
+        self.status = status
+        if self._on_finish is not None:
+            self._on_finish(self)
+
+    def abort(self, status: str) -> None:
+        """Finish with a non-``"ok"`` outcome (shed, quarantine, drop)."""
+        self.finish(status=status)
+
+    # -- reporting -------------------------------------------------------
+    @property
+    def e2e_latency(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def summary(self) -> dict:
+        """A flat dict snapshot (flight recorder / post-mortem payload)."""
+        return {
+            "trace_id": self.trace_id,
+            "status": self.status if self.status is not None else "active",
+            "stage": self._stage,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "e2e_s": self.e2e_latency,
+            "attempt": self.attempt,
+            "baggage": self.baggage,
+            "segments": [(s.stage, s.kind, s.start, s.end)
+                         for s in self.segments],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.status if self.status is not None else "active"
+        return (f"RequestTrace(id={self.trace_id}, {state}, "
+                f"stage={self._stage!r}, segments={len(self.segments)})")
+
+
+def trace_of(item) -> Optional[RequestTrace]:
+    """The trace riding ``item``, looking through a WorkItem to its
+    originating NetRequest when the item itself is untraced."""
+    trace = getattr(item, "trace", None)
+    if trace is not None:
+        return trace
+    request = getattr(item, "request", None)
+    return getattr(request, "trace", None) if request is not None else None
+
+
+def mark_cmd(cmd, stage: str, kind: str) -> None:
+    """Mark the trace carried by a travelling cmd — but only when the
+    cmd belongs to the trace's current attempt epoch.  A cmd that was
+    declared lost (the reader retried or failed over) keeps moving
+    through the mirror; its stale epoch makes this a no-op, so the
+    retry's own marks are never interleaved with the ghost's.
+
+    With tracing off (``cmd.trace is None``) this is one attribute test.
+    """
+    trace = getattr(cmd, "trace", None)
+    if trace is None or trace.finished_at is not None:
+        return
+    if getattr(cmd, "trace_attempt", 0) != trace.attempt:
+        return
+    trace.mark(stage, kind)

@@ -1,0 +1,121 @@
+"""Critical-path analysis over finished request traces.
+
+The cursor design of :class:`~repro.tracing.context.RequestTrace`
+guarantees segments tile the trace's lifetime, so decomposing a
+request's end-to-end latency into per-stage wait/service time is a
+telescoping sum — :func:`validate` asserts the invariant anyway (to a
+floating-point tolerance) because the whole point of the decomposition
+is that nothing is unaccounted for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .context import RequestTrace, Segment
+
+__all__ = ["TraceDecompositionError", "decompose", "validate",
+           "dominant_segment", "CriticalPathAccumulator", "aggregate"]
+
+#: Acceptance tolerance on |sum(segments) - e2e latency|.  The residual
+#: of the telescoping sum is a few ulps (~1e-14 s at simulated-seconds
+#: magnitudes), so 1e-9 s leaves six orders of headroom while still
+#: catching any real accounting gap.
+TOLERANCE_S = 1e-9
+
+
+class TraceDecompositionError(AssertionError):
+    """A trace's segment sum disagrees with its measured e2e latency."""
+
+
+def decompose(trace: RequestTrace) -> dict[tuple[str, str], float]:
+    """Per-``(stage, kind)`` seconds of one finished trace."""
+    if trace.finished_at is None:
+        raise ValueError(f"trace {trace.trace_id} is still active")
+    out: dict[tuple[str, str], float] = {}
+    for seg in trace.segments:
+        key = (seg.stage, seg.kind)
+        out[key] = out.get(key, 0.0) + seg.duration
+    return out
+
+
+def validate(trace: RequestTrace, tol: float = TOLERANCE_S) -> float:
+    """Assert the decomposition sums to the measured e2e latency; returns
+    the (signed) residual.  Raises :class:`TraceDecompositionError` when
+    the residual exceeds ``tol`` — an accounting hole, not jitter."""
+    total = sum(seg.duration for seg in trace.segments)
+    residual = total - (trace.finished_at - trace.started_at)
+    if abs(residual) > tol:
+        raise TraceDecompositionError(
+            f"trace {trace.trace_id}: per-stage segments sum to {total!r}s "
+            f"but e2e latency is {trace.e2e_latency!r}s "
+            f"(residual {residual:.3e}s > tolerance {tol:.0e}s)")
+    return residual
+
+
+def dominant_segment(trace: RequestTrace) -> Optional[Segment]:
+    """The single longest segment — where this request's latency went."""
+    if not trace.segments:
+        return None
+    return max(trace.segments, key=lambda s: s.duration)
+
+
+class CriticalPathAccumulator:
+    """Streaming per-stage latency attribution over many traces.
+
+    Every finished trace is validated (sum == e2e within ``tol``) and
+    folded into a ``stage -> {wait, service}`` aggregate, so the report
+    answers "across the run, where did request time go?" without
+    retaining the traces themselves.  Violations are counted rather than
+    raised here — the tracker must not crash a simulation mid-flight —
+    and surface through :attr:`violations` / :attr:`worst_residual` for
+    the tests that assert the invariant.
+    """
+
+    def __init__(self, tol: float = TOLERANCE_S):
+        self.tol = tol
+        self.traces = 0
+        self.violations = 0
+        self.worst_residual = 0.0
+        self._totals: dict[tuple[str, str], float] = {}
+
+    def add(self, trace: RequestTrace) -> None:
+        self.traces += 1
+        total = sum(seg.duration for seg in trace.segments)
+        residual = total - (trace.finished_at - trace.started_at)
+        if abs(residual) > abs(self.worst_residual):
+            self.worst_residual = residual
+        if abs(residual) > self.tol:
+            self.violations += 1
+        for seg in trace.segments:
+            key = (seg.stage, seg.kind)
+            self._totals[key] = self._totals.get(key, 0.0) + seg.duration
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """``{stage: {"wait": s, "service": s}}``, stages in first-seen
+        order — the run's aggregate latency attribution table."""
+        out: dict[str, dict[str, float]] = {}
+        for (stage, kind), seconds in self._totals.items():
+            out.setdefault(stage, {"wait": 0.0, "service": 0.0})
+            out[stage][kind] = out[stage].get(kind, 0.0) + seconds
+        return out
+
+    def render(self) -> str:
+        """Human-readable attribution table, hottest stage first."""
+        rows = sorted(self.report().items(),
+                      key=lambda kv: -sum(kv[1].values()))
+        lines = [f"critical path over {self.traces} trace(s) "
+                 f"({self.violations} decomposition violation(s)):"]
+        for stage, kinds in rows:
+            lines.append(f"  {stage:<24s} wait {kinds['wait'] * 1e3:9.3f} ms"
+                         f"   service {kinds['service'] * 1e3:9.3f} ms")
+        return "\n".join(lines)
+
+
+def aggregate(traces: Iterable[RequestTrace],
+              tol: float = TOLERANCE_S) -> CriticalPathAccumulator:
+    """Fold an iterable of finished traces into one accumulator."""
+    acc = CriticalPathAccumulator(tol=tol)
+    for trace in traces:
+        acc.add(trace)
+    return acc

@@ -1,0 +1,217 @@
+"""RequestTracker — mints traces, keeps the flight recorder, explains
+failures.
+
+One tracker serves a whole pipeline run.  Components hold a reference
+and call :meth:`RequestTracker.start` at ingest; everything downstream
+propagates the :class:`~repro.tracing.context.RequestTrace` by
+reference and marks it.  When a trace finishes (prediction made, item
+trained) or aborts (shed, quarantined, dropped) it lands here: the
+bounded :class:`FlightRecorder` ring keeps the most recent ones for
+post-mortems, the critical-path accumulator folds in its latency
+attribution, and — when a :class:`~repro.sim.Tracer` is attached — the
+trace is emitted as per-stage spans plus a Chrome-trace *flow* pair
+(``ph:"s"`` at ingest, ``ph:"f"`` at completion) tying the request's
+journey together across tracks in Perfetto.
+
+The tracker is deliberately inert with respect to the simulation: it
+creates no processes, schedules no events and consumes no randomness,
+so a run with tracing armed is event-for-event identical to one
+without — only the Python-side bookkeeping differs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from .context import RequestTrace
+from .critical_path import CriticalPathAccumulator
+
+__all__ = ["Postmortem", "FlightRecorder", "RequestTracker"]
+
+
+@dataclass(frozen=True)
+class Postmortem:
+    """One explained failure event: what happened, where, and the flight
+    recorder's evidence — trace summaries whose ``stage`` field names
+    the pipeline stage each request was blocked at."""
+
+    when: float
+    kind: str                      # "stall" | "shed:*" | "quarantine:*" | ...
+    stage: Optional[str]           # the blocking stage, when known
+    traces: tuple                  # trace summary dicts (see RequestTrace)
+
+    def render(self) -> str:
+        lines = [f"[t={self.when:.6f}s] post-mortem: {self.kind}"
+                 + (f" at {self.stage}" if self.stage else "")]
+        for t in self.traces:
+            e2e = (f"{t['e2e_s'] * 1e3:.3f} ms" if t["e2e_s"] is not None
+                   else f"{(self.when - t['started_at']) * 1e3:.3f} ms open")
+            lines.append(f"  trace {t['trace_id']} ({t['status']}) "
+                         f"blocked at {t['stage']}: {e2e}, "
+                         f"attempt {t['attempt']}")
+        if not self.traces:
+            lines.append("  (no traces in flight)")
+        return "\n".join(lines)
+
+
+class FlightRecorder:
+    """Bounded ring of recently completed/aborted traces."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: deque[RequestTrace] = deque(maxlen=capacity)
+
+    def record(self, trace: RequestTrace) -> None:
+        self._ring.append(trace)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def traces(self) -> tuple[RequestTrace, ...]:
+        return tuple(self._ring)
+
+    def last(self, n: int) -> list[RequestTrace]:
+        """The ``n`` most recent traces, newest last."""
+        return list(self._ring)[-n:]
+
+    def find(self, trace_id: int) -> Optional[RequestTrace]:
+        """Dereference an exemplar trace_id to its full trace (None once
+        the ring has evicted it)."""
+        for trace in self._ring:
+            if trace.trace_id == trace_id:
+                return trace
+        return None
+
+    def snapshot(self) -> list[dict]:
+        return [t.summary() for t in self._ring]
+
+
+class RequestTracker:
+    """Factory + sink for :class:`RequestTrace` over one pipeline run."""
+
+    def __init__(self, env, tracer=None, flight_capacity: int = 256,
+                 emit_spans: bool = True, max_postmortems: int = 200):
+        self.env = env
+        self.tracer = tracer
+        self.emit_spans = emit_spans
+        self.max_postmortems = max_postmortems
+        self.active: dict[int, RequestTrace] = {}
+        self.recorder = FlightRecorder(flight_capacity)
+        self.attribution = CriticalPathAccumulator()
+        self.postmortems: list[Postmortem] = []
+        self.started = 0
+        self.finished = 0
+        self.aborted = 0
+        self.batches = 0
+        self._seen_abort_kinds: set[str] = set()
+
+    # -- minting ---------------------------------------------------------
+    def start(self, stage: str, kind: str = "wait",
+              baggage: Optional[dict] = None) -> RequestTrace:
+        """Mint a trace at ingest; the caller attaches it to the item."""
+        trace = RequestTrace(self._now, stage, kind=kind, baggage=baggage,
+                             on_finish=self._on_finished)
+        self.started += 1
+        self.active[trace.trace_id] = trace
+        return trace
+
+    def _now(self) -> float:
+        return self.env.now
+
+    # -- completion ------------------------------------------------------
+    def _on_finished(self, trace: RequestTrace) -> None:
+        self.active.pop(trace.trace_id, None)
+        self.recorder.record(trace)
+        self.attribution.add(trace)
+        if trace.status == "ok":
+            self.finished += 1
+        else:
+            self.aborted += 1
+            # First sighting of each failure mode dumps the flight
+            # recorder — one explainable post-mortem per abort kind, not
+            # one per aborted request.
+            if trace.status not in self._seen_abort_kinds:
+                self._seen_abort_kinds.add(trace.status)
+                self.postmortem(trace.status, stage=trace.current_stage,
+                                traces=[trace])
+        self._emit(trace)
+
+    def _emit(self, trace: RequestTrace) -> None:
+        if self.tracer is None or not self.emit_spans or not trace.segments:
+            return
+        for seg in trace.segments:
+            self.tracer.span_at(seg.kind, f"req.{seg.stage}",
+                                seg.start, seg.end, trace=trace.trace_id)
+        fid = self.tracer.next_flow_id()
+        name = f"req{trace.trace_id}"
+        first, last = trace.segments[0], trace.segments[-1]
+        self.tracer.flow(name, f"req.{first.stage}", "s", fid,
+                         at=trace.started_at)
+        self.tracer.flow(name, f"req.{last.stage}", "f", fid,
+                         at=trace.finished_at)
+
+    # -- fan-in ----------------------------------------------------------
+    def batch_fanin(self, tag, traces, start: float, end: float) -> None:
+        """Record N member traces converging into one batch: a span on
+        the batch-assembly track carrying every member's trace_id, plus
+        a flow link from each member's request track into the batch."""
+        self.batches += 1
+        if self.tracer is None or not self.emit_spans or not traces:
+            return
+        ids = [t.trace_id for t in traces]
+        self.tracer.span_at(f"batch#{tag}", "batch.assembly", start, end,
+                            members=ids, count=len(ids))
+        for t in traces:
+            fid = self.tracer.next_flow_id()
+            name = f"batch#{tag}<-req{t.trace_id}"
+            self.tracer.flow(name, f"req.{t.current_stage}", "s", fid, at=end)
+            self.tracer.flow(name, "batch.assembly", "f", fid, at=end)
+
+    # -- post-mortems ----------------------------------------------------
+    def postmortem(self, kind: str, stage: Optional[str] = None,
+                   traces=None, limit: int = 5) -> Optional[Postmortem]:
+        """Dump the flight recorder for one failure event.
+
+        ``traces=None`` picks the evidence automatically: the oldest
+        still-active traces (the most stuck requests — their ``stage``
+        names where they are blocked), falling back to the most recently
+        completed ones when nothing is in flight.
+        """
+        if len(self.postmortems) >= self.max_postmortems:
+            return None
+        if traces is None:
+            traces = sorted(self.active.values(),
+                            key=lambda t: t.started_at)[:limit]
+            if not traces:
+                traces = self.recorder.last(limit)
+        pm = Postmortem(when=self.env.now, kind=kind, stage=stage,
+                        traces=tuple(t.summary() for t in traces))
+        self.postmortems.append(pm)
+        if self.tracer is not None:
+            self.tracer.instant(f"postmortem:{kind}", track="tracing")
+        return pm
+
+    # -- reporting -------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "started": self.started,
+            "finished": self.finished,
+            "aborted": self.aborted,
+            "active": len(self.active),
+            "batches": self.batches,
+            "postmortems": len(self.postmortems),
+            "decomposition_violations": self.attribution.violations,
+        }
+
+    def export_chrome(self, path: Optional[str] = None) -> Optional[str]:
+        """Flush still-open tracer spans and write the Chrome-trace JSON
+        (request spans + flows + any counter tracks merged in)."""
+        if self.tracer is None:
+            return None
+        self.tracer.flush_open()
+        return self.tracer.to_chrome_trace(path)

@@ -20,8 +20,10 @@ from ..faults import FaultInjector, FaultPlan
 from ..host import BatchSpec
 from ..net import ClientFleet, Link, Nic
 from ..sim import Environment, LatencyRecorder, SeedBank
+from ..sim.trace import Tracer
 from ..supervision import SupervisionConfig, Supervisor
 from ..telemetry import MetricsRegistry, QueueDepthSampler, TelemetryConfig
+from ..tracing import RequestTracker, TracingConfig
 from .metrics import CounterWindow, CpuWindow, HealthWindow
 
 __all__ = ["InferenceConfig", "InferenceResult", "run_inference",
@@ -59,6 +61,11 @@ class InferenceConfig:
     # every instrument + queue-depth time series; results land in
     # ``extras["telemetry"]`` and optionally a JSON export.
     telemetry: Optional[TelemetryConfig] = None
+    # Causal per-request tracing (repro.tracing): traces minted at NIC
+    # RX, critical-path attribution, flight recorder, post-mortems and
+    # Chrome-trace export.  ``None`` (or ``enabled=False``) constructs
+    # nothing and leaves the run bit-identical.
+    tracing: Optional[TracingConfig] = None
 
 
 @dataclass
@@ -76,7 +83,7 @@ class InferenceResult:
 
 
 def _make_backend(cfg: InferenceConfig, env, testbed, cpu, nic, spec,
-                  supervisor=None):
+                  supervisor=None, rtracker=None):
     if cfg.supervision is not None and cfg.backend != "dlbooster":
         raise ValueError(f"supervision is only supported by the dlbooster "
                          f"backend, not {cfg.backend!r}")
@@ -89,7 +96,8 @@ def _make_backend(cfg: InferenceConfig, env, testbed, cpu, nic, spec,
         return DLBoosterInferenceBackend(env, testbed, cpu, nic, spec,
                                          num_fpgas=cfg.num_fpgas,
                                          gpu_direct=cfg.gpu_direct,
-                                         supervisor=supervisor)
+                                         supervisor=supervisor,
+                                         rtracker=rtracker)
     raise ValueError(f"unknown backend {cfg.backend!r}; "
                      f"choose from {INFERENCE_BACKENDS}")
 
@@ -126,6 +134,15 @@ def _run_inference(cfg: InferenceConfig, testbed: Testbed,
                       out_w=spec.input_hw[1], channels=spec.channels)
     cpu = CpuCorePool(env, testbed.cpu_cores)
 
+    # Causal tracing: tracker + tracer exist only when asked for, so an
+    # untraced run constructs byte-identical state.
+    rtracker = None
+    if cfg.tracing is not None and cfg.tracing.enabled:
+        rtracker = RequestTracker(
+            env, tracer=Tracer(env, max_events=cfg.tracing.max_events),
+            flight_capacity=cfg.tracing.flight_recorder_size,
+            emit_spans=cfg.tracing.emit_spans)
+
     injector = None
     if cfg.fault_plan:
         injector = FaultInjector(env, cfg.fault_plan,
@@ -133,7 +150,8 @@ def _run_inference(cfg: InferenceConfig, testbed: Testbed,
     link = Link(env, testbed.nic_rate, mtu=testbed.nic_mtu,
                 injector=injector)
     nic = Nic(env, link, cpu.tracker, per_packet_s=testbed.nic_per_packet_s,
-              rx_capacity=max(4096, 16 * cfg.batch_size))
+              rx_capacity=max(4096, 16 * cfg.batch_size),
+              rtracker=rtracker)
     num_clients = cfg.num_clients or testbed.inference_clients
     # Closed-loop credit: ~2.5 batches per GPU outstanding — one being
     # inferred, one being decoded, headroom for the copy — so the server
@@ -165,8 +183,10 @@ def _run_inference(cfg: InferenceConfig, testbed: Testbed,
         engine.start()
         engines.append(engine)
 
+    if supervisor is not None and rtracker is not None:
+        supervisor.attach_tracker(rtracker)
     backend = _make_backend(cfg, env, testbed, cpu, nic, bspec,
-                            supervisor=supervisor)
+                            supervisor=supervisor, rtracker=rtracker)
     backend.start(engines)
 
     sampler = None
@@ -243,6 +263,22 @@ def _run_inference(cfg: InferenceConfig, testbed: Testbed,
         if cfg.telemetry.export_path:
             registry.to_json(cfg.telemetry.export_path,
                              extra={"queue_depths": sampler.series()})
+    if rtracker is not None:
+        if sampler is not None and cfg.telemetry.trace_counters:
+            # Join the queue-depth time series onto the request spans so
+            # the exported trace shows *why* a wait segment is long.
+            sampler.to_trace(rtracker.tracer)
+        extras["tracing"] = {
+            "tracker": rtracker,
+            "stats": rtracker.stats(),
+            "critical_path": rtracker.attribution.report(),
+            "critical_path_render": rtracker.attribution.render(),
+            "postmortems": [pm.render() for pm in rtracker.postmortems],
+            "flight_recorder": rtracker.recorder.snapshot(),
+            "p99_exemplar": lat_all.exemplar_for(99),
+        }
+        if cfg.tracing.export_path:
+            rtracker.export_chrome(cfg.tracing.export_path)
 
     return InferenceResult(
         config=cfg,

@@ -21,8 +21,10 @@ from ..host import BatchSpec
 from ..data import imagenet_like_manifest, mnist_like_manifest
 from ..sim import Environment, SeedBank
 from ..storage import NvmeDisk
+from ..sim.trace import Tracer
 from ..supervision import SupervisionConfig, Supervisor
 from ..telemetry import MetricsRegistry, QueueDepthSampler, TelemetryConfig
+from ..tracing import RequestTracker, TracingConfig
 from .metrics import CounterWindow, CpuWindow, HealthWindow, ResilienceWindow
 
 __all__ = ["TrainingConfig", "TrainingResult", "run_training",
@@ -60,6 +62,11 @@ class TrainingConfig:
     supervision: Optional[SupervisionConfig] = None
     # unified observability: registry + queue-depth series in extras
     telemetry: Optional[TelemetryConfig] = None
+    # causal per-request tracing (dlbooster): traces minted at reader
+    # ingest, critical-path attribution, flight recorder, post-mortems
+    # and Chrome-trace export.  ``None`` (or ``enabled=False``)
+    # constructs nothing and leaves the run bit-identical.
+    tracing: Optional[TracingConfig] = None
 
 
 @dataclass
@@ -100,7 +107,7 @@ def _make_manifest(model: str, n: Optional[int], seeds: SeedBank):
 
 
 def _make_backend(cfg: TrainingConfig, env, testbed, cpu, manifest, spec,
-                  seeds, disk, tracer=None, supervisor=None):
+                  seeds, disk, tracer=None, supervisor=None, rtracker=None):
     if cfg.fault_plan is not None and cfg.backend != "dlbooster":
         raise ValueError(f"fault_plan is only supported by the dlbooster "
                          f"backend, not {cfg.backend!r}")
@@ -123,7 +130,7 @@ def _make_backend(cfg: TrainingConfig, env, testbed, cpu, manifest, spec,
                                 resizer_ways=cfg.resizer_ways,
                                 disk=disk, fault_plan=cfg.fault_plan,
                                 retry=cfg.retry, supervisor=supervisor,
-                                tracer=tracer)
+                                tracer=tracer, rtracker=rtracker)
     raise ValueError(f"unknown backend {cfg.backend!r}; "
                      f"choose from {TRAINING_BACKENDS}")
 
@@ -177,11 +184,26 @@ def _run_training(cfg: TrainingConfig, testbed: Testbed, tracer_factory,
 
     disk = NvmeDisk(env, testbed)
     tracer = tracer_factory(env) if tracer_factory is not None else None
+    # Causal tracing: tracker exists only when asked for, so an untraced
+    # run constructs byte-identical state.  An externally supplied tracer
+    # (tracer_factory) is reused so request spans and the caller's own
+    # annotations land in one timeline.
+    rtracker = None
+    if cfg.tracing is not None and cfg.tracing.enabled:
+        if tracer is None:
+            tracer = Tracer(env, max_events=cfg.tracing.max_events)
+        rtracker = RequestTracker(
+            env, tracer=tracer,
+            flight_capacity=cfg.tracing.flight_recorder_size,
+            emit_spans=cfg.tracing.emit_spans)
     supervisor = (Supervisor(env, cfg.supervision, tracer=tracer)
                   if cfg.supervision is not None and cfg.supervision.enabled
                   else None)
+    if supervisor is not None and rtracker is not None:
+        supervisor.attach_tracker(rtracker)
     backend = _make_backend(cfg, env, testbed, cpu, manifest, bspec, seeds,
-                            disk, tracer=tracer, supervisor=supervisor)
+                            disk, tracer=tracer, supervisor=supervisor,
+                            rtracker=rtracker)
     backend.start(solvers)
 
     sampler = None
@@ -251,6 +273,22 @@ def _run_training(cfg: TrainingConfig, testbed: Testbed, tracer_factory,
             registry.to_trace(tracer)
     if tracer is not None:
         extras["tracer"] = tracer
+    if rtracker is not None:
+        tracing_extras = {
+            "tracker": rtracker,
+            "stats": rtracker.stats(),
+            "critical_path": rtracker.attribution.report(),
+            "critical_path_render": rtracker.attribution.render(),
+            "postmortems": [pm.render() for pm in rtracker.postmortems],
+            "flight_recorder": rtracker.recorder.snapshot(),
+        }
+        reader = getattr(backend, "reader", None)
+        if reader is not None and hasattr(reader, "decode_latency"):
+            tracing_extras["p99_exemplar"] = \
+                reader.decode_latency.exemplar_for(99)
+        extras["tracing"] = tracing_extras
+        if cfg.tracing.export_path:
+            rtracker.export_chrome(cfg.tracing.export_path)
     if cfg.backend == "lmdb":
         extras["ingest_seconds"] = backend.ingest_seconds
     extras["cache_active"] = backend.cache.active

@@ -87,6 +87,114 @@ def test_max_events_drops_tail():
     assert tracer.dropped == 3
 
 
+def test_end_unknown_token_raises_descriptive_error():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.begin("work", "t")
+    with pytest.raises(KeyError, match="single-use"):
+        tracer.end(999)
+    tok = tracer.begin("other", "t")
+    tracer.end(tok)
+    with pytest.raises(KeyError, match="already consumed|single-use"):
+        tracer.end(tok)
+
+
+def test_flush_open_closes_spans_in_token_order():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def p(env):
+        tracer.begin("b", "t")
+        tracer.begin("a", "t")
+        yield env.timeout(1.0)
+
+    env.process(p(env))
+    env.run()
+    assert tracer.open_spans == 2
+    assert tracer.flush_open() == 2
+    assert tracer.open_spans == 0
+    # Token order (begin order), not name order; all closed at env.now
+    # and stamped as flushed.
+    assert [s.name for s in tracer.spans] == ["b", "a"]
+    assert all(s.end == 1.0 and s.args["flushed"] for s in tracer.spans)
+
+
+def test_export_counts_unended_spans_as_dropped():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.begin("leaked", "t")
+    tok = tracer.begin("done", "t")
+    tracer.end(tok)
+    tracer.to_chrome_trace()
+    assert tracer.dropped_open == 1
+    assert tracer.total_dropped == 1
+    # flush_open rescues the leak; a re-export has nothing open.
+    tracer.flush_open()
+    tracer.to_chrome_trace()
+    assert tracer.dropped_open == 0
+    assert tracer.total_dropped == 0
+
+
+def test_span_at_records_explicit_extent():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.span_at("late", "t", 1.5, 2.25, item=3)
+    (span,) = tracer.spans
+    assert (span.start, span.end) == (1.5, 2.25)
+    assert span.args == {"item": 3}
+
+
+def test_flow_phase_validated():
+    env = Environment()
+    tracer = Tracer(env)
+    with pytest.raises(ValueError, match="flow phase"):
+        tracer.flow("x", "t", "t", 0)
+
+
+def test_chrome_trace_export_validity(tmp_path):
+    """The export is valid Chrome-trace JSON: round-trips, one
+    thread_name metadata event per track, timestamps monotonic, and
+    every flow id appears as exactly one s/f pair."""
+    env = Environment()
+    tracer = Tracer(env)
+
+    def p(env):
+        tok = tracer.begin("decode", "fpga")
+        yield env.timeout(0.002)
+        tracer.end(tok)
+        fid = tracer.next_flow_id()
+        tracer.flow("req1", "fpga", "s", fid, at=0.0)
+        tracer.flow("req1", "gpu", "f", fid, at=0.002)
+        tracer.span_at("infer", "gpu", 0.002, 0.004)
+        tracer.counter("depth", {"rx": 3}, at=0.001)
+        tracer.instant("done", "gpu")
+
+    env.process(p(env))
+    env.run()
+    path = str(tmp_path / "trace.json")
+    events = json.loads(tracer.to_chrome_trace(path))
+    assert json.loads(open(path).read()) == events
+
+    meta = [e for e in events if e["ph"] == "M"]
+    tracks = [e["args"]["name"] for e in meta]
+    assert sorted(tracks) == ["fpga", "gpu"]          # one per track
+    assert len({e["tid"] for e in meta}) == len(meta)  # distinct tids
+    # Metadata leads; everything after is in timestamp order.
+    assert all(e["ph"] == "M" for e in events[:len(meta)])
+    ts = [e["ts"] for e in events[len(meta):]]
+    assert ts == sorted(ts)
+
+    flows = [e for e in events if e["ph"] in ("s", "f")]
+    by_id = {}
+    for e in flows:
+        by_id.setdefault(e["id"], []).append(e)
+    for pair in by_id.values():
+        assert sorted(e["ph"] for e in pair) == ["f", "s"]
+        (fin,) = [e for e in pair if e["ph"] == "f"]
+        assert fin["bp"] == "e"
+        assert all(e["cat"] == "flow" for e in pair)
+
+
 def test_pipeline_unit_traces_service_spans():
     env = Environment()
     tracer = Tracer(env)

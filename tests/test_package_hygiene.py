@@ -9,7 +9,8 @@ PACKAGES = ["repro", "repro.sim", "repro.jpeg", "repro.calib",
             "repro.storage", "repro.net", "repro.memory", "repro.fpga",
             "repro.host", "repro.engines", "repro.backends",
             "repro.workflows", "repro.experiments", "repro.data",
-            "repro.cluster", "repro.faults", "repro.supervision"]
+            "repro.cluster", "repro.faults", "repro.supervision",
+            "repro.telemetry", "repro.tracing"]
 
 
 def iter_all_modules():

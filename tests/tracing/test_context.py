@@ -1,0 +1,140 @@
+"""RequestTrace cursor semantics: segment tiling, attempt epochs,
+trace_of lookup."""
+
+import pytest
+
+from repro.tracing import RequestTrace, mark_cmd, trace_of
+
+
+class Clock:
+    """A hand-cranked sim clock standing in for Environment.now."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_segments_tile_the_lifetime():
+    clk = Clock()
+    t = RequestTrace(clk, "nic.rx", kind="wait")
+    clk.now = 1.0
+    t.mark("decode", "service")
+    clk.now = 2.5
+    t.mark("queue", "wait")
+    clk.now = 4.0
+    t.finish()
+    assert [(s.stage, s.kind, s.start, s.end) for s in t.segments] == [
+        ("nic.rx", "wait", 0.0, 1.0),
+        ("decode", "service", 1.0, 2.5),
+        ("queue", "wait", 2.5, 4.0),
+    ]
+    assert t.e2e_latency == 4.0
+    assert sum(s.duration for s in t.segments) == t.e2e_latency
+    assert t.status == "ok"
+
+
+def test_zero_length_segments_are_skipped():
+    clk = Clock()
+    t = RequestTrace(clk, "a")
+    t.mark("b", "service")     # no time passed: "a" contributes nothing
+    clk.now = 1.0
+    t.finish()
+    assert [s.stage for s in t.segments] == ["b"]
+    assert sum(s.duration for s in t.segments) == t.e2e_latency
+
+
+def test_finish_is_idempotent_and_seals_the_trace():
+    clk = Clock()
+    t = RequestTrace(clk, "a")
+    clk.now = 1.0
+    t.finish()
+    clk.now = 2.0
+    t.finish("late")           # no-op
+    t.mark("ghost", "service")  # no-op
+    assert t.status == "ok"
+    assert t.finished_at == 1.0
+    assert [s.stage for s in t.segments] == ["a"]
+
+
+def test_abort_stamps_the_failure_status():
+    clk = Clock()
+    t = RequestTrace(clk, "a")
+    clk.now = 0.5
+    t.abort("shed:rx")
+    assert t.is_finished
+    assert t.status == "shed:rx"
+
+
+def test_on_finish_callback_receives_the_trace():
+    seen = []
+    t = RequestTrace(Clock(), "a", on_finish=seen.append)
+    t.finish()
+    assert seen == [t]
+
+
+def test_trace_ids_are_unique():
+    clk = Clock()
+    ids = {RequestTrace(clk, "a").trace_id for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_summary_snapshot():
+    clk = Clock()
+    t = RequestTrace(clk, "a", baggage={"rid": 7})
+    s = t.summary()
+    assert s["status"] == "active" and s["e2e_s"] is None
+    clk.now = 1.0
+    t.finish()
+    s = t.summary()
+    assert s["status"] == "ok" and s["e2e_s"] == 1.0
+    assert s["baggage"] == {"rid": 7}
+    assert s["segments"] == [("a", "wait", 0.0, 1.0)]
+
+
+class FakeCmd:
+    def __init__(self, trace, attempt=0):
+        self.trace = trace
+        self.trace_attempt = attempt
+
+
+def test_mark_cmd_stale_epoch_is_a_noop():
+    """A ghost cmd (declared lost, still crawling through the mirror)
+    must never scribble stages onto the trace of its retry."""
+    clk = Clock()
+    t = RequestTrace(clk, "submit")
+    ghost = FakeCmd(t, attempt=0)
+    t.attempt = 1                       # the reader reissued the item
+    fresh = FakeCmd(t, attempt=1)
+    clk.now = 1.0
+    mark_cmd(ghost, "fpga.huffman", "service")
+    assert t.current_stage == "submit"  # ghost ignored
+    mark_cmd(fresh, "fpga.huffman", "service")
+    assert t.current_stage == "fpga.huffman"
+
+
+def test_mark_cmd_untraced_and_finished_are_noops():
+    mark_cmd(FakeCmd(None), "x", "wait")   # no trace: nothing to do
+    clk = Clock()
+    t = RequestTrace(clk, "a")
+    t.finish()
+    mark_cmd(FakeCmd(t), "x", "wait")
+    assert t.current_stage == "a"
+
+
+def test_trace_of_looks_through_the_request():
+    clk = Clock()
+    t = RequestTrace(clk, "a")
+
+    class Req:
+        trace = t
+
+    class Item:
+        trace = None
+        request = Req()
+
+    assert trace_of(Item()) is t
+    Item.trace = RequestTrace(clk, "b")
+    assert trace_of(Item()) is Item.trace
+    assert trace_of(object()) is None

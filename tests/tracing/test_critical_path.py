@@ -1,0 +1,94 @@
+"""Critical-path decomposition: the wait+service == e2e invariant."""
+
+import pytest
+
+from repro.tracing import (CriticalPathAccumulator, RequestTrace,
+                           TraceDecompositionError, aggregate, decompose,
+                           dominant_segment, validate)
+from repro.tracing.context import Segment
+from repro.tracing.critical_path import TOLERANCE_S
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_trace(clk=None):
+    clk = clk or Clock()
+    t = RequestTrace(clk, "rx", kind="wait")
+    clk.now = 0.25
+    t.mark("decode", "service")
+    clk.now = 1.0
+    t.mark("rx", "wait")        # second visit to the same stage
+    clk.now = 1.5
+    t.finish()
+    return t
+
+
+def test_decompose_sums_per_stage_kind():
+    d = decompose(make_trace())
+    assert d == {("rx", "wait"): pytest.approx(0.75),
+                 ("decode", "service"): pytest.approx(0.75)}
+    assert sum(d.values()) == pytest.approx(1.5)
+
+
+def test_decompose_rejects_active_traces():
+    t = RequestTrace(Clock(), "rx")
+    with pytest.raises(ValueError, match="active"):
+        decompose(t)
+
+
+def test_validate_accepts_a_tiled_trace():
+    assert abs(validate(make_trace())) <= TOLERANCE_S
+
+
+def test_validate_raises_on_an_accounting_hole():
+    t = make_trace()
+    # Surgically puncture the tiling: shrink one segment.
+    s = t.segments[0]
+    t.segments[0] = Segment(s.stage, s.kind, s.start, s.end - 0.1)
+    with pytest.raises(TraceDecompositionError, match="residual"):
+        validate(t)
+
+
+def test_dominant_segment():
+    t = make_trace()
+    dom = dominant_segment(t)
+    assert dom.duration == pytest.approx(0.75)
+    empty = RequestTrace(Clock(), "a")
+    empty.finish()
+    assert dominant_segment(empty) is None
+
+
+def test_accumulator_aggregates_and_counts_violations():
+    traces = [make_trace() for _ in range(3)]
+    s = traces[0].segments[0]
+    traces[0].segments[0] = Segment(s.stage, s.kind, s.start, s.end - 0.1)
+    acc = aggregate(traces)
+    assert acc.traces == 3
+    assert acc.violations == 1
+    assert acc.worst_residual == pytest.approx(-0.1)
+    report = acc.report()
+    assert set(report) == {"rx", "decode"}
+    assert report["decode"]["service"] == pytest.approx(3 * 0.75)
+    assert report["decode"]["wait"] == 0.0
+    assert "1 decomposition violation" in acc.render()
+
+
+def test_accumulator_clean_over_many_marks():
+    clk = Clock()
+    acc = CriticalPathAccumulator()
+    for i in range(50):
+        t = RequestTrace(clk, "rx")
+        for j in range(20):
+            clk.now += 0.001 * ((i + j) % 7)
+            t.mark(f"stage{j % 5}", "wait" if j % 2 else "service")
+        clk.now += 0.002
+        t.finish()
+        acc.add(t)
+    assert acc.violations == 0
+    assert abs(acc.worst_residual) <= TOLERANCE_S

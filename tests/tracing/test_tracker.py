@@ -1,0 +1,171 @@
+"""RequestTracker: flight recorder, post-mortems, span emission and the
+batch fan-in record."""
+
+import pytest
+
+from repro.sim import Environment, Tracer
+from repro.tracing import FlightRecorder, RequestTrace, RequestTracker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class FakeEnv:
+    """The tracker only reads ``env.now``."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+def test_flight_recorder_is_a_bounded_ring():
+    rec = FlightRecorder(capacity=3)
+    clk = Clock()
+    traces = []
+    for i in range(5):
+        t = RequestTrace(clk, "a")
+        t.finish()
+        rec.record(t)
+        traces.append(t)
+    assert len(rec) == 3
+    assert rec.traces == tuple(traces[2:])          # oldest evicted
+    assert rec.last(2) == traces[3:]
+    assert rec.find(traces[4].trace_id) is traces[4]
+    assert rec.find(traces[0].trace_id) is None     # evicted
+    assert [s["trace_id"] for s in rec.snapshot()] == \
+        [t.trace_id for t in traces[2:]]
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_finished_traces_land_in_recorder_and_attribution():
+    env = FakeEnv()
+    rt = RequestTracker(env)
+    t = rt.start("nic.rx", baggage={"rid": 1})
+    assert rt.active == {t.trace_id: t}
+    env.now = 0.5
+    t.mark("decode", "service")
+    env.now = 1.0
+    t.finish()
+    assert rt.active == {}
+    assert rt.recorder.find(t.trace_id) is t
+    assert rt.attribution.traces == 1
+    assert rt.attribution.violations == 0
+    assert rt.stats() == {"started": 1, "finished": 1, "aborted": 0,
+                          "active": 0, "batches": 0, "postmortems": 0,
+                          "decomposition_violations": 0}
+
+
+def test_first_abort_of_each_kind_dumps_a_postmortem():
+    env = FakeEnv()
+    rt = RequestTracker(env)
+    for i in range(3):
+        t = rt.start("nic.rx")
+        env.now += 0.1
+        t.abort("shed:rx")
+    t = rt.start("nic.rx")
+    t.abort("quarantine:bad-jpeg")
+    assert rt.aborted == 4
+    kinds = [pm.kind for pm in rt.postmortems]
+    assert kinds == ["shed:rx", "quarantine:bad-jpeg"]   # one per kind
+    for pm in rt.postmortems:
+        assert len(pm.traces) >= 1
+        assert all(tr["stage"] for tr in pm.traces)      # names the stage
+        assert "post-mortem" in pm.render()
+
+
+def test_postmortem_picks_the_oldest_active_traces():
+    env = FakeEnv()
+    rt = RequestTracker(env)
+    old = rt.start("fpga.fifo")
+    env.now = 1.0
+    young = rt.start("nic.rx")
+    env.now = 2.0
+    pm = rt.postmortem("stall", stage="fpga.fifo", limit=1)
+    assert [tr["trace_id"] for tr in pm.traces] == [old.trace_id]
+    assert pm.traces[0]["stage"] == "fpga.fifo"
+    assert pm.stage == "fpga.fifo"
+    # Falls back to completed traces when nothing is in flight.
+    old.finish()
+    young.finish()
+    pm2 = rt.postmortem("circuit-break")
+    assert len(pm2.traces) == 2
+
+
+def test_postmortem_cap():
+    env = FakeEnv()
+    rt = RequestTracker(env, max_postmortems=2)
+    assert rt.postmortem("a") is not None
+    assert rt.postmortem("b") is not None
+    assert rt.postmortem("c") is None
+    assert len(rt.postmortems) == 2
+
+
+def test_spans_and_flow_pair_emitted_per_finished_trace():
+    env = Environment()
+    tracer = Tracer(env)
+    rt = RequestTracker(env, tracer=tracer)
+
+    def p(env):
+        t = rt.start("nic.rx")
+        yield env.timeout(0.5)
+        t.mark("decode", "service")
+        yield env.timeout(0.5)
+        t.finish()
+
+    env.process(p(env))
+    env.run()
+    assert [(s.name, s.track) for s in tracer.spans] == [
+        ("wait", "req.nic.rx"), ("service", "req.decode")]
+    assert all(s.args["trace"] for s in tracer.spans)
+    (start, fin) = tracer.flows
+    assert start[2] == "s" and fin[2] == "f"
+    assert start[3] == fin[3]                       # shared flow id
+    assert start[1] == "req.nic.rx" and fin[1] == "req.decode"
+
+
+def test_emit_spans_off_keeps_the_tracer_clean():
+    env = Environment()
+    tracer = Tracer(env)
+    rt = RequestTracker(env, tracer=tracer, emit_spans=False)
+    t = rt.start("nic.rx")
+    t.finish()
+    assert tracer.spans == [] and tracer.flows == []
+    assert rt.finished == 1                         # still tracked
+
+
+def test_batch_fanin_links_every_member():
+    env = Environment()
+    tracer = Tracer(env)
+    rt = RequestTracker(env, tracer=tracer)
+    members = [rt.start("batch.fanin") for _ in range(4)]
+    rt.batch_fanin("7", members, start=0.0, end=0.25)
+    assert rt.batches == 1
+    (span,) = tracer.spans
+    assert span.name == "batch#7" and span.track == "batch.assembly"
+    assert span.args["members"] == [t.trace_id for t in members]
+    assert span.args["count"] == 4
+    # One s/f flow pair per member, arrows into the batch track.
+    assert len(tracer.flows) == 8
+    fids = {f[3] for f in tracer.flows}
+    assert len(fids) == 4
+    assert {f[1] for f in tracer.flows if f[2] == "f"} == {"batch.assembly"}
+
+
+def test_export_chrome_flushes_open_spans(tmp_path):
+    env = Environment()
+    tracer = Tracer(env)
+    rt = RequestTracker(env, tracer=tracer)
+    t = rt.start("nic.rx")
+    t.finish()
+    tracer.begin("leaked", "t")                    # component-level leak
+    path = str(tmp_path / "trace.json")
+    assert rt.export_chrome(path) is not None
+    assert tracer.open_spans == 0                  # flushed, not dropped
+    assert tracer.total_dropped == 0
+    assert (tmp_path / "trace.json").exists()
+    assert RequestTracker(env).export_chrome() is None   # no tracer

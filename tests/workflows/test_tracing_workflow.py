@@ -1,0 +1,201 @@
+"""Causal tracing wired through the full workflows.
+
+Pins the tier-1 contracts of :mod:`repro.tracing`:
+
+* **observer effect** — tracing off (``None`` or ``enabled=False``) and
+  even tracing *on* leave the headline metrics bit-identical, because
+  the tracker creates no events and consumes no randomness;
+* **decomposition invariant** — per-request wait+service sums to the
+  measured e2e latency within 1e-9 s, under chaos (cmd drops, poison
+  payloads, retries) and deadline shedding;
+* **post-mortems** — quarantine, shed, circuit-break and stall events
+  each carry flight-recorder traces naming the blocking stage;
+* **exemplars** — the p99 latency dereferences to a full trace.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy
+from repro.sim import Environment
+from repro.supervision import SupervisionConfig, Supervisor
+from repro.tracing import RequestTracker, TracingConfig
+from repro.tracing.critical_path import TOLERANCE_S, validate
+from repro.workflows import (InferenceConfig, TrainingConfig, run_inference,
+                             run_training)
+
+QUICK_INFER = dict(model="googlenet", backend="dlbooster", batch_size=4,
+                   warmup_s=0.3, measure_s=0.8)
+QUICK_TRAIN = dict(model="alexnet", backend="dlbooster", num_gpus=1,
+                   warmup_s=0.5, measure_s=1.0)
+
+
+def infer_key(r):
+    return (r.throughput, r.latency_mean_ms, r.latency_p50_ms,
+            r.latency_p99_ms, r.cpu_cores, r.cpu_breakdown,
+            r.gpu_compute_util, r.gpu_decode_util)
+
+
+def train_key(r):
+    return (r.throughput, r.cpu_cores, r.cpu_breakdown, r.epochs_done)
+
+
+# ------------------------------------------------- the observer-effect tier
+@pytest.mark.timeout(180)
+def test_tracing_off_and_on_are_bit_identical_serving():
+    baseline = run_inference(InferenceConfig(**QUICK_INFER))
+    disabled = run_inference(InferenceConfig(
+        tracing=TracingConfig(enabled=False), **QUICK_INFER))
+    traced = run_inference(InferenceConfig(
+        tracing=TracingConfig(), **QUICK_INFER))
+    assert infer_key(disabled) == infer_key(baseline)
+    assert "tracing" not in disabled.extras
+    # The tracker observes only — even armed, the numbers are identical.
+    assert infer_key(traced) == infer_key(baseline)
+    assert traced.extras["tracing"]["stats"]["finished"] > 0
+
+
+@pytest.mark.timeout(180)
+def test_tracing_off_and_on_are_bit_identical_training():
+    baseline = run_training(TrainingConfig(**QUICK_TRAIN))
+    disabled = run_training(TrainingConfig(
+        tracing=TracingConfig(enabled=False), **QUICK_TRAIN))
+    traced = run_training(TrainingConfig(
+        tracing=TracingConfig(), **QUICK_TRAIN))
+    assert train_key(disabled) == train_key(baseline)
+    assert "tracing" not in disabled.extras
+    assert train_key(traced) == train_key(baseline)
+    assert traced.extras["tracing"]["stats"]["finished"] > 0
+
+
+# --------------------------------------------- the decomposition invariant
+@pytest.mark.timeout(180)
+def test_decomposition_holds_under_chaos():
+    """cmd drops, poison payloads and retries reshuffle every request's
+    journey; each finished trace must still tile its lifetime exactly."""
+    plan = FaultPlan.of(FaultPlan.cmd_drop(0.05),
+                        FaultPlan.payload_corrupt(0.02), name="trace-chaos")
+    res = run_training(TrainingConfig(
+        fault_plan=plan, retry=RetryPolicy(max_attempts=2),
+        tracing=TracingConfig(flight_recorder_size=4096), **QUICK_TRAIN))
+    tracker = res.extras["tracing"]["tracker"]
+    stats = res.extras["tracing"]["stats"]
+    assert stats["finished"] > 0
+    assert stats["decomposition_violations"] == 0
+    assert abs(tracker.attribution.worst_residual) <= TOLERANCE_S
+    # Re-validate every retained trace individually, not just the
+    # accumulator's tally.
+    for trace in tracker.recorder.traces:
+        assert abs(validate(trace)) <= TOLERANCE_S
+    # Poison payloads exhausted their retries: quarantined traces landed
+    # in the flight recorder and dumped a post-mortem naming the stage.
+    assert stats["aborted"] > 0
+    quarantine_pms = [pm for pm in tracker.postmortems
+                      if pm.kind.startswith("quarantine:")]
+    assert quarantine_pms
+    for pm in quarantine_pms:
+        assert len(pm.traces) >= 1
+        assert all(tr["stage"] for tr in pm.traces)
+
+
+@pytest.mark.timeout(180)
+def test_decomposition_holds_under_deadline_shedding():
+    baseline = run_inference(InferenceConfig(**QUICK_INFER))
+    res = run_inference(InferenceConfig(
+        supervision=SupervisionConfig(
+            deadline_s=baseline.latency_p50_ms / 1e3 * 0.8),
+        tracing=TracingConfig(flight_recorder_size=4096), **QUICK_INFER))
+    tracker = res.extras["tracing"]["tracker"]
+    stats = res.extras["tracing"]["stats"]
+    assert stats["finished"] > 0
+    assert stats["aborted"] > 0                  # work was shed
+    assert stats["decomposition_violations"] == 0
+    for trace in tracker.recorder.traces:
+        assert abs(validate(trace)) <= TOLERANCE_S
+    shed_pms = [pm for pm in tracker.postmortems
+                if pm.kind.startswith("shed:")]
+    assert shed_pms
+    for pm in shed_pms:
+        assert len(pm.traces) >= 1
+        assert all(tr["stage"] for tr in pm.traces)
+    shed_traces = [t for t in tracker.recorder.traces
+                   if (t.status or "").startswith("shed:")]
+    assert shed_traces
+
+
+# ------------------------------------------------------------- post-mortems
+@pytest.mark.timeout(180)
+def test_circuit_break_dumps_the_flight_recorder():
+    plan = FaultPlan.of(FaultPlan.decoder_crash(0.05, 0.25), name="crash")
+    res = run_training(TrainingConfig(
+        fault_plan=plan, retry=RetryPolicy(max_attempts=2),
+        tracing=TracingConfig(), **QUICK_TRAIN))
+    tracker = res.extras["tracing"]["tracker"]
+    assert res.extras["fault_totals"]["failovers"] >= 1
+    break_pms = [pm for pm in tracker.postmortems
+                 if pm.kind == "circuit-break"]
+    assert break_pms
+    for pm in break_pms:
+        assert len(pm.traces) >= 1
+        assert all(tr["stage"] for tr in pm.traces)
+
+
+@pytest.mark.timeout(60)
+def test_stall_postmortem_names_the_blocking_stage():
+    """A supervised stall dumps the flight recorder before any fail-fast
+    raise: the post-mortem names the channel the stage blocks on and the
+    requests stuck in flight."""
+    env = Environment()
+    rtracker = RequestTracker(env)
+    supervisor = Supervisor(env, SupervisionConfig(stall_threshold_s=0.05))
+    supervisor.attach_tracker(rtracker)
+    hb = supervisor.register("fpga-reader")
+    stuck = rtracker.start("fpga.fifo")
+    hb.waiting("cmd-fifo")
+    supervisor.start()
+    env.run(until=0.5)
+    assert int(supervisor.watchdog.stalls_detected.total) >= 1
+    stall_pms = [pm for pm in supervisor.postmortems if pm.kind == "stall"]
+    assert stall_pms
+    pm = stall_pms[0]
+    assert pm.stage == "cmd-fifo"               # the blocking channel
+    assert len(pm.traces) >= 1
+    assert pm.traces[0]["trace_id"] == stuck.trace_id
+    assert pm.traces[0]["stage"] == "fpga.fifo"
+
+
+# ------------------------------------------------- exemplars + export path
+@pytest.mark.timeout(180)
+def test_p99_exemplar_dereferences_to_a_full_trace(tmp_path):
+    path = str(tmp_path / "serving.json")
+    res = run_inference(InferenceConfig(
+        tracing=TracingConfig(flight_recorder_size=100_000,
+                              export_path=path), **QUICK_INFER))
+    tracing = res.extras["tracing"]
+    exemplar = tracing["p99_exemplar"]
+    assert exemplar is not None
+    trace = tracing["tracker"].recorder.find(exemplar)
+    assert trace is not None
+    assert trace.status == "ok"
+    assert trace.segments
+    assert abs(validate(trace)) <= TOLERANCE_S
+    # Its journey covers the pipeline: FPGA decode through GPU compute.
+    # (Zero-duration segments — e.g. nic.rx when the collector drains
+    # the queue at the delivery timestamp — are elided by design.)
+    stages = {s.stage for s in trace.segments}
+    assert any(s.startswith("fpga.") for s in stages)
+    assert "gpu.compute" in stages
+
+    # The workflow-level export is valid Chrome-trace JSON.
+    events = json.load(open(path))
+    phases = {e["ph"] for e in events}
+    assert {"M", "X", "s", "f"} <= phases
+    req_tracks = [e for e in events
+                  if e["ph"] == "M" and e["args"]["name"].startswith("req.")]
+    assert req_tracks
+    flows = {}
+    for e in events:
+        if e["ph"] in ("s", "f"):
+            flows.setdefault(e["id"], []).append(e["ph"])
+    assert all(sorted(v) == ["f", "s"] for v in flows.values())
