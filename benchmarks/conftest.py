@@ -31,3 +31,18 @@ def run_report(benchmark, fn, **kwargs):
 @pytest.fixture
 def full_mode():
     return FULL
+
+
+# Where the perf benchmarks (test_perf_*.py) accumulate their
+# machine-readable results.  One file per run of the suite; each test
+# merges its entries in, so partial runs still produce valid JSON.
+BENCH_JSON = os.environ.get(
+    "REPRO_BENCH_OUT",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "BENCH_PR5.json"))
+
+
+def bench_out(results, derived=None):
+    """Merge BenchResults (and derived ratios) into ``BENCH_JSON``."""
+    from repro.perf import to_payload, write_payload
+    write_payload(BENCH_JSON, to_payload(list(results), derived))

@@ -1,0 +1,44 @@
+"""Perf benchmark: experiment wall-clock + the committed regression gate.
+
+Runs the fig7 experiment end-to-end, records its wall seconds and
+kernel events/s (from the report's perf section) into
+``BENCH_PR5.json``, then replays the regression check CI runs: every
+derived speedup ratio recorded by the perf benchmarks this session must
+stay within 30% of ``benchmarks/perf_baseline.json``.
+"""
+
+import os
+
+from repro.experiments import fig7_infer_throughput
+from repro.perf import (BenchResult, check_regression, load_payload)
+
+from conftest import BENCH_JSON, bench_out
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "perf_baseline.json")
+
+
+def test_experiment_wall_clock_recorded():
+    report = fig7_infer_throughput.run(quick=True)
+    assert not report.failed_checks()
+    perf = report.perf
+    assert perf["wall_s"] > 0 and perf["events"] > 0
+    result = BenchResult(name="experiments.fig7",
+                         best_s=perf["wall_s"], mean_s=perf["wall_s"],
+                         runs=(perf["wall_s"],), reps=1,
+                         units={"events": float(perf["events"])})
+    bench_out([result])
+    print(f"\nfig7 experiment: {perf['wall_s']:.1f}s wall, "
+          f"{perf['events_per_s']:,.0f} events/s")
+
+
+def test_no_regression_vs_committed_baseline():
+    """The CI gate: >30% regression on any recorded ratio fails."""
+    if not os.path.exists(BENCH_JSON):
+        # Running this file alone: nothing recorded yet, nothing to gate.
+        return
+    current = load_payload(BENCH_JSON)
+    baseline = load_payload(BASELINE)
+    failures = check_regression(current, baseline, tolerance=0.30)
+    assert not failures, "perf regressions vs baseline:\n" + "\n".join(
+        failures)

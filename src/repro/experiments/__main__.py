@@ -33,6 +33,11 @@ def main(argv=None) -> int:
                         help="run traced smoke experiments and write "
                              "their Chrome-trace JSON (open in Perfetto) "
                              "into this directory")
+    parser.add_argument("--profile", nargs="?", const=".", default=None,
+                        metavar="DIR",
+                        help="cProfile each experiment and dump "
+                             "{slug}.pstats into DIR (default: cwd); "
+                             "inspect with python -m pstats or snakeviz")
     args = parser.parse_args(argv)
 
     keys = args.experiments or list(ALL_EXPERIMENTS)
@@ -41,7 +46,19 @@ def main(argv=None) -> int:
         # perf_counter, not time.time(): a monotonic clock, so wall
         # reports survive NTP steps / clock adjustments mid-run.
         t0 = time.perf_counter()
-        report = ALL_EXPERIMENTS[key](quick=not args.full)
+        if args.profile is not None:
+            import cProfile
+            os.makedirs(args.profile, exist_ok=True)
+            profiler = cProfile.Profile()
+            profiler.enable()
+            report = ALL_EXPERIMENTS[key](quick=not args.full)
+            profiler.disable()
+            pstats_path = os.path.join(
+                args.profile, f"{key.replace('.', '_')}.pstats")
+            profiler.dump_stats(pstats_path)
+            print(f"  (profile -> {pstats_path})")
+        else:
+            report = ALL_EXPERIMENTS[key](quick=not args.full)
         print(report.render())
         slug = key.replace(".", "_")
         if args.csv_dir:

@@ -36,7 +36,7 @@ from ..faults import FaultInjector, FaultPlan, RetryPolicy
 from ..net import Link
 from ..sim import Environment, SeedBank, Tracer
 from ..workflows import TrainingConfig, run_training
-from .report import Report
+from .report import Report, timed
 
 __all__ = ["run", "nic_loss_goodput", "train_under_faults"]
 
@@ -88,6 +88,7 @@ def _trace_names(tracer: Tracer) -> set[str]:
     return {e.get("name", "") for e in events if isinstance(e, dict)}
 
 
+@timed
 def run(quick: bool = False) -> Report:
     """Degradation curves + recovery proof for the resilience layer."""
     report = Report(

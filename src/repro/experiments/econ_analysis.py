@@ -16,7 +16,7 @@ from ..calib import DEFAULT_TESTBED, TRAIN_MODELS, Testbed
 from ..data import imagenet_like_manifest
 from ..host import BatchSpec
 from ..sim import SeedBank
-from .report import Report
+from .report import Report, timed
 
 __all__ = ["run", "core_revenue_per_year", "freed_core_value_per_hour",
            "fpga_breakeven_hours", "power_cost_per_year"]
@@ -46,6 +46,7 @@ def power_cost_per_year(watts: float,
         * testbed.electricity_per_kwh
 
 
+@timed
 def run(quick: bool = False) -> Report:
     """Reproduce S5.4: the cost/power arithmetic as a report."""
     tb = DEFAULT_TESTBED

@@ -14,7 +14,7 @@ default; LMDB loses ~30% at 2 GPUs; max-perf throughputs are annotated
 from __future__ import annotations
 
 from ..workflows import TrainingConfig, run_training
-from .report import Report
+from .report import Report, timed
 
 __all__ = ["run"]
 
@@ -22,6 +22,7 @@ __all__ = ["run"]
 DEFAULT_CONFIG_WORKERS = 2
 
 
+@timed
 def run(quick: bool = False) -> Report:
     """Reproduce Fig. 2: default-config throughput + max-perf CPU cost."""
     warmup, measure = (1.0, 3.0) if quick else (2.0, 8.0)

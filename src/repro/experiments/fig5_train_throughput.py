@@ -12,7 +12,7 @@ Paper claims reproduced as shape checks:
 from __future__ import annotations
 
 from ..workflows import TrainingConfig, run_training
-from .report import Report
+from .report import Report, timed
 
 __all__ = ["run", "MODELS"]
 
@@ -20,6 +20,7 @@ MODELS = ("lenet5", "alexnet", "resnet18")
 BACKENDS = ("cpu-online", "lmdb", "dlbooster")
 
 
+@timed
 def run(quick: bool = False, models=MODELS) -> Report:
     """Reproduce Fig. 5: training throughput per backend vs the bound."""
     warmup, measure = (1.0, 3.0) if quick else (2.0, 8.0)

@@ -9,7 +9,7 @@ preprocessing ~= 1.5 cores in all).
 from __future__ import annotations
 
 from ..workflows import TrainingConfig, run_training
-from .report import Report
+from .report import Report, timed
 
 __all__ = ["run"]
 
@@ -25,6 +25,7 @@ BREAKDOWN_LABELS = {
 }
 
 
+@timed
 def run(quick: bool = False, models=MODELS) -> Report:
     """Reproduce Fig. 6: training CPU cores (+ the 6(d) breakdown)."""
     warmup, measure = (1.0, 3.0) if quick else (2.0, 8.0)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ..calib import INFER_MODELS
 from ..workflows import InferenceConfig, run_inference
-from .report import Report
+from .report import Report, timed
 
 __all__ = ["run", "batch_sweep"]
 
@@ -28,6 +28,7 @@ def batch_sweep(model: str, quick: bool) -> tuple[int, ...]:
     return tuple(b for b in sweep if b <= max_bs)
 
 
+@timed
 def run(quick: bool = False, models=("googlenet", "vgg16", "resnet50")
         ) -> Report:
     """Reproduce Fig. 7: inference throughput over the batch sweep."""

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 from ..workflows import InferenceConfig, run_inference
 from .fig7_infer_throughput import BACKENDS, batch_sweep
-from .report import Report
+from .report import Report, timed
 
 __all__ = ["run"]
 
 
+@timed
 def run(quick: bool = False, models=("googlenet", "vgg16", "resnet50")
         ) -> Report:
     """Reproduce Fig. 8: serving latency, loaded and unloaded."""

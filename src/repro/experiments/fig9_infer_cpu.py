@@ -9,13 +9,14 @@ from __future__ import annotations
 
 from ..calib import INFER_MODELS
 from ..workflows import InferenceConfig, run_inference
-from .report import Report
+from .report import Report, timed
 
 __all__ = ["run"]
 
 BACKENDS = ("cpu-online", "nvjpeg", "dlbooster")
 
 
+@timed
 def run(quick: bool = False, models=("googlenet", "vgg16", "resnet50")
         ) -> Report:
     """Reproduce Fig. 9: inference CPU cores per backend."""

@@ -39,7 +39,7 @@ from ..host import BatchSpec
 from ..net import Link, NetRequest, Nic
 from ..sim import Environment, LatencyRecorder, SeedBank
 from ..supervision import SupervisionConfig, Supervisor
-from .report import Report
+from .report import Report, timed
 
 __all__ = ["run", "serve_open_loop", "OverloadResult"]
 
@@ -152,6 +152,7 @@ def serve_open_loop(deadline_s: Optional[float] = None,
         conserved=backend.conservation_ok())
 
 
+@timed
 def run(quick: bool = False) -> Report:
     """Open-loop overload: shedding bounds p99, no-shed collapses."""
     sim_s = 2.0 if quick else 4.0

@@ -10,10 +10,12 @@ drifting.
 
 from __future__ import annotations
 
+import functools
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-__all__ = ["Report", "ShapeCheck", "fmt_table"]
+__all__ = ["Report", "ShapeCheck", "fmt_table", "timed"]
 
 
 @dataclass
@@ -40,6 +42,10 @@ class Report:
     rows: list[Sequence] = field(default_factory=list)
     checks: list[ShapeCheck] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    # Wall-clock accounting for the run that produced this report (set
+    # by :func:`timed` / :meth:`set_perf`) — real seconds, never part of
+    # the simulated metrics.
+    perf: dict = field(default_factory=dict)
 
     def add_row(self, *values) -> None:
         if len(values) != len(self.columns):
@@ -49,6 +55,19 @@ class Report:
 
     def check(self, claim: str, condition: bool, detail: str = "") -> None:
         self.checks.append(ShapeCheck(claim, bool(condition), detail))
+
+    def set_perf(self, wall_s: float, events: Optional[int] = None) -> None:
+        """Record how long the run took on the wall clock.
+
+        ``events`` is the number of kernel events processed (all
+        Environments the run created); events/s is the sim-kernel
+        throughput figure tracked by the perf benchmarks.
+        """
+        self.perf = {"wall_s": wall_s}
+        if events is not None:
+            self.perf["events"] = int(events)
+            self.perf["events_per_s"] = (events / wall_s if wall_s > 0
+                                         else 0.0)
 
     @property
     def all_passed(self) -> bool:
@@ -89,6 +108,7 @@ class Report:
                         "detail": c.detail} for c in self.checks],
             "notes": list(self.notes),
             "all_passed": self.all_passed,
+            "perf": {k: cell(v) for k, v in self.perf.items()},
         }, indent=2, allow_nan=False, default=str)
 
     def render(self) -> str:
@@ -98,10 +118,32 @@ class Report:
             out.append(f"  note: {note}")
         for check in self.checks:
             out.append(f"  {check}")
+        if self.perf:
+            line = f"  perf: {self.perf['wall_s']:.2f}s wall"
+            if "events" in self.perf:
+                line += (f", {self.perf['events']:,} events "
+                         f"({self.perf['events_per_s']:,.0f}/s)")
+            out.append(line)
         return "\n".join(out)
 
     def __str__(self) -> str:
         return self.render()
+
+
+def timed(fn: Callable[..., "Report"]) -> Callable[..., "Report"]:
+    """Decorator for experiment runners: stamp the returned report with
+    wall seconds and kernel events processed (perf_counter, so NTP steps
+    mid-run cannot corrupt the accounting)."""
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs) -> "Report":
+        from ..sim.core import total_events_processed
+        t0 = time.perf_counter()
+        ev0 = total_events_processed()
+        report = fn(*args, **kwargs)
+        report.set_perf(time.perf_counter() - t0,
+                        total_events_processed() - ev0)
+        return report
+    return wrapper
 
 
 def _fmt_cell(value) -> str:

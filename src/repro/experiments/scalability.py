@@ -10,7 +10,7 @@ GPUs' performance have already exceeded what such servers can offer
 from __future__ import annotations
 
 from ..calib import DEFAULT_TESTBED, Testbed
-from .report import Report
+from .report import Report, timed
 
 __all__ = ["run", "cores_needed_per_gpu"]
 
@@ -27,6 +27,7 @@ def cores_needed_per_gpu(gpu_rate: float,
     return gpu_rate / per_core
 
 
+@timed
 def run(quick: bool = False) -> Report:
     """Reproduce S2.2: decode-core demand vs availability."""
     tb = DEFAULT_TESTBED

@@ -4,11 +4,24 @@ Within a JPEG scan, any 0xFF data byte is followed by a stuffed 0x00 so
 decoders can find markers by scanning for 0xFF. The reader treats
 0xFF D0-D7 (RSTn) as segment boundaries and any other marker as
 end-of-scan.
+
+The reader refills its accumulator in bulk: whenever four plain bytes
+(no 0xFF anywhere among them) are next in the buffer they are loaded in
+one 32-bit gulp; only windows containing 0xFF — stuffing candidates or
+markers — fall back to the byte-at-a-time path.  :meth:`BitReader.
+ensure_bits` additionally offers a *non-consuming* best-effort refill
+that stops cleanly at markers instead of raising, which is what the
+table-driven Huffman fast path (:meth:`repro.jpeg.huffman.HuffmanTable.
+decode`) peeks through.
 """
 
 from __future__ import annotations
 
 __all__ = ["BitWriter", "BitReader", "EndOfScan"]
+
+# value & _MASK[n] == low n bits; sized for the deepest accumulator the
+# reader can hold (31 buffered bits + a 32-bit bulk refill).
+_MASK = tuple((1 << n) - 1 for n in range(64))
 
 
 class EndOfScan(Exception):
@@ -76,7 +89,19 @@ class BitReader:
         return self._pos
 
     def _pull_byte(self) -> None:
+        """Refill the accumulator — in bulk where the stream allows.
+
+        The fast path loads four plain bytes (no 0xFF among them) in one
+        gulp; a window containing 0xFF is handled byte-at-a-time so the
+        stuffing (0xFF00) and marker rules apply exactly as before.
+        """
         data, pos = self._data, self._pos
+        chunk = data[pos:pos + 4]
+        if len(chunk) == 4 and 0xFF not in chunk:
+            self._acc = (self._acc << 32) | int.from_bytes(chunk, "big")
+            self._nbits += 32
+            self._pos = pos + 4
+            return
         if pos >= len(data):
             raise EndOfScan("out of data")
         byte = data[pos]
@@ -95,15 +120,59 @@ class BitReader:
         self._nbits += 8
         self._pos = pos
 
+    def ensure_bits(self, want: int) -> int:
+        """Best-effort refill to ``want`` buffered bits *without raising*.
+
+        Returns the number of bits now buffered, which may be less than
+        ``want`` when a marker (or the end of the buffer) is closer.
+        Unlike :meth:`read`, hitting a marker neither raises
+        :class:`EndOfScan` nor records ``marker_found`` — nothing past
+        the last whole data byte is consumed, so a subsequent
+        :meth:`read` still fails at exactly the position the one-bit-at-
+        a-time path would have.
+        """
+        nbits = self._nbits
+        if nbits >= want:
+            return nbits
+        data, pos = self._data, self._pos
+        size = len(data)
+        acc = self._acc
+        while nbits < want:
+            chunk = data[pos:pos + 4]
+            if len(chunk) == 4 and 0xFF not in chunk:
+                acc = (acc << 32) | int.from_bytes(chunk, "big")
+                nbits += 32
+                pos += 4
+                continue
+            if pos >= size:
+                break
+            byte = data[pos]
+            if byte == 0xFF:
+                if pos + 1 >= size or data[pos + 1] != 0x00:
+                    break            # marker / truncation: stop cleanly
+                acc = (acc << 8) | 0xFF
+                pos += 2
+            else:
+                acc = (acc << 8) | byte
+                pos += 1
+            nbits += 8
+        self._acc = acc
+        self._nbits = nbits
+        self._pos = pos
+        return nbits
+
     def read(self, nbits: int) -> int:
         """Read ``nbits`` (MSB first); raises EndOfScan past the segment."""
         if nbits < 0 or nbits > 24:
             raise ValueError(f"nbits out of range: {nbits}")
-        while self._nbits < nbits:
+        have = self._nbits
+        while have < nbits:
             self._pull_byte()
-        self._nbits -= nbits
-        value = (self._acc >> self._nbits) & ((1 << nbits) - 1)
-        self._acc &= (1 << self._nbits) - 1
+            have = self._nbits
+        have -= nbits
+        self._nbits = have
+        value = (self._acc >> have) & _MASK[nbits]
+        self._acc &= _MASK[have]
         return value
 
     def read_bit(self) -> int:

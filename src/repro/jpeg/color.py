@@ -35,8 +35,20 @@ def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
         raise ValueError(f"expected (H, W, 3), got {ycc.shape}")
     shifted = ycc.copy()
     shifted[..., 1:] -= 128.0
+    return _shifted_ycbcr_to_rgb(shifted)
+
+
+def _shifted_ycbcr_to_rgb(shifted: np.ndarray) -> np.ndarray:
+    """uint8 RGB from already chroma-centred float64 YCbCr.
+
+    The decoder hot path builds the shifted array directly into a fresh
+    buffer (no stack + copy); the arithmetic here is exactly the tail of
+    :func:`ycbcr_to_rgb`, so pixels stay bit-identical.
+    """
     rgb = shifted @ _INV.T
-    return np.clip(np.round(rgb), 0, 255).astype(np.uint8)
+    np.round(rgb, out=rgb)
+    np.clip(rgb, 0, 255, out=rgb)
+    return rgb.astype(np.uint8)
 
 
 def _pad_even(plane: np.ndarray) -> np.ndarray:

@@ -50,8 +50,18 @@ def idct2_dequant(qcoeffs: np.ndarray, qtable: np.ndarray) -> np.ndarray:
     ``qcoeffs`` is an integer stack (..., 8, 8) of quantized coefficients;
     ``qtable`` the (8, 8) quantizer. Returns float pixel-domain blocks
     (still level-shifted by -128).
+
+    Exactly one float64 conversion happens: the dequantize multiply
+    upcasts the integer stack directly (``np.multiply(..., dtype=
+    float64)``), and the iDCT matmuls run on that product without
+    re-validating/re-converting through :func:`idct2` — int32 -> float64
+    is exact, so the result is bit-identical to the staged composition.
     """
     qtable = np.asarray(qtable, dtype=np.float64)
     if qtable.shape != (8, 8):
         raise ValueError(f"qtable must be (8, 8), got {qtable.shape}")
-    return idct2(np.asarray(qcoeffs, dtype=np.float64) * qtable)
+    qcoeffs = np.asarray(qcoeffs)
+    if qcoeffs.shape[-2:] != (8, 8):
+        raise ValueError(f"expected trailing (8, 8), got {qcoeffs.shape}")
+    coeffs = np.multiply(qcoeffs, qtable, dtype=np.float64)
+    return _DCT_T @ coeffs @ DCT_MATRIX

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from .bitstream import BitReader, EndOfScan
-from .color import upsample_420, ycbcr_to_rgb
+from .color import _shifted_ycbcr_to_rgb, upsample_420
 from .dct import idct2_dequant
 from .errors import (BadHuffmanCodeError, BadMarkerError,
                      TruncatedStreamError)
@@ -68,6 +68,15 @@ def entropy_decode(parsed: ParsedJpeg) -> list[np.ndarray]:
     interval = parsed.restart_interval
     mcu_index = 0
     expected_rst = 0
+    # One flat plan entry per block of an MCU, hoisted out of the MCU
+    # loop: (component index, tables, block offsets within the MCU).
+    plan = []
+    for si, ci in enumerate(scan_idx):
+        comp = frame.components[ci]
+        for by in range(comp.v_samp):
+            for bx in range(comp.h_samp):
+                plan.append((ci, dc_tabs[si], ac_tabs[si], out[ci],
+                             comp.v_samp, comp.h_samp, by, bx))
     for my in range(mcus_y):
         for mx in range(mcus_x):
             if interval and mcu_index and mcu_index % interval == 0:
@@ -83,25 +92,22 @@ def entropy_decode(parsed: ParsedJpeg) -> list[np.ndarray]:
                         f"expected RST{expected_rst}")
                 expected_rst = (expected_rst + 1) % 8
                 pred = [0] * ncomp
-            for si, ci in enumerate(scan_idx):
-                comp = frame.components[ci]
-                for by in range(comp.v_samp):
-                    for bx in range(comp.h_samp):
-                        try:
-                            zz, pred[ci] = decode_block(
-                                reader, pred[ci], dc_tabs[si], ac_tabs[si])
-                        except EndOfScan as exc:
-                            raise TruncatedStreamError(
-                                f"scan truncated in MCU {mcu_index}: {exc}"
-                            ) from None
-                        except JpegFormatError:
-                            raise
-                        except ValueError as exc:
-                            raise BadHuffmanCodeError(
-                                f"corrupt scan in MCU {mcu_index}: {exc}"
-                            ) from None
-                        out[ci][my * comp.v_samp + by,
-                                mx * comp.h_samp + bx] = zz
+            try:
+                for ci, dc_tab, ac_tab, plane, v, h, by, bx in plan:
+                    # Decode straight into the (pre-zeroed) output row.
+                    _, pred[ci] = decode_block(
+                        reader, pred[ci], dc_tab, ac_tab,
+                        plane[my * v + by, mx * h + bx])
+            except EndOfScan as exc:
+                raise TruncatedStreamError(
+                    f"scan truncated in MCU {mcu_index}: {exc}"
+                ) from None
+            except JpegFormatError:
+                raise
+            except ValueError as exc:
+                raise BadHuffmanCodeError(
+                    f"corrupt scan in MCU {mcu_index}: {exc}"
+                ) from None
             mcu_index += 1
     return out
 
@@ -140,14 +146,18 @@ def planes_to_image(parsed: ParsedJpeg,
     if len(planes) != 3:
         raise JpegFormatError(f"unsupported component count {len(planes)}")
     h, w = frame.height, frame.width
-    full = []
-    for comp, plane in zip(frame.components, planes):
-        if plane.shape == (h, w):
-            full.append(plane)
+    # Assemble the chroma-shifted YCbCr directly into one buffer: same
+    # elementwise subtraction and matmul as stack + ycbcr_to_rgb, minus
+    # a stack and a copy, so pixels stay bit-identical.
+    shifted = np.empty((h, w, 3), dtype=np.float64)
+    for i, (comp, plane) in enumerate(zip(frame.components, planes)):
+        if plane.shape != (h, w):
+            plane = upsample_420(plane, h, w)
+        if i:
+            np.subtract(plane, 128.0, out=shifted[..., i])
         else:
-            full.append(upsample_420(plane, h, w))
-    ycc = np.stack(full, axis=-1)
-    return ycbcr_to_rgb(ycc)
+            shifted[..., 0] = plane
+    return _shifted_ycbcr_to_rgb(shifted)
 
 
 def decode(data: bytes) -> np.ndarray:

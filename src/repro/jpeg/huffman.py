@@ -6,11 +6,21 @@ canonical ranges) are derived from them.  The DC/AC symbol conventions —
 magnitude categories, run/size packing, ZRL and EOB — live here too, so
 the FPGA Huffman-unit model and the software decoder share one
 implementation.
+
+Decoding is table-driven in the libjpeg-turbo style: an 8-bit lookahead
+LUT maps every possible next byte of the bitstream straight to (symbol,
+code length) for codes of <= 8 bits — the overwhelmingly common case in
+Annex K streams — consuming the code in one step.  Codes longer than 8
+bits, and reads within 8 bits of a marker, fall back to the reference
+one-bit-at-a-time DECODE procedure (:meth:`HuffmanTable.decode_ref`),
+which is kept verbatim both as the slow path and as the oracle the
+property tests compare the LUT against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -38,6 +48,17 @@ class HuffmanTable:
     _mincode: list[int] = field(default_factory=list, repr=False)
     _maxcode: list[int] = field(default_factory=list, repr=False)
     _valptr: list[int] = field(default_factory=list, repr=False)
+    # 8-bit lookahead LUT: for every 8-bit window whose prefix is a
+    # complete code of length L <= 8, _lut[window] = (L << 8) | symbol;
+    # _lut[window] = 0 marks a long (> 8 bit) code needing the
+    # canonical walk.  (No length-1..8 code can collide with the 0
+    # sentinel: a real entry always has L >= 1 in the high byte.)
+    _lut: list[int] = field(default_factory=list, repr=False)
+    # 16-bit combined lookaheads for decode_block, built lazily by
+    # _lookahead16 (memoized on (bits, values) across instances).  DC
+    # and AC interpret symbols differently, so each use gets a slot.
+    _lut16_dc: Optional[list[int]] = field(default=None, repr=False)
+    _lut16_ac: Optional[list[int]] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.bits) != 16:
@@ -67,6 +88,17 @@ class HuffmanTable:
             if code > (1 << length):
                 raise ValueError(f"over-subscribed at length {length}")
             code <<= 1
+        # Lookahead LUT (libjpeg's jpeg_make_d_derived_tbl HUFF_LOOKAHEAD
+        # idea): replicate each short code across every 8-bit window it
+        # prefixes.
+        self._lut = [0] * 256
+        for symbol, (code, length) in self.encode_map.items():
+            if length > 8:
+                continue
+            base = code << (8 - length)
+            packed = (length << 8) | symbol
+            for window in range(base, base + (1 << (8 - length))):
+                self._lut[window] = packed
 
     def encode(self, writer: BitWriter, symbol: int) -> None:
         try:
@@ -76,7 +108,34 @@ class HuffmanTable:
         writer.write(code, length)
 
     def decode(self, reader: BitReader) -> int:
-        """Read one symbol (T.81 F.2.2.3 DECODE procedure)."""
+        """Read one symbol — LUT fast path, reference walk otherwise.
+
+        Consumes exactly the same bits as :meth:`decode_ref` and returns
+        the same symbol (or raises at the same bit position); the
+        property tests in ``tests/jpeg/test_huffman_lut.py`` pin this.
+        """
+        nbits = reader._nbits
+        if nbits >= 8 or reader.ensure_bits(8) >= 8:
+            nbits = reader._nbits
+            window = (reader._acc >> (nbits - 8)) & 0xFF
+            packed = self._lut[window]
+            if packed:
+                nbits -= packed >> 8
+                reader._nbits = nbits
+                reader._acc &= (1 << nbits) - 1
+                return packed & 0xFF
+        # Long code, or fewer than 8 bits left before a marker: the
+        # reference walk reads bit-by-bit from the (already buffered)
+        # accumulator and fails exactly where the pre-LUT decoder did.
+        return self.decode_ref(reader)
+
+    def decode_ref(self, reader: BitReader) -> int:
+        """Read one symbol (T.81 F.2.2.3 DECODE procedure, reference).
+
+        The pre-LUT implementation, byte for byte; kept as the slow path
+        for > 8-bit codes and near-marker reads, and as the oracle the
+        LUT path is property-tested against.
+        """
         code = reader.read_bit()
         length = 1
         while code > self._maxcode[length]:
@@ -217,31 +276,291 @@ def encode_block(writer: BitWriter, zz: np.ndarray, pred_dc: int,
     return dc
 
 
+# --- 16-bit combined lookahead (decode_block fast path) --------------------
+# A 16-bit window resolves *every* legal code (T.81 codes are <= 16 bits)
+# and, for the overwhelmingly common short-code + small-magnitude case,
+# the EXTENDed coefficient value too, so one list index replaces the
+# whole decode-symbol / receive / extend sequence.  Entry classes:
+#
+#   0                        no code prefixes this window (corrupt)
+#   (L<<20)|(run<<16)|ssss   code resolved, consume L; magnitude not
+#                            contained in the window (or ssss > 15 /
+#                            control symbols with ssss == 0: EOB, ZRL)
+#   _COMPLETE | entry        code AND magnitude resolved in one step:
+#       bits 0..15   EXTENDed coefficient value + 32768
+#       bits 16..19  zero run
+#       bits 20..25  total consumed bits (L + ssss)
+#       bits 26..30  ssss (to un-consume the magnitude on error paths)
+#
+# Tables are derived lazily and memoized on (bits, values): the decoder
+# parses fresh HuffmanTable objects per image, but almost every stream
+# uses the Annex K tables, so the 65536-entry build runs once per
+# distinct table per process.
+_COMPLETE = 1 << 31
+
+_LOOKAHEAD16_CACHE: dict[tuple, list[int]] = {}
+
+
+def _lookahead16(table: HuffmanTable, is_dc: bool) -> list[int]:
+    key = (table.bits, table.values, is_dc)
+    lut = _LOOKAHEAD16_CACHE.get(key)
+    if lut is None:
+        lut = _LOOKAHEAD16_CACHE[key] = _build_lookahead16(table, is_dc)
+    return lut
+
+
+def _build_lookahead16(table: HuffmanTable, is_dc: bool) -> list[int]:
+    lut = [0] * 65536
+    for symbol, (code, length) in table.encode_map.items():
+        if is_dc:
+            run, ssss = 0, symbol
+        else:
+            run, ssss = symbol >> 4, symbol & 0x0F
+        base = code << (16 - length)
+        span = 1 << (16 - length)
+        if ssss == 0:
+            if is_dc:
+                # DC category 0: diff == 0, complete with value 0.
+                entry = _COMPLETE | (length << 20) | 32768
+            else:
+                # EOB / ZRL / invalid 0xN0: control, handled by run.
+                entry = (length << 20) | (run << 16)
+            lut[base:base + span] = [entry] * span
+        elif ssss <= 15 and length + ssss <= 16:
+            # Code and magnitude both inside the window: precompute the
+            # EXTENDed value for each possible magnitude pattern and
+            # replicate across the free low bits.
+            shift = 16 - length - ssss
+            rep = 1 << shift
+            half = 1 << (ssss - 1)
+            head = (_COMPLETE | (ssss << 26) | ((length + ssss) << 20)
+                    | (run << 16))
+            for mag in range(1 << ssss):
+                value = mag if mag >= half else mag - (1 << ssss) + 1
+                start = base + (mag << shift)
+                lut[start:start + rep] = [head | (value + 32768)] * rep
+        else:
+            entry = (length << 20) | (run << 16) | ssss
+            lut[base:base + span] = [entry] * span
+    return lut
+
+
 def decode_block(reader: BitReader, pred_dc: int, dc_table: HuffmanTable,
-                 ac_table: HuffmanTable) -> tuple[np.ndarray, int]:
-    """Decode one block; returns (zig-zag int32 vector, new DC predictor)."""
-    zz = np.zeros(64, dtype=np.int32)
-    ssss = dc_table.decode(reader)
-    diff = decode_magnitude(reader.read(ssss), ssss) if ssss else 0
-    dc = pred_dc + diff
+                 ac_table: HuffmanTable,
+                 out: Optional[np.ndarray] = None) -> tuple[np.ndarray, int]:
+    """Decode one block; returns (zig-zag int32 vector, new DC predictor).
+
+    The hot loop runs entirely on local copies of the reader's bit
+    accumulator *and* byte cursor: refills gulp four plain bytes at a
+    time straight from the buffer (matching
+    :meth:`~repro.jpeg.bitstream.BitReader.ensure_bits`), and each
+    16-bit-window lookup (:func:`_lookahead16`) resolves a whole
+    code + magnitude in one step for the common case, so decoding one
+    coefficient is a handful of integer operations with no method calls.
+    Pathological SSSS categories and reads within a code's reach of a
+    marker write the state back and take the reference path (``decode``
+    / ``read``), so every symbol, every consumed bit and every error is
+    identical to the unfused composition of ``decode`` + ``read`` +
+    EXTEND.
+
+    ``out`` lets the caller supply a zeroed length-64 int32 view to
+    decode into (the staged decoder passes rows of its coefficient
+    planes, skipping a per-block allocation + copy).
+    """
+    zz = np.zeros(64, dtype=np.int32) if out is None else out
+    dc_lut = dc_table._lut16_dc
+    if dc_lut is None:
+        dc_lut = dc_table._lut16_dc = _lookahead16(dc_table, True)
+    ac_lut = ac_table._lut16_ac
+    if ac_lut is None:
+        ac_lut = ac_table._lut16_ac = _lookahead16(ac_table, False)
+    data = reader._data
+    size = len(data)
+    acc = reader._acc
+    nbits = reader._nbits
+    pos = reader._pos
+    dc = pred_dc
+
+    # -- DC ----------------------------------------------------------
+    if nbits < 31:
+        # Inline best-effort refill (ensure_bits): 8-byte gulps of
+        # plain bytes, byte-wise stuffing, clean stop at markers.
+        # Filling to 55+ bits halves refill entries; decode decisions
+        # still only require 31 (a 16-bit code plus a 15-bit magnitude).
+        acc &= (1 << nbits) - 1
+        while nbits < 55:
+            if size - pos >= 8:
+                chunk = data[pos:pos + 8]
+                if 0xFF not in chunk:
+                    acc = (acc << 64) | int.from_bytes(chunk, "big")
+                    nbits += 64
+                    pos += 8
+                    continue
+            if pos >= size:
+                break
+            byte = data[pos]
+            if byte == 0xFF:
+                if pos + 1 >= size or data[pos + 1] != 0x00:
+                    break              # marker/truncation: stop cleanly
+                acc = (acc << 8) | 0xFF
+                pos += 2
+            else:
+                acc = (acc << 8) | byte
+                pos += 1
+            nbits += 8
+    if nbits >= 31:
+        v = dc_lut[(acc >> (nbits - 16)) & 0xFFFF]
+        if v >= _COMPLETE:
+            nbits -= (v >> 20) & 0x3F
+            dc += (v & 0xFFFF) - 32768
+        elif v:
+            nbits -= (v >> 20) & 0x3F
+            ssss = v & 0xFFFF
+            if ssss <= 15:
+                nbits -= ssss
+                bits = (acc >> nbits) & ((1 << ssss) - 1)
+                dc += (bits if bits >= (1 << (ssss - 1))
+                       else bits - (1 << ssss) + 1)
+            else:
+                # Pathological category: defer to read(), which raises
+                # (or consumes) exactly like the reference composition.
+                reader._acc = acc & ((1 << nbits) - 1)
+                reader._nbits = nbits
+                reader._pos = pos
+                bits = reader.read(ssss)
+                dc += (bits if bits >= (1 << (ssss - 1))
+                       else bits - (1 << ssss) + 1)
+                acc = reader._acc
+                nbits = reader._nbits
+                pos = reader._pos
+        else:
+            # No code of any length prefixes the window: decode_ref
+            # consumes 16 bits before giving up; mirror it exactly.
+            nbits -= 16
+            reader._acc = acc & ((1 << nbits) - 1)
+            reader._nbits = nbits
+            reader._pos = pos
+            raise ValueError("corrupt stream: code longer than 16 bits")
+    else:
+        # Fewer than 31 bits buffered before a marker / end of data:
+        # the reference path consumes (and fails) bit-for-bit like the
+        # pre-LUT decoder.
+        reader._acc = acc & ((1 << nbits) - 1)
+        reader._nbits = nbits
+        reader._pos = pos
+        ssss = dc_table.decode(reader)
+        if ssss:
+            bits = reader.read(ssss)
+            dc += (bits if bits >= (1 << (ssss - 1))
+                   else bits - (1 << ssss) + 1)
+        acc = reader._acc
+        nbits = reader._nbits
+        pos = reader._pos
     zz[0] = dc
 
+    # -- AC ----------------------------------------------------------
     k = 1
     while k < 64:
-        rs = ac_table.decode(reader)
-        if rs == EOB:
-            break
-        run, ssss = rs >> 4, rs & 0x0F
-        if ssss == 0:
-            if rs != ZRL:
-                raise ValueError(f"invalid AC symbol 0x{rs:02X}")
-            k += 16
-            continue
-        k += run
-        if k >= 64:
-            raise ValueError("AC run overflows block")
-        zz[k] = decode_magnitude(reader.read(ssss), ssss)
-        k += 1
+        if nbits < 31:
+            acc &= (1 << nbits) - 1
+            while nbits < 55:
+                if size - pos >= 8:
+                    chunk = data[pos:pos + 8]
+                    if 0xFF not in chunk:
+                        acc = (acc << 64) | int.from_bytes(chunk, "big")
+                        nbits += 64
+                        pos += 8
+                        continue
+                if pos >= size:
+                    break
+                byte = data[pos]
+                if byte == 0xFF:
+                    if pos + 1 >= size or data[pos + 1] != 0x00:
+                        break
+                    acc = (acc << 8) | 0xFF
+                    pos += 2
+                else:
+                    acc = (acc << 8) | byte
+                    pos += 1
+                nbits += 8
+            if nbits < 31:
+                # Near a marker / end of data: reference path, exact
+                # reference bit positions on success and failure alike.
+                reader._acc = acc
+                reader._nbits = nbits
+                reader._pos = pos
+                sym = ac_table.decode(reader)
+                if sym == EOB:
+                    acc = reader._acc
+                    nbits = reader._nbits
+                    pos = reader._pos
+                    break
+                run, ssss = sym >> 4, sym & 0x0F
+                if ssss == 0:
+                    if sym != ZRL:
+                        raise ValueError(f"invalid AC symbol 0x{sym:02X}")
+                    k += 16
+                else:
+                    k += run
+                    if k >= 64:
+                        raise ValueError("AC run overflows block")
+                    bits = reader.read(ssss)
+                    zz[k] = (bits if bits >= (1 << (ssss - 1))
+                             else bits - (1 << ssss) + 1)
+                    k += 1
+                acc = reader._acc
+                nbits = reader._nbits
+                pos = reader._pos
+                continue
+        v = ac_lut[(acc >> (nbits - 16)) & 0xFFFF]
+        if v >= _COMPLETE:
+            nbits -= (v >> 20) & 0x3F
+            k += (v >> 16) & 0xF
+            if k > 63:
+                # The reference checks the run before reading the
+                # magnitude: un-consume the magnitude bits.
+                nbits += (v >> 26) & 0x1F
+                reader._acc = acc & ((1 << nbits) - 1)
+                reader._nbits = nbits
+                reader._pos = pos
+                raise ValueError("AC run overflows block")
+            zz[k] = (v & 0xFFFF) - 32768
+            k += 1
+        elif v:
+            nbits -= (v >> 20) & 0x3F
+            ssss = v & 0xFFFF
+            if ssss:
+                k += (v >> 16) & 0xF
+                if k > 63:
+                    reader._acc = acc & ((1 << nbits) - 1)
+                    reader._nbits = nbits
+                    reader._pos = pos
+                    raise ValueError("AC run overflows block")
+                nbits -= ssss
+                bits = (acc >> nbits) & ((1 << ssss) - 1)
+                zz[k] = (bits if bits >= (1 << (ssss - 1))
+                         else bits - (1 << ssss) + 1)
+                k += 1
+            else:
+                run = (v >> 16) & 0xF
+                if run == 0:           # EOB
+                    break
+                if run != 15:
+                    reader._acc = acc & ((1 << nbits) - 1)
+                    reader._nbits = nbits
+                    reader._pos = pos
+                    raise ValueError(
+                        f"invalid AC symbol 0x{run << 4:02X}")
+                k += 16                # ZRL
+        else:
+            nbits -= 16
+            reader._acc = acc & ((1 << nbits) - 1)
+            reader._nbits = nbits
+            reader._pos = pos
+            raise ValueError("corrupt stream: code longer than 16 bits")
+    reader._acc = acc & ((1 << nbits) - 1)
+    reader._nbits = nbits
+    reader._pos = pos
     return zz, dc
 
 

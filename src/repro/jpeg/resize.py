@@ -36,10 +36,12 @@ def resize_bilinear(img: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
     ylo, yhi, yf = _axis_weights(src_h, out_h)
     xlo, xhi, xf = _axis_weights(src_w, out_w)
 
-    work = img.astype(np.float64)
-    # Interpolate rows first (gather), then columns.
-    top = work[ylo]
-    bot = work[yhi]
+    # Interpolate rows first (gather), then columns.  Gathering the
+    # needed rows *before* the float64 conversion touches out_h rows
+    # instead of src_h (uint8 -> float64 is exact, so the order swap
+    # leaves every output value bit-identical).
+    top = img[ylo].astype(np.float64)
+    bot = img[yhi].astype(np.float64)
     if img.ndim == 3:
         yf_ = yf[:, None, None]
         xf_ = xf[None, :, None]

@@ -1,0 +1,164 @@
+"""Minimal, honest microbenchmark harness.
+
+Methodology (the same one ``timeit`` uses, made explicit):
+
+* **Warmup** runs absorb one-time costs (LUT construction, numpy
+  first-touch, bytecode specialization) so they are not billed to the
+  steady state.
+* **Calibration** picks an inner repetition count so one timed run lasts
+  at least ``min_time`` — below that, clock granularity and interpreter
+  jitter dominate.
+* **Min-of-k**: the minimum over ``k`` timed runs estimates the true
+  cost; scheduling noise is strictly additive, so the minimum is the
+  least contaminated observation (means mix in unrelated OS activity).
+
+Results serialize to the ``repro-perf/1`` JSON schema::
+
+    {"schema": "repro-perf/1",
+     "results": {"codec.decode": {"best_s": ..., "mean_s": ...,
+                                  "runs": [...], "reps": ...,
+                                  "units": {"bytes": 12338},
+                                  "rate": {"bytes_per_s": ...}}},
+     "derived": {"codec.decode_speedup": 3.4}}
+
+``derived`` holds *ratios* (new vs. reference timed in one process),
+which transfer across machines; ``check_regression`` compares those
+against a committed baseline with a relative tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["SCHEMA", "BenchResult", "bench", "to_payload", "merge_payloads",
+           "write_payload", "load_payload", "check_regression"]
+
+SCHEMA = "repro-perf/1"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's timing: ``best_s`` is the headline number."""
+
+    name: str
+    best_s: float                    # min over runs, per single call
+    mean_s: float                    # mean over runs, per single call
+    runs: tuple[float, ...]          # per-call seconds, one entry per run
+    reps: int                        # inner repetitions per timed run
+    units: dict[str, float] = field(default_factory=dict)
+
+    def rate(self) -> dict[str, float]:
+        """Units per second at the best observed speed."""
+        return {f"{k}_per_s": v / self.best_s for k, v in self.units.items()}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"best_s": self.best_s, "mean_s": self.mean_s,
+                "runs": list(self.runs), "reps": self.reps,
+                "units": dict(self.units), "rate": self.rate()}
+
+
+def bench(fn: Callable[[], Any], *, name: str = "bench", warmup: int = 1,
+          k: int = 5, min_time: float = 0.05, max_reps: int = 1_000_000,
+          units: Optional[dict[str, float]] = None) -> BenchResult:
+    """Time ``fn()``: warmup, calibrate repetitions, min-of-``k``.
+
+    ``units`` names what one call processes (e.g. ``{"bytes": 12338}``)
+    so rates fall out of the timing.
+    """
+    if k < 1 or warmup < 0 or min_time <= 0:
+        raise ValueError("bench: k >= 1, warmup >= 0, min_time > 0 required")
+    perf = time.perf_counter
+    for _ in range(warmup):
+        fn()
+    # Calibrate: grow reps until a run exceeds min_time (the first timed
+    # probe doubles as the estimate, so calibration costs ~2*min_time).
+    reps = 1
+    while reps < max_reps:
+        t0 = perf()
+        for _ in range(reps):
+            fn()
+        elapsed = perf() - t0
+        if elapsed >= min_time:
+            break
+        # Aim slightly past min_time to avoid re-probing repeatedly.
+        scale = min_time / max(elapsed, 1e-9)
+        reps = min(max_reps, max(reps + 1, math.ceil(reps * scale * 1.2)))
+    runs = []
+    for _ in range(k):
+        t0 = perf()
+        for _ in range(reps):
+            fn()
+        runs.append((perf() - t0) / reps)
+    return BenchResult(name=name, best_s=min(runs),
+                       mean_s=sum(runs) / len(runs), runs=tuple(runs),
+                       reps=reps, units=dict(units or {}))
+
+
+def to_payload(results: list[BenchResult],
+               derived: Optional[dict[str, float]] = None) -> dict[str, Any]:
+    """Pack results into a ``repro-perf/1`` document."""
+    return {"schema": SCHEMA,
+            "results": {r.name: r.to_dict() for r in results},
+            "derived": dict(derived or {})}
+
+
+def merge_payloads(*payloads: dict[str, Any]) -> dict[str, Any]:
+    """Merge documents (later entries win on name collisions)."""
+    merged: dict[str, Any] = {"schema": SCHEMA, "results": {}, "derived": {}}
+    for p in payloads:
+        if p.get("schema") != SCHEMA:
+            raise ValueError(f"cannot merge schema {p.get('schema')!r}")
+        merged["results"].update(p.get("results", {}))
+        merged["derived"].update(p.get("derived", {}))
+    return merged
+
+
+def write_payload(path: str, payload: dict[str, Any],
+                  merge_existing: bool = True) -> None:
+    """Write (optionally merging into) a ``repro-perf/1`` JSON file."""
+    if merge_existing:
+        try:
+            payload = merge_payloads(load_payload(path), payload)
+        except FileNotFoundError:
+            pass
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_payload(path: str) -> dict[str, Any]:
+    """Read a ``repro-perf/1`` JSON document, validating its schema."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: expected schema {SCHEMA!r}, "
+                         f"got {payload.get('schema')!r}")
+    return payload
+
+
+def check_regression(current: dict[str, Any], baseline: dict[str, Any],
+                     tolerance: float = 0.30) -> list[str]:
+    """Compare ``derived`` ratios against a baseline document.
+
+    Returns a list of human-readable failures: one per derived metric
+    present in both documents whose current value fell more than
+    ``tolerance`` (relative) below the baseline.  Metrics only in one
+    document are ignored — adding a benchmark must not break old
+    baselines and vice versa.
+    """
+    failures = []
+    base = baseline.get("derived", {})
+    cur = current.get("derived", {})
+    for key, base_val in sorted(base.items()):
+        if key not in cur:
+            continue
+        floor = base_val * (1.0 - tolerance)
+        if cur[key] < floor:
+            failures.append(
+                f"{key}: {cur[key]:.3f} < {floor:.3f} "
+                f"(baseline {base_val:.3f} - {tolerance:.0%})")
+    return failures

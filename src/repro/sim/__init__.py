@@ -8,7 +8,7 @@ streams.
 """
 
 from .core import (AllOf, AnyOf, Environment, Event, Interrupt, Process,
-                   SimulationError, Timeout)
+                   SimulationError, Timeout, total_events_processed)
 from .monitor import (BusyTracker, Counter, IntervalRate, LatencyRecorder,
                       TimeWeighted, set_active_registry)
 from .queues import Channel, QueuePair, ShedPolicy, deadline_of
@@ -19,6 +19,7 @@ from .trace import Span, Tracer
 
 __all__ = [
     "Environment", "Event", "Timeout", "Process", "Interrupt",
+    "total_events_processed",
     "AllOf", "AnyOf", "SimulationError",
     "Resource", "PriorityResource", "Store", "FilterStore", "Container",
     "Channel", "QueuePair", "ShedPolicy", "deadline_of",

@@ -25,6 +25,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "SimulationError",
+    "total_events_processed",
 ]
 
 
@@ -47,6 +48,21 @@ class Interrupt(Exception):
 PENDING = 0
 TRIGGERED = 1  # scheduled on the event queue, callbacks not yet run
 PROCESSED = 2  # callbacks have run
+
+# Process-wide event tally across every Environment, so experiment
+# runners can report events/s without holding a reference to each env
+# their sweeps create.
+_total_events = 0
+
+
+def _add_total(processed: int) -> None:
+    global _total_events
+    _total_events += processed
+
+
+def total_events_processed() -> int:
+    """Events processed by all Environments since interpreter start."""
+    return _total_events
 
 
 class Event:
@@ -95,7 +111,10 @@ class Event:
         self._value = value
         self._ok = True
         self._state = TRIGGERED
-        self.env._push(self)
+        # Inline env._push: succeed() fires once per queue grant /
+        # process completion, the second-hottest scheduling site.
+        env = self.env
+        heapq.heappush(env._queue, (env._now, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -115,9 +134,11 @@ class Event:
 
     def _run_callbacks(self) -> None:
         self._state = PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for cb in callbacks:
+                cb(self)
 
 
 class Timeout(Event):
@@ -128,12 +149,16 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
+        # Direct slot initialization (no Event.__init__ call): a Timeout
+        # is born triggered, and this constructor runs once per modeled
+        # stage latency — the hottest allocation site in the kernel.
+        self.env = env
+        self.callbacks = []
         self._value = value
         self._ok = True
         self._state = TRIGGERED
-        env._push(self, delay)
+        self.delay = delay
+        heapq.heappush(env._queue, (env._now + delay, next(env._eid), self))
 
 
 class Initialize(Event):
@@ -202,11 +227,33 @@ class Process(Event):
         return do_resume
 
     def _resume(self, event: Event) -> None:
+        # The kernel's hottest function: one call per process wake-up.
+        # Advance the generator directly (no per-resume closure) and
+        # handle the yielded event inline.
         self._waiting_on = None
-        if event._ok:
-            self._step(lambda: self.generator.send(event._value))
-        else:
-            self._step(lambda: self.generator.throw(event._value))
+        env = self.env
+        env._active_process = self
+        try:
+            if event._ok:
+                target = self.generator.send(event._value)
+            else:
+                target = self.generator.throw(event._value)
+        except StopIteration as stop:
+            env._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            env._active_process = None
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            if env.strict:
+                raise
+            self.fail(exc)
+            return
+        env._active_process = None
+        self._wait_on(target)
 
     def _step(self, advance: Callable[[], Any]) -> None:
         self.env._active_process = self
@@ -228,6 +275,9 @@ class Process(Event):
             self.fail(exc)
             return
         self.env._active_process = None
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; only Event "
@@ -340,6 +390,8 @@ class Environment:
         self._eid = itertools.count()
         self._active_process: Optional[Process] = None
         self.strict = strict
+        #: Total events whose callbacks have run (step() / run() loops).
+        self.events_processed = 0
 
     # -- clock -----------------------------------------------------------
     @property
@@ -377,10 +429,13 @@ class Environment:
 
     def step(self) -> None:
         """Process one event; advances :attr:`now` to its timestamp."""
+        global _total_events
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
+        _total_events += 1
         event._run_callbacks()
 
     def run(self, until: Optional[float | Event] = None) -> Any:
@@ -389,14 +444,29 @@ class Environment:
         ``until`` may be a time (stop when the clock would pass it), an
         :class:`Event` (stop when it triggers, returning its value), or
         ``None`` (run until no events remain).
+
+        Each loop below inlines :meth:`step` with the heap and pop
+        hoisted into locals — the dispatch loop itself is a measurable
+        slice of large modeled runs.
         """
+        queue = self._queue
+        pop = heapq.heappop
         if isinstance(until, Event):
             stop_evt = until
-            while not stop_evt.triggered:
-                if not self._queue:
-                    raise SimulationError(
-                        "simulation ran dry before the awaited event fired")
-                self.step()
+            processed = 0
+            try:
+                while not stop_evt._state:          # PENDING
+                    if not queue:
+                        raise SimulationError(
+                            "simulation ran dry before the awaited event "
+                            "fired")
+                    when, _, event = pop(queue)
+                    self._now = when
+                    processed += 1
+                    event._run_callbacks()
+            finally:
+                self.events_processed += processed
+                _add_total(processed)
             if not stop_evt._ok:
                 raise stop_evt._value
             return stop_evt._value
@@ -406,11 +476,27 @@ class Environment:
             if horizon < self._now:
                 raise ValueError(
                     f"until={horizon} is in the past (now={self._now})")
-            while self._queue and self._queue[0][0] <= horizon:
-                self.step()
+            processed = 0
+            try:
+                while queue and queue[0][0] <= horizon:
+                    when, _, event = pop(queue)
+                    self._now = when
+                    processed += 1
+                    event._run_callbacks()
+            finally:
+                self.events_processed += processed
+                _add_total(processed)
             self._now = max(self._now, horizon)
             return None
 
-        while self._queue:
-            self.step()
+        processed = 0
+        try:
+            while queue:
+                when, _, event = pop(queue)
+                self._now = when
+                processed += 1
+                event._run_callbacks()
+        finally:
+            self.events_processed += processed
+            _add_total(processed)
         return None

@@ -92,12 +92,16 @@ class TimeWeighted:
         return self._value
 
     def set(self, value: float) -> None:
-        now = self.env.now
+        # Hot path: one call per queue push/pop.  Reads the clock slot
+        # directly and branches instead of calling max()/min().
+        now = self.env._now
         self._area += self._value * (now - self._last_t)
         self._last_t = now
-        self._value = float(value)
-        self.max_value = max(self.max_value, self._value)
-        self.min_value = min(self.min_value, self._value)
+        self._value = value = float(value)
+        if value > self.max_value:
+            self.max_value = value
+        elif value < self.min_value:
+            self.min_value = value
 
     def adjust(self, delta: float) -> None:
         self.set(self._value + delta)
@@ -132,13 +136,13 @@ class BusyTracker:
     def begin(self, category: str = "work") -> int:
         token = self._next_token
         self._next_token += 1
-        self._open[token] = (category, self.env.now)
+        self._open[token] = (category, self.env._now)
         return token
 
     def end(self, token: int) -> None:
         category, start = self._open.pop(token)
         self._busy[category] = self._busy.get(category, 0.0) + (
-            self.env.now - start)
+            self.env._now - start)
 
     def charge(self, duration: float, category: str = "work") -> None:
         """Directly account ``duration`` seconds of busy time."""
@@ -208,7 +212,15 @@ class LatencyRecorder:
         if max_samples < 1:
             raise ValueError("max_samples must be >= 1")
         self.name = name
+        # Below the cap, entries are appended and sorted lazily (on
+        # first read, or when the cap is reached); past the cap the list
+        # is kept sorted by the reservoir replacement.  Sorting is
+        # deferred work, not different work: entry tuples are unique
+        # (the arrival index breaks ties), so sorted content — and with
+        # it every percentile, exemplar and eviction decision — is
+        # identical to eager insort.
         self._sorted: list[tuple[float, int, Optional[int]]] = []
+        self._dirty = False
         self._count = 0
         self._sum = 0.0
         self._max_samples = max_samples
@@ -216,6 +228,11 @@ class LatencyRecorder:
         self._max = -math.inf
         self._rng = Random(zlib.crc32(name.encode()) or 1)
         _autoregister(self)
+
+    def _flush(self) -> None:
+        if self._dirty:
+            self._sorted.sort()
+            self._dirty = False
 
     def record(self, latency: float, trace_id: Optional[int] = None) -> None:
         if latency < 0:
@@ -227,8 +244,12 @@ class LatencyRecorder:
         if latency > self._max:
             self._max = latency
         entry = (latency, self._count, trace_id)
-        if len(self._sorted) < self._max_samples:
-            insort(self._sorted, entry)
+        reservoir = self._sorted
+        if len(reservoir) < self._max_samples:
+            reservoir.append(entry)
+            self._dirty = True
+            if len(reservoir) == self._max_samples:
+                self._flush()       # reservoir phase needs sorted order
             return
         # Algorithm R: keep the newcomer with probability cap/count,
         # evicting a uniformly random incumbent.  Index j is uniform on
@@ -236,8 +257,8 @@ class LatencyRecorder:
         # victim (positions in a sorted reservoir are exchangeable).
         j = self._rng.randrange(self._count)
         if j < self._max_samples:
-            del self._sorted[j]
-            insort(self._sorted, entry)
+            del reservoir[j]
+            insort(reservoir, entry)
 
     @property
     def count(self) -> int:
@@ -258,12 +279,14 @@ class LatencyRecorder:
     def samples(self) -> tuple[float, ...]:
         """The retained (sorted) samples — the whole stream while below
         the cap, a uniform sample of it beyond."""
+        self._flush()
         return tuple(entry[0] for entry in self._sorted)
 
     def exemplars(self) -> tuple[tuple[float, int], ...]:
         """The retained ``(latency, trace_id)`` pairs that carry a trace
         link, sorted by latency — the bridge from a percentile to the
         flight recorder's full traces."""
+        self._flush()
         return tuple((lat, tid) for lat, _, tid in self._sorted
                      if tid is not None)
 
@@ -273,6 +296,7 @@ class LatencyRecorder:
         never recorded)."""
         if not 0 <= q <= 100:
             raise ValueError(f"percentile {q} outside [0, 100]")
+        self._flush()
         n = len(self._sorted)
         if n == 0:
             return None
@@ -293,6 +317,12 @@ class LatencyRecorder:
         though smaller — sample of its stream.  Trace links survive the
         merge.
         """
+        # Flush both sides first: iterating the other's samples in
+        # sorted order keeps the arrival sequence — and with it every
+        # RNG draw and tie-break — identical to the eager-insort
+        # implementation.
+        other._flush()
+        self._flush()
         for latency, _, trace_id in other._sorted:
             self.record(latency, trace_id)
 
@@ -307,6 +337,7 @@ class LatencyRecorder:
             raise ValueError(f"percentile {q} outside [0, 100]")
         if not self._sorted:
             return math.nan
+        self._flush()
         n = len(self._sorted)
         pos = (q / 100.0) * (n - 1)
         lo = int(math.floor(pos))

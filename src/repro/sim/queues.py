@@ -109,11 +109,12 @@ class Channel:
         With a ``reject_on_admit`` shed policy armed, an already-expired
         item is shed instead of enqueued (and the put returns at once).
         """
-        if self._rejects_at_admit(item):
+        if self.shed is not None and self._rejects_at_admit(item):
             return
-        yield self._store.put((self.env.now, item))
+        store = self._store
+        yield store.put((self.env._now, item))
         self.put_count += 1
-        self.occupancy.set(len(self._store))
+        self.occupancy.set(len(store.items))
 
     def get(self) -> Generator:
         """Generator: blocks while the channel is empty; returns the item.
@@ -122,17 +123,17 @@ class Channel:
         expired while queued are discarded (counted, never returned) and
         the get keeps waiting for live work.
         """
+        store = self._store
         while True:
-            stamped = yield self._store.get()
-            enq_t, item = stamped
+            enq_t, item = yield store.get()
             if self.shed is not None and self.shed.drop_expired_at_dequeue \
-                    and self.shed.expired(item, self.env.now):
-                self.occupancy.set(len(self._store))
+                    and self.shed.expired(item, self.env._now):
+                self.occupancy.set(len(store.items))
                 self._shed_item(item, "dequeue")
                 continue
             self.get_count += 1
-            self.wait.record(self.env.now - enq_t)
-            self.occupancy.set(len(self._store))
+            self.wait.record(self.env._now - enq_t)
+            self.occupancy.set(len(store.items))
             return item
 
     def try_put(self, item: Any) -> bool:
@@ -143,7 +144,7 @@ class Channel:
         ok = self._store.try_put((self.env.now, item))
         if ok:
             self.put_count += 1
-            self.occupancy.set(len(self._store))
+            self.occupancy.set(len(self._store.items))
         return ok
 
     def try_get(self) -> tuple[bool, Any]:
@@ -154,12 +155,12 @@ class Channel:
             enq_t, item = stamped
             if self.shed is not None and self.shed.drop_expired_at_dequeue \
                     and self.shed.expired(item, self.env.now):
-                self.occupancy.set(len(self._store))
+                self.occupancy.set(len(self._store.items))
                 self._shed_item(item, "dequeue")
                 continue
             self.get_count += 1
             self.wait.record(self.env.now - enq_t)
-            self.occupancy.set(len(self._store))
+            self.occupancy.set(len(self._store.items))
             return True, item
 
     def drain(self) -> list[Any]:

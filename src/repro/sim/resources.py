@@ -152,10 +152,26 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any):
-        super().__init__(store.env)
+        # Direct slot initialization (no Event.__init__): one StorePut
+        # is created per queue operation — a kernel-hot allocation.
+        self.env = store.env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = 0                 # PENDING
         self.item = item
-        store._put_waiters.append(self)
-        store._drain()
+        items = store.items
+        if not store._put_waiters and len(items) < store.capacity:
+            # Immediate admit: no earlier putter to overtake, room in the
+            # buffer.  succeed() first, then serve any waiting getter —
+            # the exact order _drain() would produce.
+            items.append(item)
+            self.succeed()
+            if store._get_waiters:
+                store._drain()
+        else:
+            store._put_waiters.append(self)
+            store._drain()
 
 
 class StoreGet(Event):
@@ -163,10 +179,26 @@ class StoreGet(Event):
 
     def __init__(self, store: "Store",
                  filter: Optional[Callable[[Any], bool]] = None):
-        super().__init__(store.env)
+        self.env = store.env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = 0                 # PENDING
         self.filter = filter
-        store._get_waiters.append(self)
-        store._drain()
+        items = store.items
+        if filter is None and items and not store._get_waiters:
+            # Immediate serve: item available, no earlier getter to
+            # overtake.  succeed() first, then admit any putter freed by
+            # the vacated slot — the exact order _drain() would produce.
+            self.succeed(items.popleft())
+            if store._put_waiters:
+                store._drain()
+        else:
+            store._get_waiters.append(self)
+            # Putters only wait while the buffer is full, so an empty
+            # buffer proves there is nothing to drain.
+            if items:
+                store._drain()
 
 
 class Store:
@@ -232,24 +264,39 @@ class Store:
         return False
 
     def _drain(self) -> None:
-        progressed = True
-        while progressed:
+        # Hot path: runs on every put/get.  Deques and capacity live in
+        # locals, and the common unfiltered get is matched inline;
+        # succeed() only schedules callbacks (no reentrancy), so the
+        # grant order is exactly the original admit-then-serve loop's.
+        items = self.items
+        puts = self._put_waiters
+        gets = self._get_waiters
+        capacity = self.capacity
+        while True:
             progressed = False
             # Admit puts while there is room.
-            while self._put_waiters and len(self.items) < self.capacity:
-                putter = self._put_waiters.popleft()
-                self.items.append(putter.item)
+            while puts and len(items) < capacity:
+                putter = puts.popleft()
+                items.append(putter.item)
                 putter.succeed()
                 progressed = True
             # Serve getters in arrival order; a filtered getter that cannot
             # match stays at the head (strict FIFO, no overtaking).
-            while self._get_waiters:
-                getter = self._get_waiters[0]
-                if self._match_get(getter):
-                    self._get_waiters.popleft()
+            while gets:
+                getter = gets[0]
+                if getter.filter is None:
+                    if not items:
+                        break
+                    gets.popleft()
+                    getter.succeed(items.popleft())
+                    progressed = True
+                elif self._match_get(getter):
+                    gets.popleft()
                     progressed = True
                 else:
                     break
+            if not progressed:
+                return
 
 
 class FilterStore(Store):

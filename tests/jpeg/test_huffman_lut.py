@@ -1,0 +1,227 @@
+"""Property tests: LUT-accelerated Huffman decode == the T.81 reference.
+
+The optimized ``decode_block`` (16-bit combined lookahead, inline bulk
+refill) must be *bit-exact* with the pre-optimization implementation —
+same symbols, same magnitudes, same consumed bit positions, same
+exceptions — on every stream, including pathological ones: codes longer
+than 8 bits, restart markers, truncated segments.  The verbatim pre-pass
+implementation kept in :mod:`repro.perf.reference` is the oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jpeg.bitstream import BitReader, BitWriter, EndOfScan
+from repro.jpeg.huffman import (STD_AC_CHROMA, STD_AC_LUMA, STD_DC_CHROMA,
+                                STD_DC_LUMA, HuffmanTable,
+                                build_table_from_freqs, decode_block,
+                                encode_block)
+from repro.perf.reference import decode_block_ref
+
+
+def bit_offset(reader: BitReader) -> int:
+    """Absolute consumed payload-bit position, independent of how many
+    bytes each refill strategy happens to have buffered.
+
+    ``_pos`` counts raw bytes including 0xFF00 stuffing, and the bulk
+    refill may have pulled a stuffed pair the byte-at-a-time reference
+    has not reached yet — so stuffed 0x00 bytes must be discounted
+    before comparing positions.
+    """
+    data, pos = reader._data, reader._pos
+    stuffed = sum(1 for i in range(1, pos)
+                  if data[i] == 0x00 and data[i - 1] == 0xFF)
+    return (pos - stuffed) * 8 - reader._nbits
+
+
+def encode_blocks(blocks, dc_table, ac_table, restart_every=0) -> bytes:
+    """Entropy-encode blocks, optionally with RST markers between them."""
+    out = bytearray()
+    writer = BitWriter()
+    pred = 0
+    rst = 0
+    for i, zz in enumerate(blocks):
+        if restart_every and i and i % restart_every == 0:
+            writer.flush()
+            out += writer.getvalue()
+            out += bytes([0xFF, 0xD0 + rst])
+            rst = (rst + 1) % 8
+            writer = BitWriter()
+            pred = 0
+        pred = encode_block(writer, zz, pred, dc_table, ac_table)
+    writer.flush()
+    out += writer.getvalue()
+    out += b"\xFF\xD9"  # EOI so refill stops at a marker, as in a scan
+    return bytes(out)
+
+
+def decode_all(data, n_blocks, dc_table, ac_table, impl, restart_every=0):
+    """Decode ``n_blocks`` with ``impl``; returns (blocks, trace).
+
+    ``trace`` is the list of consumed-bit positions after every block —
+    the strongest equivalence signal short of instruction traces.
+    """
+    reader = BitReader(data)
+    pred = 0
+    blocks, trace = [], []
+    for i in range(n_blocks):
+        if restart_every and i and i % restart_every == 0:
+            reader.align_and_consume_rst()
+            pred = 0
+        zz, pred = impl(reader, pred, dc_table, ac_table)
+        blocks.append(zz.copy())
+        trace.append(bit_offset(reader))
+    return blocks, trace
+
+
+# Zig-zag vectors: mostly zero (realistic), coefficients within the
+# 4-bit-category range so every magnitude path (incl. ssss up to 10+)
+# gets exercised via the DC differences.
+coeff = st.integers(min_value=-1023, max_value=1023)
+
+
+def _pairs_to_block(pairs):
+    zz = np.zeros(64, dtype=np.int32)
+    for idx, val in pairs:
+        zz[idx] = val
+    return zz
+
+
+sparse_block = st.lists(
+    st.tuples(st.integers(0, 63), coeff), min_size=0, max_size=16
+).map(_pairs_to_block)
+
+blocks_strategy = st.lists(sparse_block, min_size=1, max_size=6)
+
+TABLES = [(STD_DC_LUMA, STD_AC_LUMA), (STD_DC_CHROMA, STD_AC_CHROMA)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(blocks=blocks_strategy, which=st.integers(0, 1))
+def test_random_blocks_identical(blocks, which):
+    dc_t, ac_t = TABLES[which]
+    data = encode_blocks(blocks, dc_t, ac_t)
+    got, got_trace = decode_all(data, len(blocks), dc_t, ac_t, decode_block)
+    ref, ref_trace = decode_all(data, len(blocks), dc_t, ac_t,
+                                decode_block_ref)
+    assert got_trace == ref_trace
+    for g, r in zip(got, ref):
+        assert np.array_equal(g, r)
+
+
+@settings(max_examples=30, deadline=None)
+@given(blocks=st.lists(sparse_block, min_size=4, max_size=8),
+       restart_every=st.integers(1, 3))
+def test_restart_markers_identical(blocks, restart_every):
+    dc_t, ac_t = STD_DC_LUMA, STD_AC_LUMA
+    data = encode_blocks(blocks, dc_t, ac_t, restart_every=restart_every)
+    got, got_trace = decode_all(data, len(blocks), dc_t, ac_t,
+                                decode_block, restart_every=restart_every)
+    ref, ref_trace = decode_all(data, len(blocks), dc_t, ac_t,
+                                decode_block_ref,
+                                restart_every=restart_every)
+    assert got_trace == ref_trace
+    for g, r in zip(got, ref):
+        assert np.array_equal(g, r)
+
+
+@settings(max_examples=60, deadline=None)
+@given(blocks=blocks_strategy, cut=st.integers(0, 200), data=st.data())
+def test_truncated_streams_raise_identically(blocks, cut, data):
+    """Any truncation raises the same exception type/message at the
+    same block index in both implementations (EndOfScan for running out
+    of data, ValueError for streams corrupted by the cut)."""
+    dc_t, ac_t = STD_DC_LUMA, STD_AC_LUMA
+    full = encode_blocks(blocks, dc_t, ac_t)[:-2]  # drop EOI
+    truncated = full[:min(cut, max(len(full) - 1, 0))]
+
+    def run(impl):
+        reader = BitReader(truncated)
+        pred = 0
+        out = []
+        try:
+            for _ in range(len(blocks)):
+                zz, pred = impl(reader, pred, dc_t, ac_t)
+                out.append(zz.copy())
+        except (EndOfScan, ValueError) as exc:
+            return out, type(exc), str(exc), bit_offset(reader)
+        return out, None, None, bit_offset(reader)
+
+    got_out, got_exc, got_msg, _ = run(decode_block)
+    ref_out, ref_exc, ref_msg, _ = run(decode_block_ref)
+    assert got_exc is ref_exc
+    assert got_msg == ref_msg
+    assert len(got_out) == len(ref_out)
+    for g, r in zip(got_out, ref_out):
+        assert np.array_equal(g, r)
+    if got_exc is None and ref_exc is None:
+        pass  # both decoded everything (cut landed after the data)
+
+
+def test_truncated_stream_raises_endofscan():
+    """The basic contract: an empty/short stream is EndOfScan, not a
+    crash or a garbage block."""
+    zz = np.zeros(64, dtype=np.int32)
+    zz[0] = 100
+    data = encode_blocks([zz], STD_DC_LUMA, STD_AC_LUMA)[:-2]
+    for impl in (decode_block, decode_block_ref):
+        with pytest.raises(EndOfScan):
+            reader = BitReader(data[:1] if len(data) > 1 else b"")
+            impl(reader, 0, STD_DC_LUMA, STD_AC_LUMA)
+
+
+small_block = st.lists(
+    st.tuples(st.integers(0, 63), st.integers(-255, 255)),
+    min_size=0, max_size=16
+).map(_pairs_to_block)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1),
+       blocks=st.lists(small_block, min_size=1, max_size=6))
+def test_skewed_tables_exercise_long_codes(seed, blocks):
+    """Tables built from heavily skewed frequencies contain codes longer
+    than 8 bits, forcing the lookahead miss / slow paths."""
+    rng = np.random.default_rng(seed)
+    # Geometric-ish frequencies over many symbols -> long canonical
+    # codes.  Coefficients are capped at |255| (ssss <= 8), so the table
+    # covers every symbol the encoder can emit.
+    dc_freqs = {s: int(2 ** max(0, 14 - s)) for s in range(12)}
+    ac_symbols = [0x00, 0xF0] + [(r << 4) | s for r in range(16)
+                                 for s in range(1, 9)]
+    ac_freqs = {sym: int(rng.integers(1, 1 << max(1, 14 - i % 14)))
+                for i, sym in enumerate(ac_symbols)}
+    dc_t = build_table_from_freqs(dc_freqs)
+    ac_t = build_table_from_freqs(ac_freqs)
+    longest = max(length for _, length in ac_t.encode_map.values())
+    assert longest > 8  # the property this test exists to exercise
+
+    data = encode_blocks(blocks, dc_t, ac_t)
+    got, got_trace = decode_all(data, len(blocks), dc_t, ac_t, decode_block)
+    ref, ref_trace = decode_all(data, len(blocks), dc_t, ac_t,
+                                decode_block_ref)
+    assert got_trace == ref_trace
+    for g, r in zip(got, ref):
+        assert np.array_equal(g, r)
+
+
+def test_lut8_decode_matches_decode_ref():
+    """HuffmanTable.decode (8-bit lookahead) == decode_ref, symbol by
+    symbol, on a stream long enough to hit both fast and slow paths."""
+    rng = np.random.default_rng(11)
+    table = STD_AC_LUMA
+    symbols = list(table.encode_map)
+    seq = [symbols[i] for i in rng.integers(0, len(symbols), 500)]
+    writer = BitWriter()
+    for sym in seq:
+        table.encode(writer, sym)
+    writer.flush()
+    data = writer.getvalue() + b"\xFF\xD9"
+
+    r1, r2 = BitReader(data), BitReader(data)
+    for expected in seq:
+        assert table.decode(r1) == expected
+        assert table.decode_ref(r2) == expected
+        assert bit_offset(r1) == bit_offset(r2)

@@ -1,0 +1,93 @@
+"""Equivalence tests for the LatencyRecorder lazy-sort fast path.
+
+Below the reservoir cap the optimized recorder appends and defers the
+sort until an ordered read; the pre-pass implementation insorted every
+record.  Both must expose identical state at every observable point —
+samples, percentiles, exemplars, merges — including across the
+append->reservoir transition, where the deferred sort must happen at
+exactly the moment the cap is reached so the RNG draws and eviction
+indices line up with the eager implementation's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf.reference import _lr_record_ref
+from repro.sim.monitor import LatencyRecorder
+
+
+def eager_recorder(name="lat", max_samples=200_000):
+    """A recorder forced onto the pre-pass insort-every-record path."""
+    rec = LatencyRecorder(name=name, max_samples=max_samples)
+    rec.record = _lr_record_ref.__get__(rec, LatencyRecorder)
+    return rec
+
+
+def feed(rec, values, trace_ids=None):
+    for i, v in enumerate(values):
+        rec.record(v, trace_ids[i] if trace_ids else None)
+
+
+def assert_identical(a, b):
+    assert a.count == b.count
+    assert a.sample_count == b.sample_count
+    assert a.samples == b.samples
+    assert a.exemplars() == b.exemplars()
+    for q in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0):
+        assert a.percentile(q) == b.percentile(q)
+
+
+def test_below_cap_identical():
+    rng = np.random.default_rng(3)
+    values = rng.exponential(1.0, 500).tolist()
+    ids = rng.integers(1, 1000, 500).tolist()
+    fast, ref = LatencyRecorder("x"), eager_recorder("x")
+    feed(fast, values, ids)
+    feed(ref, values, ids)
+    assert_identical(fast, ref)
+
+
+def test_across_cap_transition_identical():
+    """The reservoir RNG is consumed in the same order whether the
+    below-cap records were insorted eagerly or sorted on overflow."""
+    rng = np.random.default_rng(9)
+    values = rng.exponential(1.0, 400).tolist()
+    fast = LatencyRecorder("y", max_samples=100)
+    ref = eager_recorder("y", max_samples=100)
+    feed(fast, values)
+    feed(ref, values)
+    assert_identical(fast, ref)
+
+
+def test_read_mid_stream_then_continue():
+    """An ordered read below the cap (forcing the deferred sort early)
+    must not change what the reservoir phase later does."""
+    rng = np.random.default_rng(21)
+    values = rng.exponential(1.0, 300).tolist()
+    fast = LatencyRecorder("z", max_samples=120)
+    ref = eager_recorder("z", max_samples=120)
+    feed(fast, values[:50])
+    _ = fast.samples          # triggers the deferred sort
+    _ = fast.percentile(0.5)
+    feed(fast, values[50:])
+    feed(ref, values)
+    assert_identical(fast, ref)
+
+
+def test_merge_identical():
+    rng = np.random.default_rng(5)
+    a_vals = rng.exponential(1.0, 150).tolist()
+    b_vals = rng.exponential(2.0, 150).tolist()
+    fast_a, fast_b = LatencyRecorder("m"), LatencyRecorder("m2")
+    ref_a, ref_b = eager_recorder("m"), eager_recorder("m2")
+    feed(fast_a, a_vals), feed(fast_b, b_vals)
+    feed(ref_a, a_vals), feed(ref_b, b_vals)
+    fast_a.merge(fast_b)
+    ref_a.merge(ref_b)
+    assert_identical(fast_a, ref_a)
+
+
+def test_negative_latency_still_rejected():
+    rec = LatencyRecorder("neg")
+    with pytest.raises(ValueError):
+        rec.record(-0.1)
