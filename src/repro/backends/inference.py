@@ -13,11 +13,13 @@ from typing import Optional, Sequence
 
 from ..calib import Testbed
 from ..engines import CpuCorePool, InferenceEngine
+from ..faults import (CircuitBreaker, FaultInjector, FaultPlan, QuarantineLog,
+                      RetryPolicy)
 from ..fpga import DecodeCmd, FpgaDevice, FPGAChannel, ImageDecoderMirror
 from ..host import BatchSpec, DataCollector, Dispatcher, FPGAReader
 from ..memory import MemManager
 from ..net import Nic
-from ..sim import Counter, Environment, Resource
+from ..sim import Counter, Environment, Resource, SeedBank, scoped_name
 
 __all__ = ["CpuInferenceBackend", "NvJpegInferenceBackend",
            "DLBoosterInferenceBackend"]
@@ -27,15 +29,24 @@ class _InferenceBackendBase:
     name = "abstract"
 
     def __init__(self, env: Environment, testbed: Testbed, cpu: CpuCorePool,
-                 nic: Nic, spec: BatchSpec):
+                 nic: Nic, spec: BatchSpec, namespace: str = ""):
         self.env = env
         self.testbed = testbed
         self.cpu = cpu
         self.nic = nic
         self.spec = spec
-        self.collector = DataCollector(env, name=f"{self.name}-collector")
+        # Per-host metric namespace: ``"host03"`` prefixes every
+        # instrument this backend constructs, so K serving pipelines in
+        # one Environment never collide in the registry.  Empty (the
+        # default) keeps the historical flat names.
+        self.namespace = namespace
+        self.collector = DataCollector(
+            env, name=scoped_name(namespace, f"{self.name}-collector"))
         self.collector.load_from_net(nic)
         self._started = False
+
+    def _scoped(self, name: str) -> str:
+        return scoped_name(self.namespace, name)
 
     def _check_start(self, engines: Sequence[InferenceEngine]) -> None:
         if self._started:
@@ -58,14 +69,14 @@ class CpuInferenceBackend(_InferenceBackendBase):
             raise ValueError("max_workers must be >= 1")
         self.max_workers = workers
         self._slots = Resource(self.env, capacity=workers,
-                               name="cpu-infer-workers")
-        self.decoded = Counter(self.env, name="cpu-infer.decoded")
+                               name=self._scoped("cpu-infer-workers"))
+        self.decoded = Counter(self.env, name=self._scoped("cpu-infer.decoded"))
 
     def start(self, engines: Sequence[InferenceEngine]) -> None:
         self._check_start(engines)
         from ..sim import Channel
         decoded_q = Channel(self.env, capacity=4 * self.spec.batch_size,
-                            name="cpu-infer.decoded-q")
+                            name=self._scoped("cpu-infer.decoded-q"))
         for w in range(self.max_workers):
             self.env.process(self._worker(decoded_q), name=f"cpu-dec-{w}")
         for engine in engines:
@@ -112,7 +123,7 @@ class NvJpegInferenceBackend(_InferenceBackendBase):
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
-        self.decoded = Counter(self.env, name="nvjpeg.decoded")
+        self.decoded = Counter(self.env, name=self._scoped("nvjpeg.decoded"))
 
     def start(self, engines: Sequence[InferenceEngine]) -> None:
         self._check_start(engines)
@@ -129,7 +140,8 @@ class NvJpegInferenceBackend(_InferenceBackendBase):
         capping throughput below the decode kernels themselves.
         """
         bs = self.spec.batch_size
-        inflight = Resource(self.env, capacity=2, name="nvjpeg-inflight")
+        inflight = Resource(self.env, capacity=2,
+                            name=self._scoped("nvjpeg-inflight"))
         while True:
             items = []
             raw_bytes = 0
@@ -187,6 +199,11 @@ class DLBoosterInferenceBackend(_InferenceBackendBase):
     def __init__(self, *args, num_fpgas: int = 1, pool_units: int = 8,
                  functional: bool = False, gpu_direct: bool = False,
                  supervisor=None, rtracker=None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 injector: Optional[FaultInjector] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 seeds: Optional[SeedBank] = None,
                  **kwargs):
         super().__init__(*args, **kwargs)
         self.gpu_direct = gpu_direct
@@ -204,26 +221,55 @@ class DLBoosterInferenceBackend(_InferenceBackendBase):
                 self.collector.deadline_s = sup.config.deadline_s
             self.collector.integrity = sup.integrity
             sup.arm_admission(self.nic.rx_queue)
+        # Fault layer (repro.faults), mirroring the training backend:
+        # only materialised when a plan is armed, so the default serving
+        # build is byte-identical to a fault-free one.  This is what
+        # lets a fleet degrade *one* host's FPGA (decoder_crash ->
+        # breaker opens -> CPU failover) while its peers stay healthy.
+        self.injector = injector
+        if self.injector is None and fault_plan:
+            self.injector = FaultInjector(
+                self.env, fault_plan,
+                seeds=(seeds if seeds is not None
+                       else SeedBank()).spawn("faults"))
+        armed = self.injector is not None or fault_plan
+        self.breaker = breaker
+        if self.breaker is None and (armed or retry is not None):
+            self.breaker = CircuitBreaker(
+                self.env, name=self._scoped("breaker"))
+        if self.breaker is not None and rtracker is not None:
+            self.breaker.rtracker = rtracker
+        self.quarantine = (
+            QuarantineLog(self.env,
+                          name=self._scoped("dlbooster-infer-quarantine"))
+            if (armed or retry is not None) else None)
         self.pool = MemManager(self.env, unit_size=self.spec.batch_bytes,
                                unit_count=pool_units,
                                allocate_arena=functional,
-                               name="dlbooster-infer-pool")
+                               name=self._scoped("dlbooster-infer-pool"))
         self.devices = []
         self.channels = []
         for i in range(num_fpgas):
-            device = FpgaDevice(self.env, self.testbed, name=f"fpga{i}")
+            device = FpgaDevice(self.env, self.testbed,
+                                name=self._scoped(f"fpga{i}"))
             mirror = ImageDecoderMirror(
                 self.env, self.testbed, functional=functional,
                 host_pool=self.pool if functional else None,
-                name=f"infer-decoder-{i}")
+                name=self._scoped(f"infer-decoder-{i}"),
+                injector=self.injector, site=f"fpga{i}")
             device.load_mirror(mirror)
             self.devices.append(device)
-            self.channels.append(FPGAChannel(self.env, mirror, queue_id=i))
+            self.channels.append(FPGAChannel(
+                self.env, mirror, queue_id=i, injector=self.injector,
+                site=f"fpga{i}", name=self._scoped(f"ch{i}")))
         # The reader's completion pump would consume FINISH records the
         # gpu-direct feed needs, so it exists only on the staged path.
         self.reader = None if gpu_direct else FPGAReader(
             self.env, self.testbed, self.channels[0], self.pool,
             self.spec, cpu=self.cpu, channels=self.channels,
+            name=self._scoped("fpga-reader"),
+            injector=self.injector, retry=retry,
+            breaker=self.breaker, quarantine=self.quarantine,
             heartbeat=(sup.register("fpga-reader")
                        if sup is not None else None),
             integrity=sup.integrity if sup is not None else None,
@@ -250,6 +296,7 @@ class DLBoosterInferenceBackend(_InferenceBackendBase):
             sup = self.supervisor
             self.dispatcher = Dispatcher(
                 self.env, self.testbed, self.pool, engines, cpu=self.cpu,
+                name=self._scoped("dispatcher"),
                 heartbeat=(sup.register("dispatcher") if sup is not None
                            else None),
                 shed_deadlines=(sup is not None and sup.sheds_deadlines

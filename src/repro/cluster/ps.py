@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from ..calib import GpuModelSpec, Testbed
 from ..engines import CpuCorePool, GpuDevice, train_iteration_seconds
-from ..sim import Counter, Environment, Event
+from ..sim import Counter, Environment, Event, scoped_name
 
 __all__ = ["PsShardConfig", "PsGroup", "PsWorker"]
 
@@ -48,13 +48,14 @@ class PsGroup:
     gradients with every shard and wait for aggregation to finish."""
 
     def __init__(self, env: Environment, config: PsShardConfig,
-                 link_rate: float):
+                 link_rate: float, namespace: str = ""):
         self.env = env
         self.config = config
         self.link_rate = link_rate
+        self.namespace = namespace
         self._arrived = 0
         self._release: Event = env.event()
-        self.rounds = Counter(env, name="ps.rounds")
+        self.rounds = Counter(env, name=scoped_name(namespace, "ps.rounds"))
         self.workers: list["PsWorker"] = []
 
     def register(self, worker: "PsWorker") -> None:
@@ -97,16 +98,20 @@ class PsWorker:
 
     def __init__(self, env: Environment, testbed: Testbed,
                  spec: GpuModelSpec, group: PsGroup, cpu: CpuCorePool,
-                 index: int):
+                 index: int, namespace: str = ""):
         self.env = env
         self.testbed = testbed
         self.spec = spec
         self.group = group
         self.cpu = cpu
         self.index = index
-        self.gpu = GpuDevice(env, testbed, index)
-        self.images_trained = Counter(env, name=f"psw{index}.images")
-        self.iterations = Counter(env, name=f"psw{index}.iters")
+        self.gpu = GpuDevice(env, testbed, index,
+                             name=scoped_name(namespace, f"gpu{index}")
+                             if namespace else None)
+        self.images_trained = Counter(
+            env, name=scoped_name(namespace, f"psw{index}.images"))
+        self.iterations = Counter(
+            env, name=scoped_name(namespace, f"psw{index}.iters"))
         group.register(self)
         self._started = False
 

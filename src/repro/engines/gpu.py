@@ -66,11 +66,14 @@ class CudaStream:
 class GpuDevice:
     """One Tesla P100 with PCIe copy engine and SM-share bookkeeping."""
 
-    def __init__(self, env: Environment, testbed: Testbed, index: int = 0):
+    def __init__(self, env: Environment, testbed: Testbed, index: int = 0,
+                 name: str | None = None):
         self.env = env
         self.testbed = testbed
         self.index = index
-        self.name = f"gpu{index}"
+        # ``name`` override lets K-host fleets namespace their devices
+        # (``host02.gpu0``); the default keeps single-host names flat.
+        self.name = name if name is not None else f"gpu{index}"
         self.busy = BusyTracker(env, name=f"{self.name}.busy")
         self.copy_stream = CudaStream(env, self, f"{self.name}.copy")
         self.compute_stream = CudaStream(env, self, f"{self.name}.compute")

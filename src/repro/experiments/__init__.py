@@ -4,7 +4,7 @@ paper's qualitative claims as machine-checked assertions."""
 
 from . import (chaos, econ_analysis, fig2_motivation, fig5_train_throughput,
                fig6_train_cpu, fig7_infer_throughput, fig8_infer_latency,
-               fig9_infer_cpu, overload, scalability, traced)
+               fig9_infer_cpu, fleet, overload, scalability, traced)
 from .paper_reference import PAPER_CLAIMS, PaperClaim, claims_for
 from .report import Report, ShapeCheck, fmt_table
 
@@ -19,10 +19,12 @@ ALL_EXPERIMENTS = {
     "sec2.2": scalability.run,
     "chaos": chaos.run,
     "overload": overload.run,
+    "fleet": fleet.run,
 }
 
 __all__ = ["Report", "ShapeCheck", "fmt_table", "ALL_EXPERIMENTS",
            "PAPER_CLAIMS", "PaperClaim", "claims_for",
            "fig2_motivation", "fig5_train_throughput", "fig6_train_cpu",
            "fig7_infer_throughput", "fig8_infer_latency", "fig9_infer_cpu",
-           "econ_analysis", "scalability", "chaos", "overload", "traced"]
+           "econ_analysis", "scalability", "chaos", "overload", "traced",
+           "fleet"]

@@ -139,6 +139,23 @@ PAPER_CLAIMS: tuple[PaperClaim, ...] = (
                     "sheds requests whose slack no longer covers the "
                     "in-pipeline time, preventing decode-then-expire "
                     "livelock"),
+    # ----------------------------------------------------------- fleet
+    # The paper evaluates one server (1-2 GPUs, one FPGA); these anchor
+    # the multi-host fleet study to the deployment statements it scales.
+    PaperClaim("fleet", "S2.1",
+               "DL services deploy on clusters of accelerated servers",
+               "cloud-scale deployment", "ordering",
+               note="extended to K simulated hosts behind a front-end "
+                    "load balancer: per-host knees compose linearly and "
+                    "the fleet degrades gracefully past K-1 knees"),
+    PaperClaim("fleet", "S5.3 / Fig. 8",
+               "online serving must hold tail latency under load",
+               "latency bounded at the client window", "ordering",
+               note="extended with health-driven routing: least-loaded "
+                    "steers around a dead-FPGA host where round-robin "
+                    "black-holes 1/K of the traffic, measured with "
+                    "client-perceived percentiles (failures count at "
+                    "the deadline)"),
 )
 
 

@@ -1,0 +1,31 @@
+"""repro.fleet — multi-host serving on one deterministic simulation.
+
+The paper evaluates one server; production serving is a *fleet*.  This
+package instantiates the complete single-host pipeline K times inside
+one Environment (:class:`Host`), fronts it with a policy-driven
+:class:`LoadBalancer`, derives per-host health from the supervision
+signals (:class:`HealthView`), and sizes the fleet from aggregate
+telemetry (:class:`Autoscaler`).  :func:`fleet_rollup` merges per-host
+latency recorders into one fleet-level payload.
+"""
+
+from .autoscaler import Autoscaler, AutoscalerConfig
+from .balancer import LoadBalancer, OpenLoopSource, zipf_weights
+from .health import (DEAD, DEGRADED, DRAINING, HEALTHY, HealthView,
+                     HostHealth)
+from .host import Host, HostConfig
+from .rollup import fleet_rollup, render_rollup
+from .routing import (ROUTING_POLICIES, ConsistentHash, LeastLoaded,
+                      PowerOfTwoChoices, RoundRobin, RoutingPolicy,
+                      make_policy)
+
+__all__ = [
+    "Host", "HostConfig",
+    "LoadBalancer", "OpenLoopSource", "zipf_weights",
+    "RoutingPolicy", "RoundRobin", "LeastLoaded", "ConsistentHash",
+    "PowerOfTwoChoices", "ROUTING_POLICIES", "make_policy",
+    "HealthView", "HostHealth",
+    "HEALTHY", "DEGRADED", "DRAINING", "DEAD",
+    "Autoscaler", "AutoscalerConfig",
+    "fleet_rollup", "render_rollup",
+]

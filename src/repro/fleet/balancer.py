@@ -1,0 +1,199 @@
+"""Front-end tier: LoadBalancer + open-loop traffic source.
+
+The LoadBalancer is the fleet's single entry point: each request is
+routed by a pluggable :mod:`~repro.fleet.routing` policy over the
+health-filtered candidate set and injected into the chosen host's RX
+ring.  It sits server-side (think L4 VIP in the same rack), so the
+client wire is out of the picture — matching the single-host overload
+experiment's methodology.
+
+:class:`OpenLoopSource` is the fleet's arrival process: deterministic
+inter-arrival gap at a settable rate, client ids drawn from an
+optionally *skewed* (Zipf-like) mix — the workload under which
+client-affine and load-aware policies actually differ.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..data import jpeg_size_sampler
+from ..net import NetRequest
+from ..sim import Counter, Environment
+from ..supervision import DeadlineExceeded
+from .routing import RoutingPolicy
+
+__all__ = ["LoadBalancer", "OpenLoopSource"]
+
+
+class LoadBalancer:
+    """Routes requests over the fleet through one policy."""
+
+    def __init__(self, env: Environment, hosts, policy: RoutingPolicy,
+                 name: str = "lb"):
+        self.env = env
+        self.name = name
+        self.policy = policy
+        self.health = None           # optional HealthView, attached later
+        self.hosts = []
+        self.dispatched = Counter(env, name=f"{name}.dispatched")
+        self.rejected = Counter(env, name=f"{name}.rejected")
+        self.per_host: dict[str, Counter] = {}
+        for host in hosts:
+            self.add_host(host)
+
+    def attach_health(self, health) -> None:
+        self.health = health
+
+    def add_host(self, host) -> None:
+        if host.name in self.per_host:
+            raise ValueError(f"duplicate host name {host.name!r}")
+        self.hosts.append(host)
+        self.per_host[host.name] = Counter(
+            self.env, name=f"{self.name}.to.{host.name}")
+
+    def active_hosts(self) -> list:
+        return [h for h in self.hosts if h.accepting]
+
+    def candidates(self) -> list:
+        if self.health is not None:
+            return self.health.candidates()
+        return self.active_hosts()
+
+    def route(self, request) -> bool:
+        """Route one request; True when some host accepted it.
+
+        On a refused first choice (draining race, RX overflow) one
+        different candidate is tried before giving up; a rejected
+        request's issuer is failed so open- and closed-loop sources
+        both learn the outcome.
+        """
+        candidates = self.candidates()
+        if candidates:
+            host = self.policy.choose(candidates, request)
+            if host.admit(request):
+                self._count(host)
+                return True
+            rest = [h for h in candidates if h is not host]
+            if rest:
+                alt = self.policy.choose(rest, request)
+                if alt.admit(request):
+                    self._count(alt)
+                    return True
+        self.rejected.add()
+        done = request.done_event
+        if done is not None and not done.triggered:
+            done.fail(ConnectionError(
+                f"no route for request {request.request_id}"))
+        return False
+
+    def _count(self, host) -> None:
+        self.dispatched.add()
+        self.per_host[host.name].add()
+
+    def dispatch_shares(self) -> dict[str, float]:
+        """Fraction of dispatched traffic each host received."""
+        total = max(self.dispatched.total, 1.0)
+        return {name: counter.total / total
+                for name, counter in self.per_host.items()}
+
+    def conservation_ok(self) -> bool:
+        """LB dispatch counts match the hosts' admission counts."""
+        by_hosts = sum(int(h.handled.total) for h in self.hosts)
+        by_lb = sum(int(c.total) for c in self.per_host.values())
+        return (int(self.dispatched.total) == by_lb
+                and by_lb == by_hosts)
+
+
+def zipf_weights(n: int, skew: float) -> np.ndarray:
+    """Zipf-like client popularity: weight of client *i* is
+    ``1 / (i + 1) ** skew`` (``skew=0`` is uniform)."""
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** -skew
+    return weights / weights.sum()
+
+
+class OpenLoopSource:
+    """Deterministic open-loop arrivals fanned through a LoadBalancer."""
+
+    def __init__(self, env: Environment, balancer: LoadBalancer,
+                 rate: float, image_hw: tuple[int, int],
+                 rng: np.random.Generator, num_clients: int = 32,
+                 skew: float = 0.0, deadline_s: Optional[float] = None,
+                 size_sampler: Optional[Callable] = None,
+                 name: str = "source"):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if num_clients < 1:
+            raise ValueError("num_clients must be >= 1")
+        self.env = env
+        self.balancer = balancer
+        self.rate = rate
+        self.image_hw = image_hw
+        self.rng = rng
+        self.num_clients = num_clients
+        self.deadline_s = deadline_s
+        self._cdf = np.cumsum(zipf_weights(num_clients, skew))
+        self._sampler = size_sampler if size_sampler is not None \
+            else jpeg_size_sampler()
+        self.sent = Counter(env, name=f"{name}.sent")
+        self.completed = Counter(env, name=f"{name}.completed")
+        self.expired = Counter(env, name=f"{name}.expired")
+        self.failed = Counter(env, name=f"{name}.failed")
+        self._next_id = 0
+        self.running = False
+
+    def set_rate(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.env.process(self._loop(), name="openloop-source")
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _on_done(self, event) -> None:
+        if event._ok:
+            self.completed.add()
+        elif isinstance(event._value, DeadlineExceeded):
+            self.expired.add()
+        else:
+            self.failed.add()
+
+    def _loop(self):
+        h, w = self.image_hw
+        while self.running:
+            yield self.env.timeout(1.0 / self.rate)
+            now = self.env.now
+            draw = self.rng.random()
+            client = int(np.searchsorted(self._cdf, draw, side="right"))
+            done = self.env.event()
+            done.callbacks.append(self._on_done)
+            request = NetRequest(
+                request_id=self._next_id, client_id=client,
+                size_bytes=int(self._sampler(self.rng)),
+                height=h, width=w, channels=3,
+                sent_at=now, received_at=now, done_event=done,
+                deadline_at=(now + self.deadline_s
+                             if self.deadline_s is not None else math.inf))
+            self._next_id += 1
+            self.sent.add()
+            self.balancer.route(request)
+
+    def conservation_ok(self) -> bool:
+        """Every request the source issued has exactly one outcome (or
+        is still in flight inside some host)."""
+        in_flight = sum(h.in_flight for h in self.balancer.hosts)
+        # Rejected requests are failed by the balancer, so they already
+        # land in ``failed`` via the done-event callback.
+        resolved = (int(self.completed.total) + int(self.expired.total)
+                    + int(self.failed.total))
+        return int(self.sent.total) == resolved + in_flight

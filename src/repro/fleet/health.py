@@ -1,0 +1,132 @@
+"""HealthView — per-host health derived from the signals hosts already
+emit, fed back into routing.
+
+No new probes: health is *derived* from the Supervisor's watchdog
+stalls, the circuit breaker's state, and the windowed shed fraction —
+the same counters the single-host experiments report.  States:
+
+``healthy``    routable, nothing notable.
+``degraded``   routable but impaired: breaker open (FPGA path down,
+               CPU failover carrying the traffic) or shedding more
+               than ``shed_frac_degraded`` of its intake.  Degraded
+               hosts stay in the candidate set — a load-aware policy
+               routes *around* them by observing their load, which is
+               precisely the round-robin vs least-loaded A/B.
+``draining``   autoscaler is retiring it; not routable, in-flight work
+               finishes.
+``dead``       watchdog reported a stall and the host completed
+               nothing last window while still holding work; not
+               routable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import Environment
+
+__all__ = ["HEALTHY", "DEGRADED", "DRAINING", "DEAD", "HostHealth",
+           "HealthView"]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+DRAINING = "draining"
+DEAD = "dead"
+
+ROUTABLE = (HEALTHY, DEGRADED)
+
+
+@dataclass
+class HostHealth:
+    state: str
+    since: float
+    reason: str = ""
+
+
+class HealthView:
+    """Periodically classifies every fleet host; the LoadBalancer asks
+    it for the routable candidate set."""
+
+    def __init__(self, env: Environment, balancer,
+                 eval_period_s: float = 0.05,
+                 shed_frac_degraded: float = 0.05):
+        if eval_period_s <= 0:
+            raise ValueError("eval_period_s must be positive")
+        self.env = env
+        self.balancer = balancer
+        self.eval_period_s = eval_period_s
+        self.shed_frac_degraded = shed_frac_degraded
+        self.status: dict[str, HostHealth] = {}
+        self.transitions: list[tuple[float, str, str, str, str]] = []
+        # host.name -> (handled, shed, completed, stalls) at last update
+        self._marks: dict[str, tuple[int, int, int, int]] = {}
+        self.running = False
+
+    # -- classification ---------------------------------------------------
+    def _classify(self, host) -> tuple[str, str]:
+        handled = int(host.handled.total)
+        shed = host.shed_total()
+        completed = int(host.completed.total)
+        stalls = host.stalls_detected()
+        h0, s0, c0, st0 = self._marks.get(host.name, (0, 0, 0, 0))
+        self._marks[host.name] = (handled, shed, completed, stalls)
+        d_handled = handled - h0
+        d_shed = shed - s0
+        d_completed = completed - c0
+        if host.draining:
+            return DRAINING, "draining"
+        if stalls > st0 and d_completed == 0 and d_handled > 0:
+            return DEAD, "watchdog stall with zero completions"
+        if host.breaker_open():
+            return DEGRADED, "circuit breaker open (FPGA path down)"
+        if d_handled > 0 and d_shed / d_handled > self.shed_frac_degraded:
+            return DEGRADED, (f"shedding {d_shed}/{d_handled} of intake")
+        return HEALTHY, ""
+
+    def update(self) -> None:
+        """One evaluation pass over every fleet host."""
+        now = self.env.now
+        for host in self.balancer.hosts:
+            state, reason = self._classify(host)
+            prev = self.status.get(host.name)
+            if prev is None:
+                self.status[host.name] = HostHealth(state, now, reason)
+            elif prev.state != state:
+                self.transitions.append(
+                    (now, host.name, prev.state, state, reason))
+                self.status[host.name] = HostHealth(state, now, reason)
+
+    def state_of(self, host) -> str:
+        health = self.status.get(host.name)
+        return health.state if health is not None else HEALTHY
+
+    def candidates(self) -> list:
+        """Routable hosts, in stable fleet order."""
+        return [h for h in self.balancer.hosts
+                if h.accepting and self.state_of(h) in ROUTABLE]
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.update()
+        self.env.process(self._loop(), name="healthview")
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _loop(self):
+        while self.running:
+            yield self.env.timeout(self.eval_period_s)
+            self.update()
+
+    def render(self) -> str:
+        lines = [f"health @ t={self.env.now:.3f}s"]
+        for name, health in sorted(self.status.items()):
+            line = f"  {name}: {health.state} (since {health.since:.3f}s)"
+            if health.reason:
+                line += f" — {health.reason}"
+            lines.append(line)
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Fleet-level telemetry rollup.
+
+One payload, two granularities: per-host rows (each host's own
+LatencyRecorder percentiles, counters, conservation verdict) and a
+fleet aggregate whose percentiles come from *merging* the per-host
+recorders — ``LatencyRecorder.merge()`` combines the reservoirs with
+per-sample provenance, so the fleet p99 is computed over the union of
+samples, never by averaging per-host percentiles (percentiles do not
+average).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import LatencyRecorder
+
+__all__ = ["fleet_rollup", "render_rollup"]
+
+
+def _ms(seconds: float) -> float:
+    return seconds * 1e3
+
+
+def fleet_rollup(hosts, balancer=None, source=None,
+                 health=None, registry=None,
+                 deadline_s: Optional[float] = None) -> dict:
+    """Merge per-host telemetry into one fleet payload.
+
+    ``hosts`` is the full fleet (drained hosts included — their history
+    is part of the run).  Optional collaborators contribute their own
+    sections: balancer dispatch counts, source outcome counts, health
+    states, and a metrics-registry snapshot.
+
+    With ``deadline_s`` set, the fleet section also reports
+    **client-perceived** percentiles: every failed/shed/rejected
+    request is counted as one sample at the deadline (a lower bound on
+    what its client observed).  Served-only percentiles flatter a
+    policy that black-holes traffic — a host that sheds 30% of its
+    share returns no slow samples at all — so SLO comparisons between
+    routing policies must use the client-perceived figures.
+    """
+    merged = LatencyRecorder(name="fleet.turnaround")
+    per_host = []
+    for host in hosts:
+        rec = host.turnaround
+        merged.merge(rec)
+        per_host.append({
+            "host": host.name,
+            "accepting": host.accepting,
+            "draining": host.draining,
+            "handled": int(host.handled.total),
+            "completed": int(host.completed.total),
+            "failed": int(host.failed.total),
+            "in_flight": host.in_flight,
+            "predictions": host.predictions(),
+            "shed": host.shed_breakdown(),
+            "breaker_open": host.breaker_open(),
+            "latency_count": rec.count,
+            "p50_ms": _ms(rec.p50()) if rec.count else None,
+            "p99_ms": _ms(rec.p99()) if rec.count else None,
+            "mean_ms": _ms(rec.mean()) if rec.count else None,
+            "conserved": host.conservation_ok(),
+        })
+    fleet = {
+        "hosts": len(hosts),
+        "active_hosts": sum(1 for h in hosts if h.accepting),
+        "handled": sum(row["handled"] for row in per_host),
+        "completed": sum(row["completed"] for row in per_host),
+        "failed": sum(row["failed"] for row in per_host),
+        "predictions": sum(row["predictions"] for row in per_host),
+        "shed": sum(sum(row["shed"].values()) for row in per_host),
+        "latency_count": merged.count,
+        "p50_ms": _ms(merged.p50()) if merged.count else None,
+        "p99_ms": _ms(merged.p99()) if merged.count else None,
+        "mean_ms": _ms(merged.mean()) if merged.count else None,
+        "conserved": all(row["conserved"] for row in per_host),
+    }
+    if deadline_s is not None:
+        client = LatencyRecorder(name="fleet.client")
+        client.merge(merged)
+        failures = fleet["failed"]
+        if balancer is not None:
+            failures += int(balancer.rejected.total)
+        for _ in range(failures):
+            client.record(deadline_s)
+        fleet["client_p50_ms"] = _ms(client.p50()) if client.count else None
+        fleet["client_p99_ms"] = _ms(client.p99()) if client.count else None
+        fleet["client_failures"] = failures
+    payload = {"per_host": per_host, "fleet": fleet}
+    if balancer is not None:
+        payload["balancer"] = {
+            "dispatched": int(balancer.dispatched.total),
+            "rejected": int(balancer.rejected.total),
+            "per_host": {name: int(c.total)
+                         for name, c in balancer.per_host.items()},
+            "shares": balancer.dispatch_shares(),
+            "conserved": balancer.conservation_ok(),
+        }
+    if source is not None:
+        payload["source"] = {
+            "sent": int(source.sent.total),
+            "completed": int(source.completed.total),
+            "expired": int(source.expired.total),
+            "failed": int(source.failed.total),
+            "conserved": source.conservation_ok(),
+        }
+    if health is not None:
+        payload["health"] = {
+            name: status.state for name, status in health.status.items()}
+        payload["health_transitions"] = [
+            list(t) for t in health.transitions]
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
+    return payload
+
+
+def render_rollup(payload: dict) -> str:
+    """Human-readable two-level summary of a rollup payload."""
+    lines = []
+    for row in payload["per_host"]:
+        p50 = f"{row['p50_ms']:.1f}" if row["p50_ms"] is not None else "-"
+        p99 = f"{row['p99_ms']:.1f}" if row["p99_ms"] is not None else "-"
+        state = "draining" if row["draining"] else (
+            "active" if row["accepting"] else "stopped")
+        lines.append(
+            f"  {row['host']}: {state}, completed {row['completed']}, "
+            f"shed {sum(row['shed'].values())}, p50 {p50} ms, "
+            f"p99 {p99} ms")
+    fleet = payload["fleet"]
+    p50 = f"{fleet['p50_ms']:.1f}" if fleet["p50_ms"] is not None else "-"
+    p99 = f"{fleet['p99_ms']:.1f}" if fleet["p99_ms"] is not None else "-"
+    lines.append(
+        f"  fleet ({fleet['active_hosts']}/{fleet['hosts']} active): "
+        f"completed {fleet['completed']}, shed {fleet['shed']}, "
+        f"p50 {p50} ms, p99 {p99} ms, "
+        f"conserved {'yes' if fleet['conserved'] else 'NO'}")
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Routing policies for the fleet front end.
+
+A policy picks one host out of the routable candidates for each
+request.  Policies are deliberately tiny and deterministic: given the
+same candidate sequence and the same (seeded) RNG they choose the same
+hosts, so a fleet run is bit-identical across reruns — the property the
+determinism tests pin.
+
+Candidates arrive in stable fleet order (LoadBalancer insertion order,
+health-filtered), so cursor- and index-based tie-breaks are stable too.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["RoutingPolicy", "RoundRobin", "LeastLoaded", "ConsistentHash",
+           "PowerOfTwoChoices", "ROUTING_POLICIES", "make_policy"]
+
+
+class RoutingPolicy:
+    """Chooses a host for one request; stateful across calls."""
+
+    name = "abstract"
+
+    def choose(self, candidates: Sequence, request):
+        raise NotImplementedError
+
+
+class RoundRobin(RoutingPolicy):
+    """Cycle through the candidates, blind to load and client."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def choose(self, candidates: Sequence, request):
+        host = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return host
+
+
+class LeastLoaded(RoutingPolicy):
+    """Send to the host with the fewest seconds of queued work
+    (in-flight normalized by capacity), index tie-break."""
+
+    name = "least-loaded"
+
+    def choose(self, candidates: Sequence, request):
+        return min(enumerate(candidates),
+                   key=lambda pair: (pair[1].load(), pair[0]))[1]
+
+
+class ConsistentHash(RoutingPolicy):
+    """Client-affine routing on a hash ring.
+
+    Each host contributes ``replicas`` virtual points hashed from its
+    (stable) name; a request lands on the first point clockwise of its
+    client id.  Adding or removing one host only remaps the keys that
+    pointed at it — the property that keeps per-client caches warm
+    across fleet resizes.
+    """
+
+    name = "consistent-hash"
+
+    def __init__(self, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._ring_key: Optional[tuple] = None
+        self._points: list[int] = []
+        self._owners: list = []
+
+    def _rebuild(self, candidates: Sequence) -> None:
+        points = []
+        for host in candidates:
+            for r in range(self.replicas):
+                point = zlib.crc32(f"{host.name}#{r}".encode())
+                points.append((point, host.name, host))
+        points.sort(key=lambda p: (p[0], p[1]))
+        self._points = [p[0] for p in points]
+        self._owners = [p[2] for p in points]
+
+    def choose(self, candidates: Sequence, request):
+        key = tuple(h.name for h in candidates)
+        if key != self._ring_key:
+            self._rebuild(candidates)
+            self._ring_key = key
+        slot = zlib.crc32(str(request.client_id).encode())
+        i = bisect_right(self._points, slot) % len(self._points)
+        return self._owners[i]
+
+
+class PowerOfTwoChoices(RoutingPolicy):
+    """Sample two distinct hosts uniformly, route to the less loaded —
+    near-optimal balance at a fraction of least-loaded's inspection
+    cost (Mitzenmacher's two-choices result)."""
+
+    name = "p2c"
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    def choose(self, candidates: Sequence, request):
+        n = len(candidates)
+        if n == 1:
+            return candidates[0]
+        i = int(self.rng.integers(n))
+        j = int(self.rng.integers(n - 1))
+        if j >= i:
+            j += 1
+        a, b = candidates[i], candidates[j]
+        if b.load() < a.load():
+            return b
+        return a
+
+
+ROUTING_POLICIES = ("round-robin", "least-loaded", "consistent-hash", "p2c")
+
+
+def make_policy(name: str,
+                rng: Optional[np.random.Generator] = None) -> RoutingPolicy:
+    """Instantiate a routing policy by name (``rng`` is required by and
+    only consumed by ``p2c``)."""
+    if name == "round-robin":
+        return RoundRobin()
+    if name == "least-loaded":
+        return LeastLoaded()
+    if name == "consistent-hash":
+        return ConsistentHash()
+    if name == "p2c":
+        if rng is None:
+            raise ValueError("p2c needs a seeded rng")
+        return PowerOfTwoChoices(rng)
+    raise ValueError(f"unknown routing policy {name!r}; "
+                     f"choose from {ROUTING_POLICIES}")

@@ -30,16 +30,18 @@ class FPGAChannel:
 
     def __init__(self, env: Environment, mirror: ImageDecoderMirror,
                  queue_id: int = 0, injector=None,
-                 site: Optional[str] = None):
+                 site: Optional[str] = None, name: Optional[str] = None):
         self.env = env
         self.mirror = mirror
         self.queue_id = queue_id
         self.injector = injector
         self.site = site if site is not None else f"fpga{queue_id}"
-        self.submitted = Counter(env, name=f"ch{queue_id}.submitted")
-        self.completed = Counter(env, name=f"ch{queue_id}.completed")
-        self.dropped = Counter(env, name=f"ch{queue_id}.dropped")
-        self.outstanding = TimeWeighted(env, 0, name=f"ch{queue_id}.inflight")
+        name = name if name is not None else f"ch{queue_id}"
+        self.name = name
+        self.submitted = Counter(env, name=f"{name}.submitted")
+        self.completed = Counter(env, name=f"{name}.completed")
+        self.dropped = Counter(env, name=f"{name}.dropped")
+        self.outstanding = TimeWeighted(env, 0, name=f"{name}.inflight")
         self._recycled = False
 
     def _lost_in_transit(self) -> bool:

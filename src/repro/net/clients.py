@@ -16,7 +16,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..sim import Counter, Environment, LatencyRecorder
+from ..sim import Counter, Environment, LatencyRecorder, scoped_name
 from ..supervision import DeadlineExceeded
 from .nic import NetRequest, Nic
 
@@ -33,7 +33,8 @@ class ClientFleet:
                                                  int]] = None,
                  payload_factory: Optional[Callable[[int], bytes]] = None,
                  think_time_s: float = 0.0,
-                 deadline_s: Optional[float] = None):
+                 deadline_s: Optional[float] = None,
+                 namespace: str = ""):
         if num_clients <= 0 or window <= 0:
             raise ValueError("num_clients and window must be positive")
         self.env = env
@@ -44,12 +45,14 @@ class ClientFleet:
         self.rng = rng
         self.think_time_s = think_time_s
         self.deadline_s = deadline_s
-        self.expired = Counter(env, name="clients.expired")
+        self.expired = Counter(env,
+                               name=scoped_name(namespace, "clients.expired"))
         self._size_sampler = size_sampler or self._default_size
         self._payload_factory = payload_factory
-        self.sent = Counter(env, name="clients.sent")
-        self.completed = Counter(env, name="clients.completed")
-        self.rtt = LatencyRecorder(name="clients.rtt")
+        self.sent = Counter(env, name=scoped_name(namespace, "clients.sent"))
+        self.completed = Counter(
+            env, name=scoped_name(namespace, "clients.completed"))
+        self.rtt = LatencyRecorder(name=scoped_name(namespace, "clients.rtt"))
         self._next_id = 0
         self._stopped = False
 

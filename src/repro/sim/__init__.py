@@ -10,7 +10,7 @@ streams.
 from .core import (AllOf, AnyOf, Environment, Event, Interrupt, Process,
                    SimulationError, Timeout, total_events_processed)
 from .monitor import (BusyTracker, Counter, IntervalRate, LatencyRecorder,
-                      TimeWeighted, set_active_registry)
+                      TimeWeighted, scoped_name, set_active_registry)
 from .queues import Channel, QueuePair, ShedPolicy, deadline_of
 from .rand import SeedBank
 from .resources import (Container, FilterStore, PriorityResource, Resource,
@@ -24,7 +24,7 @@ __all__ = [
     "Resource", "PriorityResource", "Store", "FilterStore", "Container",
     "Channel", "QueuePair", "ShedPolicy", "deadline_of",
     "Counter", "TimeWeighted", "BusyTracker", "LatencyRecorder",
-    "IntervalRate", "set_active_registry",
+    "IntervalRate", "set_active_registry", "scoped_name",
     "SeedBank",
     "Tracer", "Span",
 ]

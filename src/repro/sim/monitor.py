@@ -16,7 +16,18 @@ from typing import Optional
 from .core import Environment
 
 __all__ = ["Counter", "TimeWeighted", "BusyTracker", "LatencyRecorder",
-           "IntervalRate", "set_active_registry"]
+           "IntervalRate", "set_active_registry", "scoped_name"]
+
+
+def scoped_name(namespace: str, name: str) -> str:
+    """Prefix ``name`` with a per-instance metric namespace.
+
+    ``scoped_name("host03", "nic")`` -> ``"host03.nic"``; an empty
+    namespace returns ``name`` unchanged, so single-host callers keep
+    their historical flat names (and, with them, every name-seeded RNG
+    stream) byte-identical.
+    """
+    return f"{namespace}.{name}" if namespace else name
 
 
 # Ambient metrics registry (see repro.telemetry).  While one is active —

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..sim import Environment, ShedPolicy, deadline_of
+from ..sim import Environment, ShedPolicy, deadline_of, scoped_name
 from .heartbeat import Heartbeat, StallReport
 from .integrity import IntegrityChecker
 from .watchdog import Watchdog
@@ -99,9 +99,11 @@ class Supervisor:
 
     def __init__(self, env: Environment,
                  config: Optional[SupervisionConfig] = None, tracer=None,
-                 name: str = "supervisor"):
+                 name: str = "supervisor", namespace: str = ""):
         self.env = env
         self.config = config if config is not None else SupervisionConfig()
+        self.namespace = namespace
+        name = scoped_name(namespace, name)
         self.name = name
         self.tracer = tracer
         self.watchdog = Watchdog(
@@ -118,8 +120,14 @@ class Supervisor:
 
     # -- wiring (called by backends) -------------------------------------
     def register(self, stage_name: str) -> Heartbeat:
-        """Heartbeat handle for one pipeline process."""
-        return self.watchdog.register(stage_name)
+        """Heartbeat handle for one pipeline process.
+
+        Stage names are prefixed with the supervisor's ``namespace``
+        (``host03.fpga-reader``), so K supervised pipelines in one sim
+        produce K distinct heartbeats instead of colliding.
+        """
+        return self.watchdog.register(
+            scoped_name(self.namespace, stage_name))
 
     def watch_channel(self, channel) -> None:
         self.watchdog.watch_channel(channel)

@@ -11,17 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..backends import (CpuInferenceBackend, DLBoosterInferenceBackend,
-                        NvJpegInferenceBackend)
 from ..calib import DEFAULT_TESTBED, INFER_MODELS, Testbed
 from ..data import jpeg_size_sampler
-from ..engines import CpuCorePool, GpuDevice, InferenceEngine
-from ..faults import FaultInjector, FaultPlan
-from ..host import BatchSpec
-from ..net import ClientFleet, Link, Nic
+from ..faults import FaultPlan
+from ..fleet import Host, HostConfig
+from ..net import ClientFleet
 from ..sim import Environment, LatencyRecorder, SeedBank
 from ..sim.trace import Tracer
-from ..supervision import SupervisionConfig, Supervisor
+from ..supervision import SupervisionConfig
 from ..telemetry import MetricsRegistry, QueueDepthSampler, TelemetryConfig
 from ..tracing import RequestTracker, TracingConfig
 from .metrics import CounterWindow, CpuWindow, HealthWindow
@@ -82,26 +79,6 @@ class InferenceResult:
     extras: dict = field(default_factory=dict)
 
 
-def _make_backend(cfg: InferenceConfig, env, testbed, cpu, nic, spec,
-                  supervisor=None, rtracker=None):
-    if cfg.supervision is not None and cfg.backend != "dlbooster":
-        raise ValueError(f"supervision is only supported by the dlbooster "
-                         f"backend, not {cfg.backend!r}")
-    if cfg.backend == "cpu-online":
-        return CpuInferenceBackend(env, testbed, cpu, nic, spec,
-                                   max_workers=cfg.max_workers)
-    if cfg.backend == "nvjpeg":
-        return NvJpegInferenceBackend(env, testbed, cpu, nic, spec)
-    if cfg.backend == "dlbooster":
-        return DLBoosterInferenceBackend(env, testbed, cpu, nic, spec,
-                                         num_fpgas=cfg.num_fpgas,
-                                         gpu_direct=cfg.gpu_direct,
-                                         supervisor=supervisor,
-                                         rtracker=rtracker)
-    raise ValueError(f"unknown backend {cfg.backend!r}; "
-                     f"choose from {INFERENCE_BACKENDS}")
-
-
 def run_inference(cfg: InferenceConfig,
                   testbed: Testbed = DEFAULT_TESTBED) -> InferenceResult:
     """Execute one serving experiment and report its window metrics.
@@ -127,12 +104,11 @@ def _run_inference(cfg: InferenceConfig, testbed: Testbed,
     if cfg.num_gpus < 1 or cfg.num_gpus > testbed.gpu_count:
         raise ValueError(f"num_gpus must be 1..{testbed.gpu_count}")
 
+    if cfg.backend not in INFERENCE_BACKENDS:
+        raise ValueError(f"unknown backend {cfg.backend!r}; "
+                         f"choose from {INFERENCE_BACKENDS}")
     env = Environment()
     seeds = SeedBank(cfg.seed)
-    spec = INFER_MODELS[cfg.model]
-    bspec = BatchSpec(batch_size=cfg.batch_size, out_h=spec.input_hw[0],
-                      out_w=spec.input_hw[1], channels=spec.channels)
-    cpu = CpuCorePool(env, testbed.cpu_cores)
 
     # Causal tracing: tracker + tracer exist only when asked for, so an
     # untraced run constructs byte-identical state.
@@ -143,15 +119,18 @@ def _run_inference(cfg: InferenceConfig, testbed: Testbed,
             flight_capacity=cfg.tracing.flight_recorder_size,
             emit_spans=cfg.tracing.emit_spans)
 
-    injector = None
-    if cfg.fault_plan:
-        injector = FaultInjector(env, cfg.fault_plan,
-                                 seeds=seeds.spawn("faults"))
-    link = Link(env, testbed.nic_rate, mtu=testbed.nic_mtu,
-                injector=injector)
-    nic = Nic(env, link, cpu.tracker, per_packet_s=testbed.nic_per_packet_s,
-              rx_capacity=max(4096, 16 * cfg.batch_size),
-              rtracker=rtracker)
+    # The whole serving pipeline is one fleet Host (K=1): the phased
+    # construction — ingress in __init__, engines + backend in start()
+    # with the client fleet in between — reproduces the historical
+    # flat-wiring order, so single-host results are bit-identical.
+    host = Host(env, HostConfig(
+        model=cfg.model, backend=cfg.backend, batch_size=cfg.batch_size,
+        num_gpus=cfg.num_gpus, num_fpgas=cfg.num_fpgas,
+        max_workers=cfg.max_workers, gpu_direct=cfg.gpu_direct,
+        supervision=cfg.supervision, fault_plan=cfg.fault_plan),
+        testbed=testbed, seeds=seeds, rtracker=rtracker)
+    cpu, nic, injector = host.cpu, host.nic, host.injector
+    link, supervisor = host.link, host.supervisor
     num_clients = cfg.num_clients or testbed.inference_clients
     # Closed-loop credit: ~2.5 batches per GPU outstanding — one being
     # inferred, one being decoded, headroom for the copy — so the server
@@ -165,8 +144,6 @@ def _run_inference(cfg: InferenceConfig, testbed: Testbed,
                            int(2.5 * cfg.batch_size * cfg.num_gpus) + 2)
     window = -(-total_window // num_clients)
     sup_cfg = cfg.supervision
-    supervisor = (Supervisor(env, sup_cfg)
-                  if sup_cfg is not None and sup_cfg.enabled else None)
     fleet = ClientFleet(env, nic, num_clients=num_clients,
                         image_hw=testbed.client_image_hw,
                         rng=seeds.stream("clients"), window=window,
@@ -175,19 +152,9 @@ def _run_inference(cfg: InferenceConfig, testbed: Testbed,
                                     if supervisor is not None else None))
     fleet.start()
 
-    engines = []
-    for g in range(cfg.num_gpus):
-        gpu = GpuDevice(env, testbed, g)
-        engine = InferenceEngine(env, gpu, spec, cpu, testbed,
-                                 batch_size=cfg.batch_size)
-        engine.start()
-        engines.append(engine)
-
-    if supervisor is not None and rtracker is not None:
-        supervisor.attach_tracker(rtracker)
-    backend = _make_backend(cfg, env, testbed, cpu, nic, bspec,
-                            supervisor=supervisor, rtracker=rtracker)
-    backend.start(engines)
+    host.start()
+    engines = host.engines
+    backend = host.backend
 
     sampler = None
     if registry is not None:

@@ -1,0 +1,113 @@
+"""HealthView classification and Autoscaler add/drain behavior."""
+
+import math
+
+import pytest
+
+from repro.calib import DEFAULT_TESTBED
+from repro.faults import FaultPlan, RetryPolicy
+from repro.fleet import (DEGRADED, DRAINING, HEALTHY, Autoscaler,
+                         AutoscalerConfig, HealthView, Host, HostConfig,
+                         LoadBalancer, OpenLoopSource, make_policy)
+from repro.sim import Environment, SeedBank
+from repro.supervision import SupervisionConfig
+
+SUPERVISION = SupervisionConfig(deadline_s=0.025, admission_margin_s=0.015)
+
+
+def make_host(env, bank, i, degraded=False, start=True):
+    plan = retry = None
+    if degraded:
+        plan = FaultPlan.of(
+            FaultPlan.decoder_crash(0.0, math.inf, site="fpga0"),
+            name="dead-fpga")
+        retry = RetryPolicy(max_attempts=2)
+    namespace = f"host{i:02d}"
+    host = Host(env, HostConfig(
+        model="googlenet", backend="dlbooster", batch_size=4, cpu_cores=8,
+        supervision=SUPERVISION, fault_plan=plan, retry=retry),
+        seeds=bank.spawn(namespace), namespace=namespace)
+    if start:                      # the Autoscaler starts factory hosts
+        host.start()
+    return host
+
+
+def drive(env, bank, balancer, rate, until):
+    source = OpenLoopSource(
+        env, balancer, rate=rate, image_hw=DEFAULT_TESTBED.client_image_hw,
+        rng=bank.stream("arrivals"), num_clients=8, deadline_s=0.025)
+    source.start()
+    env.run(until=until)
+    return source
+
+
+def test_health_view_classifies_breaker_open_as_degraded():
+    env = Environment()
+    bank = SeedBank(5)
+    hosts = [make_host(env, bank, 0), make_host(env, bank, 1, degraded=True)]
+    balancer = LoadBalancer(env, hosts, make_policy("round-robin"))
+    health = HealthView(env, balancer)
+    balancer.attach_health(health)
+    health.start()
+    drive(env, bank, balancer, rate=4000.0, until=0.4)
+    health.update()
+    assert health.status["host00"].state == HEALTHY
+    assert health.status["host01"].state == DEGRADED
+    assert hosts[1].breaker_open()
+    # Degraded hosts stay routable; draining ones do not.
+    assert hosts[1] in health.candidates()
+    hosts[1].drain()
+    health.update()
+    assert health.status["host01"].state == DRAINING
+    assert hosts[1] not in health.candidates()
+    # Transitions were journaled with timestamps and reasons.
+    assert any(t[1] == "host01" and t[3] == DEGRADED
+               for t in health.transitions)
+
+
+def test_autoscaler_adds_under_surge_and_drains_after():
+    env = Environment()
+    bank = SeedBank(9)
+    hosts = [make_host(env, bank, 0)]
+    balancer = LoadBalancer(env, hosts, make_policy("least-loaded"))
+    health = HealthView(env, balancer)
+    balancer.attach_health(health)
+    health.start()
+    scaler = Autoscaler(
+        env, balancer,
+        host_factory=lambda i: make_host(env, bank, i, start=False),
+        config=AutoscalerConfig(min_hosts=1, max_hosts=4,
+                                cooldown_down_s=0.1, sustain_down=3),
+        deadline_s=0.025)
+    scaler.start()
+    source = drive(env, bank, balancer, rate=7000.0, until=0.5)
+    assert len(scaler.additions()) >= 1, scaler.events
+    assert len(balancer.hosts) > 1
+    grown = len(balancer.active_hosts())
+    # Surge over: drop to a trickle and the fleet shrinks again.
+    source.set_rate(400.0)
+    env.run(until=1.6)
+    assert len(scaler.drains()) >= 1, scaler.events
+    assert len(balancer.active_hosts()) < grown
+    drained = [h for h in balancer.hosts if h.draining]
+    assert drained and all(not h.accepting for h in drained)
+    # Scale events carry (t, kind, host, reason) for the rollup.
+    for event in scaler.events:
+        assert len(event) == 4 and event[1] in ("add", "drain")
+
+
+def test_autoscaler_respects_min_and_max_hosts():
+    env = Environment()
+    bank = SeedBank(13)
+    hosts = [make_host(env, bank, 0)]
+    balancer = LoadBalancer(env, hosts, make_policy("least-loaded"))
+    scaler = Autoscaler(
+        env, balancer,
+        host_factory=lambda i: make_host(env, bank, i, start=False),
+        config=AutoscalerConfig(min_hosts=1, max_hosts=2),
+        deadline_s=0.025)
+    scaler.start()
+    drive(env, bank, balancer, rate=12000.0, until=0.6)
+    assert len(balancer.hosts) <= 2          # capped at max_hosts
+    with pytest.raises(ValueError):
+        AutoscalerConfig(min_hosts=3, max_hosts=2)

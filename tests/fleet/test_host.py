@@ -1,0 +1,99 @@
+"""Host abstraction: namespacing, lifecycle, per-host conservation."""
+
+import pytest
+
+from repro.calib import DEFAULT_TESTBED
+from repro.fleet import Host, HostConfig, LoadBalancer, OpenLoopSource, \
+    make_policy
+from repro.sim import Environment, SeedBank
+from repro.supervision import SupervisionConfig
+from repro.telemetry import MetricsRegistry
+
+
+def build_fleet(env, bank, k, supervised=True, registry=None):
+    hosts = []
+    for i in range(k):
+        namespace = f"host{i:02d}"
+        cfg = HostConfig(
+            model="googlenet", backend="dlbooster", batch_size=4,
+            cpu_cores=8,
+            supervision=(SupervisionConfig(deadline_s=0.025,
+                                           admission_margin_s=0.015)
+                         if supervised else None))
+        host = Host(env, cfg, seeds=bank.spawn(namespace),
+                    namespace=namespace)
+        host.start()
+        hosts.append(host)
+    return hosts
+
+
+def test_namespaced_hosts_share_one_registry_without_collisions():
+    env = Environment()
+    bank = SeedBank(3)
+    registry = MetricsRegistry(name="fleet-test")
+    with registry.installed():
+        build_fleet(env, bank, 3)
+    keys = list(registry.snapshot().keys())
+    assert keys, "registry captured nothing"
+    # Per-host namespacing keeps every instrument name unique — the
+    # registry never needs its '#2' duplicate-suffix escape hatch.
+    assert not [k for k in keys if "#" in k]
+    for ns in ("host00.", "host01.", "host02."):
+        assert any(k.startswith(ns) for k in keys)
+
+
+def test_empty_namespace_keeps_flat_metric_names():
+    env = Environment()
+    registry = MetricsRegistry(name="flat")
+    with registry.installed():
+        host = Host(env, HostConfig(model="googlenet", backend="dlbooster",
+                                    batch_size=4),
+                    seeds=SeedBank(0))
+        host.start()
+    keys = list(registry.snapshot().keys())
+    assert any(k.startswith("nic.") for k in keys)   # historical flat name
+    assert "host.handled" in keys                    # fleet ledger, unscoped
+    assert not any(k.startswith("host0") for k in keys)
+
+
+def test_host_refuses_before_start_and_while_draining():
+    env = Environment()
+    host = Host(env, HostConfig(model="googlenet", backend="dlbooster",
+                                batch_size=4), seeds=SeedBank(1))
+    assert not host.accepting
+    host.start()
+    assert host.accepting
+    host.drain()
+    assert host.draining and not host.accepting
+    host.undrain()
+    assert host.accepting
+
+
+def test_host_rejects_unknown_model_and_backend():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Host(env, HostConfig(model="nope", backend="dlbooster",
+                             batch_size=4))
+    with pytest.raises(ValueError):
+        Host(env, HostConfig(model="googlenet", backend="nope",
+                             batch_size=4))
+
+
+def test_per_host_conservation_under_load():
+    env = Environment()
+    bank = SeedBank(11)
+    hosts = build_fleet(env, bank, 3)
+    balancer = LoadBalancer(env, hosts, make_policy("round-robin"))
+    source = OpenLoopSource(
+        env, balancer, rate=0.5 * 3 * 4286,
+        image_hw=DEFAULT_TESTBED.client_image_hw,
+        rng=bank.stream("arrivals"), num_clients=8, deadline_s=0.025)
+    source.start()
+    env.run(until=0.4)
+    for host in hosts:
+        assert host.conservation_ok(), host.name
+        # The ISSUE's ledger identity, via the backend's own books:
+        # accepted == fpga_decoded + cpu_failover + quarantined +
+        # shed_expired + integrity_rejected (+ still-open slots).
+        assert host.backend.conservation_ok()
+        assert int(host.handled.total) > 0
