@@ -1,0 +1,98 @@
+"""Chaos-fleet benchmarks: the experiment's shape checks plus the
+chaos-machinery overhead measurement (BENCH_PR7.json).
+
+The flight table, retry budget and per-attempt proxy events only exist
+on a chaos/recovery-armed balancer, so two costs matter: (a) an
+*unarmed* fleet must pay nothing (pinned bit-identical by test, here we
+pin wall-clock sanity), and (b) an armed fleet under active faults must
+stay within a small constant factor of the fault-free baseline — the
+recovery machinery may not dominate the simulation it protects.
+"""
+
+import os
+import time
+
+from repro.experiments import chaos_fleet as chaos_experiment
+from repro.faults import FaultPlan
+from repro.perf import BenchResult, to_payload, write_payload
+from repro.sim.core import total_events_processed
+
+from conftest import FULL, run_report
+
+BENCH_PR7 = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_PR7.json")
+
+
+def test_chaos_fleet_experiment(benchmark):
+    run_report(benchmark, chaos_experiment.run)
+
+
+def _timed(fn):
+    fn()                                    # warm caches
+    ev0 = total_events_processed()
+    t0 = time.perf_counter()
+    payload = fn()
+    wall = time.perf_counter() - t0
+    return payload, wall, total_events_processed() - ev0
+
+
+def test_chaos_overhead_vs_faultfree_baseline():
+    """Wall-clock of the same K-host fleet run three ways: unarmed
+    (PR 6 path), armed-with-empty-plan (hooks only), and armed with a
+    crash + recovery (flights, sweep, re-dispatch).  BENCH_PR7.json."""
+    k = 3
+    sim_s = 0.5 if not FULL else 1.0
+    x = 0.7 * k
+    crash = FaultPlan.of(FaultPlan.host_crash(0.4 * sim_s, "host01"),
+                         name="bench-crash")
+
+    def baseline():
+        return chaos_experiment.serve_chaos(
+            plan=None, k=k, overload_x=x, sim_s=sim_s)
+
+    def hooks_only():
+        return chaos_experiment.serve_chaos(
+            plan=FaultPlan.of(name="empty"), k=k, overload_x=x,
+            sim_s=sim_s)
+
+    def chaos_on():
+        return chaos_experiment.serve_chaos(
+            plan=crash, recovery=chaos_experiment.default_recovery(),
+            outlier=chaos_experiment.default_outlier(),
+            k=k, overload_x=x, sim_s=sim_s)
+
+    base_payload, base_wall, base_events = _timed(baseline)
+    hook_payload, hook_wall, hook_events = _timed(hooks_only)
+    on_payload, on_wall, on_events = _timed(chaos_on)
+
+    assert base_payload["fleet"]["conserved"]
+    assert on_payload["flights"]["request_ledger_ok"]
+    assert on_payload["flights"]["attempt_ledger_ok"]
+    # Unarmed hooks are free: same event count as the PR 6 path.
+    assert hook_events == base_events
+    # Armed chaos + recovery stays within a small constant factor.
+    overhead = on_wall / base_wall
+    assert overhead < 2.0, (
+        f"chaos-on overhead {overhead:.2f}x vs fault-free baseline")
+
+    results = [
+        BenchResult(name="chaos.baseline", best_s=base_wall,
+                    mean_s=base_wall, runs=(base_wall,), reps=1,
+                    units={"events": base_events}),
+        BenchResult(name="chaos.hooks_only", best_s=hook_wall,
+                    mean_s=hook_wall, runs=(hook_wall,), reps=1,
+                    units={"events": hook_events}),
+        BenchResult(name="chaos.crash_recovery_on", best_s=on_wall,
+                    mean_s=on_wall, runs=(on_wall,), reps=1,
+                    units={"events": on_events,
+                           "redispatches": on_payload["lb"]
+                           ["redispatches"]}),
+    ]
+    write_payload(BENCH_PR7, to_payload(results, derived={
+        "chaos_on_overhead_x": overhead,
+        "hooks_only_overhead_x": hook_wall / base_wall,
+        "chaos_extra_events": on_events - base_events,
+    }))
+    print(f"\nchaos overhead: hooks {hook_wall / base_wall:.2f}x, "
+          f"armed {overhead:.2f}x over {base_wall:.2f}s baseline")

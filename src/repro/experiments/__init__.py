@@ -2,9 +2,10 @@
 :class:`~repro.experiments.report.Report` of measured rows plus the
 paper's qualitative claims as machine-checked assertions."""
 
-from . import (chaos, econ_analysis, fig2_motivation, fig5_train_throughput,
-               fig6_train_cpu, fig7_infer_throughput, fig8_infer_latency,
-               fig9_infer_cpu, fleet, overload, scalability, traced)
+from . import (chaos, chaos_fleet, econ_analysis, fig2_motivation,
+               fig5_train_throughput, fig6_train_cpu, fig7_infer_throughput,
+               fig8_infer_latency, fig9_infer_cpu, fleet, overload,
+               scalability, traced)
 from .paper_reference import PAPER_CLAIMS, PaperClaim, claims_for
 from .report import Report, ShapeCheck, fmt_table
 
@@ -20,6 +21,7 @@ ALL_EXPERIMENTS = {
     "chaos": chaos.run,
     "overload": overload.run,
     "fleet": fleet.run,
+    "chaos_fleet": chaos_fleet.run,
 }
 
 __all__ = ["Report", "ShapeCheck", "fmt_table", "ALL_EXPERIMENTS",
@@ -27,4 +29,4 @@ __all__ = ["Report", "ShapeCheck", "fmt_table", "ALL_EXPERIMENTS",
            "fig2_motivation", "fig5_train_throughput", "fig6_train_cpu",
            "fig7_infer_throughput", "fig8_infer_latency", "fig9_infer_cpu",
            "econ_analysis", "scalability", "chaos", "overload", "traced",
-           "fleet"]
+           "fleet", "chaos_fleet"]

@@ -156,6 +156,26 @@ PAPER_CLAIMS: tuple[PaperClaim, ...] = (
                     "black-holes 1/K of the traffic, measured with "
                     "client-perceived percentiles (failures count at "
                     "the deadline)"),
+    # ----------------------------------------------------- chaos_fleet
+    # The paper's single fault-free server, scaled out and then broken:
+    # these anchor the fleet-chaos study to the statements it hardens.
+    PaperClaim("chaos_fleet", "S2.1",
+               "DL services deploy on clusters of accelerated servers",
+               "cloud-scale deployment", "ordering",
+               note="at cluster scale hosts crash, hang and partition: "
+                    "fleet fault kinds (host_crash/hang/slow, link "
+                    "partition/flap, zone outage) draw from per-host "
+                    "seed streams so (seed, plan, K) replays "
+                    "bit-identically"),
+    PaperClaim("chaos_fleet", "S5.3 / Fig. 8",
+               "online serving must hold tail latency under load",
+               "latency bounded at the client window", "ordering",
+               note="extended with recovery: re-dispatch of requests "
+                    "stranded on dead hosts, EWMA outlier ejection of "
+                    "gray-failing hosts, deadline-aware hedging and a "
+                    "token-bucket retry budget keep client p99 bounded "
+                    "while killing 1 of K at the knee, with exact "
+                    "request conservation under duplicate accounting"),
 )
 
 

@@ -18,10 +18,10 @@ See ``repro.experiments.chaos`` for the degradation-curve experiments.
 """
 
 from .injector import FaultInjector
-from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+from .plan import FAULT_KINDS, FLEET_FAULT_KINDS, FaultPlan, FaultSpec
 from .resilience import (CircuitBreaker, QuarantineEntry, QuarantineLog,
                          RetryPolicy)
 
-__all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec", "FaultInjector",
-           "RetryPolicy", "QuarantineLog", "QuarantineEntry",
-           "CircuitBreaker"]
+__all__ = ["FAULT_KINDS", "FLEET_FAULT_KINDS", "FaultPlan", "FaultSpec",
+           "FaultInjector", "RetryPolicy", "QuarantineLog",
+           "QuarantineEntry", "CircuitBreaker"]

@@ -195,3 +195,50 @@ class FaultInjector:
             return 0
         self._fire(spec, site)
         return max(1, int(spec.magnitude))
+
+    # -- fleet-site hooks (repro.fleet.chaos; ``site`` is a host name,
+    #    so every stream is per-host-namespaced: faults/<kind>/<host>) --
+    def crash_due(self, kind: str, site: str) -> Optional[FaultSpec]:
+        """FleetChaos: the armed ``host_crash``/``zone_outage`` spec for
+        this site, if any (scheduling, not a Bernoulli opportunity —
+        the caller fires it exactly once at ``spec.start``)."""
+        for spec in self._specs[kind]:
+            if spec.matches(site):
+                return spec
+        return None
+
+    def fire_crash(self, spec: FaultSpec, site: str) -> None:
+        """FleetChaos: account the one-shot crash of ``site``."""
+        self._fire(spec, site)
+
+    def hang_blackhole(self, site: str) -> bool:
+        """FleetChaos: swallow this host's next completion? (gray
+        failure: the host admits work but the answer never leaves)."""
+        spec = self._roll("host_hang", site)
+        if spec is None:
+            return False
+        self._fire(spec, site)
+        return True
+
+    def slow_extra_s(self, site: str) -> float:
+        """FleetChaos: uniform service-time inflation for this host's
+        next completion (0.0 outside the armed window)."""
+        spec = self._match("host_slow", site)
+        if spec is None:
+            return 0.0
+        self._fire(spec, site)
+        return spec.magnitude
+
+    def link_down(self, site: str) -> bool:
+        """FleetChaos: is the LB->host dispatch dropped right now?
+        ``link_partition`` drops the whole window; ``link_flap`` drops
+        each dispatch with its Bernoulli rate."""
+        spec = self._match("link_partition", site)
+        if spec is not None:
+            self._fire(spec, site)
+            return True
+        spec = self._roll("link_flap", site)
+        if spec is None:
+            return False
+        self._fire(spec, site)
+        return True

@@ -35,6 +35,35 @@ Fault kinds
                       access latency (device stall / GC pause).
 ``nic_loss``          a transmit loses a burst of ``magnitude`` packets
                       which must be retransmitted (extra wire time).
+
+Fleet-site fault kinds (consumed by :mod:`repro.fleet.chaos`, never by
+in-host components; ``site`` names a *host* — or a *zone* for
+``zone_outage``):
+
+``host_crash``        the whole pipeline dies at ``start``: the host
+                      stops accepting, and every in-flight request is
+                      black-holed (its completion, if the simulated
+                      silicon still produces one, is discarded at the
+                      balancer — the client's connection is dead).
+``host_hang``         gray failure: the host keeps admitting requests
+                      but its completion rate collapses — each
+                      completion is silently swallowed with probability
+                      ``rate`` during ``[start, stop)``.  Invisible to
+                      supervisor signals (the host looks busy and
+                      healthy from the inside); only balancer-side
+                      outlier ejection catches it.
+``host_slow``         uniform service-time inflation: every completion
+                      is delayed by ``magnitude`` extra seconds during
+                      the window (degraded preprocessing worker /
+                      straggler).
+``link_partition``    the LB<->host dispatch path is down for the whole
+                      ``[start, stop)`` window: every dispatch to the
+                      host is dropped before admission.
+``link_flap``         lossy dispatch path: each dispatch to the host is
+                      dropped with probability ``rate`` during the
+                      window.
+``zone_outage``       correlated ``host_crash`` of every host whose
+                      configured ``zone`` equals ``site``, at ``start``.
 """
 
 from __future__ import annotations
@@ -43,7 +72,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+__all__ = ["FAULT_KINDS", "FLEET_FAULT_KINDS", "FaultSpec", "FaultPlan"]
 
 FAULT_KINDS = (
     "payload_corrupt",
@@ -55,6 +84,23 @@ FAULT_KINDS = (
     "nvme_error",
     "nvme_latency",
     "nic_loss",
+    "host_crash",
+    "host_hang",
+    "host_slow",
+    "link_partition",
+    "link_flap",
+    "zone_outage",
+)
+
+# The subset that targets fleet sites (hosts / zones) rather than
+# in-host components; repro.fleet.chaos consumes exactly these.
+FLEET_FAULT_KINDS = (
+    "host_crash",
+    "host_hang",
+    "host_slow",
+    "link_partition",
+    "link_flap",
+    "zone_outage",
 )
 
 
@@ -122,6 +168,15 @@ class FaultPlan:
     def by_kind(self, kind: str) -> tuple[FaultSpec, ...]:
         return tuple(s for s in self.specs if s.kind == kind)
 
+    def fleet_specs(self) -> tuple[FaultSpec, ...]:
+        """The specs whose kinds target fleet sites (hosts / zones)."""
+        return tuple(s for s in self.specs if s.kind in FLEET_FAULT_KINDS)
+
+    def host_specs(self) -> tuple[FaultSpec, ...]:
+        """The specs in-host components consume (everything else)."""
+        return tuple(s for s in self.specs
+                     if s.kind not in FLEET_FAULT_KINDS)
+
     # -- convenience constructors ----------------------------------------
     @classmethod
     def of(cls, *specs: FaultSpec, name: str = "plan") -> "FaultPlan":
@@ -170,3 +225,35 @@ class FaultPlan:
                  **kw) -> FaultSpec:
         return FaultSpec("nic_loss", site=site, rate=rate,
                          magnitude=float(burst_packets), **kw)
+
+    # -- fleet-site constructors (sites are host names / zone names) -----
+    @staticmethod
+    def host_crash(at: float, site: str) -> FaultSpec:
+        return FaultSpec("host_crash", site=site, rate=1.0, start=at)
+
+    @staticmethod
+    def host_hang(start: float, stop: float, site: str,
+                  rate: float = 1.0) -> FaultSpec:
+        return FaultSpec("host_hang", site=site, rate=rate,
+                         start=start, stop=stop)
+
+    @staticmethod
+    def host_slow(start: float, stop: float, extra_s: float,
+                  site: str) -> FaultSpec:
+        return FaultSpec("host_slow", site=site, rate=1.0,
+                         start=start, stop=stop, magnitude=extra_s)
+
+    @staticmethod
+    def link_partition(start: float, stop: float, site: str) -> FaultSpec:
+        return FaultSpec("link_partition", site=site, rate=1.0,
+                         start=start, stop=stop)
+
+    @staticmethod
+    def link_flap(start: float, stop: float, site: str,
+                  rate: float = 0.5) -> FaultSpec:
+        return FaultSpec("link_flap", site=site, rate=rate,
+                         start=start, stop=stop)
+
+    @staticmethod
+    def zone_outage(at: float, zone: str) -> FaultSpec:
+        return FaultSpec("zone_outage", site=zone, rate=1.0, start=at)

@@ -7,13 +7,24 @@ one Environment (:class:`Host`), fronts it with a policy-driven
 signals (:class:`HealthView`), and sizes the fleet from aggregate
 telemetry (:class:`Autoscaler`).  :func:`fleet_rollup` merges per-host
 latency recorders into one fleet-level payload.
+
+PR 7 adds the fault surface and the machinery that survives it:
+:class:`FleetChaos` arms fleet-site fault kinds (host crash/hang/slow,
+link partition/flap, zone outage) from a ``FaultPlan``'s
+per-host-namespaced streams; :class:`RecoveryConfig` +
+:class:`RetryBudget` + the balancer's flight table give the fleet
+outlier ejection, in-flight re-dispatch and deadline-aware hedging —
+all extra dispatches budgeted, all duplicates first-completion-wins.
 """
 
 from .autoscaler import Autoscaler, AutoscalerConfig
 from .balancer import LoadBalancer, OpenLoopSource, zipf_weights
-from .health import (DEAD, DEGRADED, DRAINING, HEALTHY, HealthView,
-                     HostHealth)
+from .chaos import FleetChaos
+from .health import (DEAD, DEGRADED, DRAINING, EJECTED, HEALTHY,
+                     HealthView, HostHealth, OutlierConfig)
 from .host import Host, HostConfig
+from .recovery import (AttemptCancelled, Flight, FlightTable,
+                       RecoveryConfig, RetryBudget)
 from .rollup import fleet_rollup, render_rollup
 from .routing import (ROUTING_POLICIES, ConsistentHash, LeastLoaded,
                       PowerOfTwoChoices, RoundRobin, RoutingPolicy,
@@ -24,8 +35,10 @@ __all__ = [
     "LoadBalancer", "OpenLoopSource", "zipf_weights",
     "RoutingPolicy", "RoundRobin", "LeastLoaded", "ConsistentHash",
     "PowerOfTwoChoices", "ROUTING_POLICIES", "make_policy",
-    "HealthView", "HostHealth",
-    "HEALTHY", "DEGRADED", "DRAINING", "DEAD",
+    "HealthView", "HostHealth", "OutlierConfig",
+    "HEALTHY", "DEGRADED", "DRAINING", "DEAD", "EJECTED",
     "Autoscaler", "AutoscalerConfig",
+    "FleetChaos", "RecoveryConfig", "RetryBudget", "FlightTable",
+    "Flight", "AttemptCancelled",
     "fleet_rollup", "render_rollup",
 ]

@@ -11,6 +11,19 @@ experiment's methodology.
 inter-arrival gap at a settable rate, client ids drawn from an
 optionally *skewed* (Zipf-like) mix — the workload under which
 client-affine and load-aware policies actually differ.
+
+Chaos + recovery (PR 7)
+-----------------------
+Handing the balancer a :class:`~repro.fleet.chaos.FleetChaos` with an
+armed fleet plan, or a :class:`~repro.fleet.recovery.RecoveryConfig`,
+switches ``route()`` onto the *flight* path: every request becomes a
+:class:`~repro.fleet.recovery.Flight`, each dispatched copy travels
+with its own proxy done-event, and hedges / re-dispatches are extra
+copies under first-completion-wins.  All extra dispatches — the legacy
+alternate retry included — draw from one token-bucket
+:class:`~repro.fleet.recovery.RetryBudget`, so recovery can never
+amplify a fault into a retry storm.  With neither armed, ``route()``
+is the PR 6 path, bit-identically (no proxy events, no processes).
 """
 
 from __future__ import annotations
@@ -24,6 +37,7 @@ from ..data import jpeg_size_sampler
 from ..net import NetRequest
 from ..sim import Counter, Environment
 from ..supervision import DeadlineExceeded
+from .recovery import FlightTable, RecoveryConfig, RetryBudget
 from .routing import RoutingPolicy
 
 __all__ = ["LoadBalancer", "OpenLoopSource"]
@@ -33,7 +47,9 @@ class LoadBalancer:
     """Routes requests over the fleet through one policy."""
 
     def __init__(self, env: Environment, hosts, policy: RoutingPolicy,
-                 name: str = "lb"):
+                 name: str = "lb", chaos=None,
+                 recovery: Optional[RecoveryConfig] = None,
+                 budget: Optional[RetryBudget] = None):
         self.env = env
         self.name = name
         self.policy = policy
@@ -41,9 +57,36 @@ class LoadBalancer:
         self.hosts = []
         self.dispatched = Counter(env, name=f"{name}.dispatched")
         self.rejected = Counter(env, name=f"{name}.rejected")
+        # Satellite: the alternate retry is budgeted and metered now.
+        self.retries = Counter(env, name=f"{name}.retries")
+        self.budget_exhausted = Counter(env, name=f"{name}.budget_exhausted")
+        self.link_drops = Counter(env, name=f"{name}.link_drops")
+        self.hedges = Counter(env, name=f"{name}.hedges")
+        self.redispatches = Counter(env, name=f"{name}.redispatches")
+        self.recovery = recovery
+        self.chaos = chaos if (chaos is not None and chaos.active) else None
+        if budget is None:
+            if recovery is not None:
+                budget = RetryBudget(env, recovery.budget_rate_per_s,
+                                     recovery.budget_burst,
+                                     name=f"{name}.budget")
+            else:
+                budget = RetryBudget(env, name=f"{name}.budget")
+        self.budget = budget
+        # The flight table (proxy events + sweep process) exists only
+        # when chaos or recovery is armed: an unarmed balancer runs the
+        # legacy route() path with zero extra simulation state.
+        self.flights: Optional[FlightTable] = None
+        if self.chaos is not None or recovery is not None:
+            self.flights = FlightTable(env, chaos=self.chaos,
+                                       recovery=recovery,
+                                       name=f"{name}.flights")
+            self.flights.start()
         self.per_host: dict[str, Counter] = {}
         for host in hosts:
             self.add_host(host)
+        if self.chaos is not None:
+            self.chaos.attach(self)
 
     def attach_health(self, health) -> None:
         self.health = health
@@ -54,6 +97,8 @@ class LoadBalancer:
         self.hosts.append(host)
         self.per_host[host.name] = Counter(
             self.env, name=f"{self.name}.to.{host.name}")
+        if self.chaos is not None and self.chaos.balancer is self:
+            self.chaos.watch_host(host)
 
     def active_hosts(self) -> list:
         return [h for h in self.hosts if h.accepting]
@@ -66,11 +111,16 @@ class LoadBalancer:
     def route(self, request) -> bool:
         """Route one request; True when some host accepted it.
 
-        On a refused first choice (draining race, RX overflow) one
-        different candidate is tried before giving up; a rejected
-        request's issuer is failed so open- and closed-loop sources
-        both learn the outcome.
+        On a refused first choice (draining race, RX overflow) other
+        candidates are tried — each extra try paid for by the retry
+        budget — before giving up; a rejected request's issuer is
+        failed so open- and closed-loop sources both learn the outcome.
         """
+        if self.flights is not None and request.done_event is not None:
+            return self._route_flight(request)
+        return self._route_legacy(request)
+
+    def _route_legacy(self, request) -> bool:
         candidates = self.candidates()
         if candidates:
             host = self.policy.choose(candidates, request)
@@ -79,16 +129,116 @@ class LoadBalancer:
                 return True
             rest = [h for h in candidates if h is not host]
             if rest:
-                alt = self.policy.choose(rest, request)
-                if alt.admit(request):
-                    self._count(alt)
-                    return True
+                if self.budget.take():
+                    self.retries.add()
+                    alt = self.policy.choose(rest, request)
+                    if alt.admit(request):
+                        self._count(alt)
+                        return True
+                else:
+                    self.budget_exhausted.add()
         self.rejected.add()
         done = request.done_event
         if done is not None and not done.triggered:
             done.fail(ConnectionError(
                 f"no route for request {request.request_id}"))
         return False
+
+    # -- flight path (chaos / recovery armed) -----------------------------
+    def _route_flight(self, request) -> bool:
+        flight = self.flights.open(request)
+        if not self._dispatch(flight, "primary"):
+            self.rejected.add()
+            self.flights.reject(flight)
+            return False
+        if self.recovery is not None and self.recovery.hedging \
+                and len(self.hosts) > 1:
+            self.env.process(self._hedge_watch(flight),
+                             name="hedge-watch")
+        return True
+
+    def _dispatch(self, flight, kind: str) -> bool:
+        """Admit one copy of the flight somewhere.  The first try is
+        free; every alternate after a refusal or link drop consumes one
+        budget token.  Hedge/re-dispatch copies never land on a host
+        that already holds one."""
+        candidates = self.candidates()
+        if kind != "primary":
+            tried = {a.host.name for a in flight.attempts}
+            candidates = [h for h in candidates if h.name not in tried]
+        request = flight.request
+        free = True
+        while candidates:
+            if not free:
+                if not self.budget.take():
+                    self.budget_exhausted.add()
+                    return False
+                self.retries.add()
+            free = False
+            host = self.policy.choose(candidates, request)
+            if self.chaos is not None and self.chaos.link_down(host.name):
+                # Dropped on the LB->host path: the host never saw it.
+                self.link_drops.add()
+                candidates = [h for h in candidates if h is not host]
+                continue
+            attempt, copy = self.flights.make_attempt(flight, host, kind)
+            if host.admit(copy):
+                self.flights.admitted(flight, attempt)
+                self._count(host)
+                return True
+            candidates = [h for h in candidates if h is not host]
+        return False
+
+    def _hedge_watch(self, flight):
+        """Speculative second dispatch after a p99-derived delay."""
+        delay = self.flights.hedge_delay()
+        if delay is None:
+            deadline = flight.request.deadline_at
+            if math.isinf(deadline):
+                return
+            delay = max(self.recovery.hedge_min_delay_s,
+                        self.recovery.hedge_fallback_frac
+                        * (deadline - self.env.now))
+        yield self.env.timeout(delay)
+        if flight.resolved or self.env.now >= flight.request.deadline_at:
+            return
+        if not self.budget.take():
+            self.budget_exhausted.add()
+            return
+        if self._dispatch(flight, "hedge"):
+            self.hedges.add()
+
+    def on_host_death(self, host) -> None:
+        """Death/ejection notification: re-dispatch the still-within-
+        deadline requests stranded on this host (budget-gated; the
+        sweep expires whatever can't be saved)."""
+        if self.flights is None or self.recovery is None \
+                or not self.recovery.redispatch:
+            return
+        now = self.env.now
+        for flight, attempt in self.flights.pending_on(host):
+            if flight.resolved or attempt.settled or attempt.redispatched:
+                continue
+            if now >= flight.request.deadline_at:
+                continue
+            if not self.budget.take():
+                self.budget_exhausted.add()
+                break
+            attempt.redispatched = True
+            if self._dispatch(flight, "redispatch"):
+                self.redispatches.add()
+
+    def client_stats(self) -> Optional[dict]:
+        """Per-host client-side stats (the HealthView's ejection feed);
+        None when no flight table is armed."""
+        return self.flights.host_stats if self.flights is not None else None
+
+    def in_flight_requests(self) -> int:
+        """Client-perspective in-flight count: open flights when armed
+        (duplicates collapse to one), host in-flight sums otherwise."""
+        if self.flights is not None:
+            return self.flights.open_count
+        return sum(h.in_flight for h in self.hosts)
 
     def _count(self, host) -> None:
         self.dispatched.add()
@@ -101,11 +251,16 @@ class LoadBalancer:
                 for name, counter in self.per_host.items()}
 
     def conservation_ok(self) -> bool:
-        """LB dispatch counts match the hosts' admission counts."""
+        """LB dispatch counts match the hosts' admission counts (per
+        dispatched *copy* when the flight path is armed), and the
+        flight ledgers close when present."""
         by_hosts = sum(int(h.handled.total) for h in self.hosts)
         by_lb = sum(int(c.total) for c in self.per_host.values())
-        return (int(self.dispatched.total) == by_lb
-                and by_lb == by_hosts)
+        counts_ok = (int(self.dispatched.total) == by_lb
+                     and by_lb == by_hosts)
+        if self.flights is not None:
+            return counts_ok and self.flights.conservation_ok()
+        return counts_ok
 
 
 def zipf_weights(n: int, skew: float) -> np.ndarray:
@@ -191,7 +346,7 @@ class OpenLoopSource:
     def conservation_ok(self) -> bool:
         """Every request the source issued has exactly one outcome (or
         is still in flight inside some host)."""
-        in_flight = sum(h.in_flight for h in self.balancer.hosts)
+        in_flight = self.balancer.in_flight_requests()
         # Rejected requests are failed by the balancer, so they already
         # land in ``failed`` via the done-event callback.
         resolved = (int(self.completed.total) + int(self.expired.total)

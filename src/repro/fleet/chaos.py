@@ -1,0 +1,128 @@
+"""Fleet-scope fault injection: the chaos controller.
+
+:class:`FleetChaos` is the bridge between a :class:`~repro.faults.plan.
+FaultPlan`'s fleet-site specs and the running fleet.  It owns a private
+:class:`~repro.faults.injector.FaultInjector` whose ``site`` argument is
+always a **host name** (or zone name), so every stochastic decision
+draws from a per-host-namespaced stream (``faults/<kind>/<host>``) and
+``(seed, plan, K)`` replays bit-identically no matter how hosts
+interleave.
+
+Fault kinds and where they bite:
+
+* ``host_crash`` / ``zone_outage`` — scheduled: one process per doomed
+  host sleeps until ``spec.start`` and flips ``host.crash()``.  The
+  host stops accepting; its in-flight work keeps draining inside the
+  simulated silicon, but every completion is discarded at the balancer
+  (the client's connection died with the host) — black-holing, until
+  re-dispatch or the deadline sweep intervenes.
+* ``host_hang`` — gray failure, evaluated per completion at the
+  balancer relay: the completion is swallowed with the armed rate.
+  Host-internal counters stay green; only client-side stats see it.
+* ``host_slow`` — evaluated per completion: the relay is delayed by the
+  armed inflation.
+* ``link_partition`` / ``link_flap`` — evaluated per dispatch in
+  :meth:`LoadBalancer.route`: the dispatch is dropped before admission
+  (the host never sees it), and the balancer falls back to budgeted
+  alternates.
+
+A controller built from a plan with **no** fleet-site specs reports
+``active = False`` and the balancer keeps its legacy PR 6 path — armed-
+with-an-empty-plan is bit-identical to unarmed, by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..faults import FaultInjector, FaultPlan
+from ..sim import Counter, Environment, SeedBank
+
+__all__ = ["FleetChaos"]
+
+
+class FleetChaos:
+    """Schedules crashes and answers per-dispatch / per-completion
+    fault queries for one fleet."""
+
+    def __init__(self, env: Environment, plan: FaultPlan,
+                 seeds: Optional[SeedBank] = None, tracer=None,
+                 name: str = "chaos"):
+        self.env = env
+        self.name = name
+        fleet_specs = plan.fleet_specs()
+        self.plan = FaultPlan(fleet_specs, name=f"{plan.name}/fleet")
+        self.active = bool(fleet_specs)
+        self.injector = FaultInjector(
+            env, self.plan,
+            seeds=seeds if seeds is not None else SeedBank(0xF1EE7),
+            tracer=tracer, name=name)
+        self.balancer = None
+        self.crashes = Counter(env, name=f"{name}.host_crashes")
+        self.crashed_log: list[tuple] = []    # (t, host_name, kind)
+        self._watched: set[str] = set()
+        self._has_hang = bool(self.plan.by_kind("host_hang"))
+        self._has_slow = bool(self.plan.by_kind("host_slow"))
+        self._has_link = bool(self.plan.by_kind("link_partition")
+                              or self.plan.by_kind("link_flap"))
+
+    # -- wiring ----------------------------------------------------------
+    def attach(self, balancer) -> None:
+        """Adopt a balancer's fleet; called by the LoadBalancer when the
+        controller is handed to it.  Idempotent per host."""
+        self.balancer = balancer
+        if not self.active:
+            return
+        for host in balancer.hosts:
+            self.watch_host(host)
+
+    def watch_host(self, host) -> None:
+        """Arm any crash/outage spec targeting this host (or its zone).
+        Hosts added later (autoscaler scale-up) are watched on add."""
+        if not self.active or host.name in self._watched:
+            return
+        self._watched.add(host.name)
+        spec = self.injector.crash_due("host_crash", host.name)
+        if spec is not None:
+            self.env.process(self._crash_at(host, spec, host.name),
+                             name=f"chaos-crash-{host.name}")
+        zone = getattr(host, "zone", "")
+        if zone:
+            spec = self.injector.crash_due("zone_outage", zone)
+            if spec is not None:
+                self.env.process(self._crash_at(host, spec, zone),
+                                 name=f"chaos-outage-{host.name}")
+
+    def _crash_at(self, host, spec, site: str):
+        delay = spec.start - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        if host.crashed:
+            return
+        self.injector.fire_crash(spec, site)
+        host.crash()
+        self.crashes.add()
+        self.crashed_log.append((self.env.now, host.name, spec.kind))
+        if self.balancer is not None:
+            self.balancer.on_host_death(host)
+
+    # -- per-dispatch hook (LoadBalancer.route) --------------------------
+    def link_down(self, host_name: str) -> bool:
+        if not self._has_link:
+            return False
+        return self.injector.link_down(host_name)
+
+    # -- per-completion hooks (FlightTable relay) ------------------------
+    def discard_completion(self, host) -> bool:
+        """Crashed host: the answer exists but the connection doesn't."""
+        return bool(getattr(host, "crashed", False))
+
+    def hang_blackhole(self, host) -> bool:
+        if not self._has_hang:
+            return False
+        return self.injector.hang_blackhole(host.name)
+
+    def slow_extra_s(self, host) -> float:
+        if not self._has_slow:
+            return 0.0
+        return self.injector.slow_extra_s(host.name)

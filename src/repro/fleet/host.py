@@ -58,6 +58,8 @@ class HostConfig:
     max_workers: Optional[int] = None    # cpu-online
     gpu_direct: bool = False             # dlbooster future-work path
     rx_capacity: Optional[int] = None    # default: max(4096, 16 * bs)
+    zone: str = ""                       # failure-domain label; a
+    # ``zone_outage`` spec crashes every host sharing it.
     supervision: Optional[SupervisionConfig] = None
     # Per-host chaos: ``nic_loss`` specs arm the host's link, FPGA-side
     # specs (``decoder_crash`` etc.) arm its decode path — this is how a
@@ -135,6 +137,8 @@ class Host:
         self.window = LatencyRecorder(name=self._scoped("host.window"))
         self.in_flight = 0
         self.draining = False
+        self.crashed = False
+        self.zone = cfg.zone
         self.engines: list[InferenceEngine] = []
         self.backend = None
         self._started = False
@@ -185,7 +189,7 @@ class Host:
     # -- fleet entry point -----------------------------------------------
     @property
     def accepting(self) -> bool:
-        return self._started and not self.draining
+        return self._started and not self.draining and not self.crashed
 
     def admit(self, request) -> bool:
         """Inject one request into this host's RX ring (the LB's path,
@@ -229,6 +233,20 @@ class Host:
 
     def undrain(self) -> None:
         self.draining = False
+
+    def crash(self) -> None:
+        """The whole pipeline dies (``host_crash`` / ``zone_outage``).
+
+        The host stops accepting and the HealthView classifies it DEAD;
+        the simulated silicon keeps draining whatever was queued, but a
+        chaos-armed balancer discards those completions (the client's
+        connection died with the host), so admitted-but-unfinished
+        requests are black-holed until re-dispatch or the deadline
+        sweep reclaims them.  Host-level conservation still holds: the
+        stranded requests stay ``in_flight`` until their attempt proxies
+        are settled.
+        """
+        self.crashed = True
 
     @property
     def drained(self) -> bool:

@@ -7,6 +7,17 @@ recorders — ``LatencyRecorder.merge()`` combines the reservoirs with
 per-sample provenance, so the fleet p99 is computed over the union of
 samples, never by averaging per-host percentiles (percentiles do not
 average).
+
+When the balancer runs the flight path (chaos/recovery armed), host
+recorders describe the *server-side* view — they include duplicate
+attempts and completions that chaos later swallowed — so the
+client-perceived figures switch to the flight table's ledger: one
+sample per request (the winning copy's latency, or the deadline for
+every expired/shed/failed/rejected flight), which is the only
+accounting under which hedged and re-dispatched duplicates don't
+double-count.  The payload also grows ``lb`` (retry/hedge/budget
+meters) and ``flights`` (the duplicate-accounting conservation ledger,
+stranded-reclaim included) sections.
 """
 
 from __future__ import annotations
@@ -24,7 +35,8 @@ def _ms(seconds: float) -> float:
 
 def fleet_rollup(hosts, balancer=None, source=None,
                  health=None, registry=None,
-                 deadline_s: Optional[float] = None) -> dict:
+                 deadline_s: Optional[float] = None,
+                 chaos=None) -> dict:
     """Merge per-host telemetry into one fleet payload.
 
     ``hosts`` is the full fleet (drained hosts included — their history
@@ -76,12 +88,23 @@ def fleet_rollup(hosts, balancer=None, source=None,
         "mean_ms": _ms(merged.mean()) if merged.count else None,
         "conserved": all(row["conserved"] for row in per_host),
     }
+    flights = getattr(balancer, "flights", None) \
+        if balancer is not None else None
     if deadline_s is not None:
         client = LatencyRecorder(name="fleet.client")
-        client.merge(merged)
-        failures = fleet["failed"]
-        if balancer is not None:
-            failures += int(balancer.rejected.total)
+        if flights is not None:
+            # Flight-level: exactly one sample per request, duplicates
+            # already collapsed by first-completion-wins.
+            client.merge(flights.client_latency)
+            failures = (int(flights.expired.total)
+                        + int(flights.shed.total)
+                        + int(flights.failed.total)
+                        + int(flights.rejected.total))
+        else:
+            client.merge(merged)
+            failures = fleet["failed"]
+            if balancer is not None:
+                failures += int(balancer.rejected.total)
         for _ in range(failures):
             client.record(deadline_s)
         fleet["client_p50_ms"] = _ms(client.p50()) if client.count else None
@@ -97,6 +120,17 @@ def fleet_rollup(hosts, balancer=None, source=None,
             "shares": balancer.dispatch_shares(),
             "conserved": balancer.conservation_ok(),
         }
+        if hasattr(balancer, "retries"):
+            payload["lb"] = {
+                "retries": int(balancer.retries.total),
+                "budget_exhausted": int(balancer.budget_exhausted.total),
+                "budget_tokens_left": round(balancer.budget.available(), 3),
+                "link_drops": int(balancer.link_drops.total),
+                "hedges": int(balancer.hedges.total),
+                "redispatches": int(balancer.redispatches.total),
+            }
+        if flights is not None:
+            payload["flights"] = flights.conservation()
     if source is not None:
         payload["source"] = {
             "sent": int(source.sent.total),
@@ -104,6 +138,16 @@ def fleet_rollup(hosts, balancer=None, source=None,
             "expired": int(source.expired.total),
             "failed": int(source.failed.total),
             "conserved": source.conservation_ok(),
+        }
+    if chaos is not None and chaos.active:
+        payload["chaos"] = {
+            "injected": int(chaos.injector.injected.total),
+            "by_kind": {kind: int(counter.total)
+                        for kind, counter in
+                        chaos.injector.by_kind.items()},
+            "host_crashes": int(chaos.crashes.total),
+            "crash_log": [[t, name, kind]
+                          for t, name, kind in chaos.crashed_log],
         }
     if health is not None:
         payload["health"] = {

@@ -58,7 +58,7 @@ def test_fmt_table_empty_rows():
 def test_registry_covers_every_table_and_figure():
     assert set(ALL_EXPERIMENTS) == {
         "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "sec5.4", "sec2.2",
-        "chaos", "overload", "fleet"}
+        "chaos", "overload", "fleet", "chaos_fleet"}
 
 
 # ------------------------------------------------------------- analytic

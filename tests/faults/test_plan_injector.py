@@ -55,7 +55,13 @@ def test_constructors_cover_every_kind():
              FaultPlan.payload_corrupt(0.1), FaultPlan.payload_truncate(0.1),
              FaultPlan.payload_bitflip(0.1),
              FaultPlan.decoder_crash(0.0, 1.0), FaultPlan.nvme_error(0.1),
-             FaultPlan.nvme_latency(0.1, 1e-3), FaultPlan.nic_loss(0.1))
+             FaultPlan.nvme_latency(0.1, 1e-3), FaultPlan.nic_loss(0.1),
+             FaultPlan.host_crash(0.1, "host00"),
+             FaultPlan.host_hang(0.0, 1.0, "host00"),
+             FaultPlan.host_slow(0.0, 1.0, extra_s=0.01, site="host00"),
+             FaultPlan.link_partition(0.0, 1.0, "host00"),
+             FaultPlan.link_flap(0.0, 1.0, "host00"),
+             FaultPlan.zone_outage(0.1, "az0"))
     assert {s.kind for s in specs} == set(FAULT_KINDS)
 
 

@@ -1,0 +1,222 @@
+"""Fleet chaos: conservation under every fleet fault kind, same-seed
+determinism, zero-cost hooks, and the recovery machinery (re-dispatch,
+hedging, retry budget)."""
+
+import json
+
+import pytest
+
+from repro.calib import DEFAULT_TESTBED
+from repro.faults import FaultPlan
+from repro.fleet import (DEAD, FleetChaos, HealthView, Host, HostConfig,
+                         LoadBalancer, OpenLoopSource, OutlierConfig,
+                         RecoveryConfig, fleet_rollup, make_policy)
+from repro.sim import Environment, SeedBank
+from repro.supervision import SupervisionConfig
+
+SUPERVISION = SupervisionConfig(deadline_s=0.025, admission_margin_s=0.015)
+DEADLINE_S = 0.025
+
+
+def run_chaos(plan=None, recovery=None, outlier=None, k=3, seed=17,
+              sim_s=0.3, rate=5000.0, policy="least-loaded"):
+    env = Environment()
+    bank = SeedBank(seed)
+    hosts = []
+    for i in range(k):
+        namespace = f"host{i:02d}"
+        host = Host(env, HostConfig(
+            model="googlenet", backend="dlbooster", batch_size=4,
+            cpu_cores=8, zone=f"az{i % 2}", supervision=SUPERVISION),
+            seeds=bank.spawn(namespace), namespace=namespace)
+        host.start()
+        hosts.append(host)
+    chaos = FleetChaos(env, plan, seeds=bank.spawn("chaos")) \
+        if plan is not None else None
+    balancer = LoadBalancer(
+        env, hosts, make_policy(policy, rng=bank.stream("policy")),
+        chaos=chaos, recovery=recovery)
+    health = HealthView(env, balancer, outlier=outlier)
+    balancer.attach_health(health)
+    health.start()
+    source = OpenLoopSource(
+        env, balancer, rate=rate, image_hw=DEFAULT_TESTBED.client_image_hw,
+        rng=bank.stream("arrivals"), num_clients=8,
+        deadline_s=DEADLINE_S)
+    source.start()
+    env.run(until=sim_s)
+    health.update()
+    payload = fleet_rollup(hosts, balancer=balancer, source=source,
+                           health=health, deadline_s=DEADLINE_S,
+                           chaos=chaos)
+    return payload, balancer, hosts, source
+
+
+def assert_conserved(payload, balancer, source):
+    """The fleet-wide conservation identity under duplicate accounting:
+    every injected request has exactly one client outcome, and every
+    dispatched copy has exactly one attempt outcome."""
+    for row in payload["per_host"]:
+        assert row["conserved"], row["host"]
+    assert balancer.conservation_ok()
+    assert source.conservation_ok()
+    flights = payload.get("flights")
+    if flights is not None:
+        sent = payload["source"]["sent"]
+        assert flights["flights"] == sent
+        assert sent == (flights["completed"]
+                        + flights["redispatched_completed"]
+                        + flights["expired"] + flights["shed"]
+                        + flights["failed"] + flights["rejected"]
+                        + flights["open"])
+        assert flights["attempts"] == (
+            flights["completed"] + flights["redispatched_completed"]
+            + flights["attempt_shed"] + flights["attempt_failed"]
+            + flights["cancelled_duplicates"] + flights["blackholed"]
+            + flights["outstanding_attempts"])
+        assert flights["request_ledger_ok"]
+        assert flights["attempt_ledger_ok"]
+
+
+FAULT_PLANS = {
+    "host_crash": FaultPlan.of(FaultPlan.host_crash(0.1, "host01")),
+    "host_hang": FaultPlan.of(
+        FaultPlan.host_hang(0.05, 0.25, "host01", rate=0.7)),
+    "host_slow": FaultPlan.of(
+        FaultPlan.host_slow(0.05, 0.25, extra_s=0.02, site="host01")),
+    "link_partition": FaultPlan.of(
+        FaultPlan.link_partition(0.05, 0.2, "host01")),
+    "link_flap": FaultPlan.of(
+        FaultPlan.link_flap(0.05, 0.25, "host01", rate=0.5)),
+    "zone_outage": FaultPlan.of(FaultPlan.zone_outage(0.1, "az0")),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(FAULT_PLANS))
+def test_conservation_and_determinism_under_every_fault_kind(kind):
+    plan = FAULT_PLANS[kind]
+    recovery = RecoveryConfig(budget_rate_per_s=2000.0, budget_burst=100.0)
+    payload, balancer, hosts, source = run_chaos(
+        plan=plan, recovery=recovery, outlier=OutlierConfig(
+            deadline_s=DEADLINE_S))
+    assert payload["chaos"]["by_kind"].get(kind, 0) > 0, \
+        f"{kind} never fired"
+    assert_conserved(payload, balancer, source)
+    # (seed, plan, K) replays bit-identically — per-host-namespaced
+    # fault streams keep chaos out of the workload's randomness.
+    payload2, *_ = run_chaos(plan=plan, recovery=recovery,
+                             outlier=OutlierConfig(deadline_s=DEADLINE_S))
+    assert (json.dumps(payload, sort_keys=True, default=str)
+            == json.dumps(payload2, sort_keys=True, default=str))
+
+
+def test_empty_plan_is_bit_identical_to_unarmed():
+    # All fleet fault kinds off => the balancer must keep the exact
+    # PR 6 route() path: no flights, no sweep, no proxy events.
+    armed, balancer_a, *_ = run_chaos(plan=FaultPlan.of(name="empty"))
+    unarmed, balancer_u, *_ = run_chaos(plan=None)
+    assert balancer_a.flights is None and balancer_u.flights is None
+    assert (json.dumps(armed, sort_keys=True, default=str)
+            == json.dumps(unarmed, sort_keys=True, default=str))
+
+
+def test_host_crash_redispatch_reclaims_stranded():
+    plan = FAULT_PLANS["host_crash"]
+    on, bal_on, hosts_on, src_on = run_chaos(
+        plan=plan, recovery=RecoveryConfig(hedging=False))
+    off, bal_off, hosts_off, src_off = run_chaos(plan=plan, recovery=None)
+    # Recovery ON: stranded requests were re-dispatched within deadline.
+    assert on["lb"]["redispatches"] > 0
+    assert on["flights"]["redispatched_completed"] > 0
+    # Recovery OFF: the same crash black-holes them — they only ever
+    # resolve by expiring at the deadline sweep.
+    assert off["lb"]["redispatches"] == 0
+    assert off["flights"]["expired"] > 0
+    assert off["flights"]["blackholed"] > 0
+    # The machinery pays for itself on the same seed.
+    assert (on["fleet"]["client_failures"]
+            <= off["fleet"]["client_failures"])
+    # Dead-host ledgers still close: reclaimed attempts settled them.
+    for payload, balancer, source in ((on, bal_on, src_on),
+                                      (off, bal_off, src_off)):
+        crashed = next(r for r in payload["per_host"]
+                       if r["host"] == "host01")
+        assert not crashed["accepting"]
+        assert_conserved(payload, balancer, source)
+    assert payload["health"]["host01"] == DEAD
+
+
+def test_hedging_first_completion_wins_and_cancels_loser():
+    # One host uniformly slowed beyond the deadline: only a hedge to
+    # the healthy host can save its requests.  Fixed small hedge delay
+    # so hedges fire well inside the deadline.
+    plan = FaultPlan.of(
+        FaultPlan.host_slow(0.02, 0.3, extra_s=0.03, site="host01"))
+    recovery = RecoveryConfig(redispatch=False, hedging=True,
+                              hedge_delay_s=0.008)
+    payload, balancer, hosts, source = run_chaos(
+        plan=plan, recovery=recovery, k=2, rate=3000.0,
+        policy="round-robin")
+    assert payload["lb"]["hedges"] > 0
+    # Hedge wins resolved flights whose slow primary then lost the race
+    # — the loser is cancelled and counted, never double-counted.
+    assert payload["flights"]["redispatched_completed"] > 0
+    assert payload["flights"]["cancelled_duplicates"] > 0
+    assert_conserved(payload, balancer, source)
+
+
+def test_retry_budget_bounds_the_storm():
+    # A partition generates a flood of alternate retries; a tiny
+    # never-refilling budget must cap them at the burst size.
+    plan = FAULT_PLANS["link_partition"]
+    recovery = RecoveryConfig(redispatch=False, hedging=False,
+                              budget_rate_per_s=0.0, budget_burst=5.0)
+    payload, balancer, hosts, source = run_chaos(
+        plan=plan, recovery=recovery)
+    assert payload["lb"]["link_drops"] > 0
+    assert payload["lb"]["retries"] <= 5
+    assert payload["lb"]["budget_exhausted"] > 0
+    assert_conserved(payload, balancer, source)
+
+
+def test_zone_outage_crashes_the_whole_group():
+    payload, balancer, hosts, source = run_chaos(
+        plan=FAULT_PLANS["zone_outage"],
+        recovery=RecoveryConfig(hedging=False))
+    by_name = {h.name: h for h in hosts}
+    # az0 = host00 + host02 (i % 2); az1 = host01 survives.
+    assert by_name["host00"].crashed and by_name["host02"].crashed
+    assert not by_name["host01"].crashed
+    assert payload["chaos"]["host_crashes"] == 2
+    assert payload["health"]["host00"] == DEAD
+    assert payload["health"]["host02"] == DEAD
+    assert_conserved(payload, balancer, source)
+
+
+def test_legacy_alternate_retry_is_budgeted_and_metered():
+    # Unarmed balancer (no chaos, no recovery): the one-alternate retry
+    # path still runs, but now draws from the budget and is metered.
+    env = Environment()
+    bank = SeedBank(7)
+    hosts = []
+    for i in range(2):
+        namespace = f"host{i:02d}"
+        host = Host(env, HostConfig(
+            model="googlenet", backend="dlbooster", batch_size=4,
+            cpu_cores=8, rx_capacity=64, supervision=SUPERVISION),
+            seeds=bank.spawn(namespace), namespace=namespace)
+        host.start()
+        hosts.append(host)
+    balancer = LoadBalancer(env, hosts, make_policy("round-robin"))
+    source = OpenLoopSource(
+        env, balancer, rate=20000.0,
+        image_hw=DEFAULT_TESTBED.client_image_hw,
+        rng=bank.stream("arrivals"), num_clients=8, deadline_s=DEADLINE_S)
+    source.start()
+    env.run(until=0.2)
+    # Tiny RX rings at 4.7x the knee: refusals force alternates.
+    assert int(balancer.retries.total) > 0
+    assert (int(balancer.retries.total)
+            == int(balancer.budget.granted.total))
+    assert balancer.flights is None
+    assert source.conservation_ok()

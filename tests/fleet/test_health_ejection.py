@@ -1,0 +1,205 @@
+"""HealthView transition journal, DEGRADED-stays-routable edge cases,
+and outlier-ejection hysteresis — driven through fake hosts so every
+window's evidence is controlled exactly."""
+
+from repro.fleet import (DEAD, DEGRADED, EJECTED, HEALTHY, HealthView,
+                         OutlierConfig)
+from repro.sim import Environment
+
+
+class _Total:
+    def __init__(self, total=0):
+        self.total = total
+
+
+class FakeHost:
+    """Just enough surface for HealthView._classify."""
+
+    def __init__(self, name):
+        self.name = name
+        self.handled = _Total()
+        self.completed = _Total()
+        self.draining = False
+        self.crashed = False
+        self._shed = 0
+        self._stalls = 0
+        self._breaker = False
+        self.accepting = True
+
+    def shed_total(self):
+        return self._shed
+
+    def stalls_detected(self):
+        return self._stalls
+
+    def breaker_open(self):
+        return self._breaker
+
+
+class FakeBalancer:
+    """Hosts + the client-stats feed the ejection detector reads."""
+
+    def __init__(self, hosts):
+        self.hosts = list(hosts)
+        self.stats = {h.name: {"ok": 0, "fail": 0, "lat_sum": 0.0}
+                      for h in hosts}
+        self.deaths = []
+
+    def client_stats(self):
+        return self.stats
+
+    def on_host_death(self, host):
+        self.deaths.append((host.name,))
+
+
+def advance(env, dt):
+    env.timeout(dt)
+    env.run(until=env.now + dt)
+
+
+OUTLIER = OutlierConfig(min_attempts=4, success_floor=0.5,
+                        consecutive_bad=2, cooldown_s=0.1,
+                        deadline_s=0.025)
+
+
+def make_view(k=3, outlier=OUTLIER):
+    env = Environment()
+    hosts = [FakeHost(f"host{i:02d}") for i in range(k)]
+    balancer = FakeBalancer(hosts)
+    view = HealthView(env, balancer, outlier=outlier)
+    view.update()
+    return env, hosts, balancer, view
+
+
+def feed(balancer, name, ok, fail, lat_each=0.005):
+    stat = balancer.stats[name]
+    stat["ok"] += ok
+    stat["fail"] += fail
+    stat["lat_sum"] += ok * lat_each
+
+
+def test_journal_records_flapping_host_with_reasons():
+    env, hosts, balancer, view = make_view()
+    flapper = hosts[1]
+    states = []
+    for i in range(6):
+        flapper._breaker = (i % 2 == 0)
+        advance(env, 0.05)
+        view.update()
+        states.append(view.status[flapper.name].state)
+    assert states == [DEGRADED, HEALTHY] * 3
+    mine = [t for t in view.transitions if t[1] == flapper.name]
+    assert len(mine) == 6
+    # Entries carry monotonically increasing timestamps and a reason
+    # on every transition *into* a non-healthy state.
+    times = [t[0] for t in mine]
+    assert times == sorted(times)
+    assert all(t[4] for t in mine if t[3] == DEGRADED)
+    # DEGRADED never left the candidate set during the flap.
+    flapper._breaker = True
+    advance(env, 0.05)
+    view.update()
+    assert view.state_of(flapper) == DEGRADED
+    assert flapper in view.candidates()
+
+
+def test_simultaneous_multi_host_degradation_stays_routable():
+    env, hosts, balancer, view = make_view(k=4)
+    for host in hosts[:3]:
+        host.handled.total += 100
+        host._shed = 50
+    advance(env, 0.05)
+    view.update()
+    degraded = [h for h in hosts if view.state_of(h) == DEGRADED]
+    assert len(degraded) == 3
+    # Every degraded host is still a candidate — mass degradation must
+    # not empty the routable set.
+    cands = view.candidates()
+    assert all(h in cands for h in degraded)
+    assert hosts[3] in cands
+    stamp = [t for t in view.transitions if t[3] == DEGRADED]
+    assert len(stamp) == 3 and len({t[0] for t in stamp}) == 1
+
+
+def test_ejection_requires_consecutive_bad_windows():
+    env, hosts, balancer, view = make_view()
+    bad = hosts[1]
+    # One bad window: streak 1 of 2 — must NOT eject (hysteresis).
+    feed(balancer, bad.name, ok=1, fail=9)
+    advance(env, 0.05)
+    view.update()
+    assert view.state_of(bad) == HEALTHY
+    # Second consecutive bad window: ejected, journaled, notified.
+    feed(balancer, bad.name, ok=1, fail=9)
+    advance(env, 0.05)
+    view.update()
+    assert view.state_of(bad) == EJECTED
+    assert bad not in view.candidates()
+    assert (bad.name,) in balancer.deaths
+    assert any(t[1] == bad.name and t[3] == EJECTED and "EWMA" in t[4]
+               for t in view.transitions)
+
+
+def test_ejection_hysteresis_returns_host_after_cooldown():
+    env, hosts, balancer, view = make_view()
+    bad = hosts[1]
+    for _ in range(2):
+        feed(balancer, bad.name, ok=0, fail=10)
+        advance(env, 0.05)
+        view.update()
+    assert view.state_of(bad) == EJECTED
+    # Cooldown (0.1s) passes with clean traffic: probation return.
+    for _ in range(3):
+        feed(balancer, bad.name, ok=10, fail=0)
+        advance(env, 0.05)
+        view.update()
+    assert view.state_of(bad) == HEALTHY
+    assert bad in view.candidates()
+    # No perma-ejection: one fresh bad window alone can't re-eject —
+    # the EWMAs were reset, it must re-offend for consecutive_bad
+    # windows on fresh evidence.
+    feed(balancer, bad.name, ok=0, fail=10)
+    advance(env, 0.05)
+    view.update()
+    assert view.state_of(bad) == HEALTHY
+
+
+def test_ejection_cap_never_exceeds_max_fraction():
+    env, hosts, balancer, view = make_view(
+        k=4, outlier=OutlierConfig(min_attempts=4, success_floor=0.5,
+                                   consecutive_bad=1, cooldown_s=10.0,
+                                   max_eject_frac=0.5))
+    # Every host turns bad at once; only half the fleet may be ejected.
+    for _ in range(3):
+        for host in hosts:
+            feed(balancer, host.name, ok=0, fail=10)
+        advance(env, 0.05)
+        view.update()
+    ejected = [h for h in hosts if view.state_of(h) == EJECTED]
+    assert len(ejected) == 2
+    assert len(view.candidates()) == 2
+
+
+def test_crashed_host_is_dead_and_triggers_redispatch_notification():
+    env, hosts, balancer, view = make_view()
+    hosts[2].crashed = True
+    hosts[2].accepting = False
+    advance(env, 0.05)
+    view.update()
+    assert view.state_of(hosts[2]) == DEAD
+    assert hosts[2] not in view.candidates()
+    assert (hosts[2].name,) in balancer.deaths
+    assert any(t[1] == hosts[2].name and t[3] == DEAD
+               and t[4] == "host crashed" for t in view.transitions)
+
+
+def test_low_evidence_windows_leave_ewmas_untouched():
+    env, hosts, balancer, view = make_view()
+    quiet = hosts[0]
+    # Windows below min_attempts carry no evidence: even all-fail
+    # trickles never move the detector.
+    for _ in range(10):
+        feed(balancer, quiet.name, ok=0, fail=2)
+        advance(env, 0.05)
+        view.update()
+    assert view.state_of(quiet) == HEALTHY
