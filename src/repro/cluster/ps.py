@@ -18,9 +18,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional
+
 from ..calib import GpuModelSpec, Testbed
 from ..engines import CpuCorePool, GpuDevice, train_iteration_seconds
-from ..sim import Counter, Environment, Event, scoped_name
+from ..sim import (Counter, Environment, Event, LatencyRecorder,
+                   scoped_name)
 
 __all__ = ["PsShardConfig", "PsGroup", "PsWorker"]
 
@@ -56,6 +59,16 @@ class PsGroup:
         self._arrived = 0
         self._release: Event = env.event()
         self.rounds = Counter(env, name=scoped_name(namespace, "ps.rounds"))
+        # Round-completion instruments (fleet-style: pure observers, no
+        # events or processes, so simulated results are unchanged).
+        # ``round_times`` lets callers measure over an integer number of
+        # rounds instead of a fixed wall window — a window that opens or
+        # closes mid-round miscounts by ±1, a huge relative error over
+        # short studies.  Growth is one float per round.
+        self.round_gap = LatencyRecorder(
+            name=scoped_name(namespace, "ps.round_gap"))
+        self.round_times: list[float] = []
+        self._last_round: Optional[float] = None
         self.workers: list["PsWorker"] = []
 
     def register(self, worker: "PsWorker") -> None:
@@ -90,6 +103,11 @@ class PsGroup:
         # Pull: updated shards broadcast back.
         yield self.env.timeout(wire_bytes / self.link_rate)
         self.rounds.add()
+        now = self.env.now
+        self.round_times.append(now)
+        if self._last_round is not None:
+            self.round_gap.record(now - self._last_round)
+        self._last_round = now
         release.succeed()
 
 
@@ -112,6 +130,11 @@ class PsWorker:
             env, name=scoped_name(namespace, f"psw{index}.images"))
         self.iterations = Counter(
             env, name=scoped_name(namespace, f"psw{index}.iters"))
+        # Per-iteration turnaround (batch wait + compute + ring sync) —
+        # the training analogue of Host.turnaround, and what a sweep's
+        # merged-reservoir rollup reads from a PS point.
+        self.iteration_latency = LatencyRecorder(
+            name=scoped_name(namespace, f"psw{index}.iter_latency"))
         group.register(self)
         self._started = False
 
@@ -132,6 +155,7 @@ class PsWorker:
         tb = self.testbed
         pending = self.env.process(batch_source())
         while True:
+            iter_start = self.env.now
             n = yield pending
             pending = self.env.process(batch_source())  # prefetch
             compute_s = train_iteration_seconds(self.spec, n)
@@ -141,3 +165,4 @@ class PsWorker:
             yield from self.group.exchange()
             self.images_trained.add(n)
             self.iterations.add()
+            self.iteration_latency.record(self.env.now - iter_start)

@@ -11,10 +11,12 @@ synchronization phase — the quantified version of S3.1's first bullet.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..calib import DEFAULT_TESTBED, TRAIN_MODELS, Testbed
 from ..engines import CpuCorePool
-from ..sim import Environment
+from ..sim import Environment, scoped_name
+from ..telemetry.registry import MetricsRegistry
 from .ps import PsGroup, PsShardConfig, PsWorker
 
 __all__ = ["PsStudyConfig", "PsStudyResult", "run_ps_study"]
@@ -38,6 +40,12 @@ class PsStudyResult:
     cpu_cores_per_server: float
     agg_cores_per_server: float = 0.0
     extras: dict = field(default_factory=dict)
+    # The study's MetricsRegistry (fleet-style accounting: every
+    # per-server instrument under a ``server{i}.`` namespace).  Holds
+    # live instruments — excluded from repr/compare; callers wanting a
+    # plain document should snapshot it, not copy it.
+    registry: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False)
 
 
 def _batch_source_factory(env, testbed: Testbed, cpu: CpuCorePool,
@@ -73,24 +81,39 @@ def _batch_source_factory(env, testbed: Testbed, cpu: CpuCorePool,
 
 def run_ps_study(cfg: PsStudyConfig,
                  testbed: Testbed = DEFAULT_TESTBED) -> PsStudyResult:
-    """Run the contention study for one backend/world configuration."""
+    """Run the contention study for one backend/world configuration.
+
+    Throughput and iteration time are measured **between round
+    completions** inside the window, not by counting events over the
+    raw ``[warmup, warmup+measure]`` wall window.  A fixed window that
+    opens or closes mid-round miscounts by ±1 round — on a short study
+    that is a several-percent error whose sign depends only on each
+    backend's startup phase (the CPU backend's first, unhidden decode
+    shifts every later round), large enough to invert the very
+    comparison the study exists to make.
+    """
     spec = TRAIN_MODELS[cfg.model]
     if cfg.world < 2:
         raise ValueError("a PS ring needs world >= 2")
     env = Environment()
+    registry = MetricsRegistry(name="ps-study")
     shard = PsShardConfig(world=cfg.world, param_bytes=spec.param_bytes)
-    group = PsGroup(env, shard, link_rate=cfg.link_rate)
 
     workers = []
     pools = []
-    for idx in range(cfg.world):
-        cpu = CpuCorePool(env, testbed.cpu_cores, name=f"server{idx}.cpu")
-        pools.append(cpu)
-        worker = PsWorker(env, testbed, spec, group, cpu, idx)
-        source = _batch_source_factory(env, testbed, cpu, cfg.backend,
-                                       spec.batch_size, spec)
-        worker.start(source)
-        workers.append(worker)
+    with registry.installed():
+        group = PsGroup(env, shard, link_rate=cfg.link_rate)
+        for idx in range(cfg.world):
+            ns = f"server{idx}"
+            cpu = CpuCorePool(env, testbed.cpu_cores,
+                              name=scoped_name(ns, "cpu"))
+            pools.append(cpu)
+            worker = PsWorker(env, testbed, spec, group, cpu, idx,
+                              namespace=ns)
+            source = _batch_source_factory(env, testbed, cpu, cfg.backend,
+                                           spec.batch_size, spec)
+            worker.start(source)
+            workers.append(worker)
 
     env.run(until=cfg.warmup_s)
     start_images = sum(w.images_trained.total for w in workers)
@@ -109,11 +132,43 @@ def run_ps_study(cfg: PsStudyConfig,
         p.tracker.busy_seconds(None) - m
         for p, m in zip(pools, busy_mark)) / cfg.measure_s / cfg.world
 
+    # Phase-immune rates: span an integer number of rounds.  One BSP
+    # round trains exactly one batch per server.
+    window = [t for t in group.round_times
+              if cfg.warmup_s < t <= cfg.warmup_s + cfg.measure_s]
+    if len(window) >= 2:
+        span = window[-1] - window[0]
+        rounds_spanned = len(window) - 1
+        iteration_s = span / rounds_spanned
+        throughput = (cfg.world * spec.batch_size * rounds_spanned
+                      / span)
+    else:
+        # Degenerate window (<2 completions): fall back to the coarse
+        # window counts rather than inventing a rate from one point.
+        iteration_s = (cfg.measure_s / delta_iters if delta_iters
+                       else float("inf"))
+        throughput = delta_images / cfg.measure_s
+
+    per_server = [{
+        "server": f"server{idx}",
+        "images": w.images_trained.total,
+        "iterations": w.iterations.total,
+        "iter_p50_s": (w.iteration_latency.p50()
+                       if w.iteration_latency.count else None),
+        "cores_busy": p.tracker.cores(None),
+        "breakdown": p.breakdown(),
+    } for idx, (w, p) in enumerate(zip(workers, pools))]
+    iters = [w.iterations.total for w in workers]
+
     return PsStudyResult(
         config=cfg,
-        throughput=delta_images / cfg.measure_s,
-        iteration_s=(cfg.measure_s / delta_iters if delta_iters else
-                     float("inf")),
+        throughput=throughput,
+        iteration_s=iteration_s,
         cpu_cores_per_server=total_cores,
         agg_cores_per_server=agg_cores,
-        extras={"rounds": group.rounds.total})
+        extras={"rounds": group.rounds.total,
+                "rounds_measured": max(len(window) - 1, 0),
+                "per_server": per_server,
+                # BSP invariant: no worker ever runs ahead of the ring.
+                "lockstep_ok": max(iters) - min(iters) <= 1},
+        registry=registry)

@@ -15,6 +15,10 @@ import time
 
 from . import ALL_EXPERIMENTS, traced
 
+# Experiments whose run() accepts parallel=N (point/scenario fan-out
+# via repro.sweep; every other experiment ignores the flag).
+PARALLEL_EXPERIMENTS = {"fig7", "fleet", "chaos_fleet"}
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -38,7 +42,31 @@ def main(argv=None) -> int:
                         help="cProfile each experiment and dump "
                              "{slug}.pstats into DIR (default: cwd); "
                              "inspect with python -m pstats or snakeviz")
+    parser.add_argument("--parallel", default=1, type=int, metavar="N",
+                        help="fan point/scenario simulations out to N "
+                             "worker processes (supported by: "
+                             + ", ".join(sorted(PARALLEL_EXPERIMENTS))
+                             + "; results identical to serial)")
     args = parser.parse_args(argv)
+
+    if args.parallel < 1:
+        parser.error(f"--parallel must be >= 1, got {args.parallel}")
+
+    # Create every output directory up front: discovering an unwritable
+    # --json-dir only at the first write — after the sweep has burned
+    # minutes of simulation — wastes the whole run.
+    for flag, path in (("--csv-dir", args.csv_dir),
+                       ("--json-dir", args.json_dir),
+                       ("--trace-dir", args.trace_dir),
+                       ("--profile", args.profile)):
+        if path is None:
+            continue
+        try:
+            os.makedirs(path, exist_ok=True)
+        except OSError as exc:
+            print(f"cannot create {flag} directory {path!r}: {exc}",
+                  file=sys.stderr)
+            return 2
 
     keys = args.experiments or list(ALL_EXPERIMENTS)
     failures = 0
@@ -46,31 +74,36 @@ def main(argv=None) -> int:
         # perf_counter, not time.time(): a monotonic clock, so wall
         # reports survive NTP steps / clock adjustments mid-run.
         t0 = time.perf_counter()
+        kwargs = {"quick": not args.full}
+        if args.parallel > 1 and key in PARALLEL_EXPERIMENTS:
+            kwargs["parallel"] = args.parallel
         if args.profile is not None:
             import cProfile
-            os.makedirs(args.profile, exist_ok=True)
             profiler = cProfile.Profile()
             profiler.enable()
-            report = ALL_EXPERIMENTS[key](quick=not args.full)
+            report = ALL_EXPERIMENTS[key](**kwargs)
             profiler.disable()
             pstats_path = os.path.join(
                 args.profile, f"{key.replace('.', '_')}.pstats")
             profiler.dump_stats(pstats_path)
             print(f"  (profile -> {pstats_path})")
         else:
-            report = ALL_EXPERIMENTS[key](quick=not args.full)
+            report = ALL_EXPERIMENTS[key](**kwargs)
         print(report.render())
         slug = key.replace(".", "_")
-        if args.csv_dir:
-            os.makedirs(args.csv_dir, exist_ok=True)
-            with open(os.path.join(args.csv_dir, f"{slug}.csv"),
-                      "w") as fh:
-                fh.write(report.to_csv())
-        if args.json_dir:
-            os.makedirs(args.json_dir, exist_ok=True)
-            with open(os.path.join(args.json_dir, f"{slug}.json"),
-                      "w") as fh:
-                fh.write(report.to_json())
+        try:
+            if args.csv_dir:
+                with open(os.path.join(args.csv_dir, f"{slug}.csv"),
+                          "w") as fh:
+                    fh.write(report.to_csv())
+            if args.json_dir:
+                with open(os.path.join(args.json_dir, f"{slug}.json"),
+                          "w") as fh:
+                    fh.write(report.to_json())
+        except OSError as exc:
+            print(f"cannot write report for {key}: {exc}",
+                  file=sys.stderr)
+            return 2
         print(f"  ({time.perf_counter() - t0:.1f}s wall)")
         print()
         failures += len(report.failed_checks())

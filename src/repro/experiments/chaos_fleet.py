@@ -153,8 +153,23 @@ def _row(report: Report, label: str, payload: dict) -> None:
         "yes" if _conserved(payload) else "NO")
 
 
+def _run_scenarios(scenarios: list[tuple[str, dict]],
+                   parallel: int) -> list[dict]:
+    """Run (label, serve_chaos-kwargs) scenarios, optionally fanned out
+    to worker processes.  Each scenario seeds its own SeedBank, so
+    serial and parallel execution produce identical payloads."""
+    if parallel > 1:
+        from ..sweep import SweepPoint, run_sweep
+        points = [SweepPoint(runner="chaos_serve", config=config,
+                             label=label)
+                  for label, config in scenarios]
+        outcome = run_sweep(points, parallel=parallel)
+        return [res["values"] for res in outcome.results]
+    return [serve_chaos(**config) for _, config in scenarios]
+
+
 @timed
-def run(quick: bool = False) -> Report:
+def run(quick: bool = False, parallel: int = 1) -> Report:
     """Fleet chaos: crash/partition/gray-failure vs recovery on/off."""
     k = 3 if quick else 4
     sim_s = 1.0 if quick else 1.5
@@ -184,38 +199,40 @@ def run(quick: bool = False) -> Report:
         budget_rate_per_s=2000.0, budget_burst=200.0)
     crash_plan = FaultPlan.of(FaultPlan.host_crash(crash_at, victim),
                               name="crash")
-    on = serve_chaos(plan=crash_plan, recovery=crash_recovery,
-                     outlier=default_outlier(), **common)
-    off = serve_chaos(plan=crash_plan, recovery=None, **common)
-    _row(report, f"crash {victim}, recovery ON", on)
-    _row(report, f"crash {victim}, recovery OFF", off)
-
-    # -- link partition --------------------------------------------------
     part_plan = FaultPlan.of(
         FaultPlan.link_partition(0.3 * sim_s, 0.7 * sim_s, "host02"),
         name="partition")
-    part = serve_chaos(plan=part_plan, recovery=default_recovery(),
-                       outlier=default_outlier(), **common)
-    _row(report, "partition host02", part)
-
-    # -- gray failure: ejection on vs off --------------------------------
     gray_plan = FaultPlan.of(
         FaultPlan.host_hang(0.3 * sim_s, sim_s, victim, rate=0.8),
         name="gray")
-    gray_on = serve_chaos(plan=gray_plan, recovery=default_recovery(),
-                          outlier=default_outlier(), **common)
-    gray_off = serve_chaos(plan=gray_plan, recovery=default_recovery(),
-                           outlier=None, **common)
+    scenarios = [
+        # host crash at the knee: recovery on vs off, same seed
+        ("crash-on", dict(plan=crash_plan, recovery=crash_recovery,
+                          outlier=default_outlier(), **common)),
+        ("crash-off", dict(plan=crash_plan, recovery=None, **common)),
+        # link partition
+        ("partition", dict(plan=part_plan, recovery=default_recovery(),
+                           outlier=default_outlier(), **common)),
+        # gray failure: ejection on vs off
+        ("gray-on", dict(plan=gray_plan, recovery=default_recovery(),
+                         outlier=default_outlier(), **common)),
+        ("gray-off", dict(plan=gray_plan, recovery=default_recovery(),
+                          outlier=None, **common)),
+        # replays of both crash arms (byte-identity fingerprints)
+        ("crash-on-2", dict(plan=crash_plan, recovery=crash_recovery,
+                            outlier=default_outlier(), **common)),
+        ("crash-off-2", dict(plan=crash_plan, recovery=None, **common)),
+        # zero-cost hooks: empty plan vs no chaos object at all
+        ("empty", dict(plan=FaultPlan.of(name="empty"), **common)),
+        ("unarmed", dict(plan=None, **common)),
+    ]
+    (on, off, part, gray_on, gray_off, on2, off2, empty,
+     unarmed) = _run_scenarios(scenarios, parallel)
+    _row(report, f"crash {victim}, recovery ON", on)
+    _row(report, f"crash {victim}, recovery OFF", off)
+    _row(report, "partition host02", part)
     _row(report, "gray-failure, ejection ON", gray_on)
     _row(report, "gray-failure, ejection OFF", gray_off)
-
-    # -- replays ---------------------------------------------------------
-    on2 = serve_chaos(plan=crash_plan, recovery=crash_recovery,
-                      outlier=default_outlier(), **common)
-    off2 = serve_chaos(plan=crash_plan, recovery=None, **common)
-    # -- zero-cost hooks: empty plan vs no chaos object at all ----------
-    empty = serve_chaos(plan=FaultPlan.of(name="empty"), **common)
-    unarmed = serve_chaos(plan=None, **common)
 
     flights_on = on["flights"]
     report.notes.append(

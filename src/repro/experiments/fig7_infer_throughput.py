@@ -29,9 +29,15 @@ def batch_sweep(model: str, quick: bool) -> tuple[int, ...]:
 
 
 @timed
-def run(quick: bool = False, models=("googlenet", "vgg16", "resnet50")
-        ) -> Report:
-    """Reproduce Fig. 7: inference throughput over the batch sweep."""
+def run(quick: bool = False, models=("googlenet", "vgg16", "resnet50"),
+        parallel: int = 1) -> Report:
+    """Reproduce Fig. 7: inference throughput over the batch sweep.
+
+    ``parallel > 1`` fans the (model, backend, batch) grid out to that
+    many worker processes via :mod:`repro.sweep`; each point is an
+    independent simulation, and results are reassembled in the serial
+    loop order, so the report is identical to a serial run.
+    """
     warmup, measure = (0.8, 2.5) if quick else (1.0, 5.0)
     report = Report(
         experiment_id="fig7",
@@ -39,15 +45,32 @@ def run(quick: bool = False, models=("googlenet", "vgg16", "resnet50")
               "40 Gbps",
         columns=["model", "backend", "batch", "img/s"])
 
+    grid = [(model, backend, bs)
+            for model in models
+            for backend in BACKENDS
+            for bs in batch_sweep(model, quick)]
+    if parallel > 1:
+        from ..sweep import SweepPoint, run_sweep
+        points = [SweepPoint(
+            runner="fig7_infer",
+            config={"model": m, "backend": b, "batch_size": bs,
+                    "warmup_s": warmup, "measure_s": measure,
+                    "telemetry": False},
+            label=f"{m}/{b}/bs{bs}") for m, b, bs in grid]
+        outcome = run_sweep(points, parallel=parallel)
+        throughputs = [res["values"]["throughput"]
+                       for res in outcome.results]
+    else:
+        throughputs = [
+            run_inference(InferenceConfig(
+                model=m, backend=b, batch_size=bs,
+                warmup_s=warmup, measure_s=measure)).throughput
+            for m, b, bs in grid]
+
     perf: dict[tuple, float] = {}
-    for model in models:
-        for backend in BACKENDS:
-            for bs in batch_sweep(model, quick):
-                res = run_inference(InferenceConfig(
-                    model=model, backend=backend, batch_size=bs,
-                    warmup_s=warmup, measure_s=measure))
-                perf[(model, backend, bs)] = res.throughput
-                report.add_row(model, backend, bs, res.throughput)
+    for (model, backend, bs), throughput in zip(grid, throughputs):
+        perf[(model, backend, bs)] = throughput
+        report.add_row(model, backend, bs, throughput)
 
     for model in models:
         top = max(batch_sweep(model, quick))

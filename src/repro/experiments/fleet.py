@@ -205,8 +205,25 @@ def _fleet_row(report: Report, label: str, payload: dict,
                   and payload["source"]["conserved"]) else "NO")
 
 
+def _run_scenarios(scenarios: list[tuple[str, str, dict]],
+                   parallel: int) -> list[dict]:
+    """Run (runner, label, config) scenarios, optionally fanned out to
+    worker processes.  Every scenario is an independent simulation with
+    its own Environment and SeedBank, so serial and parallel execution
+    produce identical payloads; results come back in list order."""
+    if parallel > 1:
+        from ..sweep import SweepPoint, run_sweep
+        points = [SweepPoint(runner=runner, config=config, label=label)
+                  for runner, label, config in scenarios]
+        outcome = run_sweep(points, parallel=parallel)
+        return [res["values"] for res in outcome.results]
+    runners = {"fleet_serve": serve_fleet,
+               "fleet_autoscale": serve_autoscale}
+    return [runners[runner](**config) for runner, _, config in scenarios]
+
+
 @timed
-def run(quick: bool = False) -> Report:
+def run(quick: bool = False, parallel: int = 1) -> Report:
     """Fleet serving: degradation, routing A/B, autoscaler surge."""
     k = 3 if quick else 4
     sim_s = 1.0 if quick else 2.0
@@ -229,26 +246,29 @@ def run(quick: bool = False) -> Report:
                  "p99 ms", "client p99", "to-degraded", "conserved"])
 
     common = dict(k=k, sim_s=sim_s, degraded_host=min(2, k - 1))
-    rr = serve_fleet(policy="round-robin", overload_x=ab_x,
-                     with_registry=True, **common)
-    _fleet_row(report, f"round-robin @{ab_x:.1f}x", rr, degraded)
-    ll = serve_fleet(policy="least-loaded", overload_x=ab_x,
-                     with_registry=True, **common)
-    _fleet_row(report, f"least-loaded @{ab_x:.1f}x", ll, degraded)
-    stress = serve_fleet(policy="least-loaded", overload_x=stress_x,
-                         **common)
-    _fleet_row(report, f"degraded @{stress_x:.2f}x", stress, degraded)
-
     scale_s = 1.6 if quick else 2.6
-    surge = serve_autoscale(sim_s=scale_s, surge_at=0.4 if quick else 0.5,
-                            surge_until=0.9 if quick else 1.5)
+    rr_cfg = dict(policy="round-robin", overload_x=ab_x,
+                  with_registry=True, **common)
+    scenarios = [
+        ("fleet_serve", "rr", rr_cfg),
+        ("fleet_serve", "ll", dict(policy="least-loaded",
+                                   overload_x=ab_x, with_registry=True,
+                                   **common)),
+        ("fleet_serve", "stress", dict(policy="least-loaded",
+                                       overload_x=stress_x, **common)),
+        ("fleet_autoscale", "surge",
+         dict(sim_s=scale_s, surge_at=0.4 if quick else 0.5,
+              surge_until=0.9 if quick else 1.5)),
+        # Determinism fingerprint: the A/B phase replayed end-to-end.
+        ("fleet_serve", "rr2", dict(rr_cfg)),
+    ]
+    rr, ll, stress, surge, rr2 = _run_scenarios(scenarios, parallel)
+    _fleet_row(report, f"round-robin @{ab_x:.1f}x", rr, degraded)
+    _fleet_row(report, f"least-loaded @{ab_x:.1f}x", ll, degraded)
+    _fleet_row(report, f"degraded @{stress_x:.2f}x", stress, degraded)
     auto = surge["autoscaler"]
     _fleet_row(report, "autoscale surge",
                surge, "host99")   # no degraded host in this phase
-
-    # Determinism fingerprint: the A/B phase replayed end-to-end.
-    rr2 = serve_fleet(policy="round-robin", overload_x=ab_x,
-                      with_registry=True, **common)
 
     report.notes.append(
         f"single-host knee {single_host_knee():,.0f} img/s; deadline "

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["DCT_MATRIX", "fdct2", "idct2", "idct2_dequant"]
+__all__ = ["DCT_MATRIX", "fdct2", "idct2", "idct2_dequant",
+           "idct2_dequant_scan"]
 
 
 def _dct_matrix() -> np.ndarray:
@@ -65,3 +66,53 @@ def idct2_dequant(qcoeffs: np.ndarray, qtable: np.ndarray) -> np.ndarray:
         raise ValueError(f"expected trailing (8, 8), got {qcoeffs.shape}")
     coeffs = np.multiply(qcoeffs, qtable, dtype=np.float64)
     return _DCT_T @ coeffs @ DCT_MATRIX
+
+
+def idct2_dequant_scan(qstacks: list[np.ndarray],
+                       qtables: list[np.ndarray]) -> list[np.ndarray]:
+    """Dequantize + inverse-DCT every component of a scan in one batch.
+
+    ``qstacks`` holds one integer (..., 8, 8) coefficient stack per
+    component, ``qtables`` the matching (8, 8) quantizers.  All blocks
+    are gathered into a single (N, 8, 8) buffer so the iDCT runs as one
+    pair of stacked matmuls over the whole scan instead of one call per
+    component.
+
+    Bit-identical to calling :func:`idct2_dequant` per component: each
+    dequantize multiply runs per component segment with the same
+    operands, and a stacked matmul applies the identical 8x8 GEMM to
+    every slice, so grouping the blocks differently cannot change a
+    single bit of any output block.
+    """
+    if len(qstacks) != len(qtables):
+        raise ValueError(f"{len(qstacks)} coefficient stacks but "
+                         f"{len(qtables)} quantization tables")
+    shapes = []
+    flats = []
+    total = 0
+    for qc in qstacks:
+        qc = np.asarray(qc)
+        if qc.shape[-2:] != (8, 8):
+            raise ValueError(f"expected trailing (8, 8), got {qc.shape}")
+        shapes.append(qc.shape)
+        flat = qc.reshape(-1, 8, 8)
+        flats.append(flat)
+        total += flat.shape[0]
+    coeffs = np.empty((total, 8, 8), dtype=np.float64)
+    offset = 0
+    for flat, qtable in zip(flats, qtables):
+        qtable = np.asarray(qtable, dtype=np.float64)
+        if qtable.shape != (8, 8):
+            raise ValueError(f"qtable must be (8, 8), got {qtable.shape}")
+        n = flat.shape[0]
+        np.multiply(flat, qtable, dtype=np.float64,
+                    out=coeffs[offset:offset + n])
+        offset += n
+    out = _DCT_T @ coeffs @ DCT_MATRIX
+    results = []
+    offset = 0
+    for shape, flat in zip(shapes, flats):
+        n = flat.shape[0]
+        results.append(out[offset:offset + n].reshape(shape))
+        offset += n
+    return results

@@ -22,7 +22,7 @@ import numpy as np
 
 from .bitstream import BitReader, EndOfScan
 from .color import _shifted_ycbcr_to_rgb, upsample_420
-from .dct import idct2_dequant
+from .dct import idct2_dequant, idct2_dequant_scan
 from .errors import (BadHuffmanCodeError, BadMarkerError,
                      TruncatedStreamError)
 from .huffman import decode_block
@@ -118,17 +118,25 @@ def coefficients_to_planes(parsed: ParsedJpeg,
 
     Output planes are cropped to each component's true dimensions
     (sub-sampled for chroma), values in [0, 255] float64.
+
+    The dequantize + inverse DCT runs once for the whole scan
+    (:func:`idct2_dequant_scan` batches every component's blocks into a
+    single stacked matmul pair) — bit-identical to the per-component
+    :func:`idct2_dequant` calls it replaces.
     """
     frame = parsed.frame
-    planes = []
-    for comp, zz in zip(frame.components, coeffs):
+    qtables = []
+    for comp in frame.components:
         try:
-            qtable = parsed.qtables[comp.qtable_id]
+            qtables.append(parsed.qtables[comp.qtable_id])
         except KeyError:
             raise JpegFormatError(
                 f"missing quantization table {comp.qtable_id}") from None
-        blocks = zigzag_unflatten(zz)                    # (bh, bw, 8, 8)
-        pix = idct2_dequant(blocks, qtable) + 128.0
+    stacks = [zigzag_unflatten(zz) for zz in coeffs]     # (bh, bw, 8, 8)
+    pix_stacks = idct2_dequant_scan(stacks, qtables)
+    planes = []
+    for comp, pix in zip(frame.components, pix_stacks):
+        pix = pix + 128.0
         bh, bw = pix.shape[:2]
         plane = pix.transpose(0, 2, 1, 3).reshape(bh * 8, bw * 8)
         comp_h = -(-frame.height * comp.v_samp // frame.vmax)

@@ -52,7 +52,15 @@ class BenchResult:
     units: dict[str, float] = field(default_factory=dict)
 
     def rate(self) -> dict[str, float]:
-        """Units per second at the best observed speed."""
+        """Units per second at the best observed speed.
+
+        A non-positive ``best_s`` (an instant sample — e.g. a sweep
+        point that modeled zero work) has no finite rate; such results
+        report no rates at all rather than dividing by zero or emitting
+        ``Infinity`` (which strict JSON cannot carry).
+        """
+        if self.best_s <= 0:
+            return {}
         return {f"{k}_per_s": v / self.best_s for k, v in self.units.items()}
 
     def to_dict(self) -> dict[str, Any]:

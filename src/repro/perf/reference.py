@@ -194,6 +194,31 @@ def idct2_dequant_ref(qcoeffs: np.ndarray, qtable: np.ndarray) -> np.ndarray:
     return idct2(np.asarray(qcoeffs, dtype=np.float64) * qtable)
 
 
+def coefficients_to_planes_ref(parsed, coeffs):
+    """Pre-PR8 coefficients_to_planes: one idct2_dequant per component.
+
+    Calls ``_decoder.idct2_dequant`` through the module attribute so it
+    composes with the PR 5 ``idct2_dequant_ref`` patch — with both
+    active, the full pre-pass per-component path replays.
+    """
+    frame = parsed.frame
+    planes = []
+    for comp, zz in zip(frame.components, coeffs):
+        try:
+            qtable = parsed.qtables[comp.qtable_id]
+        except KeyError:
+            raise JpegFormatError(
+                f"missing quantization table {comp.qtable_id}") from None
+        blocks = _decoder.zigzag_unflatten(zz)           # (bh, bw, 8, 8)
+        pix = _decoder.idct2_dequant(blocks, qtable) + 128.0
+        bh, bw = pix.shape[:2]
+        plane = pix.transpose(0, 2, 1, 3).reshape(bh * 8, bw * 8)
+        comp_h = -(-frame.height * comp.v_samp // frame.vmax)
+        comp_w = -(-frame.width * comp.h_samp // frame.hmax)
+        planes.append(np.clip(plane[:comp_h, :comp_w], 0.0, 255.0))
+    return planes
+
+
 def resize_bilinear_ref(img: np.ndarray, out_h: int,
                         out_w: int) -> np.ndarray:
     """Pre-pass resize_bilinear: converts the whole frame before gather."""
@@ -434,10 +459,13 @@ _PATCHES: list[tuple[Any, str, Any]] = [
     (_decoder, "entropy_decode", entropy_decode_ref),
     (_dct, "idct2_dequant", idct2_dequant_ref),
     (_decoder, "idct2_dequant", idct2_dequant_ref),
+    (_decoder, "coefficients_to_planes", coefficients_to_planes_ref),
     (_resize, "resize_bilinear", resize_bilinear_ref),
     (_decoder, "resize_bilinear", resize_bilinear_ref),
     (_decoder, "planes_to_image", planes_to_image_ref),
-    # sim kernel
+    # sim kernel — _FORCE_HEAP pins new Environments to the pre-pass
+    # binary-heap scheduler so calendar migration can't occur mid-A/B.
+    (_core, "_FORCE_HEAP", True),
     (_core.Event, "succeed", _succeed_ref),
     (_core.Event, "_run_callbacks", _run_callbacks_ref),
     (_core.Timeout, "__init__", _timeout_init_ref),
@@ -463,6 +491,7 @@ def _fpga_patches() -> list[tuple[Any, str, Any]]:
     from ..fpga import decoder as _fpga_decoder
     return [
         (_fpga_decoder, "entropy_decode", entropy_decode_ref),
+        (_fpga_decoder, "coefficients_to_planes", coefficients_to_planes_ref),
         (_fpga_decoder, "planes_to_image", planes_to_image_ref),
         (_fpga_decoder, "resize_bilinear", resize_bilinear_ref),
     ]

@@ -7,8 +7,8 @@ the measurement instruments; :mod:`~repro.sim.rand` deterministic RNG
 streams.
 """
 
-from .core import (AllOf, AnyOf, Environment, Event, Interrupt, Process,
-                   SimulationError, Timeout, total_events_processed)
+from .core import (AllOf, AnyOf, CalendarQueue, Environment, Event, Interrupt,
+                   Process, SimulationError, Timeout, total_events_processed)
 from .monitor import (BusyTracker, Counter, IntervalRate, LatencyRecorder,
                       TimeWeighted, scoped_name, set_active_registry)
 from .queues import Channel, QueuePair, ShedPolicy, deadline_of
@@ -20,7 +20,7 @@ from .trace import Span, Tracer
 __all__ = [
     "Environment", "Event", "Timeout", "Process", "Interrupt",
     "total_events_processed",
-    "AllOf", "AnyOf", "SimulationError",
+    "AllOf", "AnyOf", "CalendarQueue", "SimulationError",
     "Resource", "PriorityResource", "Store", "FilterStore", "Container",
     "Channel", "QueuePair", "ShedPolicy", "deadline_of",
     "Counter", "TimeWeighted", "BusyTracker", "LatencyRecorder",

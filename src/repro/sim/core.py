@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "Interrupt",
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "SimulationError",
     "total_events_processed",
 ]
@@ -63,6 +65,127 @@ def _add_total(processed: int) -> None:
 def total_events_processed() -> int:
     """Events processed by all Environments since interpreter start."""
     return _total_events
+
+
+# -- scheduler selection ---------------------------------------------------
+# An Environment starts on a binary heap and may migrate to a
+# CalendarQueue when, at a run()/step() boundary, the pending set is
+# dense enough that bucketing beats log-n sifts.  Migration never
+# happens mid-loop: the push fast paths branch on ``env._cal`` per call,
+# so a queue representation is stable for the whole of one run() loop.
+SCHEDULERS = ("auto", "heap", "calendar")
+
+#: Pending events at a run()/step() boundary before "auto" migrates.
+_CAL_THRESHOLD = 512
+
+#: Target mean occupancy per calendar bucket when sizing the width.
+_CAL_PER_BUCKET = 8
+
+#: reference_mode() sets this True so A/B runs replay on the exact
+#: pre-pass heap scheduler.  Only consulted at migration points.
+_FORCE_HEAP = False
+
+
+class CalendarQueue:
+    """Bucketed event queue (a one-tier calendar / ladder queue).
+
+    Items are ``(time, eid, event)`` triples.  Buckets of ``width``
+    seconds are keyed by ``int(time / width)``; the *active* bucket
+    (everything at or before the bucket currently being drained) is kept
+    as a small heap, while future buckets stay as unsorted lists that
+    are heapified only when the clock reaches them.  For dense pending
+    sets this turns most pushes into an O(1) list append instead of an
+    O(log n) sift.
+
+    Pops come out in exactly ``(time, eid)`` order — the same total
+    order as the binary heap — so swapping representations can never
+    change a simulation's event order.
+    """
+
+    __slots__ = ("width", "_cur", "_active", "_future", "_bucket_ids",
+                 "_len")
+
+    def __init__(self, width: float):
+        if not (width > 0 and math.isfinite(width)):
+            raise ValueError(f"bucket width must be finite and > 0, "
+                             f"got {width!r}")
+        self.width = width
+        self._cur = -(1 << 62)  # bucket id currently draining
+        self._active: list[tuple[float, int, Event]] = []
+        self._future: dict[int, list[tuple[float, int, Event]]] = {}
+        self._bucket_ids: list[int] = []  # heap of future bucket ids
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, item: tuple[float, int, Event]) -> None:
+        try:
+            b = int(item[0] / self.width)
+        except (OverflowError, ValueError):  # inf/nan timestamps
+            b = 1 << 62
+        if b <= self._cur:
+            # Late push into the bucket being drained (a zero-delay
+            # event scheduled by a callback): must stay heap-ordered.
+            heapq.heappush(self._active, item)
+        else:
+            bucket = self._future.get(b)
+            if bucket is None:
+                self._future[b] = [item]
+                heapq.heappush(self._bucket_ids, b)
+            else:
+                bucket.append(item)
+        self._len += 1
+
+    def _advance(self) -> None:
+        b = heapq.heappop(self._bucket_ids)
+        items = self._future.pop(b)
+        self._cur = b
+        heapq.heapify(items)
+        self._active = items
+
+    def pop(self) -> tuple[float, int, Event]:
+        """Remove and return the earliest item; caller checks len()."""
+        if not self._active:
+            self._advance()
+        self._len -= 1
+        return heapq.heappop(self._active)
+
+    def min_time(self) -> float:
+        """Timestamp of the earliest item, or ``inf`` when empty."""
+        if not self._len:
+            return float("inf")
+        if not self._active:
+            self._advance()
+        return self._active[0][0]
+
+    @classmethod
+    def from_items(cls, items: list[tuple[float, int, Event]],
+                   per_bucket: int = _CAL_PER_BUCKET) -> "CalendarQueue":
+        """Build a queue sized from the density of ``items``.
+
+        Width is chosen so a bucket holds ~``per_bucket`` of the current
+        pending items on average — the event-density heuristic.  A
+        degenerate span (all items at one instant) degrades gracefully
+        to a single bucket, i.e. plain heap behaviour.
+        """
+        lo = math.inf
+        hi = -math.inf
+        for it in items:
+            t = it[0]
+            if t < lo:
+                lo = t
+            if t > hi:
+                hi = t
+        span = hi - lo
+        if not (span > 0 and math.isfinite(span)):
+            width = 1.0
+        else:
+            width = max(span * per_bucket / len(items), 1e-12)
+        q = cls(width)
+        for it in items:
+            q.push(it)
+        return q
 
 
 class Event:
@@ -114,7 +237,11 @@ class Event:
         # Inline env._push: succeed() fires once per queue grant /
         # process completion, the second-hottest scheduling site.
         env = self.env
-        heapq.heappush(env._queue, (env._now, next(env._eid), self))
+        cal = env._cal
+        if cal is None:
+            heapq.heappush(env._queue, (env._now, next(env._eid), self))
+        else:
+            cal.push((env._now, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -158,7 +285,12 @@ class Timeout(Event):
         self._ok = True
         self._state = TRIGGERED
         self.delay = delay
-        heapq.heappush(env._queue, (env._now + delay, next(env._eid), self))
+        cal = env._cal
+        if cal is None:
+            heapq.heappush(env._queue,
+                           (env._now + delay, next(env._eid), self))
+        else:
+            cal.push((env._now + delay, next(env._eid), self))
 
 
 class Initialize(Event):
@@ -382,11 +514,27 @@ class Environment:
         When True (the default), an exception escaping a process propagates
         out of :meth:`run` immediately instead of failing the process
         event — the right behaviour for tests.
+    scheduler:
+        ``"auto"`` (default) starts on a binary heap and migrates to a
+        :class:`CalendarQueue` at a run()/step() boundary once the
+        pending set reaches ``_CAL_THRESHOLD`` events; ``"heap"`` pins
+        the binary heap; ``"calendar"`` migrates at the first non-empty
+        boundary.  Both schedulers pop in identical ``(time, eid)``
+        order, so the choice never changes simulated results.
     """
 
-    def __init__(self, initial_time: float = 0.0, strict: bool = True):
+    __slots__ = ("_now", "_queue", "_cal", "_scheduler", "_eid",
+                 "_active_process", "strict", "events_processed")
+
+    def __init__(self, initial_time: float = 0.0, strict: bool = True,
+                 scheduler: str = "auto"):
+        if scheduler not in SCHEDULERS:
+            raise ValueError(f"scheduler must be one of {SCHEDULERS}, "
+                             f"got {scheduler!r}")
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
+        self._cal: Optional[CalendarQueue] = None
+        self._scheduler = scheduler
         self._eid = itertools.count()
         self._active_process: Optional[Process] = None
         self.strict = strict
@@ -421,18 +569,54 @@ class Environment:
 
     # -- scheduling ------------------------------------------------------
     def _push(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+        cal = self._cal
+        item = (self._now + delay, next(self._eid), event)
+        if cal is None:
+            heapq.heappush(self._queue, item)
+        else:
+            cal.push(item)
+
+    def _maybe_switch(self) -> None:
+        """Migrate heap -> calendar when the pending set is dense enough.
+
+        Called only at run()/step() entry so a queue representation is
+        stable for the whole of one dispatch loop.  ``reference_mode()``
+        pins ``_FORCE_HEAP`` so A/B replays stay on the pre-pass heap.
+        """
+        if self._cal is not None or _FORCE_HEAP:
+            return
+        mode = self._scheduler
+        if mode == "heap":
+            return
+        n = len(self._queue)
+        if n and (mode == "calendar" or n >= _CAL_THRESHOLD):
+            self._cal = CalendarQueue.from_items(self._queue)
+            self._queue = []
+
+    @property
+    def scheduler_active(self) -> str:
+        """Queue representation currently in use: "heap" or "calendar"."""
+        return "heap" if self._cal is None else "calendar"
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._cal is not None:
+            return self._cal.min_time()
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process one event; advances :attr:`now` to its timestamp."""
         global _total_events
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._queue)
+        self._maybe_switch()
+        cal = self._cal
+        if cal is None:
+            if not self._queue:
+                raise SimulationError("step() on an empty event queue")
+            when, _, event = heapq.heappop(self._queue)
+        else:
+            if not cal._len:
+                raise SimulationError("step() on an empty event queue")
+            when, _, event = cal.pop()
         self._now = when
         self.events_processed += 1
         _total_events += 1
@@ -449,6 +633,9 @@ class Environment:
         hoisted into locals — the dispatch loop itself is a measurable
         slice of large modeled runs.
         """
+        self._maybe_switch()
+        if self._cal is not None:
+            return self._run_calendar(until)
         queue = self._queue
         pop = heapq.heappop
         if isinstance(until, Event):
@@ -493,6 +680,65 @@ class Environment:
         try:
             while queue:
                 when, _, event = pop(queue)
+                self._now = when
+                processed += 1
+                event._run_callbacks()
+        finally:
+            self.events_processed += processed
+            _add_total(processed)
+        return None
+
+    def _run_calendar(self, until: Optional[float | Event]) -> Any:
+        """The run() loops against a migrated :class:`CalendarQueue`.
+
+        Mirrors the heap loops exactly — same stop conditions, same
+        accounting — with pops routed through the calendar, which
+        yields the identical ``(time, eid)`` order.
+        """
+        cal = self._cal
+        assert cal is not None
+        if isinstance(until, Event):
+            stop_evt = until
+            processed = 0
+            try:
+                while not stop_evt._state:          # PENDING
+                    if not cal._len:
+                        raise SimulationError(
+                            "simulation ran dry before the awaited event "
+                            "fired")
+                    when, _, event = cal.pop()
+                    self._now = when
+                    processed += 1
+                    event._run_callbacks()
+            finally:
+                self.events_processed += processed
+                _add_total(processed)
+            if not stop_evt._ok:
+                raise stop_evt._value
+            return stop_evt._value
+
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until={horizon} is in the past (now={self._now})")
+            processed = 0
+            try:
+                while cal._len and cal.min_time() <= horizon:
+                    when, _, event = cal.pop()
+                    self._now = when
+                    processed += 1
+                    event._run_callbacks()
+            finally:
+                self.events_processed += processed
+                _add_total(processed)
+            self._now = max(self._now, horizon)
+            return None
+
+        processed = 0
+        try:
+            while cal._len:
+                when, _, event = cal.pop()
                 self._now = when
                 processed += 1
                 event._run_callbacks()

@@ -8,6 +8,7 @@ raw simulation activity; no result is ever entered by hand.
 from __future__ import annotations
 
 import math
+import struct
 import zlib
 from bisect import insort
 from random import Random
@@ -234,6 +235,12 @@ class LatencyRecorder:
         self._dirty = False
         self._count = 0
         self._sum = 0.0
+        # Own-stream sums of recorders folded in via merge(), kept as
+        # separate terms: pairwise `+=` of floats is not associative,
+        # so the combined sum is instead rendered with math.fsum over
+        # the term multiset — exact, hence identical for every merge
+        # order.  Empty until the first merge; record() never touches it.
+        self._merged_sums: list[float] = []
         self._max_samples = max_samples
         self._min = math.inf
         self._max = -math.inf
@@ -319,26 +326,80 @@ class LatencyRecorder:
                     return self._sorted[pos][2]
         return None
 
-    def merge(self, other: "LatencyRecorder") -> None:
-        """Fold another recorder's retained samples into this one.
+    @staticmethod
+    def _merge_priority(
+            entry: tuple[float, int, Optional[int]]) -> tuple:
+        """Content-keyed selection priority for over-cap merges.
 
-        Exact when both recorders are below their caps (the common case:
-        per-engine windows merged into one report); otherwise the merge
-        re-samples the other's reservoir, which is still a uniform —
-        though smaller — sample of its stream.  Trace links survive the
-        merge.
+        Hashing the entry itself (not the merge order, not RNG state)
+        makes bottom-k selection a pure function of the combined sample
+        *set*: merging any permutation of the same recorders keeps the
+        same entries.  The entry fields tie-break hash collisions so the
+        order is total (``trace_id`` may be None, hence the presence
+        flag before the value).
         """
-        # Flush both sides first: iterating the other's samples in
-        # sorted order keeps the arrival sequence — and with it every
-        # RNG draw and tie-break — identical to the eager-insort
-        # implementation.
-        other._flush()
+        latency, seq, trace_id = entry
+        tid = -1 if trace_id is None else trace_id
+        digest = zlib.crc32(struct.pack("!dqq", latency, seq, tid))
+        return (digest, latency, seq, trace_id is not None, tid)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's state into this one.
+
+        ``count``/``mean``/``min``/``max`` stay exact over the combined
+        stream (the other side's exact accumulators add in, even when
+        its reservoir retains fewer samples than it saw).  The retained
+        samples become the union of both reservoirs while that fits
+        this recorder's cap — the common case of per-engine windows
+        merged into one report, where percentiles stay exact — and
+        otherwise the bottom-``cap`` of the union under a content-keyed
+        hash priority (:meth:`_merge_priority`), which keeps the merged
+        reservoir an unbiased-enough sample while making the selection a
+        pure function of the combined set.
+
+        Merge is therefore **commutative and order-insensitive**:
+        folding the same recorders in any order — or on any worker
+        completion schedule — produces byte-identical merged state.  No
+        RNG draws are consumed, so a later ``record()`` stream on the
+        merged recorder is also unaffected by merge order.  Trace links
+        survive the merge.
+        """
+        if other is self:
+            raise ValueError("cannot merge a recorder into itself")
         self._flush()
-        for latency, _, trace_id in other._sorted:
-            self.record(latency, trace_id)
+        other._flush()
+        if other._count:
+            self._count += other._count
+            # Keep the other side's sum as a separate term rather than
+            # folding it into self._sum: float += is order-sensitive in
+            # the last ulp, fsum over the term multiset is not.
+            self._merged_sums.append(other._sum)
+            self._merged_sums.extend(other._merged_sums)
+            if other._min < self._min:
+                self._min = other._min
+            if other._max > self._max:
+                self._max = other._max
+        if not other._sorted:
+            return
+        combined = self._sorted + other._sorted
+        cap = self._max_samples
+        if len(combined) > cap:
+            combined.sort(key=self._merge_priority)
+            del combined[cap:]
+        combined.sort()
+        self._sorted = combined
+        self._dirty = False
+
+    def total(self) -> float:
+        """Exact sum of every recorded latency (own stream plus merged
+        streams, combined with a single correctly-rounded fsum so the
+        value is independent of merge order)."""
+        if self._merged_sums:
+            return math.fsum([self._sum, *self._merged_sums])
+        return self._sum
 
     def mean(self) -> float:
-        return self._sum / self._count if self._count else math.nan
+        return self.total() / self._count if self._count else math.nan
 
     def percentile(self, q: float) -> float:
         """q in [0, 100]; linear interpolation between order statistics

@@ -1,0 +1,24 @@
+"""Parallel multi-seed sweep runner (ROADMAP item 3).
+
+Fans (experiment, config, seed) points out to worker processes and
+merges the per-worker ``repro-metrics/1`` snapshots + latency
+reservoirs into one ``repro-sweep/1`` rollup that is byte-identical to
+a serial run of the same points, regardless of worker completion order.
+
+Quickstart::
+
+    from repro.sweep import fig7_points, run_sweep
+    outcome = run_sweep(fig7_points(seeds=(0, 1, 2)), parallel=4)
+    print(outcome.rollup_json())          # deterministic document
+    print(outcome.perf_payload())         # wall-clock (repro-perf/1)
+
+CLI: ``python -m repro.sweep --help``.
+"""
+
+from .points import POINT_RUNNERS, fig7_points, point_runner
+from .runner import (SCHEMA, SweepOutcome, SweepPoint, canonical_json,
+                     run_sweep)
+
+__all__ = ["SCHEMA", "SweepPoint", "SweepOutcome", "run_sweep",
+           "canonical_json", "POINT_RUNNERS", "point_runner",
+           "fig7_points"]

@@ -1,0 +1,95 @@
+"""Smoke tests for the PS study's fleet-style accounting and its
+phase-immune measurement.
+
+The study rotted once already: throughput was counted over a fixed
+``[warmup, warmup+measure]`` wall window, so a backend whose startup
+phase shifted its round completions by a fraction of a round gained or
+lost a whole round from the count — at world=4 the default window made
+the *CPU* backend measure faster than the offloaded one, inverting the
+study's conclusion.  These tests pin the fixed behaviour: rates are
+measured between round completions, per-server instruments live in a
+namespaced registry, and the sweep point runner round-trips.
+"""
+
+import dataclasses
+
+from repro.calib import DEFAULT_TESTBED
+from repro.cluster import PsStudyConfig, run_ps_study
+from repro.sweep.points import POINT_RUNNERS
+
+
+def test_backend_parity_exact_with_abundant_cores():
+    """32 cores absorb decode + aggregation: both backends run the ring
+    at the identical steady-state rate — exactly, not 'within 10%'
+    (the old window quantization needed that slack to pass at all)."""
+    results = {
+        be: run_ps_study(PsStudyConfig(backend=be, world=4,
+                                       warmup_s=0.5, measure_s=4.0))
+        for be in ("dlbooster", "cpu-online")}
+    dlb, cpu = results["dlbooster"], results["cpu-online"]
+    assert dlb.iteration_s == cpu.iteration_s
+    assert dlb.throughput == cpu.throughput
+    # The offloaded backend must never measure slower (the inversion
+    # the window-count rot produced).
+    assert dlb.throughput >= cpu.throughput
+
+
+def test_measurement_is_phase_immune():
+    """Shifting the window boundary by a fraction of a round must not
+    change the measured rate (the rot: ±1 round per boundary)."""
+    base = run_ps_study(PsStudyConfig(backend="cpu-online", world=2,
+                                      warmup_s=0.50, measure_s=3.0))
+    shifted = run_ps_study(PsStudyConfig(backend="cpu-online", world=2,
+                                         warmup_s=0.58, measure_s=3.0))
+    assert abs(base.iteration_s - shifted.iteration_s) < 1e-12
+    assert abs(base.throughput - shifted.throughput) < 1e-9
+
+
+def test_contention_effect_survives_dequantization():
+    """The effect the study exists for — scarce cores hurt only the
+    CPU backend — still shows with timestamp-based measurement."""
+    tight = dataclasses.replace(DEFAULT_TESTBED, cpu_cores=4)
+    results = {
+        be: run_ps_study(PsStudyConfig(backend=be, world=2,
+                                       warmup_s=0.5, measure_s=3.0),
+                         testbed=tight)
+        for be in ("dlbooster", "cpu-online")}
+    assert results["dlbooster"].throughput > \
+        1.1 * results["cpu-online"].throughput
+
+
+def test_fleet_style_registry_accounting():
+    res = run_ps_study(PsStudyConfig(world=2, warmup_s=0.3,
+                                     measure_s=1.0))
+    names = res.registry.names()
+    # Per-server namespaces plus the ring's own instruments.
+    assert "server0.cpu.busy" in names
+    assert "server1.cpu.busy" in names
+    assert "ps.rounds" in names
+    assert "ps.round_gap" in names
+    assert "server0.psw0.iter_latency" in names
+    # Iteration latency was actually recorded.
+    rec = res.registry.get("server0.psw0.iter_latency")
+    assert rec.count > 0
+    # Snapshot exports cleanly (strict JSON, no live objects).
+    snap = res.registry.snapshot()
+    assert snap["ps.rounds"]["total"] == res.extras["rounds"]
+    # Per-server extras mirror the worker counters.
+    per = res.extras["per_server"]
+    assert [row["server"] for row in per] == ["server0", "server1"]
+    assert all(row["iterations"] > 0 for row in per)
+    assert res.extras["lockstep_ok"]
+
+
+def test_ps_point_runner_accepts_seed_and_harvests():
+    """The sweep runner injects seeds; the study is deterministic, so
+    any seed must work and return identical values (this call used to
+    raise TypeError: unexpected keyword argument 'seed')."""
+    cfg = {"backend": "dlbooster", "world": 2,
+           "warmup_s": 0.3, "measure_s": 1.0}
+    a = POINT_RUNNERS["ps_study"](cfg, 0)
+    b = POINT_RUNNERS["ps_study"](cfg, 7)
+    assert a["values"] == b["values"]
+    assert a["values"]["throughput"] > 0
+    assert a["metrics"]["schema"] == "repro-metrics/1"
+    assert "server0.psw0.iter_latency" in a["recorders"]

@@ -1,0 +1,59 @@
+"""Scan-wide batched iDCT: bit-identical to the per-block loop.
+
+``idct2_dequant_scan`` stacks every component's blocks into one GEMM;
+because the same 8x8 matmul runs per slice regardless of stack shape,
+the result must match ``idct2_dequant`` applied block by block to the
+last bit — it's the decoder's hot loop, so this contract is what lets
+the batching exist at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.jpeg.dct import idct2_dequant, idct2_dequant_scan
+
+
+def _qtable(rng):
+    return rng.integers(1, 64, size=(8, 8)).astype(np.uint16)
+
+
+def _stack(rng, *lead):
+    return rng.integers(-1024, 1024, size=(*lead, 8, 8)).astype(np.int32)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_scan_matches_per_block_bitwise(seed):
+    rng = np.random.default_rng(seed)
+    stacks = [_stack(rng, 6, 4), _stack(rng, 3, 2), _stack(rng, 3, 2)]
+    qtables = [_qtable(rng) for _ in range(3)]
+    outs = idct2_dequant_scan(stacks, qtables)
+    for coeffs, qtable, out in zip(stacks, qtables, outs):
+        assert out.shape == coeffs.shape
+        assert out.dtype == np.float64
+        for idx in np.ndindex(coeffs.shape[:-2]):
+            expect = idct2_dequant(coeffs[idx], qtable)
+            assert np.array_equal(out[idx], expect)
+
+
+def test_single_block_stack():
+    rng = np.random.default_rng(9)
+    coeffs, qtable = _stack(rng, 1), _qtable(rng)
+    (out,) = idct2_dequant_scan([coeffs], [qtable])
+    assert np.array_equal(out[0], idct2_dequant(coeffs[0], qtable))
+
+
+def test_empty_component_list():
+    assert idct2_dequant_scan([], []) == []
+
+
+def test_mismatched_lengths_rejected():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        idct2_dequant_scan([_stack(rng, 2)], [])
+
+
+def test_bad_trailing_shape_rejected():
+    rng = np.random.default_rng(0)
+    bad = rng.integers(0, 8, size=(2, 4, 4)).astype(np.int32)
+    with pytest.raises(ValueError):
+        idct2_dequant_scan([bad], [_qtable(rng)])

@@ -1,0 +1,117 @@
+"""Edge cases of the perf baseline machinery: missing baseline keys,
+zero-time samples, and merged multi-worker payloads — the shapes the
+parallel sweep runner actually produces."""
+
+import json
+
+import pytest
+
+from repro.perf.harness import (SCHEMA, BenchResult, check_regression,
+                                load_payload, merge_payloads, to_payload,
+                                write_payload)
+
+
+def _payload(derived):
+    return {"schema": SCHEMA, "results": {}, "derived": dict(derived)}
+
+
+class TestCheckRegressionEdges:
+    def test_baseline_key_missing_from_current_is_ignored(self):
+        """A metric only the baseline knows must not fail the check —
+        retiring a benchmark must not break old baselines."""
+        failures = check_regression(
+            _payload({"kept": 1.0}),
+            _payload({"kept": 1.0, "retired": 9.9}))
+        assert failures == []
+
+    def test_current_key_missing_from_baseline_is_ignored(self):
+        failures = check_regression(
+            _payload({"brand_new": 0.001}), _payload({}))
+        assert failures == []
+
+    def test_empty_documents(self):
+        assert check_regression({}, {}) == []
+        assert check_regression(_payload({}), _payload({"x": 1.0})) == []
+
+    def test_regression_detected_and_named(self):
+        failures = check_regression(
+            _payload({"speedup": 0.5}), _payload({"speedup": 1.0}),
+            tolerance=0.3)
+        assert len(failures) == 1
+        assert "speedup" in failures[0]
+
+    def test_within_tolerance_passes(self):
+        assert check_regression(
+            _payload({"speedup": 0.71}), _payload({"speedup": 1.0}),
+            tolerance=0.3) == []
+
+
+class TestZeroTimeSamples:
+    def test_zero_best_s_reports_no_rates(self):
+        res = BenchResult(name="instant", best_s=0.0, mean_s=0.0,
+                          runs=(0.0,), reps=1, units={"events": 100.0})
+        assert res.rate() == {}
+        assert res.to_dict()["rate"] == {}
+
+    def test_zero_time_payload_is_strict_json(self, tmp_path):
+        """No Infinity leaks into the document (json.load round-trip
+        with strict parsing)."""
+        res = BenchResult(name="instant", best_s=0.0, mean_s=0.0,
+                          runs=(0.0,), reps=1, units={"events": 5.0})
+        path = str(tmp_path / "perf.json")
+        write_payload(path, to_payload([res]))
+        text = open(path).read()
+        assert "Infinity" not in text
+        doc = json.loads(text, parse_constant=lambda c: pytest.fail(
+            f"non-strict JSON constant {c!r} in payload"))
+        assert doc["results"]["instant"]["rate"] == {}
+
+    def test_positive_best_s_still_reports_rates(self):
+        res = BenchResult(name="b", best_s=0.5, mean_s=0.5, runs=(0.5,),
+                          reps=1, units={"events": 10.0})
+        assert res.rate() == {"events_per_s": 20.0}
+
+
+class TestMergedWorkerPayloads:
+    """The sweep runner merges per-worker repro-perf/1 payloads into the
+    committed BENCH artifact; the baseline check must consume that."""
+
+    def test_merge_then_check(self):
+        worker_a = _payload({"sweep.events_per_s": 1000.0})
+        worker_b = _payload({"codec.decode_speedup": 3.0})
+        merged = merge_payloads(worker_a, worker_b)
+        assert set(merged["derived"]) == {"sweep.events_per_s",
+                                          "codec.decode_speedup"}
+        baseline = _payload({"sweep.events_per_s": 900.0,
+                             "codec.decode_speedup": 2.8})
+        assert check_regression(merged, baseline) == []
+        bad = _payload({"sweep.events_per_s": 10_000.0})
+        assert len(check_regression(merged, bad)) == 1
+
+    def test_merge_collision_latest_wins(self):
+        merged = merge_payloads(_payload({"x": 1.0}), _payload({"x": 2.0}))
+        assert merged["derived"]["x"] == 2.0
+
+    def test_merge_rejects_wrong_schema(self):
+        with pytest.raises(ValueError):
+            merge_payloads(_payload({}), {"schema": "other/1"})
+
+    def test_sweep_payload_round_trips_through_file(self, tmp_path):
+        """End to end: a real sweep perf payload survives write/load and
+        feeds check_regression without error."""
+        from repro.sweep import SweepPoint, run_sweep
+        pts = [SweepPoint(runner="fig7_infer",
+                          config={"model": "googlenet",
+                                  "backend": "dlbooster", "batch_size": 1,
+                                  "warmup_s": 0.2, "measure_s": 0.5,
+                                  "telemetry": False},
+                          seed=0, label="g/dlb/bs1/s0")]
+        outcome = run_sweep(pts, parallel=1)
+        path = str(tmp_path / "bench.json")
+        write_payload(path, outcome.perf_payload())
+        loaded = load_payload(path)
+        assert "sweep.total[parallel=1]" in loaded["results"]
+        assert check_regression(
+            loaded, _payload({"sweep.events_per_s":
+                              loaded["derived"]["sweep.events_per_s"]}),
+            tolerance=0.99) == []

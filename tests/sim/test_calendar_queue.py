@@ -1,0 +1,139 @@
+"""Calendar-queue scheduler: exact-order contract with the binary heap.
+
+The calendar (ladder) queue lives behind the same pending-set interface
+as the heap; the only acceptable difference is wall-clock.  These tests
+pin the pop order bit-exactly, the density-based migration points, and
+the ``reference_mode()`` escape hatch that keeps A/B replays on the
+pre-PR8 heap.
+"""
+
+import heapq
+import random
+
+import pytest
+
+import repro.sim.core as core
+from repro.sim import CalendarQueue, Environment
+from repro.sim.core import _CAL_THRESHOLD
+
+
+def _items(n, seed, span=10.0):
+    rng = random.Random(seed)
+    return [(rng.uniform(0.0, span), eid, object()) for eid in range(n)]
+
+
+class TestCalendarQueueOrder:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pops_in_heap_order(self, seed):
+        items = _items(300, seed)
+        heap = list(items)
+        heapq.heapify(heap)
+        cal = CalendarQueue.from_items(list(items))
+        assert len(cal) == len(heap)
+        while heap:
+            assert cal.pop() == heapq.heappop(heap)
+        assert len(cal) == 0
+
+    def test_interleaved_push_pop(self):
+        rng = random.Random(42)
+        items = _items(200, 7)
+        heap, cal = [], CalendarQueue.from_items(list(items[:100]))
+        for it in items[:100]:
+            heapq.heappush(heap, it)
+        for it in items[100:]:
+            cal.push(it)
+            heapq.heappush(heap, it)
+            if rng.random() < 0.5 and heap:
+                assert cal.pop() == heapq.heappop(heap)
+        while heap:
+            assert cal.pop() == heapq.heappop(heap)
+
+    def test_min_time_tracks_head(self):
+        items = _items(64, 3)
+        cal = CalendarQueue.from_items(list(items))
+        assert cal.min_time() == min(t for t, _, _ in items)
+
+    def test_far_future_push_does_not_overflow(self):
+        cal = CalendarQueue.from_items([(0.0, 0, object())])
+        cal.push((1e308, 1, object()))     # would overflow int(t / width)
+        assert cal.pop()[0] == 0.0
+        assert cal.pop()[0] == 1e308
+
+
+class TestSchedulerSelection:
+    def test_auto_starts_on_heap(self):
+        env = Environment()
+        assert env.scheduler_active == "heap"
+
+    def test_auto_migrates_past_threshold(self):
+        env = Environment()
+        for _ in range(_CAL_THRESHOLD + 8):
+            env.timeout(1.0)
+        env.run(until=0.5)
+        assert env.scheduler_active == "calendar"
+
+    def test_forced_calendar_migrates_immediately(self):
+        env = Environment(scheduler="calendar")
+        env.timeout(1.0)
+        env.run(until=0.5)
+        assert env.scheduler_active == "calendar"
+
+    def test_heap_mode_never_migrates(self):
+        env = Environment(scheduler="heap")
+        for _ in range(_CAL_THRESHOLD + 8):
+            env.timeout(1.0)
+        env.run(until=2.0)
+        assert env.scheduler_active == "heap"
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            Environment(scheduler="wheel")
+
+    def test_force_heap_flag_pins_heap(self, monkeypatch):
+        monkeypatch.setattr(core, "_FORCE_HEAP", True)
+        env = Environment(scheduler="calendar")
+        env.timeout(1.0)
+        env.run(until=2.0)
+        assert env.scheduler_active == "heap"
+
+
+def _actor_soup(env, seed):
+    """A deliberately messy workload: timers, zero-delays, cancels,
+    processes waking each other — logs every step for comparison."""
+    rng = random.Random(seed)
+    log = []
+
+    def ticker(name, period):
+        while True:
+            yield env.timeout(period)
+            log.append((round(env.now, 9), "tick", name))
+
+    def chatter(name, peer_delay):
+        for i in range(30):
+            yield env.timeout(rng.random() * peer_delay)
+            log.append((round(env.now, 9), "chat", name, i))
+            if rng.random() < 0.3:
+                yield env.timeout(0)
+                log.append((round(env.now, 9), "zero", name, i))
+
+    for i in range(12):
+        env.process(ticker(f"t{i}", 0.01 + 0.013 * i))
+    for i in range(20):
+        env.process(chatter(f"c{i}", 0.05 + 0.01 * (i % 5)))
+    return log
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_heap_and_calendar_runs_bit_identical(seed):
+    """The tentpole contract: identical event logs and counts under
+    either scheduler — the calendar queue is a pure wall-clock change."""
+    logs, counts = [], []
+    for scheduler in ("heap", "calendar"):
+        env = Environment(scheduler=scheduler)
+        log = _actor_soup(env, seed)
+        env.run(until=2.0)
+        assert env.scheduler_active == scheduler
+        logs.append(log)
+        counts.append(env.events_processed)
+    assert logs[0] == logs[1]
+    assert counts[0] == counts[1]

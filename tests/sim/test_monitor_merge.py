@@ -1,0 +1,137 @@
+"""LatencyRecorder.merge() must be commutative and order-insensitive.
+
+The parallel sweep runner (repro.sweep) merges per-worker reservoirs in
+deterministic index order, but the *contract* is stronger: merging the
+same recorders in any order — including when every reservoir is at its
+cap, where the old implementation consumed RNG draws per call and so
+depended on call order — yields byte-identical merged state.
+"""
+
+import copy
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.monitor import LatencyRecorder
+
+
+def build(name, values, cap):
+    rec = LatencyRecorder(name=name, max_samples=cap)
+    for i, v in enumerate(values):
+        rec.record(v, trace_id=(i if i % 3 == 0 else None))
+    return rec
+
+
+def state(rec):
+    return (rec.samples, rec.exemplars(), rec.count, rec.total(),
+            rec.min(), rec.max())
+
+
+def merged_in_order(sources, order, cap):
+    target = LatencyRecorder(name="rollup", max_samples=cap)
+    for idx in order:
+        target.merge(copy.deepcopy(sources[idx]))
+    return target
+
+
+latencies = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=0,
+    max_size=60)
+
+
+@settings(max_examples=60, deadline=None)
+@given(streams=st.lists(latencies, min_size=2, max_size=4),
+       cap=st.integers(min_value=1, max_value=40),
+       seed=st.integers(min_value=0, max_value=2**31))
+def test_merge_is_order_insensitive(streams, cap, seed):
+    """Every permutation of merge order yields byte-identical state —
+    in particular when the sources and the target are all at cap."""
+    sources = [build(f"w{i}", vals, cap) for i, vals in enumerate(streams)]
+    orders = list(itertools.permutations(range(len(sources))))
+    baseline = state(merged_in_order(sources, orders[0], cap))
+    for order in orders[1:]:
+        assert state(merged_in_order(sources, order, cap)) == baseline
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams=st.lists(latencies, min_size=3, max_size=3),
+       cap=st.integers(min_value=2, max_value=25))
+def test_merge_is_associative(streams, cap):
+    """(a + b) + c == a + (b + c): bottom-k by content hash is a
+    mergeable sketch, so tree-shaped and sequential rollups agree."""
+    sources = [build(f"w{i}", vals, cap) for i, vals in enumerate(streams)]
+    seq = merged_in_order(sources, (0, 1, 2), cap)
+
+    left = LatencyRecorder(name="rollup", max_samples=cap)
+    left.merge(copy.deepcopy(sources[0]))
+    left.merge(copy.deepcopy(sources[1]))
+    right = LatencyRecorder(name="right", max_samples=cap)
+    right.merge(copy.deepcopy(sources[2]))
+    left.merge(right)
+    assert state(left) == state(seq)
+
+
+def test_merge_exact_stats_survive_over_cap_sources():
+    """count/sum/min/max stay exact even when a source retained far
+    fewer samples than it saw (the old merge lost the difference)."""
+    src = build("big", [float(v % 89) for v in range(5000)], cap=32)
+    assert src.count == 5000 and src.sample_count == 32
+    tgt = LatencyRecorder(name="rollup", max_samples=32)
+    tgt.merge(src)
+    assert tgt.count == 5000
+    assert tgt.mean() == pytest.approx(src.mean())
+    assert tgt.min() == src.min() and tgt.max() == src.max()
+    assert tgt.sample_count == 32
+
+
+def test_merge_below_cap_is_exact_union():
+    a = build("a", [1.0, 3.0, 5.0], cap=100)
+    b = build("b", [2.0, 4.0], cap=100)
+    tgt = LatencyRecorder(name="rollup", max_samples=100)
+    tgt.merge(a)
+    tgt.merge(b)
+    assert tgt.samples == (1.0, 2.0, 3.0, 4.0, 5.0)
+    assert tgt.is_exact and tgt.count == 5
+
+
+def test_merge_consumes_no_rng():
+    """Merging must not advance the target's record() RNG stream: the
+    RNG state after construction + merges equals a fresh recorder's, no
+    matter how many merges happened (record() past the cap is what
+    draws — so the check has to run before any post-merge records)."""
+    baseline = LatencyRecorder(name="r", max_samples=16)._rng.getstate()
+
+    one = LatencyRecorder(name="r", max_samples=16)
+    one.merge(build("w0", [1.0] * 64, cap=16))
+    assert one._rng.getstate() == baseline
+
+    many = LatencyRecorder(name="r", max_samples=16)
+    for i in range(5):
+        many.merge(build("w0", [1.0] * 64, cap=16))
+    assert many._rng.getstate() == baseline
+
+    # And the merged recorder still records past the cap normally.
+    for v in (float(v % 13) for v in range(400)):
+        many.record(v)
+    assert many.count == 5 * 64 + 400 and many.sample_count == 16
+
+
+def test_merge_self_rejected():
+    rec = build("a", [1.0], cap=4)
+    with pytest.raises(ValueError):
+        rec.merge(rec)
+
+
+def test_merge_empty_sides():
+    empty = LatencyRecorder(name="e", max_samples=8)
+    full = build("f", [2.0, 1.0], cap=8)
+    tgt = LatencyRecorder(name="rollup", max_samples=8)
+    tgt.merge(empty)
+    assert tgt.count == 0 and math.isnan(tgt.mean())
+    tgt.merge(full)
+    assert tgt.samples == (1.0, 2.0)
+    tgt.merge(LatencyRecorder(name="e2", max_samples=8))
+    assert tgt.samples == (1.0, 2.0) and tgt.count == 2

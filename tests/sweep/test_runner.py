@@ -1,0 +1,127 @@
+"""The sweep runner's identity contract and plumbing.
+
+The headline guarantee: ``run_sweep(points, parallel=N).rollup_json()``
+is byte-identical to the serial run for any N — results are collected
+by point index and reservoirs merge commutatively, so OS scheduling
+can't leak into the document.  Wall-clock lives only in the separate
+perf payload.
+"""
+
+import json
+
+import pytest
+
+from repro.sim.monitor import LatencyRecorder
+from repro.sweep import (SCHEMA, SweepPoint, canonical_json, fig7_points,
+                         run_sweep)
+from repro.sweep.runner import SweepOutcome
+
+QUICK = {"warmup_s": 0.2, "measure_s": 0.5}
+
+
+def _points(n_seeds=2, telemetry=True):
+    return fig7_points(models=("googlenet",), backends=("dlbooster",),
+                       batches=(1, 4), seeds=tuple(range(n_seeds)),
+                       telemetry=telemetry, **QUICK)
+
+
+class TestValidation:
+    def test_parallel_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_sweep([SweepPoint(runner="fig7_infer")], parallel=0)
+
+    def test_unknown_runner_named_in_error(self):
+        with pytest.raises(ValueError, match="no_such_runner"):
+            run_sweep([SweepPoint(runner="no_such_runner")])
+
+
+class TestSerialParallelIdentity:
+    def test_rollup_byte_identical(self):
+        pts = _points()
+        serial = run_sweep(pts, parallel=1)
+        par = run_sweep(pts, parallel=2)
+        assert serial.rollup_json() == par.rollup_json()
+
+    def test_results_collected_in_point_order(self):
+        pts = _points()
+        outcome = run_sweep(pts, parallel=2)
+        assert len(outcome.results) == len(pts)
+        for point, res in zip(pts, outcome.results):
+            (model, backend, bs, _tp) = res["rows"][0]
+            assert point.label.startswith(f"{model}/{backend}/bs{bs}")
+
+    def test_worker_events_folded_into_parent_tally(self):
+        from repro.sim.core import total_events_processed
+        pts = _points(n_seeds=1)
+        before = total_events_processed()
+        outcome = run_sweep(pts, parallel=2)
+        folded = total_events_processed() - before
+        assert folded >= sum(outcome.events) > 0
+
+
+class TestRollup:
+    def test_schema_and_structure(self):
+        outcome = run_sweep(_points(n_seeds=1))
+        doc = outcome.rollup()
+        assert doc["schema"] == SCHEMA
+        assert doc["num_points"] == 2
+        for pt_doc in doc["points"]:
+            assert set(pt_doc) == {"runner", "label", "seed", "config",
+                                   "values", "rows", "metrics"}
+        assert doc["merged_latency"]      # telemetry reservoirs merged
+        for stats in doc["merged_latency"].values():
+            assert stats["count"] >= 0
+            assert "samples_crc32" in stats
+
+    def test_rollup_contains_no_wall_clock(self):
+        outcome = run_sweep(_points(n_seeds=1))
+        text = outcome.rollup_json()
+        for banned in ("wall", "best_s", "mean_s"):
+            assert banned not in text
+
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == \
+            canonical_json({"a": [1, 2], "b": 1})
+        assert json.loads(canonical_json({"a": 1})) == {"a": 1}
+
+    def test_merged_recorders_fold_across_points(self):
+        a, b = LatencyRecorder(name="m"), LatencyRecorder(name="m")
+        for i in range(5):
+            a.record(0.001 * (i + 1))
+            b.record(0.002 * (i + 1))
+        outcome = SweepOutcome(
+            points=[SweepPoint(runner="x"), SweepPoint(runner="x")],
+            results=[{"recorders": {"m": a}}, {"recorders": {"m": b}}],
+            walls=[0.1, 0.1], events=[10, 10], parallel=1, wall_s=0.2)
+        merged = outcome.merged_recorders()
+        assert merged["m"].count == 10
+        assert merged["m"].name == "sweep.m"
+
+
+class TestPerfPayload:
+    def test_shape_and_derived(self):
+        outcome = run_sweep(_points(n_seeds=1, telemetry=False))
+        payload = outcome.perf_payload()
+        assert payload["schema"] == "repro-perf/1"
+        assert "sweep.total[parallel=1]" in payload["results"]
+        assert "sweep.events_per_s" in payload["derived"]
+        # Occupancy is only meaningful with workers.
+        assert "sweep.worker_occupancy" not in payload["derived"]
+
+    def test_parallel_payload_reports_occupancy(self):
+        outcome = run_sweep(_points(n_seeds=1, telemetry=False),
+                            parallel=2)
+        derived = outcome.perf_payload()["derived"]
+        assert derived["sweep.worker_occupancy"] > 0
+
+
+class TestFig7Points:
+    def test_grid_matches_serial_nesting_order(self):
+        pts = fig7_points(models=("a", "b"), backends=("x",),
+                          batches=(1, 2), seeds=(0, 1))
+        labels = [p.label for p in pts]
+        assert labels == ["a/x/bs1/s0", "a/x/bs1/s1",
+                          "a/x/bs2/s0", "a/x/bs2/s1",
+                          "b/x/bs1/s0", "b/x/bs1/s1",
+                          "b/x/bs2/s0", "b/x/bs2/s1"]
+        assert all(p.runner == "fig7_infer" for p in pts)
