@@ -1,0 +1,12 @@
+"""``python -m repro.capacity`` — the what-if capacity planner CLI.
+
+A thin entry point over :mod:`repro.slo.planner`; the planning logic —
+spec, binary search, dashboard rendering — lives there so library
+callers and the CLI share one implementation.
+"""
+
+from ..slo.planner import (CapacityPlan, PlanSpec, plan_capacity,
+                           render_dashboard)
+
+__all__ = ["PlanSpec", "CapacityPlan", "plan_capacity",
+           "render_dashboard"]

@@ -33,6 +33,10 @@ def main(argv=None) -> int:
     parser.add_argument("--json-dir", default=None,
                         help="also write each report (rows + checks) "
                              "as JSON here")
+    parser.add_argument("--kpi-json", default=None, metavar="DIR",
+                        help="also write each report's derived "
+                             "repro-kpi/1 payloads (goodput, shed %%, "
+                             "percentiles, $/M images) as JSON here")
     parser.add_argument("--trace-dir", default=None,
                         help="run traced smoke experiments and write "
                              "their Chrome-trace JSON (open in Perfetto) "
@@ -57,6 +61,7 @@ def main(argv=None) -> int:
     # minutes of simulation — wastes the whole run.
     for flag, path in (("--csv-dir", args.csv_dir),
                        ("--json-dir", args.json_dir),
+                       ("--kpi-json", args.kpi_json),
                        ("--trace-dir", args.trace_dir),
                        ("--profile", args.profile)):
         if path is None:
@@ -100,6 +105,10 @@ def main(argv=None) -> int:
                 with open(os.path.join(args.json_dir, f"{slug}.json"),
                           "w") as fh:
                     fh.write(report.to_json())
+            if args.kpi_json and report.kpis:
+                with open(os.path.join(args.kpi_json,
+                                       f"{slug}_kpi.json"), "w") as fh:
+                    fh.write(report.kpis_json())
         except OSError as exc:
             print(f"cannot write report for {key}: {exc}",
                   file=sys.stderr)

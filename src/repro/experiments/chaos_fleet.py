@@ -38,6 +38,8 @@ from ..fleet import (FleetChaos, HealthView, Host, HostConfig,
                      LoadBalancer, OpenLoopSource, OutlierConfig,
                      RecoveryConfig, fleet_rollup, make_policy)
 from ..sim import Environment, SeedBank
+from ..slo import (HostShape, SLOEvaluator, default_rules,
+                   default_serving_slos, kpis_from_rollup)
 from ..supervision import SupervisionConfig
 from ..telemetry import MetricsRegistry
 from .fleet import (BATCH_SIZE, DEADLINE_S, HOST_CORES, MARGIN_S, MODEL,
@@ -73,12 +75,15 @@ def _make_host(env: Environment, bank: SeedBank, index: int) -> Host:
 def serve_chaos(plan=None, recovery=None, outlier=None,
                 k: int = 4, overload_x: float = 2.8, sim_s: float = 1.5,
                 seed: int = 47, policy: str = "least-loaded",
-                with_registry: bool = False) -> dict:
-    """One chaos-armed fleet run; returns the rollup payload.
+                with_registry: bool = False, slo=False) -> dict:
+    """One chaos-armed fleet run; returns the rollup payload with an
+    attached ``repro-kpi/1`` section.
 
     ``plan=None`` runs the completely unarmed PR 6 path (no FleetChaos
     object at all); an empty plan arms a controller that immediately
-    reports inactive — the two must be byte-identical.
+    reports inactive — the two must be byte-identical.  ``slo`` arms
+    the observation-only in-sim SLO evaluator exactly as
+    :func:`repro.experiments.fleet.serve_fleet` does.
     """
     env = Environment()
     bank = SeedBank(seed)
@@ -113,15 +118,29 @@ def serve_chaos(plan=None, recovery=None, outlier=None,
             hosts, balancer, health, source, chaos = _build()
     else:
         hosts, balancer, health, source, chaos = _build()
+    evaluator = None
+    if slo:
+        opts = dict(slo) if isinstance(slo, dict) else {}
+        period_s = opts.pop("period_s", sim_s / 40.0)
+        evaluator = SLOEvaluator(
+            env, default_serving_slos(DEADLINE_S, **opts),
+            rules=default_rules(sim_s), period_s=period_s)
+        evaluator.attach_source(source)
+        evaluator.start()
     env.run(until=sim_s)
     health.update()
     # No extra sweep at the horizon: a reap scheduled outside env.run()
     # would count outcomes whose done-callbacks never execute.  Flights
     # past deadline but not yet swept stay ``open`` — conserved either
     # way.
-    return fleet_rollup(hosts, balancer=balancer, source=source,
-                        health=health, registry=registry,
-                        deadline_s=DEADLINE_S, chaos=chaos)
+    payload = fleet_rollup(hosts, balancer=balancer, source=source,
+                           health=health, registry=registry,
+                           deadline_s=DEADLINE_S, chaos=chaos)
+    payload["kpi"] = kpis_from_rollup(
+        payload, window_s=sim_s, shape=HostShape(cpu_cores=HOST_CORES))
+    if evaluator is not None:
+        payload["slo"] = evaluator.payload()
+    return payload
 
 
 def _conserved(payload: dict) -> bool:
@@ -228,6 +247,9 @@ def run(quick: bool = False, parallel: int = 1) -> Report:
     ]
     (on, off, part, gray_on, gray_off, on2, off2, empty,
      unarmed) = _run_scenarios(scenarios, parallel)
+    report.kpis = {"crash-on": on["kpi"], "crash-off": off["kpi"],
+                   "partition": part["kpi"], "gray-on": gray_on["kpi"],
+                   "gray-off": gray_off["kpi"]}
     _row(report, f"crash {victim}, recovery ON", on)
     _row(report, f"crash {victim}, recovery OFF", off)
     _row(report, "partition host02", part)

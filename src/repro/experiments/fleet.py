@@ -42,6 +42,8 @@ from ..fleet import (Autoscaler, AutoscalerConfig, Host, HostConfig,
                      HealthView, LoadBalancer, OpenLoopSource, fleet_rollup,
                      make_policy, render_rollup)
 from ..sim import Environment, SeedBank
+from ..slo import (HostShape, SLOEvaluator, default_rules,
+                   default_serving_slos, kpis_from_rollup)
 from ..supervision import SupervisionConfig
 from ..telemetry import MetricsRegistry
 from .report import Report, timed
@@ -90,10 +92,19 @@ def serve_fleet(policy: str = "round-robin", k: int = 4,
                 overload_x: float = 3.0, sim_s: float = 2.0,
                 seed: int = 23, degraded_host: int = 2,
                 skew: float = 1.2, num_clients: int = 32,
-                with_registry: bool = False) -> dict:
+                with_registry: bool = False, slo=False) -> dict:
     """One fleet run: K hosts (one optionally degraded), open-loop
     arrivals at ``overload_x`` times the single-host knee, skewed
-    client mix, one routing policy.  Returns the fleet rollup payload.
+    client mix, one routing policy.  Returns the fleet rollup payload
+    with an attached ``repro-kpi/1`` section.
+
+    ``slo`` arms the in-sim SLO evaluator (observation-only: every
+    simulated metric stays bit-identical with it on or off).  Pass
+    ``True`` for the default availability + latency objectives at the
+    serving deadline, or a dict of overrides — ``availability`` /
+    ``latency_target`` targets and ``period_s`` tick period — which
+    keeps sweep configs picklable.  The verdicts, burn-rate alerts and
+    transition log land in ``payload["slo"]``.
     """
     env = Environment()
     bank = SeedBank(seed)
@@ -124,11 +135,25 @@ def serve_fleet(policy: str = "round-robin", k: int = 4,
             hosts, balancer, health, source = _build()
     else:
         hosts, balancer, health, source = _build()
+    evaluator = None
+    if slo:
+        opts = dict(slo) if isinstance(slo, dict) else {}
+        period_s = opts.pop("period_s", sim_s / 40.0)
+        evaluator = SLOEvaluator(
+            env, default_serving_slos(DEADLINE_S, **opts),
+            rules=default_rules(sim_s), period_s=period_s)
+        evaluator.attach_source(source)
+        evaluator.start()
     env.run(until=sim_s)
     health.update()   # final classification at the horizon
-    return fleet_rollup(hosts, balancer=balancer, source=source,
-                        health=health, registry=registry,
-                        deadline_s=DEADLINE_S)
+    payload = fleet_rollup(hosts, balancer=balancer, source=source,
+                           health=health, registry=registry,
+                           deadline_s=DEADLINE_S)
+    payload["kpi"] = kpis_from_rollup(
+        payload, window_s=sim_s, shape=HostShape(cpu_cores=HOST_CORES))
+    if evaluator is not None:
+        payload["slo"] = evaluator.payload()
+    return payload
 
 
 def serve_autoscale(sim_s: float = 2.6, seed: int = 31,
@@ -187,6 +212,8 @@ def serve_autoscale(sim_s: float = 2.6, seed: int = 31,
         "peak_active": peak_active,
         "final_active": len(balancer.active_hosts()),
     }
+    payload["kpi"] = kpis_from_rollup(
+        payload, window_s=sim_s, shape=HostShape(cpu_cores=HOST_CORES))
     return payload
 
 
@@ -263,6 +290,9 @@ def run(quick: bool = False, parallel: int = 1) -> Report:
         ("fleet_serve", "rr2", dict(rr_cfg)),
     ]
     rr, ll, stress, surge, rr2 = _run_scenarios(scenarios, parallel)
+    report.kpis = {"round-robin": rr["kpi"], "least-loaded": ll["kpi"],
+                   "stress": stress["kpi"],
+                   "autoscale-surge": surge["kpi"]}
     _fleet_row(report, f"round-robin @{ab_x:.1f}x", rr, degraded)
     _fleet_row(report, f"least-loaded @{ab_x:.1f}x", ll, degraded)
     _fleet_row(report, f"degraded @{stress_x:.2f}x", stress, degraded)

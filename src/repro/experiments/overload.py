@@ -26,8 +26,10 @@ the no-shed baseline's second-half p99 dwarfs its first-half p99.
 
 from __future__ import annotations
 
+import json
 import math
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..backends import DLBoosterInferenceBackend
@@ -38,7 +40,10 @@ from ..engines import (CpuCorePool, GpuDevice, InferenceEngine,
 from ..host import BatchSpec
 from ..net import Link, NetRequest, Nic
 from ..sim import Environment, LatencyRecorder, SeedBank
+from ..slo import (AVAILABILITY, HostShape, SLODefinition, SLOEvaluator,
+                   default_rules, kpis_from_metrics)
 from ..supervision import SupervisionConfig, Supervisor
+from ..telemetry import MetricsRegistry
 from .report import Report, timed
 
 __all__ = ["run", "serve_open_loop", "OverloadResult"]
@@ -58,6 +63,8 @@ class OverloadResult:
     shed_dispatcher: int         # shed items at the dispatcher boundary
     served: int                  # predictions over the whole run
     conserved: bool
+    kpi: Optional[dict] = None   # repro-kpi/1 payload
+    slo: Optional[dict] = field(default=None, repr=False)  # repro-slo/1
 
     @property
     def shed_total(self) -> int:
@@ -70,7 +77,9 @@ def serve_open_loop(deadline_s: Optional[float] = None,
                     sim_s: float = 4.0,
                     model: str = "googlenet",
                     batch_size: int = 4,
-                    seed: int = 11) -> OverloadResult:
+                    seed: int = 11,
+                    with_registry: bool = False,
+                    slo: bool = False) -> OverloadResult:
     """Open-loop arrivals straight into the RX ring at ``overload`` times
     the GPU's analytic capacity; with a ``deadline_s`` the stack runs
     supervised and sheds expired work, without one it queues forever.
@@ -78,6 +87,13 @@ def serve_open_loop(deadline_s: Optional[float] = None,
     Arrivals bypass the client fabric (no wire time, no closed-loop
     window) — the point is server-side overload, so the 40 Gbps link is
     deliberately out of the picture.
+
+    ``slo`` arms the in-sim evaluator in probe mode: this stack has no
+    per-request done events, so an availability objective samples the
+    cumulative (predictions, shed) counters once per tick and the
+    multi-window burn alerts fire off those.  Observation-only, like
+    every evaluator mode.  ``with_registry`` snapshots the pipeline's
+    instruments into the result's KPI stage table.
     """
     env = Environment()
     seeds = SeedBank(seed)
@@ -85,26 +101,29 @@ def serve_open_loop(deadline_s: Optional[float] = None,
     spec = INFER_MODELS[model]
     bspec = BatchSpec(batch_size=batch_size, out_h=spec.input_hw[0],
                       out_w=spec.input_hw[1], channels=spec.channels)
-    cpu = CpuCorePool(env, testbed.cpu_cores)
-    link = Link(env, testbed.nic_rate, mtu=testbed.nic_mtu)
-    # RX ring sized so the no-shed baseline never drops: the backlog is
-    # the measurement, not an artifact of ring exhaustion.
-    nic = Nic(env, link, cpu.tracker, per_packet_s=testbed.nic_per_packet_s,
-              rx_capacity=1 << 20)
+    registry = MetricsRegistry(name="overload") if with_registry else None
+    with registry.installed() if registry is not None else nullcontext():
+        cpu = CpuCorePool(env, testbed.cpu_cores)
+        link = Link(env, testbed.nic_rate, mtu=testbed.nic_mtu)
+        # RX ring sized so the no-shed baseline never drops: the backlog
+        # is the measurement, not an artifact of ring exhaustion.
+        nic = Nic(env, link, cpu.tracker,
+                  per_packet_s=testbed.nic_per_packet_s,
+                  rx_capacity=1 << 20)
 
-    supervisor = None
-    if deadline_s is not None:
-        supervisor = Supervisor(env, SupervisionConfig(
-            deadline_s=deadline_s,
-            admission_margin_s=admission_margin_s))
+        supervisor = None
+        if deadline_s is not None:
+            supervisor = Supervisor(env, SupervisionConfig(
+                deadline_s=deadline_s,
+                admission_margin_s=admission_margin_s))
 
-    gpu = GpuDevice(env, testbed, 0)
-    engine = InferenceEngine(env, gpu, spec, cpu, testbed,
-                             batch_size=batch_size)
-    engine.start()
-    backend = DLBoosterInferenceBackend(env, testbed, cpu, nic, bspec,
-                                        supervisor=supervisor)
-    backend.start([engine])
+        gpu = GpuDevice(env, testbed, 0)
+        engine = InferenceEngine(env, gpu, spec, cpu, testbed,
+                                 batch_size=batch_size)
+        engine.start()
+        backend = DLBoosterInferenceBackend(env, testbed, cpu, nic, bspec,
+                                            supervisor=supervisor)
+        backend.start([engine])
 
     capacity = batch_size / inference_batch_seconds(spec, batch_size)
     rate = overload * capacity
@@ -112,6 +131,8 @@ def serve_open_loop(deadline_s: Optional[float] = None,
     h, w = testbed.client_image_hw
     sampler = jpeg_size_sampler()
     rng = seeds.stream("overload-sizes")
+
+    offered = {"n": 0}
 
     def _arrivals():
         rid = 0
@@ -125,10 +146,32 @@ def serve_open_loop(deadline_s: Optional[float] = None,
                 deadline_at=(now + deadline_s
                              if deadline_s is not None else math.inf))
             rid += 1
+            offered["n"] = rid
             if not nic.rx_queue.try_put(req):
                 nic.drops.add()
 
     env.process(_arrivals(), name="overload-arrivals")
+
+    evaluator = None
+    if slo:
+        def _probe():
+            good = int(engine.predictions.total)
+            bad = nic.rx_queue.shed_total
+            if backend.reader is not None:
+                bad += int(backend.reader.shed_expired.total)
+            if backend.dispatcher is not None:
+                bad += int(backend.dispatcher.items_shed.total)
+            return good, bad
+
+        evaluator = SLOEvaluator(
+            env,
+            [SLODefinition(
+                name="availability", kind=AVAILABILITY, target=0.99,
+                description="fraction of offered requests served "
+                            "(shed work burns the budget)")],
+            rules=default_rules(sim_s), period_s=sim_s / 80.0)
+        evaluator.add_probe("availability", _probe)
+        evaluator.start()
 
     half = sim_s / 2.0
     env.run(until=half)
@@ -138,7 +181,7 @@ def serve_open_loop(deadline_s: Optional[float] = None,
     env.run(until=sim_s)
 
     reader = backend.reader
-    return OverloadResult(
+    result = OverloadResult(
         offered_rate=rate,
         goodput=(int(engine.predictions.total) - served_mark) / half,
         p99_first_ms=p99_first * 1e3,
@@ -150,6 +193,16 @@ def serve_open_loop(deadline_s: Optional[float] = None,
                          if backend.dispatcher is not None else 0),
         served=int(engine.predictions.total),
         conserved=backend.conservation_ok())
+    metrics_doc = (json.loads(registry.to_json(indent=0))
+                   if registry is not None else {})
+    result.kpi = kpis_from_metrics(
+        metrics_doc, window_s=sim_s,
+        traffic={"offered": offered["n"], "completed": result.served,
+                 "shed": result.shed_total},
+        shape=HostShape(cpu_cores=testbed.cpu_cores))
+    if evaluator is not None:
+        result.slo = evaluator.payload()
+    return result
 
 
 @timed
@@ -177,12 +230,22 @@ def run(quick: bool = False) -> Report:
     noshed = serve_open_loop(deadline_s=None, sim_s=sim_s)
     add("no-shed", noshed)
     shed = serve_open_loop(deadline_s=deadline_s,
-                           admission_margin_s=margin_s, sim_s=sim_s)
+                           admission_margin_s=margin_s, sim_s=sim_s,
+                           slo=True)
     add(f"shed ({deadline_s * 1e3:.0f} ms deadline)", shed)
 
+    report.kpis = {"no-shed": noshed.kpi, "shed": shed.kpi}
     report.notes.append(
         "open-loop deterministic arrivals injected at the RX ring; "
         "client fabric wire time excluded by design")
+    availability = shed.slo["objectives"][0]
+    pages = [e for e in shed.slo["alert_log"]
+             if e[2] == "page" and e[3] == "fire"]
+    report.notes.append(
+        f"SLO evaluator (probe mode): availability "
+        f"{1.0 - availability['bad_frac']:.1%} vs target "
+        f"{availability['target']:.0%}; first page alert at "
+        + (f"t={pages[0][0]:.2f}s" if pages else "never"))
 
     report.check(
         "without shedding the RX backlog grows without bound",
@@ -212,4 +275,10 @@ def run(quick: bool = False) -> Report:
         "the no-shed baseline sheds nothing (control)",
         noshed.shed_total == 0,
         f"total {noshed.shed_total}")
+    report.check(
+        "sustained 2x overload burns the availability budget fast "
+        "enough to page (multi-window burn-rate alert fires)",
+        bool(pages) and not availability["met"],
+        f"{len(pages)} page fire(s), availability budget consumed "
+        f"{availability['budget_consumed']:.0f}x")
     return report

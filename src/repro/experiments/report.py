@@ -46,6 +46,9 @@ class Report:
     # by :func:`timed` / :meth:`set_perf`) — real seconds, never part of
     # the simulated metrics.
     perf: dict = field(default_factory=dict)
+    # ``repro-kpi/1`` payloads keyed by scenario label — the derived
+    # decision-layer numbers the CLI's --kpi-json flag exports.
+    kpis: dict = field(default_factory=dict)
 
     def add_row(self, *values) -> None:
         if len(values) != len(self.columns):
@@ -110,6 +113,14 @@ class Report:
             "all_passed": self.all_passed,
             "perf": {k: cell(v) for k, v in self.perf.items()},
         }, indent=2, allow_nan=False, default=str)
+
+    def kpis_json(self) -> str:
+        """The attached per-scenario ``repro-kpi/1`` payloads as one
+        strict-JSON document (what ``--kpi-json`` writes)."""
+        from ..slo import kpi_json
+        return kpi_json({"schema": "repro-kpi-set/1",
+                         "experiment_id": self.experiment_id,
+                         "kpis": self.kpis})
 
     def render(self) -> str:
         out = [f"== {self.experiment_id}: {self.title} =="]

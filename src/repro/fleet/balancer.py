@@ -298,6 +298,12 @@ class OpenLoopSource:
         self.completed = Counter(env, name=f"{name}.completed")
         self.expired = Counter(env, name=f"{name}.expired")
         self.failed = Counter(env, name=f"{name}.failed")
+        # Outcome observers (e.g. the SLO evaluator): called as
+        # ``obs(request, done_event)`` when a request resolves.  Empty
+        # by default — no callbacks are even allocated then, so the
+        # unobserved path is untouched.  Observers must be passive:
+        # evaluator-private accounting only, never sim state.
+        self.observers: list = []
         self._next_id = 0
         self.running = False
 
@@ -332,16 +338,24 @@ class OpenLoopSource:
             client = int(np.searchsorted(self._cdf, draw, side="right"))
             done = self.env.event()
             done.callbacks.append(self._on_done)
-            request = NetRequest(
-                request_id=self._next_id, client_id=client,
-                size_bytes=int(self._sampler(self.rng)),
-                height=h, width=w, channels=3,
-                sent_at=now, received_at=now, done_event=done,
-                deadline_at=(now + self.deadline_s
-                             if self.deadline_s is not None else math.inf))
+            request = self._make_request(client, done, now, h, w)
             self._next_id += 1
             self.sent.add()
             self.balancer.route(request)
+
+    def _make_request(self, client, done, now, h, w):
+        request = NetRequest(
+            request_id=self._next_id, client_id=client,
+            size_bytes=int(self._sampler(self.rng)),
+            height=h, width=w, channels=3,
+            sent_at=now, received_at=now, done_event=done,
+            deadline_at=(now + self.deadline_s
+                         if self.deadline_s is not None else math.inf))
+        if self.observers:
+            for obs in self.observers:
+                done.callbacks.append(
+                    lambda event, _req=request, _obs=obs: _obs(_req, event))
+        return request
 
     def conservation_ok(self) -> bool:
         """Every request the source issued has exactly one outcome (or

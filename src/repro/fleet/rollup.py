@@ -74,17 +74,32 @@ def fleet_rollup(hosts, balancer=None, source=None,
             "mean_ms": _ms(rec.mean()) if rec.count else None,
             "conserved": host.conservation_ok(),
         })
+    handled = sum(row["handled"] for row in per_host)
+    completed = sum(row["completed"] for row in per_host)
+    failed = sum(row["failed"] for row in per_host)
+    shed = sum(sum(row["shed"].values()) for row in per_host)
+    # Derived decision-layer fields, computed once here so every
+    # consumer (KPI layer, experiments, dashboards) reads the same
+    # numbers instead of re-deriving them from raw counters.  Goodput
+    # integrates over the whole run (the simulation clock at rollup
+    # time); shed/failure percentages are fractions of handled work.
+    elapsed = hosts[0].env.now if hosts else 0.0
     fleet = {
         "hosts": len(hosts),
         "active_hosts": sum(1 for h in hosts if h.accepting),
-        "handled": sum(row["handled"] for row in per_host),
-        "completed": sum(row["completed"] for row in per_host),
-        "failed": sum(row["failed"] for row in per_host),
+        "handled": handled,
+        "completed": completed,
+        "failed": failed,
         "predictions": sum(row["predictions"] for row in per_host),
-        "shed": sum(sum(row["shed"].values()) for row in per_host),
+        "shed": shed,
+        "goodput_per_s": completed / elapsed if elapsed > 0 else None,
+        "shed_pct": 100.0 * shed / handled if handled else 0.0,
+        "failure_pct": 100.0 * failed / handled if handled else 0.0,
         "latency_count": merged.count,
         "p50_ms": _ms(merged.p50()) if merged.count else None,
         "p99_ms": _ms(merged.p99()) if merged.count else None,
+        "p999_ms": (_ms(merged.percentile(99.9))
+                    if merged.count else None),
         "mean_ms": _ms(merged.mean()) if merged.count else None,
         "conserved": all(row["conserved"] for row in per_host),
     }
@@ -174,9 +189,12 @@ def render_rollup(payload: dict) -> str:
     fleet = payload["fleet"]
     p50 = f"{fleet['p50_ms']:.1f}" if fleet["p50_ms"] is not None else "-"
     p99 = f"{fleet['p99_ms']:.1f}" if fleet["p99_ms"] is not None else "-"
+    goodput = (f"{fleet['goodput_per_s']:,.0f}/s"
+               if fleet.get("goodput_per_s") is not None else "-")
     lines.append(
         f"  fleet ({fleet['active_hosts']}/{fleet['hosts']} active): "
-        f"completed {fleet['completed']}, shed {fleet['shed']}, "
+        f"completed {fleet['completed']} (goodput {goodput}), "
+        f"shed {fleet['shed']} ({fleet['shed_pct']:.1f}%), "
         f"p50 {p50} ms, p99 {p99} ms, "
         f"conserved {'yes' if fleet['conserved'] else 'NO'}")
     return "\n".join(lines)

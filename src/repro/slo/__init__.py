@@ -1,0 +1,39 @@
+"""repro.slo — the decision layer over telemetry, tracing and fleets.
+
+The raw signals (hierarchical metrics, causal traces, fleet rollups)
+answer "what happened"; this package answers "is that OK, and what do
+we buy next":
+
+* :mod:`~repro.slo.kpis` — one strict ``repro-kpi/1`` payload (goodput,
+  shed %, per-stage percentiles, §5.4-priced cost per million images)
+  derived from any fleet rollup / metrics snapshot / sweep rollup;
+* :mod:`~repro.slo.objectives` — declarative :class:`SLODefinition`s
+  (availability, latency-threshold, integrity) with error budgets;
+* :mod:`~repro.slo.burnrate` — :class:`SLOEvaluator`, a strictly
+  observation-only periodic process evaluating Google-SRE-style
+  multi-window burn-rate alerts on the simulation's event clock;
+* :mod:`~repro.slo.planner` — the what-if capacity planner behind
+  ``python -m repro.capacity``: binary-search the smallest fleet that
+  serves rate R at p99 < X ms inside the error budget, over parallel
+  multi-seed sweep runs of the fleet experiment.
+"""
+
+from .burnrate import BurnRateRule, SLOEvaluator, default_rules
+from .kpis import (HostShape, compute_kpis, cost_section,
+                   host_cost_per_hour, kpi_json, kpis_from_metrics,
+                   kpis_from_rollup, kpis_from_sweep)
+from .objectives import (AVAILABILITY, INTEGRITY, KINDS, LATENCY,
+                         SLODefinition, default_serving_slos, verdict)
+from .planner import (CapacityPlan, PlanSpec, evaluate_k, plan_capacity,
+                      render_dashboard)
+
+__all__ = [
+    "compute_kpis", "kpis_from_rollup", "kpis_from_metrics",
+    "kpis_from_sweep", "kpi_json", "HostShape", "host_cost_per_hour",
+    "cost_section",
+    "SLODefinition", "default_serving_slos", "verdict",
+    "AVAILABILITY", "LATENCY", "INTEGRITY", "KINDS",
+    "SLOEvaluator", "BurnRateRule", "default_rules",
+    "PlanSpec", "CapacityPlan", "plan_capacity", "evaluate_k",
+    "render_dashboard",
+]

@@ -1,0 +1,243 @@
+"""Multi-window burn-rate alerting evaluated *inside* the simulation.
+
+The Google SRE workbook's alerting recipe: track how fast the error
+budget is burning over a **fast** window (catches sudden outages with
+low detection latency) and a **slow** window (suppresses blips), and
+page only when *both* exceed the same burn-rate factor.  A burn rate of
+1.0 means bad events arrive exactly at the budgeted rate; a factor-10
+alert means the budget is being consumed 10x too fast.
+
+:class:`SLOEvaluator` runs this on the simulation's event clock: a
+periodic process snapshots cumulative good/bad counts per objective and
+evaluates every (objective, rule) pair against the windowed history.
+
+**Observation-only guarantee** (the same contract PR 4's tracing
+established): the evaluator keeps its state in plain Python ints and
+lists — never sim instruments (which would register in an ambient
+MetricsRegistry and change snapshots), never RNG draws.  Its periodic
+process only ever yields timeouts; extra events shift event-id
+allocation but creation order — and with it every (time, eid) tie-break
+among *other* events — is preserved, so all simulated metrics are
+bit-identical with the evaluator on or off.  Tests pin this A/B.
+
+Two feeding modes:
+
+* :meth:`SLOEvaluator.attach_source` observes an
+  :class:`~repro.fleet.OpenLoopSource`: each request's done event
+  classifies it per objective (good/bad, latency-aware) at completion
+  time — exact per-request accounting;
+* :meth:`SLOEvaluator.add_probe` samples a cumulative ``(good, bad)``
+  callable each tick — for stacks without per-request done events
+  (e.g. the overload experiment's raw pipeline, watching prediction
+  vs. shed counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .objectives import LATENCY, SLODefinition, verdict
+
+__all__ = ["BurnRateRule", "SLOEvaluator", "default_rules", "SCHEMA"]
+
+SCHEMA = "repro-slo/1"
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One fast/slow window pair with its alerting burn factor."""
+
+    label: str
+    fast_window_s: float
+    slow_window_s: float
+    factor: float
+
+    def __post_init__(self):
+        if self.fast_window_s <= 0 or self.slow_window_s <= 0:
+            raise ValueError("burn-rate windows must be positive")
+        if self.fast_window_s >= self.slow_window_s:
+            raise ValueError(
+                f"fast window ({self.fast_window_s}s) must be shorter "
+                f"than slow window ({self.slow_window_s}s)")
+        if self.factor < 1.0:
+            raise ValueError("burn factor below 1.0 would alert inside "
+                             "the budget")
+
+    def to_doc(self) -> dict:
+        return {"label": self.label, "fast_window_s": self.fast_window_s,
+                "slow_window_s": self.slow_window_s, "factor": self.factor}
+
+
+def default_rules(horizon_s: float) -> list[BurnRateRule]:
+    """Window pairs scaled to a simulated horizon.
+
+    Production rules span minutes to days; a simulation spans seconds.
+    Keeping the SRE shape — fast ~ 1/40 of the compliance period with a
+    high factor, slow ~ 1/4 with a low factor — scaled down to the run:
+    """
+    return [
+        BurnRateRule(label="page", fast_window_s=horizon_s / 40.0,
+                     slow_window_s=horizon_s / 8.0, factor=10.0),
+        BurnRateRule(label="ticket", fast_window_s=horizon_s / 8.0,
+                     slow_window_s=horizon_s / 2.0, factor=2.0),
+    ]
+
+
+class _Objective:
+    """Evaluator-private state for one SLO: cumulative counts, snapshot
+    history, and per-rule alert latches."""
+
+    __slots__ = ("slo", "probe", "good", "bad", "history", "firing",
+                 "alerts")
+
+    def __init__(self, slo: SLODefinition,
+                 probe: Optional[Callable[[], tuple[float, float]]] = None):
+        self.slo = slo
+        self.probe = probe
+        self.good = 0
+        self.bad = 0
+        # (t, good, bad) cumulative snapshots, appended once per tick.
+        self.history: list[tuple[float, float, float]] = []
+        self.firing: dict[str, bool] = {}
+        self.alerts = 0
+
+    def counts(self) -> tuple[float, float]:
+        if self.probe is not None:
+            good, bad = self.probe()
+            return float(good), float(bad)
+        return float(self.good), float(self.bad)
+
+    def window_burn(self, now: float, window_s: float) -> float:
+        """Burn rate over the trailing window: the window's bad fraction
+        divided by the error budget (0.0 on an empty window)."""
+        if not self.history:
+            return 0.0
+        t_lo = now - window_s
+        # Latest snapshot at or before the window start (step lookup —
+        # deterministic, no interpolation).  Before any snapshot that
+        # old exists, the window starts from zero counts.
+        lo_good = lo_bad = 0.0
+        for t, good, bad in reversed(self.history):
+            if t <= t_lo:
+                lo_good, lo_bad = good, bad
+                break
+        hi_good, hi_bad = self.history[-1][1], self.history[-1][2]
+        dg, db = hi_good - lo_good, hi_bad - lo_bad
+        total = dg + db
+        if total <= 0:
+            return 0.0
+        return (db / total) / self.slo.error_budget
+
+
+class SLOEvaluator:
+    """Periodic in-sim evaluator: good/bad accounting, multi-window
+    burn rates, and an alert transition log on the event clock."""
+
+    def __init__(self, env, objectives: list[SLODefinition],
+                 rules: Optional[list[BurnRateRule]] = None,
+                 period_s: float = 0.05):
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not objectives:
+            raise ValueError("need at least one SLODefinition")
+        names = [slo.name for slo in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self.env = env
+        self.period_s = period_s
+        self.rules = list(rules) if rules is not None else []
+        self._objectives: dict[str, _Objective] = {
+            slo.name: _Objective(slo) for slo in objectives}
+        # (t, slo, rule, event, burn_fast, burn_slow) transitions.
+        self.alert_log: list[tuple[float, str, str, str, float, float]] = []
+        self.ticks = 0
+        self._started = False
+
+    # -- feeding -------------------------------------------------------
+    def add_probe(self, name: str,
+                  probe: Callable[[], tuple[float, float]]) -> None:
+        """Feed objective ``name`` from a cumulative ``(good, bad)``
+        callable sampled once per tick (instead of per-request events)."""
+        self._objectives[name].probe = probe
+
+    def attach_source(self, source) -> None:
+        """Observe an OpenLoopSource: classify every request outcome at
+        its done event.  Objectives fed by a probe are left alone."""
+        source.observers.append(self._observe)
+
+    def _observe(self, request, event) -> None:
+        ok = event._ok
+        latency = (self.env.now - request.sent_at) if ok else None
+        for obj in self._objectives.values():
+            if obj.probe is not None:
+                continue
+            if obj.slo.classify(ok, latency):
+                obj.good += 1
+            else:
+                obj.bad += 1
+
+    # -- the periodic process ------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("evaluator already started")
+        self._started = True
+        self.env.process(self._loop(), name="slo-evaluator")
+
+    def _loop(self):
+        while True:
+            yield self.env.timeout(self.period_s)
+            self._tick()
+
+    def _tick(self) -> None:
+        now = self.env.now
+        self.ticks += 1
+        for obj in self._objectives.values():
+            good, bad = obj.counts()
+            obj.history.append((now, good, bad))
+            for rule in self.rules:
+                fast = obj.window_burn(now, rule.fast_window_s)
+                slow = obj.window_burn(now, rule.slow_window_s)
+                firing = fast >= rule.factor and slow >= rule.factor
+                was = obj.firing.get(rule.label, False)
+                if firing != was:
+                    obj.firing[rule.label] = firing
+                    kind = "fire" if firing else "resolve"
+                    if firing:
+                        obj.alerts += 1
+                    self.alert_log.append(
+                        (now, obj.slo.name, rule.label, kind, fast, slow))
+
+    # -- results -------------------------------------------------------
+    def verdicts(self) -> list[dict]:
+        """End-of-run verdict per objective (cumulative counts)."""
+        out = []
+        for name in sorted(self._objectives):
+            obj = self._objectives[name]
+            good, bad = obj.counts()
+            out.append(verdict(obj.slo, int(good), int(bad)))
+        return out
+
+    def payload(self) -> dict:
+        """The deterministic ``repro-slo/1`` document: objective
+        verdicts, burn-rate rules, and the alert transition timeline."""
+        objectives = []
+        for name in sorted(self._objectives):
+            obj = self._objectives[name]
+            good, bad = obj.counts()
+            doc = verdict(obj.slo, int(good), int(bad))
+            doc.update(obj.slo.to_doc())
+            doc["alerts"] = obj.alerts
+            doc["firing"] = sorted(label for label, on in
+                                   obj.firing.items() if on)
+            objectives.append(doc)
+        return {
+            "schema": SCHEMA,
+            "period_s": self.period_s,
+            "ticks": self.ticks,
+            "rules": [rule.to_doc() for rule in self.rules],
+            "objectives": objectives,
+            "alert_log": [[t, slo, rule, kind, fast, slow]
+                          for t, slo, rule, kind, fast, slow
+                          in self.alert_log],
+        }

@@ -1,0 +1,320 @@
+"""KPI layer: one strict ``repro-kpi/1`` payload from any snapshot.
+
+The raw observability documents — :func:`repro.fleet.fleet_rollup`
+payloads, ``repro-metrics/1`` registry snapshots, merged
+``repro-sweep/1`` rollups — record *everything*; a production decision
+needs half a dozen derived numbers: goodput, shed %, failure %,
+per-stage latency percentiles, and what the paper's §5.4 economics turn
+throughput into — **cost per million images**.  :func:`compute_kpis`
+derives exactly those, from whichever document it is handed, into one
+schema every downstream consumer (SLO verdicts, the capacity planner's
+dashboard, CI artifacts) reads instead of re-deriving raw counters
+inconsistently.
+
+Cost reuses the calibrated §5.4 pricing
+(:mod:`repro.experiments.econ_analysis` / :class:`repro.calib.Testbed`):
+a host's $/hour is core rental plus one-year straight-line amortization
+of its FPGA cards plus electricity, and cost per million images prices
+the fleet's hourly burn against its measured goodput.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..calib import DEFAULT_TESTBED, Testbed
+
+__all__ = ["SCHEMA", "HostShape", "host_cost_per_hour", "cost_section",
+           "compute_kpis", "kpis_from_rollup", "kpis_from_metrics",
+           "kpis_from_sweep", "kpi_json"]
+
+SCHEMA = "repro-kpi/1"
+
+_STAGE_QUANTS = (("p50", "p50_ms"), ("p90", "p90_ms"),
+                 ("p99", "p99_ms"), ("p99.9", "p99_9_ms"))
+
+
+@dataclass(frozen=True)
+class HostShape:
+    """The per-host hardware a cost model prices (the cost-relevant
+    slice of :class:`repro.fleet.HostConfig`)."""
+
+    cpu_cores: int
+    num_fpgas: int = 1
+    num_gpus: int = 1
+
+    def __post_init__(self):
+        if self.cpu_cores < 1:
+            raise ValueError("cpu_cores must be >= 1")
+        if self.num_fpgas < 0 or self.num_gpus < 0:
+            raise ValueError("device counts must be >= 0")
+
+
+def host_cost_per_hour(shape: HostShape,
+                       testbed: Testbed = DEFAULT_TESTBED) -> float:
+    """$/hour to run one host: core rental (the §5.4 resale price —
+    what serving those cores forgoes), FPGA cards amortized straight-
+    line over one year, and electricity for every device."""
+    cores = shape.cpu_cores * testbed.core_price_per_hour
+    fpga_capex = (shape.num_fpgas * testbed.fpga_card_price
+                  / testbed.hours_per_year)
+    watts = (shape.cpu_cores / testbed.cpu_cores * testbed.cpu_power_w
+             + shape.num_fpgas * testbed.fpga_power_w
+             + shape.num_gpus * testbed.gpu_power_w)
+    power = watts / 1000.0 * testbed.electricity_per_kwh
+    return cores + fpga_capex + power
+
+
+def cost_section(hosts: int, shape: Optional[HostShape],
+                 goodput_per_s: Optional[float],
+                 testbed: Testbed = DEFAULT_TESTBED) -> Optional[dict]:
+    """The ``cost`` section: fleet $/hour and $/million-images at the
+    measured goodput (``None`` fields where inputs are unknown)."""
+    if shape is None:
+        return None
+    per_host = host_cost_per_hour(shape, testbed)
+    fleet_per_hour = per_host * hosts
+    per_million = None
+    if goodput_per_s is not None and goodput_per_s > 0:
+        images_per_hour = goodput_per_s * 3600.0
+        per_million = fleet_per_hour / images_per_hour * 1e6
+    return {
+        "hosts": int(hosts),
+        "host_cost_per_hour": per_host,
+        "fleet_cost_per_hour": fleet_per_hour,
+        "cost_per_million_images": per_million,
+    }
+
+
+def _pct(part: float, whole: float) -> float:
+    return 100.0 * part / whole if whole else 0.0
+
+
+def _stage_rows(metrics: Optional[dict]) -> dict:
+    """Per-stage latency stats from a registry snapshot's ``latency``
+    entries, seconds converted to milliseconds (None-safe: empty
+    recorders were scrubbed to null on export)."""
+    stages: dict[str, dict] = {}
+    if not metrics:
+        return stages
+    for name in sorted(metrics):
+        stats = metrics[name]
+        if not isinstance(stats, dict) or stats.get("type") != "latency":
+            continue
+        row = {"count": int(stats.get("count") or 0),
+               "mean_ms": _ms_or_none(stats.get("mean"))}
+        for src, dst in _STAGE_QUANTS:
+            row[dst] = _ms_or_none(stats.get(src))
+        stages[name] = row
+    return stages
+
+
+def _ms_or_none(seconds) -> Optional[float]:
+    if seconds is None:
+        return None
+    value = float(seconds)
+    if not math.isfinite(value):
+        return None
+    return value * 1e3
+
+
+def _critical_path_doc(critical_path) -> Optional[dict]:
+    """Per-stage wait/service attribution (ms) from a
+    CriticalPathAccumulator or its ``report()`` dict."""
+    if critical_path is None:
+        return None
+    table = critical_path.report() if hasattr(critical_path, "report") \
+        else critical_path
+    return {stage: {"wait_ms": kinds.get("wait", 0.0) * 1e3,
+                    "service_ms": kinds.get("service", 0.0) * 1e3}
+            for stage, kinds in table.items()}
+
+
+def kpis_from_rollup(payload: dict, *, window_s: Optional[float] = None,
+                     shape: Optional[HostShape] = None,
+                     testbed: Testbed = DEFAULT_TESTBED,
+                     critical_path=None) -> dict:
+    """KPIs of one fleet rollup payload (:func:`repro.fleet.fleet_rollup`).
+
+    Traffic counts prefer the client's ledger (the ``source`` section —
+    one outcome per issued request) over server-side host counters,
+    which double-count retried/hedged attempts when recovery is armed.
+    """
+    fleet = payload["fleet"]
+    source = payload.get("source")
+    balancer = payload.get("balancer")
+    rejected = int(balancer["rejected"]) if balancer else 0
+    if source is not None:
+        offered = int(source["sent"])
+        completed = int(source["completed"])
+        failed = int(source["failed"])
+        expired = int(source["expired"])
+    else:
+        offered = int(fleet["handled"]) + rejected
+        completed = int(fleet["completed"])
+        failed = int(fleet["failed"])
+        expired = 0
+    shed = int(fleet["shed"])
+    goodput = fleet.get("goodput_per_s")
+    if goodput is None and window_s:
+        goodput = completed / window_s
+    offered_rate = offered / window_s if window_s else None
+    traffic = {
+        "offered": offered,
+        "completed": completed,
+        "failed": failed,
+        "expired": expired,
+        "rejected": rejected,
+        "shed": shed,
+        "goodput_per_s": goodput,
+        "offered_per_s": offered_rate,
+        "shed_pct": fleet.get("shed_pct",
+                              _pct(shed, int(fleet["handled"]))),
+        "failure_pct": _pct(offered - completed, offered),
+        "conserved": bool(fleet.get("conserved", True)),
+    }
+    latency = {
+        "count": int(fleet.get("latency_count") or 0),
+        "mean_ms": fleet.get("mean_ms"),
+        "p50_ms": fleet.get("p50_ms"),
+        "p99_ms": fleet.get("p99_ms"),
+        "p99_9_ms": fleet.get("p999_ms"),
+        "client_p50_ms": fleet.get("client_p50_ms"),
+        "client_p99_ms": fleet.get("client_p99_ms"),
+    }
+    return {
+        "schema": SCHEMA,
+        "source": "fleet-rollup",
+        "window_s": window_s,
+        "traffic": traffic,
+        "latency": latency,
+        "stages": _stage_rows(payload.get("metrics")),
+        "critical_path": _critical_path_doc(critical_path),
+        "cost": cost_section(int(fleet["hosts"]), shape, goodput, testbed),
+    }
+
+
+def kpis_from_metrics(doc: dict, *, window_s: Optional[float] = None,
+                      traffic: Optional[dict] = None,
+                      shape: Optional[HostShape] = None,
+                      hosts: int = 1,
+                      testbed: Testbed = DEFAULT_TESTBED,
+                      critical_path=None) -> dict:
+    """KPIs of one ``repro-metrics/1`` snapshot (or a bare registry
+    snapshot mapping).
+
+    A registry knows latencies, not request outcomes, so the caller
+    supplies the ``traffic`` counts (offered/completed/shed/...); the
+    derived rates and percentages are filled in here.
+    """
+    metrics = doc.get("metrics", doc)
+    traffic = dict(traffic or {})
+    completed = traffic.get("completed")
+    offered = traffic.get("offered")
+    goodput = traffic.get("goodput_per_s")
+    if goodput is None and completed is not None and window_s:
+        goodput = completed / window_s
+    traffic.setdefault("shed", 0)
+    traffic["goodput_per_s"] = goodput
+    traffic["offered_per_s"] = (offered / window_s
+                                if offered is not None and window_s
+                                else None)
+    # Shed work is part of the offered load when the caller counted it
+    # there; otherwise the denominator is what was served plus shed.
+    denominator = offered if offered is not None \
+        else (completed or 0) + traffic["shed"]
+    traffic["shed_pct"] = _pct(traffic["shed"], denominator or 0)
+    traffic["failure_pct"] = (
+        _pct(offered - completed, offered)
+        if offered is not None and completed is not None else None)
+    return {
+        "schema": SCHEMA,
+        "source": "metrics",
+        "window_s": window_s,
+        "traffic": traffic,
+        "latency": None,
+        "stages": _stage_rows(metrics),
+        "critical_path": _critical_path_doc(critical_path),
+        "cost": cost_section(hosts, shape, goodput, testbed),
+    }
+
+
+def kpis_from_sweep(rollup: dict, *, window_s: Optional[float] = None,
+                    shape: Optional[HostShape] = None,
+                    testbed: Testbed = DEFAULT_TESTBED) -> dict:
+    """KPIs of a merged ``repro-sweep/1`` rollup: one per-point KPI for
+    every point whose values are a fleet rollup payload, plus a stage
+    table from the sweep's merged latency reservoirs."""
+    per_point = []
+    for point in rollup.get("points", []):
+        values = point.get("values") or {}
+        if isinstance(values, dict) and "fleet" in values \
+                and "per_host" in values:
+            kpi = kpis_from_rollup(values, window_s=window_s,
+                                   shape=shape, testbed=testbed)
+            per_point.append({"label": point.get("label", ""),
+                              "seed": point.get("seed"),
+                              "kpi": kpi})
+    stages = {}
+    for name in sorted(rollup.get("merged_latency", {})):
+        stats = rollup["merged_latency"][name]
+        stages[name] = {
+            "count": int(stats.get("count") or 0),
+            "mean_ms": _ms_or_none(stats.get("mean")),
+            "p50_ms": _ms_or_none(stats.get("p50")),
+            "p90_ms": _ms_or_none(stats.get("p90")),
+            "p99_ms": _ms_or_none(stats.get("p99")),
+            "p99_9_ms": _ms_or_none(stats.get("p999")),
+        }
+    return {
+        "schema": SCHEMA,
+        "source": "sweep",
+        "window_s": window_s,
+        "traffic": None,
+        "latency": None,
+        "stages": stages,
+        "critical_path": None,
+        "cost": None,
+        "points": per_point,
+    }
+
+
+def compute_kpis(doc: dict, **kwargs) -> dict:
+    """Dispatch on the document's shape: fleet rollup payloads,
+    ``repro-metrics/1`` snapshots, or merged ``repro-sweep/1`` rollups
+    all land in the same ``repro-kpi/1`` schema."""
+    if not isinstance(doc, dict):
+        raise TypeError(f"expected a payload dict, got {type(doc).__name__}")
+    schema = doc.get("schema", "")
+    if schema.startswith("repro-sweep/"):
+        return kpis_from_sweep(doc, **kwargs)
+    if "fleet" in doc and "per_host" in doc:
+        return kpis_from_rollup(doc, **kwargs)
+    if schema.startswith("repro-metrics/") or all(
+            isinstance(v, dict) and "type" in v for v in doc.values()):
+        return kpis_from_metrics(doc, **kwargs)
+    raise ValueError(
+        "unrecognized payload: expected a fleet rollup, a "
+        "repro-metrics/1 snapshot, or a repro-sweep/1 rollup "
+        f"(got schema={schema!r} keys={sorted(doc)[:6]})")
+
+
+def _scrub(value):
+    """Non-finite floats -> null so the export is strict JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _scrub(v) for key, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_scrub(v) for v in value]
+    return value
+
+
+def kpi_json(payload: dict, indent: int = 2) -> str:
+    """Strict-JSON serialization of a ``repro-kpi/1`` payload (sorted
+    keys, NaN-free — byte-stable for a given payload)."""
+    return json.dumps(_scrub(payload), indent=indent, sort_keys=True,
+                      allow_nan=False)

@@ -1,0 +1,132 @@
+"""Declarative SLO definitions with error budgets.
+
+An SLO here is the production-team contract the raw telemetry lacks: a
+named objective ("99% of requests complete within the deadline") with a
+*target* fraction of good events and, implicitly, an **error budget** —
+the ``1 - target`` fraction of events that are allowed to be bad before
+the objective is violated.  Three kinds cover the serving stack:
+
+* ``availability`` — a request is good iff it completed (not failed,
+  shed, expired or rejected);
+* ``latency`` — a request is good iff it completed *and* finished
+  within ``threshold_s`` (a latency SLO is a success-within-threshold
+  availability SLO, per the SRE workbook — never a percentile compare);
+* ``integrity`` — an item is good iff it passed end-to-end checksum
+  verification (bad events are integrity rejects).
+
+Definitions are pure data; classification of one request outcome is the
+only behaviour.  Windowed evaluation and burn-rate alerting live in
+:mod:`repro.slo.burnrate`; one-shot verdicts over finished-run counts
+are :func:`verdict` below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["SLODefinition", "verdict", "default_serving_slos",
+           "AVAILABILITY", "LATENCY", "INTEGRITY", "KINDS"]
+
+AVAILABILITY = "availability"
+LATENCY = "latency"
+INTEGRITY = "integrity"
+KINDS = (AVAILABILITY, LATENCY, INTEGRITY)
+
+
+@dataclass(frozen=True)
+class SLODefinition:
+    """One service-level objective.
+
+    ``target`` is the required fraction of good events in (0, 1) —
+    e.g. 0.99 for "99% of requests".  ``threshold_s`` is required by
+    (and only by) the ``latency`` kind.
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold_s: Optional[float] = None
+    description: str = ""
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}; "
+                             f"choose from {KINDS}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind == LATENCY:
+            if self.threshold_s is None or self.threshold_s <= 0:
+                raise ValueError("latency SLOs need threshold_s > 0")
+        elif self.threshold_s is not None:
+            raise ValueError(f"threshold_s only applies to latency SLOs, "
+                             f"not {self.kind!r}")
+
+    @property
+    def error_budget(self) -> float:
+        """The allowed bad fraction: 1 - target."""
+        return 1.0 - self.target
+
+    def classify(self, ok: bool, latency_s: Optional[float] = None) -> bool:
+        """True when one request outcome counts as *good* under this
+        objective.  ``ok`` means the request completed; ``latency_s`` is
+        its end-to-end latency (``None`` for failures)."""
+        if self.kind == LATENCY:
+            return bool(ok) and latency_s is not None \
+                and latency_s <= self.threshold_s
+        # availability and integrity classify on success alone; what
+        # feeds the bad count differs only in the wiring (integrity bad
+        # events are checksum rejects, not generic failures).
+        return bool(ok)
+
+    def to_doc(self) -> dict:
+        """JSON-safe description (embedded in repro-slo/1 payloads)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "threshold_ms": (self.threshold_s * 1e3
+                             if self.threshold_s is not None else None),
+            "error_budget": self.error_budget,
+            "description": self.description,
+        }
+
+
+def verdict(slo: SLODefinition, good: int, bad: int) -> dict:
+    """One-shot end-of-run verdict over cumulative good/bad counts.
+
+    ``budget_consumed`` is the fraction of the run's error budget the
+    bad events burned: 1.0 means exactly at target, above 1.0 the SLO
+    is violated.  An empty window vacuously meets its objective.
+    """
+    total = good + bad
+    bad_frac = bad / total if total else 0.0
+    budget = slo.error_budget
+    consumed = bad_frac / budget if total else 0.0
+    return {
+        "name": slo.name,
+        "kind": slo.kind,
+        "target": slo.target,
+        "good": int(good),
+        "bad": int(bad),
+        "total": int(total),
+        "bad_frac": bad_frac,
+        "budget_consumed": consumed,
+        "met": bad_frac <= budget,
+    }
+
+
+def default_serving_slos(deadline_s: float,
+                         availability: float = 0.99,
+                         latency_target: float = 0.99) -> list[SLODefinition]:
+    """The serving pair every fleet experiment and the capacity planner
+    evaluate: request availability plus completion-within-deadline."""
+    return [
+        SLODefinition(
+            name="availability", kind=AVAILABILITY, target=availability,
+            description="request completed (not failed/shed/expired)"),
+        SLODefinition(
+            name=f"latency-{deadline_s * 1e3:g}ms", kind=LATENCY,
+            target=latency_target, threshold_s=deadline_s,
+            description=f"completed within {deadline_s * 1e3:g} ms"),
+    ]

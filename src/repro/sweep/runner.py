@@ -137,7 +137,9 @@ class SweepOutcome:
                 "count": rec.count,
                 "mean": rec.mean() if rec.count else None,
                 "p50": rec.p50() if rec.count else None,
+                "p90": rec.percentile(90) if rec.count else None,
                 "p99": rec.p99() if rec.count else None,
+                "p999": rec.percentile(99.9) if rec.count else None,
                 "min": rec.min() if rec.count else None,
                 "max": rec.max() if rec.count else None,
                 "sample_count": rec.sample_count,

@@ -111,6 +111,13 @@ class MetricsRegistry:
         return {key: inst for key, inst in self._metrics.items()
                 if key == prefix or key.startswith(dotted)}
 
+    def latencies(self) -> dict[str, LatencyRecorder]:
+        """Every latency recorder in the namespace, name-sorted — the
+        per-stage reservoirs the sweep harvester merges and the KPI
+        layer reads percentiles from."""
+        return {key: inst for key, inst in sorted(self._metrics.items())
+                if isinstance(inst, LatencyRecorder)}
+
     # -- snapshot / export ---------------------------------------------
     def snapshot(self) -> dict[str, dict]:
         """One typed stats dict per metric, keyed by namespace name."""

@@ -100,6 +100,17 @@ class CriticalPathAccumulator:
             out[stage][kind] = out[stage].get(kind, 0.0) + seconds
         return out
 
+    def to_payload(self) -> dict:
+        """JSON-safe, ms-scaled attribution table (the shape the KPI
+        layer embeds as a ``critical_path`` section)."""
+        return {
+            "traces": self.traces,
+            "violations": self.violations,
+            "stages": {stage: {"wait_ms": kinds["wait"] * 1e3,
+                               "service_ms": kinds["service"] * 1e3}
+                       for stage, kinds in self.report().items()},
+        }
+
     def render(self) -> str:
         """Human-readable attribution table, hottest stage first."""
         rows = sorted(self.report().items(),

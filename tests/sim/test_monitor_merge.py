@@ -135,3 +135,63 @@ def test_merge_empty_sides():
     assert tgt.samples == (1.0, 2.0)
     tgt.merge(LatencyRecorder(name="e2", max_samples=8))
     assert tgt.samples == (1.0, 2.0) and tgt.count == 2
+
+
+# ---------------------------------------------------------------------------
+# percentile() / exemplar_for() on reservoirs built purely by at-cap
+# merges — the shape the sweep rollup and the KPI layer read from.
+
+QS = (0, 10, 25, 50, 75, 90, 99, 99.9, 100)
+
+
+def test_percentile_on_merged_reservoir_at_cap():
+    """Percentiles of a merged at-cap reservoir interpolate over the
+    retained union: bounded by the retained extremes, monotone in q,
+    and the tail quantiles (p99/p99.9) resolve rather than erroring."""
+    cap = 16
+    sources = [build(f"w{i}", [float(j % 97) + i for j in range(200)], cap)
+               for i in range(4)]
+    tgt = merged_in_order(sources, (0, 1, 2, 3), cap)
+    assert tgt.sample_count == cap and not tgt.is_exact
+    samples = tgt.samples
+    assert tgt.percentile(0) == samples[0]
+    assert tgt.percentile(100) == samples[-1]
+    values = [tgt.percentile(q) for q in QS]
+    assert values == sorted(values)
+    assert samples[0] <= tgt.percentile(99.9) <= samples[-1]
+    with pytest.raises(ValueError):
+        tgt.percentile(101)
+
+
+def test_exemplar_for_on_merged_reservoir_at_cap():
+    """Every quantile's exemplar names a trace_id actually retained in
+    the merged reservoir, and the answer is merge-order-insensitive."""
+    cap = 8
+    sources = []
+    for i in range(3):
+        rec = LatencyRecorder(name=f"w{i}", max_samples=cap)
+        for j in range(50):      # every record trace-linked, unique ids
+            rec.record(float(j), trace_id=i * 1000 + j)
+        sources.append(rec)
+    tgt = merged_in_order(sources, (0, 1, 2), cap)
+    linked = {tid for _, tid in tgt.exemplars()}
+    assert len(linked) == cap    # all retained entries carry their link
+    for q in QS:
+        assert tgt.exemplar_for(q) in linked
+    baseline = [tgt.exemplar_for(q) for q in QS]
+    for order in itertools.permutations(range(3)):
+        other = merged_in_order(sources, order, cap)
+        assert [other.exemplar_for(q) for q in QS] == baseline
+
+
+def test_exemplar_for_unlinked_merged_reservoir_is_none():
+    """A merged at-cap reservoir with no trace links anywhere answers
+    None for every quantile instead of inventing an exemplar."""
+    src = LatencyRecorder(name="nolink", max_samples=8)
+    for v in range(100):
+        src.record(float(v % 7))
+    assert src.sample_count == 8 and not src.is_exact
+    tgt = LatencyRecorder(name="rollup", max_samples=8)
+    tgt.merge(src)
+    assert tgt.exemplar_for(50) is None
+    assert tgt.exemplar_for(99.9) is None

@@ -1,0 +1,159 @@
+"""Multi-window burn-rate alerting on the simulated event clock.
+
+A synthetic probe drives a healthy -> outage -> recovered service; the
+evaluator must page only during the outage (both windows over the
+factor), resolve after recovery washes the windows out, and produce a
+byte-identical alert log on a rerun.
+"""
+
+import json
+
+import pytest
+
+from repro.sim import Environment
+from repro.slo import (AVAILABILITY, BurnRateRule, SLODefinition,
+                       SLOEvaluator, default_rules)
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        BurnRateRule("x", fast_window_s=0.0, slow_window_s=1.0, factor=2.0)
+    with pytest.raises(ValueError):
+        BurnRateRule("x", fast_window_s=1.0, slow_window_s=1.0, factor=2.0)
+    with pytest.raises(ValueError):
+        BurnRateRule("x", fast_window_s=0.1, slow_window_s=1.0, factor=0.5)
+
+
+def test_default_rules_shape():
+    page, ticket = default_rules(4.0)
+    assert page.label == "page" and ticket.label == "ticket"
+    assert page.fast_window_s < page.slow_window_s
+    assert page.factor > ticket.factor
+    assert ticket.slow_window_s == pytest.approx(2.0)
+
+
+def test_evaluator_rejects_bad_config():
+    env = Environment()
+    slo = SLODefinition(name="a", kind=AVAILABILITY, target=0.99)
+    with pytest.raises(ValueError):
+        SLOEvaluator(env, [])
+    with pytest.raises(ValueError):
+        SLOEvaluator(env, [slo], period_s=0.0)
+    with pytest.raises(ValueError):
+        SLOEvaluator(env, [slo, slo])
+    evaluator = SLOEvaluator(env, [slo])
+    evaluator.start()
+    with pytest.raises(RuntimeError):
+        evaluator.start()
+
+
+def _outage_run():
+    """1s healthy, 1s at 50% failures, 1.5s recovered."""
+    env = Environment()
+    slo = SLODefinition(name="avail", kind=AVAILABILITY, target=0.99)
+    evaluator = SLOEvaluator(
+        env, [slo],
+        rules=[BurnRateRule("page", fast_window_s=0.1, slow_window_s=0.4,
+                            factor=10.0)],
+        period_s=0.05)
+    state = {"good": 0, "bad": 0}
+    evaluator.add_probe("avail", lambda: (state["good"], state["bad"]))
+    evaluator.start()
+
+    def driver():
+        while env.now < 3.5:
+            yield env.timeout(0.05)
+            if env.now <= 1.0:
+                state["good"] += 100
+            elif env.now <= 2.0:
+                state["good"] += 50
+                state["bad"] += 50
+            else:
+                state["good"] += 100
+
+    env.process(driver(), name="driver")
+    env.run(until=3.5)
+    return evaluator
+
+
+def test_burn_alert_fires_in_outage_and_resolves_after():
+    evaluator = _outage_run()
+    fires = [e for e in evaluator.alert_log if e[3] == "fire"]
+    resolves = [e for e in evaluator.alert_log if e[3] == "resolve"]
+    assert fires and resolves
+    # Nothing fires while healthy; the page lands early in the outage.
+    assert 1.0 < fires[0][0] < 1.5
+    # Both windows were over the factor at fire time.
+    assert fires[0][4] >= 10.0 and fires[0][5] >= 10.0
+    # Resolved once recovery washed the windows out, and stayed quiet.
+    assert resolves[-1][0] < 3.0
+    assert not any(on for on in
+                   evaluator._objectives["avail"].firing.values())
+
+
+def test_alert_log_is_deterministic():
+    a = _outage_run().payload()
+    b = _outage_run().payload()
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_payload_schema_and_verdict():
+    evaluator = _outage_run()
+    doc = evaluator.payload()
+    assert doc["schema"] == "repro-slo/1"
+    assert doc["ticks"] == evaluator.ticks > 0
+    (avail,) = doc["objectives"]
+    assert avail["name"] == "avail" and avail["kind"] == AVAILABILITY
+    # 1s of 50% failures in 3.5s of traffic blows a 1% budget.
+    assert avail["met"] is False and avail["budget_consumed"] > 1.0
+    assert avail["alerts"] == len(
+        [e for e in doc["alert_log"] if e[3] == "fire"])
+
+
+def test_window_burn_empty_and_partial_history():
+    env = Environment()
+    slo = SLODefinition(name="a", kind=AVAILABILITY, target=0.9)
+    evaluator = SLOEvaluator(env, [slo], period_s=0.1)
+    obj = evaluator._objectives["a"]
+    assert obj.window_burn(0.0, 1.0) == 0.0          # no history
+    obj.history.append((0.1, 90.0, 10.0))
+    # Window reaching before the first snapshot baselines at zero.
+    assert obj.window_burn(0.1, 1.0) == pytest.approx(1.0)
+    obj.history.append((0.2, 180.0, 10.0))
+    # Trailing 0.1s window: 90 good, 0 bad since t=0.1.
+    assert obj.window_burn(0.2, 0.1) == 0.0
+
+
+def test_latency_objective_via_source_observation():
+    """attach_source classifies per-request latency at the done event
+    (exercised end-to-end through a tiny fake source here)."""
+    env = Environment()
+    slo = SLODefinition(name="lat", kind="latency", target=0.5,
+                        threshold_s=0.1)
+
+    class FakeSource:
+        observers = []
+
+    class Req:
+        def __init__(self, sent_at):
+            self.sent_at = sent_at
+
+    class Done:
+        def __init__(self, ok):
+            self._ok = ok
+
+    source = FakeSource()
+    evaluator = SLOEvaluator(env, [slo], period_s=0.05)
+    evaluator.attach_source(source)
+    (observe,) = source.observers
+
+    def driver():
+        yield env.timeout(0.05)
+        observe(Req(env.now - 0.01), Done(True))    # fast -> good
+        observe(Req(env.now - 0.2), Done(True))     # slow -> bad
+        observe(Req(env.now - 0.01), Done(False))   # failed -> bad
+
+    env.process(driver(), name="driver")
+    env.run(until=0.2)
+    obj = evaluator._objectives["lat"]
+    assert (obj.good, obj.bad) == (1, 2)

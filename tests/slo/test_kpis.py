@@ -1,0 +1,177 @@
+"""repro-kpi/1: derivation from rollups, metrics and sweep documents."""
+
+import json
+import math
+
+import pytest
+
+from repro.calib import DEFAULT_TESTBED
+from repro.slo import (HostShape, compute_kpis, cost_section,
+                       host_cost_per_hour, kpi_json, kpis_from_metrics,
+                       kpis_from_rollup, kpis_from_sweep)
+
+
+def synthetic_rollup():
+    return {
+        "per_host": [],
+        "fleet": {
+            "hosts": 2, "active_hosts": 2, "handled": 100,
+            "completed": 90, "failed": 2, "predictions": 90, "shed": 8,
+            "goodput_per_s": 450.0, "shed_pct": 8.0, "failure_pct": 2.0,
+            "latency_count": 90, "p50_ms": 2.0, "p99_ms": 10.0,
+            "p999_ms": 12.0, "mean_ms": 3.0, "conserved": True,
+            "client_p50_ms": 2.1, "client_p99_ms": 20.0,
+            "client_failures": 10,
+        },
+        "balancer": {"rejected": 3},
+        "source": {"sent": 100, "completed": 90, "expired": 6,
+                   "failed": 4, "conserved": True},
+        "metrics": {
+            "stage.decode": {"type": "latency", "count": 90,
+                             "mean": 0.002, "p50": 0.001, "p90": 0.003,
+                             "p99": 0.004, "p99.9": 0.005},
+            "stage.empty": {"type": "latency", "count": 0, "mean": None,
+                            "p50": None, "p90": None, "p99": None,
+                            "p99.9": None},
+            "requests": {"type": "counter", "total": 100},
+        },
+    }
+
+
+def test_host_cost_per_hour_formula():
+    testbed = DEFAULT_TESTBED
+    shape = HostShape(cpu_cores=8, num_fpgas=1, num_gpus=1)
+    watts = (8 / testbed.cpu_cores * testbed.cpu_power_w
+             + testbed.fpga_power_w + testbed.gpu_power_w)
+    expected = (8 * testbed.core_price_per_hour
+                + testbed.fpga_card_price / testbed.hours_per_year
+                + watts / 1000.0 * testbed.electricity_per_kwh)
+    assert host_cost_per_hour(shape) == pytest.approx(expected)
+
+
+def test_cost_section_prices_goodput():
+    shape = HostShape(cpu_cores=8)
+    doc = cost_section(3, shape, goodput_per_s=1000.0)
+    per_host = host_cost_per_hour(shape)
+    assert doc["fleet_cost_per_hour"] == pytest.approx(3 * per_host)
+    assert doc["cost_per_million_images"] == pytest.approx(
+        3 * per_host / (1000.0 * 3600.0) * 1e6)
+    assert cost_section(3, shape, goodput_per_s=None)[
+        "cost_per_million_images"] is None
+    assert cost_section(3, None, goodput_per_s=1000.0) is None
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        HostShape(cpu_cores=0)
+    with pytest.raises(ValueError):
+        HostShape(cpu_cores=4, num_fpgas=-1)
+
+
+def test_kpis_from_rollup_prefers_source_ledger():
+    kpi = kpis_from_rollup(synthetic_rollup(), window_s=2.0,
+                           shape=HostShape(cpu_cores=8))
+    assert kpi["schema"] == "repro-kpi/1"
+    traffic = kpi["traffic"]
+    assert traffic["offered"] == 100           # source.sent, not handled
+    assert traffic["completed"] == 90
+    assert traffic["expired"] == 6 and traffic["failed"] == 4
+    assert traffic["rejected"] == 3
+    assert traffic["failure_pct"] == pytest.approx(10.0)
+    assert traffic["goodput_per_s"] == pytest.approx(450.0)
+    assert traffic["offered_per_s"] == pytest.approx(50.0)
+    latency = kpi["latency"]
+    assert latency["p99_ms"] == 10.0 and latency["p99_9_ms"] == 12.0
+    assert latency["client_p99_ms"] == 20.0
+    # Stage table: seconds -> ms, empty recorders stay None-safe.
+    decode = kpi["stages"]["stage.decode"]
+    assert decode["p50_ms"] == pytest.approx(1.0)
+    assert decode["p99_9_ms"] == pytest.approx(5.0)
+    assert kpi["stages"]["stage.empty"]["p99_ms"] is None
+    assert "requests" not in kpi["stages"]
+    assert kpi["cost"]["hosts"] == 2
+
+
+def test_kpis_from_rollup_without_source_falls_back_to_hosts():
+    payload = synthetic_rollup()
+    del payload["source"]
+    kpi = kpis_from_rollup(payload, window_s=2.0)
+    assert kpi["traffic"]["offered"] == 103    # handled + rejected
+    assert kpi["cost"] is None                 # no shape given
+
+
+def test_kpis_from_metrics_needs_caller_traffic():
+    doc = {"schema": "repro-metrics/1",
+           "metrics": synthetic_rollup()["metrics"]}
+    kpi = kpis_from_metrics(doc, window_s=4.0,
+                            traffic={"offered": 200, "completed": 150,
+                                     "shed": 40},
+                            shape=HostShape(cpu_cores=16), hosts=1)
+    traffic = kpi["traffic"]
+    assert traffic["goodput_per_s"] == pytest.approx(37.5)
+    assert traffic["shed_pct"] == pytest.approx(20.0)
+    assert traffic["failure_pct"] == pytest.approx(25.0)
+    assert kpi["stages"]["stage.decode"]["count"] == 90
+    assert kpi["cost"]["hosts"] == 1
+
+
+def test_kpis_from_sweep_merges_points_and_stages():
+    rollup = {
+        "schema": "repro-sweep/1",
+        "num_points": 2,
+        "points": [
+            {"label": "k2/s23", "seed": 23,
+             "values": synthetic_rollup()},
+            {"label": "scalar", "seed": 1,
+             "values": {"throughput": 123.0}},   # not a fleet payload
+        ],
+        "merged_latency": {
+            "turnaround": {"count": 500, "mean": 0.003, "p50": 0.002,
+                           "p90": 0.004, "p99": 0.009, "p999": 0.011,
+                           "min": 0.001, "max": 0.012,
+                           "sample_count": 500, "samples_crc32": 1},
+        },
+    }
+    kpi = kpis_from_sweep(rollup, window_s=2.0)
+    assert [p["label"] for p in kpi["points"]] == ["k2/s23"]
+    assert kpi["points"][0]["kpi"]["traffic"]["offered"] == 100
+    stage = kpi["stages"]["turnaround"]
+    assert stage["p90_ms"] == pytest.approx(4.0)
+    assert stage["p99_9_ms"] == pytest.approx(11.0)
+
+
+def test_compute_kpis_dispatch():
+    assert compute_kpis(synthetic_rollup())["source"] == "fleet-rollup"
+    assert compute_kpis({"schema": "repro-sweep/1", "points": [],
+                         "merged_latency": {}})["source"] == "sweep"
+    assert compute_kpis(
+        {"schema": "repro-metrics/1", "metrics": {}})["source"] == "metrics"
+    # A bare snapshot mapping (no schema key) still dispatches.
+    assert compute_kpis(
+        {"c": {"type": "counter", "total": 1}})["source"] == "metrics"
+    with pytest.raises(ValueError):
+        compute_kpis({"schema": "repro-perf/1"})
+    with pytest.raises(TypeError):
+        compute_kpis([1, 2, 3])
+
+
+def test_critical_path_accumulator_embeds():
+    class FakeAcc:
+        def report(self):
+            return {"decode": {"wait": 0.001, "service": 0.002}}
+
+    kpi = kpis_from_rollup(synthetic_rollup(), critical_path=FakeAcc())
+    assert kpi["critical_path"]["decode"]["service_ms"] == pytest.approx(2.0)
+    # A plain report() dict works identically.
+    kpi2 = kpis_from_rollup(synthetic_rollup(),
+                            critical_path=FakeAcc().report())
+    assert kpi2["critical_path"] == kpi["critical_path"]
+
+
+def test_kpi_json_is_strict_and_stable():
+    payload = kpis_from_rollup(synthetic_rollup(), window_s=2.0)
+    payload["latency"]["p50_ms"] = math.nan      # sneak in a NaN
+    text = kpi_json(payload)
+    doc = json.loads(text)                       # strict JSON parses
+    assert doc["latency"]["p50_ms"] is None      # scrubbed, not "NaN"
+    assert text == kpi_json(payload)             # byte-stable

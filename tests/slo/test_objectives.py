@@ -1,0 +1,80 @@
+"""SLODefinition semantics: validation, classification, verdicts."""
+
+import pytest
+
+from repro.slo import (AVAILABILITY, INTEGRITY, LATENCY, SLODefinition,
+                       default_serving_slos, verdict)
+
+
+def test_kinds_validated():
+    with pytest.raises(ValueError):
+        SLODefinition(name="x", kind="throughput", target=0.9)
+
+
+@pytest.mark.parametrize("target", [0.0, 1.0, -0.1, 1.5])
+def test_target_must_be_open_interval(target):
+    with pytest.raises(ValueError):
+        SLODefinition(name="x", kind=AVAILABILITY, target=target)
+
+
+def test_latency_kind_requires_threshold():
+    with pytest.raises(ValueError):
+        SLODefinition(name="x", kind=LATENCY, target=0.99)
+    with pytest.raises(ValueError):
+        SLODefinition(name="x", kind=LATENCY, target=0.99, threshold_s=0.0)
+    # and only the latency kind takes one
+    with pytest.raises(ValueError):
+        SLODefinition(name="x", kind=AVAILABILITY, target=0.99,
+                      threshold_s=0.1)
+
+
+def test_error_budget_is_complement_of_target():
+    slo = SLODefinition(name="x", kind=AVAILABILITY, target=0.99)
+    assert slo.error_budget == pytest.approx(0.01)
+
+
+def test_availability_classifies_on_success_alone():
+    slo = SLODefinition(name="x", kind=AVAILABILITY, target=0.99)
+    assert slo.classify(True) and slo.classify(True, latency_s=99.0)
+    assert not slo.classify(False)
+
+
+def test_latency_classifies_success_within_threshold():
+    slo = SLODefinition(name="x", kind=LATENCY, target=0.99,
+                        threshold_s=0.025)
+    assert slo.classify(True, latency_s=0.024)
+    assert slo.classify(True, latency_s=0.025)
+    assert not slo.classify(True, latency_s=0.026)
+    assert not slo.classify(False, latency_s=0.001)
+    assert not slo.classify(True, latency_s=None)
+
+
+def test_integrity_kind_accepts_definitions():
+    slo = SLODefinition(name="sum", kind=INTEGRITY, target=0.999)
+    assert slo.classify(True) and not slo.classify(False)
+    assert slo.to_doc()["kind"] == INTEGRITY
+
+
+def test_verdict_budget_consumed():
+    slo = SLODefinition(name="x", kind=AVAILABILITY, target=0.99)
+    doc = verdict(slo, good=980, bad=20)
+    assert doc["total"] == 1000
+    assert doc["bad_frac"] == pytest.approx(0.02)
+    assert doc["budget_consumed"] == pytest.approx(2.0)
+    assert doc["met"] is False
+    assert verdict(slo, good=995, bad=5)["met"] is True
+
+
+def test_verdict_empty_window_is_vacuously_met():
+    slo = SLODefinition(name="x", kind=AVAILABILITY, target=0.99)
+    doc = verdict(slo, good=0, bad=0)
+    assert doc["met"] is True and doc["budget_consumed"] == 0.0
+
+
+def test_default_serving_slos_pair():
+    slos = default_serving_slos(0.025, availability=0.95,
+                                latency_target=0.9)
+    assert [s.kind for s in slos] == [AVAILABILITY, LATENCY]
+    assert slos[0].target == 0.95
+    assert slos[1].name == "latency-25ms"
+    assert slos[1].threshold_s == 0.025 and slos[1].target == 0.9

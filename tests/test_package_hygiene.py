@@ -10,7 +10,8 @@ PACKAGES = ["repro", "repro.sim", "repro.jpeg", "repro.calib",
             "repro.host", "repro.engines", "repro.backends",
             "repro.workflows", "repro.experiments", "repro.data",
             "repro.cluster", "repro.faults", "repro.supervision",
-            "repro.telemetry", "repro.tracing", "repro.fleet"]
+            "repro.telemetry", "repro.tracing", "repro.fleet",
+            "repro.sweep", "repro.slo", "repro.capacity"]
 
 
 def iter_all_modules():
