@@ -1,0 +1,163 @@
+"""Content-addressed functional-decode cache.
+
+Sweeps decode the same small functional corpus at every (point, seed):
+the 8-image default corpus is decoded thousands of times per sweep, and
+decode dominates functional-mode wall-clock.  This cache memoizes the
+*output* of a decode keyed by the *content* of its input:
+
+    key = (zlib.crc32(jpeg_bytes), params fingerprint)
+
+plus an exact byte-equality check against the stored payload on every
+hit, so a crc32 collision degrades to a miss instead of serving the
+wrong image.  Content addressing is what makes the cache safe under
+fault injection: poison/truncation/bitflip faults really mutate the
+payload bytes (see ``repro.faults.injector``), so a corrupted stream
+can never alias a clean entry — it has a different key — and a clean
+stream can never inherit a poisoned result.
+
+The cache is process-local, bounded (LRU), and caches *failures* too:
+a payload that raised a typed decode error raises the same error again
+on the next sight, which is exactly what re-decoding would do.
+
+``reference_mode()`` flips :data:`_BYPASS` for its scope, so A/B
+comparisons measure the real decoder both times.  Cached arrays are
+returned read-only (no defensive copy — consumers treat decoded pixels
+as immutable); callers that need to scribble must copy.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from typing import Any, Optional
+
+import numpy as np
+
+from .decoder import decode, decode_resized
+from .errors import JpegDecodeError
+
+__all__ = ["DecodeCache", "cached_decode", "cached_decode_resized",
+           "decode_cache", "decode_cache_stats", "clear_decode_cache"]
+
+# reference_mode() patches this True so A/B runs bypass the cache; the
+# fault tests also flip it to compare cached vs uncached behaviour.
+_BYPASS = False
+
+
+class DecodeCache:
+    """A bounded LRU of decode outcomes, content-addressed.
+
+    The cache stores opaque ``outcome`` values (the callers decide what
+    an outcome is — a pixel array, or a recorded failure) under
+    ``(crc32(payload), fingerprint)``; each entry also retains the
+    payload bytes it was computed from, compared on every hit so crc32
+    collisions can never alias two different bitstreams.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, tuple[bytes, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.collisions = 0
+        self.evictions = 0
+
+    def lookup(self, payload: bytes, fingerprint: tuple) -> Optional[tuple]:
+        """``(outcome,)`` on a verified hit, ``None`` on miss/bypass.
+
+        The one-tuple wrapping distinguishes a miss from a legitimately
+        ``None``-valued outcome.
+        """
+        if _BYPASS:
+            return None
+        key = (zlib.crc32(payload), fingerprint)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stored, outcome = entry
+        if stored != payload:           # crc32 collision: treat as miss
+            self.collisions += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return (outcome,)
+
+    def insert(self, payload: bytes, fingerprint: tuple,
+               outcome: Any) -> None:
+        if _BYPASS:
+            return
+        key = (zlib.crc32(payload), fingerprint)
+        self._entries[key] = (payload, outcome)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = self.collisions = self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "collisions": self.collisions,
+                "evictions": self.evictions}
+
+
+#: The process-wide cache instance (sweep workers each get their own —
+#: fork workers inherit the parent's warm entries copy-on-write).
+decode_cache = DecodeCache()
+
+
+def decode_cache_stats() -> dict[str, int]:
+    """Hit/miss/collision/eviction counters of the process-wide cache."""
+    return decode_cache.stats()
+
+
+def clear_decode_cache() -> None:
+    """Drop every entry and zero the counters of the process-wide cache."""
+    decode_cache.clear()
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    arr.setflags(write=False)
+    return arr
+
+
+def _call_cached(fingerprint: tuple, payload: bytes, fn, *args):
+    hit = decode_cache.lookup(payload, fingerprint)
+    if hit is not None:
+        outcome = hit[0]
+        if isinstance(outcome, tuple):      # recorded failure
+            cls, text = outcome
+            raise cls(text)
+        return outcome
+    try:
+        result = fn(payload, *args)
+    except JpegDecodeError as exc:
+        decode_cache.insert(payload, fingerprint, (type(exc), str(exc)))
+        raise
+    decode_cache.insert(payload, fingerprint, _freeze(result))
+    return result
+
+
+def cached_decode(data: bytes) -> np.ndarray:
+    """:func:`repro.jpeg.decode`, memoized by content.
+
+    Bit-identical to the uncached decoder (it *is* the uncached decoder
+    on first sight); raises the same typed error for the same corrupt
+    bytes.  The returned array is shared and read-only.
+    """
+    return _call_cached(("decode",), data, decode)
+
+
+def cached_decode_resized(data: bytes, out_h: int, out_w: int) -> np.ndarray:
+    """:func:`repro.jpeg.decode_resized`, memoized by content + geometry."""
+    return _call_cached(("resized", out_h, out_w), data,
+                        decode_resized, out_h, out_w)

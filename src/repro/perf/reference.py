@@ -38,6 +38,7 @@ from typing import Any, Optional
 import numpy as np
 
 from ..jpeg import bitstream as _bitstream
+from ..jpeg import cache as _jpeg_cache
 from ..jpeg import decoder as _decoder
 from ..jpeg import dct as _dct
 from ..jpeg import huffman as _huffman
@@ -451,6 +452,7 @@ def _decode_bitwise(self, reader: BitReader) -> int:
 # class methods patch once and apply everywhere.
 _PATCHES: list[tuple[Any, str, Any]] = [
     # codec
+    (_jpeg_cache, "_BYPASS", True),     # no memoized decodes in A/B runs
     (_bitstream.BitReader, "_pull_byte", _pull_byte_ref),
     (HuffmanTable, "decode", _decode_bitwise),
     (_huffman, "decode_block", decode_block_ref),

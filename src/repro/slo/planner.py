@@ -110,7 +110,10 @@ def evaluate_k(k: int, spec: PlanSpec, knee: float,
     points = [SweepPoint(runner="fleet_serve", config=config, seed=seed,
                          label=f"k{k}/s{seed}")
               for seed in spec.seeds]
-    outcome = run_sweep(points, parallel=min(parallel, len(points)))
+    # reuse_pool: the planner probes many k values in a search loop —
+    # the shared warm pool amortizes worker startup across probes.
+    outcome = run_sweep(points, parallel=min(parallel, len(points)),
+                        reuse_pool=parallel > 1)
     rows = [_seed_row(seed, result["values"], spec)
             for seed, result in zip(spec.seeds, outcome.results)]
     worst_p99 = None

@@ -16,9 +16,12 @@ CLI: ``python -m repro.sweep --help``.
 """
 
 from .points import POINT_RUNNERS, fig7_points, point_runner
+from .pool import (WorkerPool, effective_cores, shared_pool,
+                   shutdown_shared_pools, warm_process)
 from .runner import (SCHEMA, SweepOutcome, SweepPoint, canonical_json,
                      run_sweep)
 
 __all__ = ["SCHEMA", "SweepPoint", "SweepOutcome", "run_sweep",
            "canonical_json", "POINT_RUNNERS", "point_runner",
-           "fig7_points"]
+           "fig7_points", "WorkerPool", "shared_pool",
+           "shutdown_shared_pools", "warm_process", "effective_cores"]

@@ -3,17 +3,21 @@
 Usage:
     python -m repro.sweep --seeds 3 --parallel 4
     python -m repro.sweep --models googlenet,resnet50 --batches 1,8,32
-    python -m repro.sweep --check-identity --parallel 2
+    python -m repro.sweep --check-identity --parallel 2 --reuse-pool
+    python -m repro.sweep --parallel 2 --profile prof/
 
 ``--check-identity`` runs the same points both serially and in
 parallel and asserts the merged rollups are byte-identical — the
 sweep's core determinism contract — then reports the speedup.
+``--profile`` wraps every point in cProfile (inside whichever worker
+runs it) and collects per-point ``.pstats`` files.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from ..perf.harness import merge_payloads, write_payload
@@ -44,19 +48,48 @@ def main(argv=None) -> int:
     parser.add_argument("--check-identity", action="store_true",
                         help="also run serially and assert the merged "
                              "rollup is byte-identical")
+    parser.add_argument("--reuse-pool", action="store_true",
+                        help="run through the process-wide shared warm "
+                             "WorkerPool (amortizes startup across "
+                             "repeated sweeps in one process)")
+    parser.add_argument("--start-method", default=None,
+                        choices=("fork", "spawn", "forkserver"),
+                        help="worker start method (default: fork where "
+                             "available)")
+    parser.add_argument("--profile", nargs="?", const=".", default=None,
+                        metavar="DIR",
+                        help="cProfile every point (in whichever worker "
+                             "runs it) and dump point-NNN-{label}.pstats "
+                             "into DIR (default: cwd); inspect with "
+                             "python -m pstats or snakeviz")
     parser.add_argument("--out", default=None,
                         help="write the repro-sweep/1 rollup JSON here")
     parser.add_argument("--perf-out", default=None,
                         help="write the repro-perf/1 timing payload here")
     args = parser.parse_args(argv)
 
+    if args.profile is not None:
+        # Fail on an unwritable dir before burning sweep minutes.
+        try:
+            os.makedirs(args.profile, exist_ok=True)
+        except OSError as exc:
+            print(f"cannot create --profile directory "
+                  f"{args.profile!r}: {exc}", file=sys.stderr)
+            return 2
+
     points = fig7_points(models=args.models, backends=args.backends,
                          batches=args.batches,
                          seeds=tuple(range(args.seeds)),
                          warmup_s=args.warmup_s,
                          measure_s=args.measure_s)
-    print(f"sweep: {len(points)} points, parallel={args.parallel}")
-    outcome = run_sweep(points, parallel=args.parallel)
+    print(f"sweep: {len(points)} points, parallel={args.parallel}"
+          + (", reused pool" if args.reuse_pool else ""))
+    outcome = run_sweep(points, parallel=args.parallel,
+                        start_method=args.start_method,
+                        reuse_pool=args.reuse_pool,
+                        profile_dir=args.profile)
+    if args.profile is not None:
+        print(f"profiles -> {args.profile}/point-*.pstats")
     rollup_json = outcome.rollup_json()
     perf = outcome.perf_payload()
 

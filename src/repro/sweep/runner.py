@@ -22,8 +22,8 @@ separate ``repro-perf/1`` payload, never in the identity document.
 
 from __future__ import annotations
 
+import functools
 import json
-import multiprocessing
 import struct
 import time
 import zlib
@@ -73,16 +73,53 @@ def _execute(task: tuple[int, SweepPoint]) -> tuple[int, dict, float, int]:
     return index, result, wall, events
 
 
+def _execute_packed(task: tuple[int, SweepPoint]
+                    ) -> tuple[int, dict, float, int]:
+    """Worker-side entry: run the point, then flatten reservoirs and
+    metrics into packed buffers so the pickle crossing the process
+    boundary is a handful of byte strings, not an object graph."""
+    from .transport import encode_result
+    index, result, wall, events = _execute(task)
+    return index, encode_result(result), wall, events
+
+
+def _point_slug(index: int, point: SweepPoint) -> str:
+    text = point.label or point.runner
+    safe = "".join(c if c.isalnum() or c in "-._" else "-" for c in text)
+    return f"point-{index:03d}-{safe}"
+
+
+def _execute_profiled(task: tuple[int, SweepPoint], profile_dir: str,
+                      packed: bool) -> tuple[int, dict, float, int]:
+    """Run one point under cProfile, dumping stats into
+    ``profile_dir/<point-slug>.pstats`` (one file per point, written by
+    whichever worker ran it)."""
+    import cProfile
+    import os
+    fn = _execute_packed if packed else _execute
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        out = fn(task)
+    finally:
+        prof.disable()
+        index, point = task
+        prof.dump_stats(os.path.join(
+            profile_dir, f"{_point_slug(index, point)}.pstats"))
+    return out
+
+
 def _sample_digest(rec: LatencyRecorder) -> int:
     """crc32 over the retained reservoir entries — a compact witness
     that two merged reservoirs are byte-identical without serializing
     up to ``max_samples`` floats into the rollup."""
     rec._flush()
-    crc = 0
-    for latency, seq, trace_id in rec._sorted:
-        tid = -1 if trace_id is None else trace_id
-        crc = zlib.crc32(struct.pack("!dqq", latency, seq, tid), crc)
-    return crc
+    pack = struct.Struct("!dqq").pack
+    # Chained crc32 over rows == crc32 of their concatenation; one C
+    # call over one buffer beats a Python-level loop of chained calls.
+    return zlib.crc32(b"".join(
+        pack(latency, seq, -1 if trace_id is None else trace_id)
+        for latency, seq, trace_id in rec._sorted))
 
 
 @dataclass
@@ -98,18 +135,33 @@ class SweepOutcome:
 
     def merged_recorders(self) -> dict[str, LatencyRecorder]:
         """Fold every point's harvested reservoirs, by metric name, in
-        point-index order (== serial order)."""
-        merged: dict[str, LatencyRecorder] = {}
+        point-index order (== serial order).
+
+        Serial results carry live :class:`LatencyRecorder` objects and
+        fold through the pairwise ``merge()``; parallel results arrive
+        as :class:`~repro.sweep.transport.PackedRecorder` buffers and
+        fold through the vectorized :func:`merge_packed` — the two are
+        byte-identical by construction (and cross-checked by every
+        ``--check-identity`` run).
+        """
+        from .transport import PackedRecorder, merge_packed, pack_recorder
+        by_name: dict[str, list] = {}
         for result in self.results:
             for name, rec in sorted(
                     (result.get("recorders") or {}).items()):
-                target = merged.get(name)
-                if target is None:
-                    target = LatencyRecorder(
-                        name=f"sweep.{name}",
-                        max_samples=rec._max_samples)
-                    merged[name] = target
-                target.merge(rec)
+                by_name.setdefault(name, []).append(rec)
+        merged: dict[str, LatencyRecorder] = {}
+        for name, recs in by_name.items():
+            if any(isinstance(r, PackedRecorder) for r in recs):
+                packs = [r if isinstance(r, PackedRecorder)
+                         else pack_recorder(r) for r in recs]
+                merged[name] = merge_packed(f"sweep.{name}", packs)
+            else:
+                target = LatencyRecorder(name=f"sweep.{name}",
+                                         max_samples=recs[0]._max_samples)
+                for rec in recs:
+                    target.merge(rec)
+                merged[name] = target
         return merged
 
     def rollup(self) -> dict[str, Any]:
@@ -201,7 +253,9 @@ def _jsonable(value: Any) -> Any:
 
 
 def run_sweep(points: list[SweepPoint], parallel: int = 1,
-              start_method: Optional[str] = None) -> SweepOutcome:
+              start_method: Optional[str] = None,
+              pool: Optional[Any] = None, reuse_pool: bool = False,
+              profile_dir: Optional[str] = None) -> SweepOutcome:
     """Run every point; fan out to ``parallel`` worker processes.
 
     ``parallel <= 1`` runs the points inline in order — the serial
@@ -210,6 +264,14 @@ def run_sweep(points: list[SweepPoint], parallel: int = 1,
     index, so completion order never matters.  Worker-simulated events
     are folded into the parent's global tally so ``@timed`` experiment
     wrappers report true events/s for parallel runs.
+
+    Parallel execution goes through a warm :class:`~repro.sweep.pool.
+    WorkerPool`: pass ``pool`` to bring your own, ``reuse_pool=True``
+    to use the process-wide shared pool (amortizes startup across
+    calls — the capacity planner's probe loop does this), or neither
+    for a fresh pool per call.  ``profile_dir`` wraps every point in
+    cProfile and collects per-point ``.pstats`` files there (serial
+    and parallel alike).
     """
     if parallel < 1:
         raise ValueError(f"parallel must be >= 1, got {parallel}")
@@ -218,26 +280,43 @@ def run_sweep(points: list[SweepPoint], parallel: int = 1,
     walls = [0.0] * len(points)
     events = [0] * len(points)
     t0 = time.perf_counter()
-    if parallel == 1 or len(points) <= 1:
+    if (parallel == 1 or len(points) <= 1) and pool is None:
         for task in tasks:
-            index, result, wall, ev = _execute(task)
+            if profile_dir is not None:
+                index, result, wall, ev = _execute_profiled(
+                    task, profile_dir, packed=False)
+            else:
+                index, result, wall, ev = _execute(task)
             results[index] = result
             walls[index] = wall
             events[index] = ev
     else:
-        if start_method is None:
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else "spawn"
-        ctx = multiprocessing.get_context(start_method)
-        with ctx.Pool(processes=min(parallel, len(points))) as pool:
-            for index, result, wall, ev in pool.imap_unordered(
-                    _execute, tasks, chunksize=1):
-                results[index] = result
+        from .pool import WorkerPool, shared_pool
+        from .transport import decode_result
+        if profile_dir is not None:
+            func: Any = functools.partial(
+                _execute_profiled, profile_dir=profile_dir, packed=True)
+        else:
+            func = _execute_packed
+        if pool is not None:
+            own = None
+        elif reuse_pool:
+            pool = shared_pool(parallel, start_method)
+            own = None
+        else:
+            pool = own = WorkerPool(min(parallel, len(points)),
+                                    start_method=start_method)
+        try:
+            for index, result, wall, ev in pool.run(func, tasks):
+                results[index] = decode_result(result)
                 walls[index] = wall
                 events[index] = ev
                 # The worker's simulated events happened in another
                 # process; fold them into this one's tally.
                 _add_total(ev)
+        finally:
+            if own is not None:
+                own.close()
     wall_s = time.perf_counter() - t0
     missing = [i for i, r in enumerate(results) if r is None]
     if missing:

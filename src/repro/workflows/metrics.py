@@ -102,11 +102,14 @@ class CpuWindow:
         self._mark_t = env.now
         self._mark_busy: dict[str, float] = {}
 
-    def _categories(self) -> set[str]:
+    def _categories(self) -> list[str]:
+        # Sorted, not set order: breakdown() sums float shares in this
+        # order, and set iteration follows the per-process string hash
+        # seed — a spawn worker would drift from its parent by an ulp.
         tracker = self.cpu.tracker
         cats = set(tracker._busy)
         cats.update(cat for cat, _ in tracker._open.values())
-        return cats
+        return sorted(cats)
 
     def mark(self) -> None:
         self._mark_t = self.env.now

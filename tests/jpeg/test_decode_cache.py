@@ -1,0 +1,249 @@
+"""The content-addressed decode cache must be invisible and poison-safe.
+
+Invisible: cached pixels are bit-identical to uncached ones (the first
+decode *is* the uncached decoder), reference_mode() bypasses the cache
+entirely, and the FPGA mirror's staged pipeline produces the same
+results/errors with the cache hot as cold.  Poison-safe: the key is the
+payload content, so a fault-injected (corrupted/truncated) stream can
+never be served a stale clean result, and a clean stream can never
+inherit a poisoned error — proven here against the real FaultInjector
+mutations.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calib import DEFAULT_TESTBED
+from repro.data import synthetic_photo
+from repro.faults import FaultInjector, FaultPlan
+from repro.fpga import DecodeCmd, ImageDecoderMirror
+from repro.jpeg import (JpegDecodeError, cached_decode,
+                        cached_decode_resized, clear_decode_cache, decode,
+                        decode_cache, decode_resized, encode)
+from repro.jpeg.cache import DecodeCache
+from repro.perf import reference_mode
+from repro.sim import Environment, SeedBank
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_decode_cache()
+    yield
+    clear_decode_cache()
+
+
+def corpus_payload(index=0, h=48, w=64, quality=80, gray=False):
+    img = synthetic_photo(np.random.default_rng(index), h, w, gray=gray)
+    return encode(img, quality=quality,
+                  subsampling="4:4:4" if gray else "4:2:0")
+
+
+def poisoned_copy(payload, seed=0):
+    """The exact mutation FaultInjector.maybe_poison_cmd performs."""
+
+    class _Cmd:
+        def __init__(self, data):
+            self.payload = data
+            self.poisoned = False
+
+    inj = FaultInjector(Environment(), FaultPlan.of(
+        FaultPlan.payload_corrupt(1.0)), seeds=SeedBank(seed))
+    cmd = _Cmd(payload)
+    assert inj.maybe_poison_cmd(cmd)
+    assert cmd.payload != payload
+    return cmd.payload
+
+
+class TestBitIdentity:
+    @settings(max_examples=12, deadline=None)
+    @given(index=st.integers(min_value=0, max_value=5),
+           quality=st.sampled_from([60, 80, 95]),
+           gray=st.booleans(),
+           out=st.sampled_from([(32, 32), (24, 40), (48, 64)]))
+    def test_cached_equals_uncached(self, index, quality, gray, out):
+        payload = corpus_payload(index, quality=quality, gray=gray)
+        expected = decode_resized(payload, *out)
+        first = cached_decode_resized(payload, *out)   # miss: real decode
+        second = cached_decode_resized(payload, *out)  # hit: cached array
+        np.testing.assert_array_equal(first, expected)
+        np.testing.assert_array_equal(second, expected)
+        assert second is first                          # shared, not copied
+        assert not second.flags.writeable
+
+    def test_full_decode_cached(self):
+        payload = corpus_payload()
+        expected = decode(payload)
+        np.testing.assert_array_equal(cached_decode(payload), expected)
+        before = decode_cache.hits
+        np.testing.assert_array_equal(cached_decode(payload), expected)
+        assert decode_cache.hits == before + 1
+
+    def test_geometry_is_part_of_the_key(self):
+        payload = corpus_payload()
+        a = cached_decode_resized(payload, 32, 32)
+        b = cached_decode_resized(payload, 16, 16)
+        assert a.shape[:2] == (32, 32) and b.shape[:2] == (16, 16)
+
+
+class TestReferenceModeBypass:
+    def test_no_lookup_and_no_insert_inside_reference_mode(self):
+        payload = corpus_payload()
+        warm = cached_decode_resized(payload, 32, 32)    # hot entry
+        stats_before = decode_cache.stats()
+        with reference_mode():
+            ref = cached_decode_resized(payload, 32, 32)
+        # Same pixels (the decoders are bit-compatible) but measured,
+        # not served: no hit, no miss, no new entry.
+        np.testing.assert_array_equal(ref, warm)
+        assert ref is not warm
+        assert decode_cache.stats() == stats_before
+
+    def test_cache_resumes_after_reference_mode(self):
+        payload = corpus_payload()
+        with reference_mode():
+            cached_decode_resized(payload, 32, 32)
+        assert len(decode_cache) == 0
+        cached_decode_resized(payload, 32, 32)
+        assert len(decode_cache) == 1
+
+
+class TestPoisonChaos:
+    def test_corrupted_stream_never_gets_stale_clean_result(self):
+        """Scan-byte corruption often still decodes (to garbage) — the
+        cache must serve the garbage matching those bytes, never the
+        hot clean entry for the original."""
+        clean = corpus_payload()
+        clean_pixels = cached_decode_resized(clean, 32, 32)  # entry hot
+        bad = poisoned_copy(clean)
+        expected_bad = decode_resized(bad, 32, 32)           # uncached ref
+        assert not np.array_equal(expected_bad, clean_pixels)
+        got = cached_decode_resized(bad, 32, 32)             # miss
+        np.testing.assert_array_equal(got, expected_bad)
+        hot = cached_decode_resized(bad, 32, 32)             # hit
+        np.testing.assert_array_equal(hot, expected_bad)
+
+    def test_clean_stream_never_inherits_poisoned_outcome(self):
+        clean = corpus_payload()
+        truncated = clean[:len(clean) // 2]
+        with pytest.raises(JpegDecodeError):
+            cached_decode_resized(truncated, 32, 32)     # error entry hot
+        got = cached_decode_resized(clean, 32, 32)
+        np.testing.assert_array_equal(got, decode_resized(clean, 32, 32))
+
+    def test_cached_failure_is_the_same_typed_error(self):
+        truncated = corpus_payload()[:64]
+        with pytest.raises(JpegDecodeError) as first:
+            cached_decode(truncated)
+        with pytest.raises(JpegDecodeError) as again:    # cached failure
+            cached_decode(truncated)
+        assert type(again.value) is type(first.value)
+        assert str(again.value) == str(first.value)
+
+    def test_truncated_stream_is_its_own_entry(self):
+        clean = corpus_payload()
+        cached_decode_resized(clean, 32, 32)
+        with pytest.raises(JpegDecodeError):
+            cached_decode_resized(clean[:len(clean) // 3], 32, 32)
+        # The clean entry is still clean.
+        np.testing.assert_array_equal(
+            cached_decode_resized(clean, 32, 32),
+            decode_resized(clean, 32, 32))
+
+
+class TestMirrorSeam:
+    """The FPGA mirror's staged decode through the cache."""
+
+    def _mirror(self):
+        return ImageDecoderMirror(Environment(), DEFAULT_TESTBED,
+                                  functional=True)
+
+    def _push(self, mirror, payload, out_hw=(32, 32)):
+        cmd = DecodeCmd(cmd_id=0, source="dram", size_bytes=len(payload),
+                        work_pixels=48 * 64 * 3 // 2, out_h=out_hw[0],
+                        out_w=out_hw[1], channels=3, dest_phy=0,
+                        dest_offset=0, payload=payload)
+        return mirror._resize_fn(mirror._idct_fn(mirror._huffman_fn(cmd)))
+
+    def test_hit_produces_identical_pixels(self):
+        mirror = self._mirror()
+        payload = corpus_payload()
+        cold = self._push(mirror, payload)
+        assert decode_cache.hits == 0
+        hot = self._push(mirror, payload)
+        assert decode_cache.hits == 1
+        np.testing.assert_array_equal(hot.result, cold.result)
+        np.testing.assert_array_equal(
+            cold.result, decode_resized(payload, 32, 32))
+
+    def test_poisoned_cmd_errors_identically_hot_and_cold(self):
+        mirror = self._mirror()
+        bad = corpus_payload()[:96]              # reliably unparseable
+        cold = self._push(mirror, bad)
+        hot = self._push(mirror, bad)
+        assert cold.error is not None
+        assert hot.error == cold.error
+        assert hot.result is None
+
+    def test_clean_and_poisoned_cmds_never_cross(self):
+        mirror = self._mirror()
+        clean = corpus_payload()
+        bad = clean[:len(clean) // 2]
+        ok = self._push(mirror, clean)
+        err = self._push(mirror, bad)
+        ok2 = self._push(mirror, clean)
+        err2 = self._push(mirror, bad)
+        assert ok.error is None and ok2.error is None
+        assert err.error is not None and err2.error == err.error
+        np.testing.assert_array_equal(ok2.result, ok.result)
+
+    def test_corrupted_cmd_pixels_match_its_own_bytes(self):
+        mirror = self._mirror()
+        clean = corpus_payload()
+        bad = poisoned_copy(clean)
+        ok = self._push(mirror, clean)
+        garbled = self._push(mirror, bad)
+        garbled_hot = self._push(mirror, bad)
+        np.testing.assert_array_equal(garbled_hot.result, garbled.result)
+        assert not np.array_equal(garbled.result, ok.result)
+
+
+class TestCacheMechanics:
+    def test_crc32_collision_is_a_miss_not_an_alias(self):
+        """Two different byte strings with the same crc32 must never
+        serve each other's outcome (a precomputed real collision)."""
+        a = b"\xa3\x17\x82'\x8a\x18\x1d\xcd"
+        b = b"n\x1e\xc6q\x1ek\xf6P"
+        assert a != b and zlib.crc32(a) == zlib.crc32(b)
+        cache = DecodeCache()
+        cache.insert(a, ("t",), "outcome-for-a")
+        assert cache.lookup(b, ("t",)) is None
+        assert cache.collisions == 1
+        assert cache.lookup(a, ("t",)) == ("outcome-for-a",)
+
+    def test_lru_eviction_keeps_recently_used(self):
+        cache = DecodeCache(maxsize=2)
+        cache.insert(b"a", (), 1)
+        cache.insert(b"b", (), 2)
+        assert cache.lookup(b"a", ()) == (1,)    # refresh a
+        cache.insert(b"c", (), 3)                # evicts b
+        assert cache.lookup(b"b", ()) is None
+        assert cache.lookup(b"a", ()) == (1,)
+        assert cache.lookup(b"c", ()) == (3,)
+        assert cache.evictions == 1
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            DecodeCache(maxsize=0)
+
+    def test_stats_shape(self):
+        cache = DecodeCache()
+        cache.insert(b"x", (), None)
+        assert cache.lookup(b"x", ()) == (None,)  # None outcome != miss
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 0,
+                                 "collisions": 0, "evictions": 0}
+        cache.clear()
+        assert cache.stats()["entries"] == 0

@@ -60,17 +60,86 @@ class TestCalendarQueueOrder:
         assert cal.pop()[0] == 1e308
 
 
+@pytest.fixture
+def pinned_verdict():
+    """Pin the "auto" calibration verdict for a test, restoring after."""
+    saved = core._AUTO_VERDICT
+
+    def pin(verdict):
+        core.scheduler_calibration(force=verdict)
+
+    yield pin
+    core._AUTO_VERDICT = saved
+
+
 class TestSchedulerSelection:
     def test_auto_starts_on_heap(self):
         env = Environment()
         assert env.scheduler_active == "heap"
 
-    def test_auto_migrates_past_threshold(self):
+    def test_auto_migrates_past_threshold_when_calendar_wins(
+            self, pinned_verdict):
+        pinned_verdict("calendar")
         env = Environment()
         for _ in range(_CAL_THRESHOLD + 8):
             env.timeout(1.0)
         env.run(until=0.5)
         assert env.scheduler_active == "calendar"
+
+    def test_auto_stays_on_heap_when_calibration_says_heap(
+            self, pinned_verdict):
+        pinned_verdict("heap")
+        env = Environment()
+        for _ in range(_CAL_THRESHOLD + 8):
+            env.timeout(1.0)
+        env.run(until=0.5)
+        assert env.scheduler_active == "heap"
+
+    def test_calibration_caches_and_returns_valid_verdict(self):
+        saved = core._AUTO_VERDICT
+        try:
+            core.scheduler_calibration(force="")       # clear cache
+            verdict = core.scheduler_calibration()     # real measurement
+            assert verdict in ("heap", "calendar")
+            assert core.scheduler_calibration() == verdict   # cached
+            with pytest.raises(ValueError):
+                core.scheduler_calibration(force="wheel")
+        finally:
+            core._AUTO_VERDICT = saved
+
+    def test_auto_demotes_on_pathological_late_pushes(self, pinned_verdict):
+        """An "auto" env whose calendar sees a hostile push pattern
+        (most pushes landing in the draining bucket) reverts to the
+        heap at the next boundary — and stays there."""
+        pinned_verdict("calendar")
+        env = Environment()
+        for _ in range(_CAL_THRESHOLD + 8):
+            env.timeout(1.0)
+        env.run(until=0.5)
+        assert env.scheduler_active == "calendar"
+        cal = env._cal
+        # Simulate the guard's trigger condition directly: counters say
+        # pushes since migration are overwhelmingly late.
+        env._cal_mark = env.events_processed - core._CAL_GUARD_MIN_EVENTS
+        cal._late = core._CAL_GUARD_MIN_EVENTS
+        env.run(until=0.75)
+        assert env.scheduler_active == "heap"
+        assert env._cal_banned
+        env.run(until=2.0)                 # never re-promotes
+        assert env.scheduler_active == "heap"
+        # Demotion lost no events: every timeout still fires once.
+        assert env.events_processed == _CAL_THRESHOLD + 8
+
+    def test_stale_density_triggers_rebuild_not_demotion(self):
+        env = Environment(scheduler="calendar")
+        env.timeout(1.0)
+        env.run(until=0.5)
+        cal = env._cal
+        cal._needs_rebuild = True
+        env.run(until=0.75)
+        assert env.scheduler_active == "calendar"
+        assert env._cal is not cal         # fresh widths
+        assert not env._cal._needs_rebuild
 
     def test_forced_calendar_migrates_immediately(self):
         env = Environment(scheduler="calendar")
